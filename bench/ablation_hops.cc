@@ -1,0 +1,48 @@
+// Claim S5: propagation depth H helps then saturates/degrades.
+// RippleNet's ripple hops and KGCN's receptive-field depth are swept.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "data/presets.h"
+#include "unified/kgcn.h"
+#include "unified/ripplenet.h"
+
+int main() {
+  using namespace kgrec;  // NOLINT: bench-local convenience
+  WorldConfig config = GetPreset("movielens-100k").config;
+  config.num_users = 200;
+  config.num_items = 300;
+  config.avg_interactions_per_user = 12.0;
+  bench::Workbench wb = bench::MakeWorkbench(config);
+
+  std::printf("== S5: propagation depth sweep ==\n\n");
+  std::printf("%-12s %4s %8s %9s %9s\n", "Model", "H", "AUC", "NDCG@10",
+              "train_s");
+  for (int i = 0; i < 48; ++i) std::putchar('-');
+  std::putchar('\n');
+  for (size_t hops : {1u, 2u, 3u}) {
+    RippleNetConfig ripple_config;
+    ripple_config.num_hops = hops;
+    ripple_config.epochs = 8;
+    RippleNetRecommender ripple(ripple_config);
+    bench::RunResult r = bench::RunModel(ripple, wb);
+    std::printf("%-12s %4zu %8.3f %9.3f %9.2f\n", "RippleNet", hops,
+                r.ctr.auc, r.topk.ndcg, r.train_seconds);
+    std::fflush(stdout);
+  }
+  for (size_t layers : {1u, 2u, 3u}) {
+    KgcnConfig kgcn_config;
+    kgcn_config.num_layers = layers;
+    KgcnRecommender kgcn(kgcn_config);
+    bench::RunResult r = bench::RunModel(kgcn, wb);
+    std::printf("%-12s %4zu %8.3f %9.3f %9.2f\n", "KGCN", layers, r.ctr.auc,
+                r.topk.ndcg, r.train_seconds);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nExpected shape: H=2 at or near the top; H=1 misses multi-hop\n"
+      "relations, H=3 mixes in noise from distant entities (the survey's\n"
+      "discussion of RippleNet/KGCN depth).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Future-direction "Knowledge Graph Embedding Method" (survey Section 6):
+// compare the translation-distance and semantic-matching KGE backends
+// both on raw link prediction and as the backend inside CFKG.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "data/presets.h"
+#include "embed/cfkg.h"
+#include "kge/kge_trainer.h"
+
+int main() {
+  using namespace kgrec;  // NOLINT: bench-local convenience
+  WorldConfig config = GetPreset("movielens-100k").config;
+  config.num_users = 200;
+  config.num_items = 300;
+  config.avg_interactions_per_user = 12.0;
+  bench::Workbench wb = bench::MakeWorkbench(config);
+
+  std::printf("== S7: KGE backend comparison (Section 6 direction) ==\n\n");
+  std::printf("%-10s | %8s %9s | %8s %9s %9s\n", "Backend", "LP-MRR",
+              "LP-H@10", "CFKG-AUC", "NDCG@10", "train_s");
+  for (int i = 0; i < 64; ++i) std::putchar('-');
+  std::putchar('\n');
+  for (const std::string& backend : KgeModelNames()) {
+    // Raw link prediction on the user-item KG.
+    Rng rng(31);
+    auto kge = MakeKgeModel(backend, wb.ui_graph.kg.num_entities(),
+                            wb.ui_graph.kg.num_relations(), 16, rng);
+    KgeTrainConfig kge_config;
+    kge_config.epochs = 15;
+    TrainKge(*kge, wb.ui_graph.kg, kge_config);
+    Rng lp_rng(32);
+    LinkPredictionMetrics lp =
+        EvaluateLinkPrediction(*kge, wb.ui_graph.kg, 200, 50, lp_rng);
+    // The same backend inside CFKG.
+    CfkgConfig cfkg_config;
+    cfkg_config.kge = backend;
+    CfkgRecommender cfkg(cfkg_config);
+    bench::RunResult r = bench::RunModel(cfkg, wb);
+    std::printf("%-10s | %8.3f %9.3f | %8.3f %9.3f %9.2f\n",
+                backend.c_str(), lp.mrr, lp.hits_at_10, r.ctr.auc,
+                r.topk.ndcg, r.train_seconds);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nExpected shape: all backends are serviceable; the richer\n"
+      "projections (TransR/TransD) win on link prediction of the\n"
+      "multi-relational graph while simple TransE/DistMult remain\n"
+      "competitive inside the recommender — the survey's point that no\n"
+      "single KGE choice dominates across conditions.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Claims S1 + S3 (survey Section 1 / 2.2): KG side information
+// alleviates data sparsity and cold start.
+//   Part A: density sweep — the KG-aware models' advantage over BPR-MF
+//           grows as the interaction matrix gets sparser.
+//   Part B: cold-start items — items with zero training interactions are
+//           recommendable only through the KG.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cf/mf.h"
+#include "embed/cke.h"
+#include "eval/metrics.h"
+#include "eval/protocol.h"
+#include "unified/kgcn.h"
+#include "unified/ripplenet.h"
+
+namespace {
+
+using namespace kgrec;  // NOLINT: bench-local convenience
+
+WorldConfig BaseConfig(double interactions_per_user, uint64_t seed) {
+  WorldConfig config;
+  config.name = "sparsity";
+  config.num_users = 200;
+  config.num_items = 300;
+  config.avg_interactions_per_user = interactions_per_user;
+  config.interaction_noise = 0.6;
+  config.item_relations = {
+      {"genre", 12, 2, 0.95f}, {"director", 40, 1, 0.8f},
+      {"actor", 60, 2, 0.7f}};
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== S1: density sweep (AUC; KG advantage should grow as R "
+              "gets sparser) ==\n\n");
+  std::printf("%8s %9s | %8s %8s %8s %8s | %s\n", "ints/usr", "density",
+              "BPR-MF", "CKE", "KGCN", "Ripple", "best-KG minus BPR-MF");
+  for (int i = 0; i < 92; ++i) std::putchar('-');
+  std::putchar('\n');
+  for (double per_user : {4.0, 8.0, 16.0, 32.0}) {
+    bench::Workbench wb =
+        bench::MakeWorkbench(BaseConfig(per_user, 900 + per_user));
+    double bpr = 0.0, best_kg = 0.0;
+    double auc[4] = {0, 0, 0, 0};
+    BprMfRecommender bpr_model;
+    auc[0] = bench::RunModel(bpr_model, wb).ctr.auc;
+    CkeRecommender cke;
+    auc[1] = bench::RunModel(cke, wb).ctr.auc;
+    KgcnRecommender kgcn;
+    auc[2] = bench::RunModel(kgcn, wb).ctr.auc;
+    RippleNetConfig ripple_config;
+    ripple_config.epochs = 8;
+    RippleNetRecommender ripple(ripple_config);
+    auc[3] = bench::RunModel(ripple, wb).ctr.auc;
+    bpr = auc[0];
+    best_kg = std::max(auc[1], std::max(auc[2], auc[3]));
+    std::printf("%8.0f %8.2f%% | %8.3f %8.3f %8.3f %8.3f | %+.3f\n",
+                per_user, 100.0 * wb.split.train.Density(), auc[0], auc[1],
+                auc[2], auc[3], best_kg - bpr);
+    std::fflush(stdout);
+  }
+
+  std::printf("\n== S3: cold-start items (20%% of items unseen in training) "
+              "==\n\n");
+  SyntheticWorld world = GenerateWorld(BaseConfig(16.0, 1234));
+  Rng rng(6);
+  DataSplit cold = ColdItemSplit(world.interactions, 0.2, rng);
+  UserItemGraph graph = BuildUserItemGraph(world, cold.train);
+  RecContext ctx;
+  ctx.train = &cold.train;
+  ctx.item_kg = &world.item_kg;
+  ctx.user_item_graph = &graph;
+  ctx.seed = 17;
+  // Cold-vs-cold protocol: each cold test positive is ranked against a
+  // cold item the user never touched, so popularity effects cancel and
+  // only the KG can discriminate (BPR-MF has no trained signal at all).
+  std::vector<int32_t> cold_items = cold.test.ItemsWithInteractions();
+  std::printf("%-10s %8s   (cold-vs-cold pairwise AUC)\n", "Method", "AUC");
+  for (int i = 0; i < 44; ++i) std::putchar('-');
+  std::putchar('\n');
+  auto run_cold = [&](Recommender& model) {
+    model.Fit(ctx);
+    Rng pair_rng(7);
+    std::vector<float> scores;
+    std::vector<int> labels;
+    for (const Interaction& x : cold.test.interactions()) {
+      int32_t neg = -1;
+      for (int tries = 0; tries < 100; ++tries) {
+        const int32_t candidate =
+            cold_items[pair_rng.UniformInt(cold_items.size())];
+        if (!cold.test.Contains(x.user, candidate) &&
+            !cold.train.Contains(x.user, candidate)) {
+          neg = candidate;
+          break;
+        }
+      }
+      if (neg < 0) continue;
+      scores.push_back(model.Score(x.user, x.item));
+      labels.push_back(1);
+      scores.push_back(model.Score(x.user, neg));
+      labels.push_back(0);
+    }
+    std::printf("%-10s %8.3f\n", model.name().c_str(), Auc(scores, labels));
+    std::fflush(stdout);
+  };
+  BprMfRecommender bpr_cold;
+  run_cold(bpr_cold);
+  CkeRecommender cke_cold;
+  run_cold(cke_cold);
+  KgcnRecommender kgcn_cold;
+  run_cold(kgcn_cold);
+  RippleNetConfig rc;
+  rc.epochs = 8;
+  RippleNetRecommender ripple_cold(rc);
+  run_cold(ripple_cold);
+  std::printf(
+      "\nExpected shape: BPR-MF is near AUC 0.5 on cold items (their\n"
+      "factors are untrained); KG-aware models stay clearly above 0.5 by\n"
+      "scoring through the item's KG attributes. (BPR-MF ~ 0.5 here.)\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+#ifndef KGREC_BENCH_BENCH_UTIL_H_
+#define KGREC_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/recommender.h"
+#include "data/synthetic.h"
+#include "eval/protocol.h"
+
+namespace kgrec::bench {
+
+/// A prepared experiment world: split + both graph views.
+struct Workbench {
+  SyntheticWorld world;
+  DataSplit split;
+  UserItemGraph ui_graph;
+
+  RecContext Context(uint64_t seed = 17) const {
+    RecContext ctx;
+    ctx.train = &split.train;
+    ctx.item_kg = &world.item_kg;
+    ctx.user_item_graph = &ui_graph;
+    ctx.seed = seed;
+    return ctx;
+  }
+};
+
+inline Workbench MakeWorkbench(const WorldConfig& config,
+                               double test_fraction = 0.2,
+                               uint64_t split_seed = 5) {
+  Workbench w;
+  w.world = GenerateWorld(config);
+  Rng rng(split_seed);
+  w.split = RatioSplit(w.world.interactions, test_fraction, rng);
+  w.ui_graph = BuildUserItemGraph(w.world, w.split.train);
+  return w;
+}
+
+/// Result of one model run.
+struct RunResult {
+  CtrMetrics ctr;
+  TopKMetrics topk;
+  double train_seconds = 0.0;
+};
+
+inline RunResult RunModel(Recommender& model, const Workbench& bench,
+                          uint64_t seed = 17) {
+  const auto start = std::chrono::steady_clock::now();
+  model.Fit(bench.Context(seed));
+  const auto end = std::chrono::steady_clock::now();
+  RunResult result;
+  result.train_seconds =
+      std::chrono::duration<double>(end - start).count();
+  Rng ctr_rng(101);
+  result.ctr =
+      EvaluateCtr(model, bench.split.train, bench.split.test, ctr_rng);
+  Rng topk_rng(102);
+  result.topk = EvaluateTopK(model, bench.split.train, bench.split.test,
+                             /*k=*/10, /*num_negatives=*/50, topk_rng);
+  return result;
+}
+
+inline void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace kgrec::bench
+
+#endif  // KGREC_BENCH_BENCH_UTIL_H_

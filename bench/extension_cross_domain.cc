@@ -1,0 +1,119 @@
+// Extension (survey Section 6, "Cross-Domain Recommendation"): the
+// survey highlights PPGN-style cross-domain transfer — putting users and
+// items of several domains in one graph so that the dense source domain
+// helps the sparse target domain. We simulate two domains sharing users
+// (the dense "books" half and a sparse "movies" half of one catalogue)
+// and compare target-domain quality when training on the target alone vs
+// training on the joint user-item graph.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cf/mf.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "unified/kgat.h"
+
+namespace {
+
+using namespace kgrec;  // NOLINT: bench-local convenience
+
+}  // namespace
+
+int main() {
+  // One world; items [0, 400) are the dense source domain, items
+  // [400, 600) the sparse target domain (their train interactions are
+  // subsampled to 15%).
+  WorldConfig config;
+  config.num_users = 250;
+  config.num_items = 600;
+  config.avg_interactions_per_user = 24.0;
+  config.item_relations = {{"category", 20, 2, 0.9f},
+                           {"creator", 60, 1, 0.8f}};
+  config.seed = 321;
+  SyntheticWorld world = GenerateWorld(config);
+  const int32_t domain_split = 400;
+
+  Rng rng(4);
+  InteractionDataset joint_train(config.num_users, config.num_items);
+  InteractionDataset target_train(config.num_users, config.num_items);
+  InteractionDataset target_test(config.num_users, config.num_items);
+  size_t source = 0;
+  for (const Interaction& x : world.interactions.interactions()) {
+    if (x.item < domain_split) {
+      joint_train.Add(x.user, x.item);  // dense source domain, all kept
+      ++source;
+    } else if (rng.Bernoulli(0.15)) {
+      joint_train.Add(x.user, x.item);  // sparse target-domain train
+      target_train.Add(x.user, x.item);
+    } else {
+      target_test.Add(x.user, x.item);  // target-domain evaluation
+    }
+  }
+  std::printf(
+      "== Section 6 extension: cross-domain transfer ==\n"
+      "source domain: %zu interactions (items 0-399)\n"
+      "target domain: %zu train / %zu test interactions (items 400-599)\n\n",
+      source, target_train.num_interactions(),
+      target_test.num_interactions());
+
+  // Pairwise AUC on target-domain items only.
+  auto target_auc = [&](Recommender& model) {
+    Rng pair_rng(11);
+    std::vector<float> scores;
+    std::vector<int> labels;
+    for (const Interaction& x : target_test.interactions()) {
+      int32_t neg = -1;
+      for (int tries = 0; tries < 100 && neg < 0; ++tries) {
+        const int32_t candidate = domain_split + static_cast<int32_t>(
+            pair_rng.UniformInt(config.num_items - domain_split));
+        if (!world.interactions.Contains(x.user, candidate)) neg = candidate;
+      }
+      if (neg < 0) continue;
+      scores.push_back(model.Score(x.user, x.item));
+      labels.push_back(1);
+      scores.push_back(model.Score(x.user, neg));
+      labels.push_back(0);
+    }
+    return Auc(scores, labels);
+  };
+
+  std::printf("%-10s %18s %18s %10s\n", "Method", "target-only AUC",
+              "joint-graph AUC", "transfer");
+  for (int i = 0; i < 62; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  auto run_pair = [&](auto make_model) {
+    UserItemGraph target_graph = BuildUserItemGraph(world, target_train);
+    RecContext target_ctx;
+    target_ctx.train = &target_train;
+    target_ctx.item_kg = &world.item_kg;
+    target_ctx.user_item_graph = &target_graph;
+    target_ctx.seed = 17;
+    auto single = make_model();
+    single->Fit(target_ctx);
+    const double single_auc = target_auc(*single);
+
+    UserItemGraph joint_graph = BuildUserItemGraph(world, joint_train);
+    RecContext joint_ctx;
+    joint_ctx.train = &joint_train;
+    joint_ctx.item_kg = &world.item_kg;
+    joint_ctx.user_item_graph = &joint_graph;
+    joint_ctx.seed = 17;
+    auto joint = make_model();
+    joint->Fit(joint_ctx);
+    const double joint_auc = target_auc(*joint);
+    std::printf("%-10s %18.3f %18.3f %+9.3f\n", single->name().c_str(),
+                single_auc, joint_auc, joint_auc - single_auc);
+    std::fflush(stdout);
+  };
+
+  run_pair([] { return std::make_unique<BprMfRecommender>(); });
+  run_pair([] { return std::make_unique<KgatRecommender>(); });
+  std::printf(
+      "\nExpected shape: the joint user-item graph lifts target-domain\n"
+      "quality for both models (shared users transfer preferences; the\n"
+      "graph model additionally transfers through shared KG attributes) —\n"
+      "the PPGN observation the survey cites.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Micro-benchmarks of the substrates every model stands on: autodiff
+// ops, graph sampling, PathSim and NMF. Run in Release mode.
+
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic.h"
+#include "graph/pathsim.h"
+#include "graph/ripple.h"
+#include "math/nmf.h"
+#include "math/rng.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "path/metapaths.h"
+
+namespace {
+
+using namespace kgrec;  // NOLINT: bench-local convenience
+
+SyntheticWorld& BenchWorld() {
+  static SyntheticWorld* world = [] {
+    WorldConfig config;
+    config.num_users = 300;
+    config.num_items = 500;
+    config.avg_interactions_per_user = 20.0;
+    config.item_relations = {{"genre", 12, 2, 0.9f}, {"brand", 40, 1, 0.7f}};
+    config.seed = 7;
+    return new SyntheticWorld(GenerateWorld(config));
+  }();
+  return *world;
+}
+
+void BM_NnMatMulForwardBackward(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Rng rng(1);
+  nn::Tensor a = nn::XavierUniform(n, n, rng);
+  nn::Tensor b = nn::XavierUniform(n, n, rng);
+  for (auto _ : state) {
+    nn::Tensor loss = nn::Sum(nn::MatMul(a, b));
+    a.ZeroGrad();
+    b.ZeroGrad();
+    nn::Backward(loss);
+    benchmark::DoNotOptimize(a.grad()[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_NnMatMulForwardBackward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_NnEmbeddingGatherTrainStep(benchmark::State& state) {
+  Rng rng(2);
+  nn::Tensor table = nn::XavierUniform(5000, 16, rng);
+  std::vector<int32_t> indices(256);
+  for (auto& i : indices) i = static_cast<int32_t>(rng.UniformInt(5000));
+  for (auto _ : state) {
+    table.ZeroGrad();
+    nn::Tensor loss = nn::Mean(nn::Square(nn::Gather(table, indices)));
+    nn::Backward(loss);
+    benchmark::DoNotOptimize(table.grad()[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * indices.size());
+}
+BENCHMARK(BM_NnEmbeddingGatherTrainStep);
+
+void BM_GraphNeighborSampling(benchmark::State& state) {
+  SyntheticWorld& world = BenchWorld();
+  Rng rng(3);
+  for (auto _ : state) {
+    const EntityId e = static_cast<EntityId>(
+        rng.UniformInt(world.item_kg.num_entities()));
+    benchmark::DoNotOptimize(world.item_kg.SampleNeighbors(e, 8, rng));
+  }
+}
+BENCHMARK(BM_GraphNeighborSampling);
+
+void BM_GraphRippleSets(benchmark::State& state) {
+  SyntheticWorld& world = BenchWorld();
+  Rng rng(4);
+  std::vector<EntityId> seeds;
+  for (int32_t i : world.interactions.UserItems(0)) seeds.push_back(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildRippleSets(world.item_kg, seeds, 2, 32, rng));
+  }
+}
+BENCHMARK(BM_GraphRippleSets);
+
+void BM_PathSimAllRelations(benchmark::State& state) {
+  SyntheticWorld& world = BenchWorld();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ItemMetaPathSimilarities(
+        world.item_kg, world.config.num_items, 10));
+  }
+}
+BENCHMARK(BM_PathSimAllRelations);
+
+void BM_NmfFactorization(benchmark::State& state) {
+  SyntheticWorld& world = BenchWorld();
+  CsrMatrix r = world.interactions.ToCsr();
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Nmf(r, 8, 10, rng));
+  }
+}
+BENCHMARK(BM_NmfFactorization);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Reproduces survey Table 3 ("Table of collected papers") with measured
+// columns added: every implemented method is trained on a common
+// MovieLens-like synthetic world and its AUC / NDCG@10 / Recall@10 and
+// training time are printed next to the paper's venue/year/usage-type/
+// technique matrix. Catalogued-but-not-implemented rows are printed too,
+// so the table is complete with respect to the survey.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/registry.h"
+#include "data/presets.h"
+
+namespace {
+
+using kgrec::AllMethods;
+using kgrec::MakeRecommender;
+using kgrec::MethodInfo;
+using kgrec::UsageTypeName;
+
+const char* Flag(bool on) { return on ? "x" : "."; }
+
+}  // namespace
+
+int main() {
+  // A common, deliberately compact world so all ~25 models train in
+  // seconds: MovieLens-100K profile at reduced scale.
+  kgrec::WorldConfig config = kgrec::GetPreset("movielens-100k").config;
+  config.num_users = 200;
+  config.num_items = 300;
+  config.avg_interactions_per_user = 10.0;  // the sparse regime the survey motivates
+  kgrec::bench::Workbench bench = kgrec::bench::MakeWorkbench(config);
+
+  std::printf(
+      "== Table 3: collected papers x technique matrix, with measured "
+      "quality ==\n");
+  std::printf(
+      "world: %d users x %d items, %zu train / %zu test interactions, "
+      "density %.2f%%\n\n",
+      config.num_users, config.num_items,
+      bench.split.train.num_interactions(),
+      bench.split.test.num_interactions(),
+      100.0 * bench.split.train.Density());
+  std::printf("%-14s %-12s %5s %-5s | %3s %3s %3s %3s %3s %3s %3s %3s | "
+              "%6s %7s %8s %7s\n",
+              "Method", "Venue", "Year", "Usage", "CNN", "RNN", "Att", "GNN",
+              "GAN", "RL", "AE", "MF", "AUC", "NDCG@10", "Rec@10",
+              "train_s");
+  for (int i = 0; i < 118; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  for (const MethodInfo& info : AllMethods()) {
+    std::printf("%-14s %-12s %5d %-5s | %3s %3s %3s %3s %3s %3s %3s %3s | ",
+                info.name.c_str(), info.venue.c_str(), info.year,
+                UsageTypeName(info.usage), Flag(info.uses_cnn),
+                Flag(info.uses_rnn), Flag(info.uses_attention),
+                Flag(info.uses_gnn), Flag(info.uses_gan), Flag(info.uses_rl),
+                Flag(info.uses_autoencoder), Flag(info.uses_mf));
+    if (!info.implemented) {
+      std::printf("%6s %7s %8s %7s   (catalogued; not implemented)\n", "-",
+                  "-", "-", "-");
+      continue;
+    }
+    auto model = MakeRecommender(info.name);
+    kgrec::bench::RunResult result = kgrec::bench::RunModel(*model, bench);
+    std::printf("%6.3f %7.3f %8.3f %7.2f\n", result.ctr.auc,
+                result.topk.ndcg, result.topk.recall, result.train_seconds);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nExpected shape (survey Sections 4.1-4.4): KG-aware methods beat\n"
+      "the non-KG baselines, and unified methods sit at or near the top.\n");
+  return 0;
+}

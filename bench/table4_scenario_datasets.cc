@@ -1,0 +1,80 @@
+// Reproduces survey Table 4 ("datasets for different application
+// scenarios and corresponding papers"): for each scenario we generate the
+// dataset's synthetic stand-in and run the representative methods that
+// Table 4 cites for that dataset, printing per-scenario results.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/registry.h"
+#include "data/presets.h"
+
+namespace {
+
+/// Representative (implemented) methods per dataset, following the
+/// citation lists of Table 4.
+std::vector<std::string> MethodsFor(const std::string& dataset) {
+  if (dataset == "MovieLens-100K") return {"BPR-MF", "HeteRec", "Hete-MF"};
+  if (dataset == "MovieLens-1M") return {"BPR-MF", "CKE", "KTUP", "MKR"};
+  if (dataset == "DoubanMovie") return {"BPR-MF", "HeteRec-p"};
+  if (dataset == "Book-Crossing") return {"BPR-MF", "RippleNet", "MKR"};
+  if (dataset == "Amazon-Book") return {"BPR-MF", "KGAT"};
+  if (dataset == "DBbook2014") return {"BPR-MF", "KTUP"};
+  if (dataset == "Last.FM") return {"BPR-MF", "KGCN", "KGAT", "MKR"};
+  if (dataset == "Yelp challenge") return {"BPR-MF", "FMG", "HeteRec"};
+  if (dataset == "Bing-News") return {"BPR-MF", "DKN", "RippleNet"};
+  if (dataset == "Amazon Product data") return {"BPR-MF", "CFKG", "RuleRec"};
+  if (dataset == "Alibaba Taobao") return {"BPR-MF", "FMG"};
+  if (dataset == "Dianping-Food") return {"BPR-MF", "KGCN-LS"};
+  if (dataset == "Weibo") return {"BPR-MF", "CFKG"};
+  if (dataset == "DBLP") return {"BPR-MF", "Hete-MF"};
+  if (dataset == "MeetUp") return {"BPR-MF", "Hete-MF"};
+  return {"BPR-MF"};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Table 4: application scenarios x datasets x representative "
+      "methods ==\n"
+      "Each dataset is a synthetic stand-in with the original's scale/"
+      "density/KG profile.\n\n");
+  std::printf("%-16s %-16s %7s %7s %8s | %-10s %6s %7s %7s\n", "Scenario",
+              "Dataset", "users", "items", "density", "Method", "AUC",
+              "NDCG@10", "train_s");
+  for (int i = 0; i < 100; ++i) std::putchar('-');
+  std::putchar('\n');
+  for (const kgrec::ScenarioPreset& preset : kgrec::AllPresets()) {
+    kgrec::bench::Workbench bench =
+        kgrec::bench::MakeWorkbench(preset.config);
+    bool first = true;
+    for (const std::string& method : MethodsFor(preset.dataset)) {
+      auto model = kgrec::MakeRecommender(method);
+      if (model == nullptr) continue;
+      kgrec::bench::RunResult result = kgrec::bench::RunModel(*model, bench);
+      if (first) {
+        std::printf("%-16s %-16s %7d %7d %7.2f%% | %-10s %6.3f %7.3f %7.2f\n",
+                    preset.scenario.c_str(), preset.dataset.c_str(),
+                    preset.config.num_users, preset.config.num_items,
+                    100.0 * bench.split.train.Density(), method.c_str(),
+                    result.ctr.auc, result.topk.ndcg, result.train_seconds);
+        first = false;
+      } else {
+        std::printf("%-16s %-16s %7s %7s %8s | %-10s %6.3f %7.3f %7.2f\n",
+                    "", "", "", "", "", method.c_str(), result.ctr.auc,
+                    result.topk.ndcg, result.train_seconds);
+      }
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\nExpected shape: on the sparse scenarios (Book-Crossing, "
+      "Amazon-Book,\nDBbook2014, Bing-News, Yelp) the KG-based method "
+      "clearly beats BPR-MF;\non the dense scenarios (MovieLens, Weibo) "
+      "plain CF is already strong and\nKG methods are competitive — "
+      "exactly the survey's sparsity motivation.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Cold-start study (survey Section 1): 25% of the catalogue has no
+// training interactions at all. A plain latent-factor model cannot rank
+// those items better than chance; KG-based models reach them through
+// their attributes. Ranks cold positives against cold negatives so
+// popularity cannot help anyone.
+//
+// Build & run:  ./build/examples/cold_start
+
+#include <cstdio>
+
+#include "cf/mf.h"
+#include "core/recommender.h"
+#include "data/synthetic.h"
+#include "embed/cke.h"
+#include "eval/metrics.h"
+#include "unified/kgcn.h"
+
+int main() {
+  using namespace kgrec;  // example-local convenience
+
+  WorldConfig config;
+  config.num_users = 250;
+  config.num_items = 400;
+  config.avg_interactions_per_user = 18.0;
+  config.item_relations = {{"genre", 12, 2, 0.95f},
+                           {"brand", 40, 1, 0.8f}};
+  config.seed = 77;
+  SyntheticWorld world = GenerateWorld(config);
+  Rng rng(8);
+  DataSplit cold = ColdItemSplit(world.interactions, 0.25, rng);
+  std::printf("%zu warm training interactions; %zu interactions on cold "
+              "items held out\n\n",
+              cold.train.num_interactions(), cold.test.num_interactions());
+
+  RecContext ctx;
+  ctx.train = &cold.train;
+  ctx.item_kg = &world.item_kg;
+  ctx.seed = 21;
+
+  std::vector<int32_t> cold_items = cold.test.ItemsWithInteractions();
+  auto cold_auc = [&](Recommender& model) {
+    model.Fit(ctx);
+    Rng pair_rng(9);
+    std::vector<float> scores;
+    std::vector<int> labels;
+    for (const Interaction& x : cold.test.interactions()) {
+      int32_t negative = -1;
+      for (int tries = 0; tries < 100 && negative < 0; ++tries) {
+        const int32_t candidate =
+            cold_items[pair_rng.UniformInt(cold_items.size())];
+        if (!cold.test.Contains(x.user, candidate)) negative = candidate;
+      }
+      if (negative < 0) continue;
+      scores.push_back(model.Score(x.user, x.item));
+      labels.push_back(1);
+      scores.push_back(model.Score(x.user, negative));
+      labels.push_back(0);
+    }
+    std::printf("%-8s cold-item AUC = %.3f\n", model.name().c_str(),
+                Auc(scores, labels));
+  };
+
+  BprMfRecommender bpr;
+  cold_auc(bpr);  // ~0.5: cold factors were never updated
+  CkeRecommender cke;
+  cold_auc(cke);  // > 0.5: TransR entity embedding carries genre/brand
+  KgcnRecommender kgcn;
+  cold_auc(kgcn);  // > 0.5: propagation reaches cold items via attributes
+  return 0;
+}

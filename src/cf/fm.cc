@@ -1,0 +1,124 @@
+#include "cf/fm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/check.h"
+
+namespace kgrec {
+
+void FmRecommender::Fit(const RecContext& context) {
+  KGREC_CHECK(context.train != nullptr);
+  const InteractionDataset& train = *context.train;
+  Rng rng(context.seed);
+  num_users_ = train.num_users();
+  num_items_ = train.num_items();
+
+  item_attributes_.assign(num_items_, {});
+  size_t num_features = num_users_ + num_items_;
+  if (context.item_kg != nullptr) {
+    const KnowledgeGraph& kg = *context.item_kg;
+    num_features = num_users_ + kg.num_entities();
+    for (int32_t j = 0; j < num_items_; ++j) {
+      const size_t degree = kg.OutDegree(j);
+      const Edge* edges = kg.OutEdges(j);
+      for (size_t e = 0; e < degree; ++e) {
+        // Only attribute entities (id >= num items) are item features.
+        if (edges[e].target >= num_items_) {
+          item_attributes_[j].push_back(num_users_ + edges[e].target);
+        }
+      }
+    }
+  }
+
+  bias_ = 0.0f;
+  linear_.assign(num_features, 0.0f);
+  factors_ = Matrix(num_features, config_.dim);
+  for (size_t i = 0; i < factors_.size(); ++i) {
+    factors_.data()[i] = static_cast<float>(rng.Normal(0.0, 0.05));
+  }
+
+  NegativeSampler sampler(train);
+  std::vector<size_t> order(train.num_interactions());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::vector<float> sum_v(config_.dim);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t idx : order) {
+      const Interaction& x = train.interactions()[idx];
+      for (int k = 0; k < 1 + config_.negatives_per_positive; ++k) {
+        int32_t item = x.item;
+        float label = 1.0f;
+        if (k > 0) {
+          item = sampler.Sample(x.user, rng);
+          label = 0.0f;
+        }
+        const std::vector<int32_t> features = Features(x.user, item);
+        // Forward with the sum-square trick; cache sum_v for gradients.
+        std::fill(sum_v.begin(), sum_v.end(), 0.0f);
+        float linear_term = bias_;
+        float sum_sq = 0.0f;
+        for (int32_t f : features) {
+          linear_term += linear_[f];
+          const float* v = factors_.Row(f);
+          for (size_t d = 0; d < config_.dim; ++d) {
+            sum_v[d] += v[d];
+            sum_sq += v[d] * v[d];
+          }
+        }
+        float pair_term = 0.0f;
+        for (size_t d = 0; d < config_.dim; ++d) {
+          pair_term += sum_v[d] * sum_v[d];
+        }
+        const float score = linear_term + 0.5f * (pair_term - sum_sq);
+        const float prob =
+            score >= 0.0f ? 1.0f / (1.0f + std::exp(-score))
+                          : std::exp(score) / (1.0f + std::exp(score));
+        const float dloss = prob - label;
+        const float lr = config_.learning_rate;
+        bias_ -= lr * dloss;
+        for (int32_t f : features) {
+          linear_[f] -= lr * (dloss + config_.l2 * linear_[f]);
+          float* v = factors_.Row(f);
+          for (size_t d = 0; d < config_.dim; ++d) {
+            const float grad = dloss * (sum_v[d] - v[d]);
+            v[d] -= lr * (grad + config_.l2 * v[d]);
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<int32_t> FmRecommender::Features(int32_t user,
+                                             int32_t item) const {
+  std::vector<int32_t> out{user, num_users_ + item};
+  const auto& attrs = item_attributes_[item];
+  out.insert(out.end(), attrs.begin(), attrs.end());
+  return out;
+}
+
+float FmRecommender::ScoreFeatures(
+    const std::vector<int32_t>& features) const {
+  std::vector<float> sum_v(config_.dim, 0.0f);
+  float linear_term = bias_;
+  float sum_sq = 0.0f;
+  for (int32_t f : features) {
+    linear_term += linear_[f];
+    const float* v = factors_.Row(f);
+    for (size_t d = 0; d < config_.dim; ++d) {
+      sum_v[d] += v[d];
+      sum_sq += v[d] * v[d];
+    }
+  }
+  float pair_term = 0.0f;
+  for (size_t d = 0; d < config_.dim; ++d) pair_term += sum_v[d] * sum_v[d];
+  return linear_term + 0.5f * (pair_term - sum_sq);
+}
+
+float FmRecommender::Score(int32_t user, int32_t item) const {
+  return ScoreFeatures(Features(user, item));
+}
+
+}  // namespace kgrec

@@ -1,0 +1,103 @@
+#include "cf/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "math/sparse.h"
+#include "math/topk.h"
+
+namespace kgrec {
+
+void ItemKnnRecommender::Fit(const RecContext& context) {
+  KGREC_CHECK(context.train != nullptr);
+  train_ = context.train;
+  const CsrMatrix user_item = train_->ToCsr();
+  const CsrMatrix item_user = user_item.Transpose();
+  const size_t n = item_user.rows();
+  std::vector<float> norms(n, 0.0f);
+  for (size_t i = 0; i < n; ++i) {
+    norms[i] = std::sqrt(static_cast<float>(item_user.RowNnz(i)));
+  }
+  similarity_.assign(n, {});
+  std::vector<float> dots(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (norms[i] == 0.0f) continue;
+    std::fill(dots.begin(), dots.end(), 0.0f);
+    // For each user of item i, bump all of that user's items.
+    const int32_t* users = item_user.RowCols(i);
+    for (size_t a = 0; a < item_user.RowNnz(i); ++a) {
+      const int32_t u = users[a];
+      const int32_t* items = user_item.RowCols(u);
+      for (size_t b = 0; b < user_item.RowNnz(u); ++b) {
+        dots[items[b]] += 1.0f;
+      }
+    }
+    std::vector<float> cosines(n, 0.0f);
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i && norms[j] > 0.0f && dots[j] > 0.0f) {
+        cosines[j] = dots[j] / (norms[i] * norms[j]);
+      }
+    }
+    for (int32_t j : TopKIndices(cosines, num_neighbors_)) {
+      if (cosines[j] > 0.0f) similarity_[i].emplace_back(j, cosines[j]);
+    }
+  }
+}
+
+float ItemKnnRecommender::Score(int32_t user, int32_t item) const {
+  const auto& history = train_->UserItems(user);
+  float score = 0.0f;
+  for (const auto& [neighbor, sim] : similarity_[item]) {
+    if (std::find(history.begin(), history.end(), neighbor) !=
+        history.end()) {
+      score += sim;
+    }
+  }
+  return score;
+}
+
+void UserKnnRecommender::Fit(const RecContext& context) {
+  KGREC_CHECK(context.train != nullptr);
+  train_ = context.train;
+  const CsrMatrix user_item = train_->ToCsr();
+  const CsrMatrix item_user = user_item.Transpose();
+  const size_t m = user_item.rows();
+  std::vector<float> norms(m, 0.0f);
+  for (size_t u = 0; u < m; ++u) {
+    norms[u] = std::sqrt(static_cast<float>(user_item.RowNnz(u)));
+  }
+  similarity_.assign(m, {});
+  std::vector<float> dots(m);
+  for (size_t u = 0; u < m; ++u) {
+    if (norms[u] == 0.0f) continue;
+    std::fill(dots.begin(), dots.end(), 0.0f);
+    const int32_t* items = user_item.RowCols(u);
+    for (size_t a = 0; a < user_item.RowNnz(u); ++a) {
+      const int32_t i = items[a];
+      const int32_t* users = item_user.RowCols(i);
+      for (size_t b = 0; b < item_user.RowNnz(i); ++b) {
+        dots[users[b]] += 1.0f;
+      }
+    }
+    std::vector<float> cosines(m, 0.0f);
+    for (size_t v = 0; v < m; ++v) {
+      if (v != u && norms[v] > 0.0f && dots[v] > 0.0f) {
+        cosines[v] = dots[v] / (norms[u] * norms[v]);
+      }
+    }
+    for (int32_t v : TopKIndices(cosines, num_neighbors_)) {
+      if (cosines[v] > 0.0f) similarity_[u].emplace_back(v, cosines[v]);
+    }
+  }
+}
+
+float UserKnnRecommender::Score(int32_t user, int32_t item) const {
+  float score = 0.0f;
+  for (const auto& [neighbor, sim] : similarity_[user]) {
+    if (train_->Contains(neighbor, item)) score += sim;
+  }
+  return score;
+}
+
+}  // namespace kgrec

@@ -1,0 +1,96 @@
+#include "cf/mf.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.h"
+#include "math/dense.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+
+namespace kgrec {
+
+void MfRecommender::Fit(const RecContext& context) {
+  KGREC_CHECK(context.train != nullptr);
+  const InteractionDataset& train = *context.train;
+  Rng rng(context.seed);
+  user_emb_ = nn::NormalInit(train.num_users(), config_.dim, 0.1f, rng);
+  item_emb_ = nn::NormalInit(train.num_items(), config_.dim, 0.1f, rng);
+  nn::Adagrad optimizer({user_emb_, item_emb_}, config_.learning_rate,
+                        config_.l2);
+  NegativeSampler sampler(train);
+
+  std::vector<size_t> order(train.num_interactions());
+  std::iota(order.begin(), order.end(), size_t{0});
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const size_t end = std::min(order.size(), start + config_.batch_size);
+      std::vector<int32_t> users, items;
+      std::vector<float> labels;
+      for (size_t i = start; i < end; ++i) {
+        const Interaction& x = train.interactions()[order[i]];
+        users.push_back(x.user);
+        items.push_back(x.item);
+        labels.push_back(1.0f);
+        for (int k = 0; k < config_.negatives_per_positive; ++k) {
+          users.push_back(x.user);
+          items.push_back(sampler.Sample(x.user, rng));
+          labels.push_back(0.0f);
+        }
+      }
+      nn::Tensor u = nn::Gather(user_emb_, users);
+      nn::Tensor v = nn::Gather(item_emb_, items);
+      nn::Tensor logits = nn::RowwiseDot(u, v);
+      nn::Tensor loss = nn::BceWithLogits(logits, labels);
+      optimizer.ZeroGrad();
+      nn::Backward(loss);
+      optimizer.Step();
+    }
+  }
+}
+
+float MfRecommender::Score(int32_t user, int32_t item) const {
+  return dense::Dot(user_emb_.data() + user * config_.dim,
+                    item_emb_.data() + item * config_.dim, config_.dim);
+}
+
+void BprMfRecommender::Fit(const RecContext& context) {
+  KGREC_CHECK(context.train != nullptr);
+  const InteractionDataset& train = *context.train;
+  Rng rng(context.seed);
+  user_emb_ = nn::NormalInit(train.num_users(), config_.dim, 0.1f, rng);
+  item_emb_ = nn::NormalInit(train.num_items(), config_.dim, 0.1f, rng);
+  nn::Adagrad optimizer({user_emb_, item_emb_}, config_.learning_rate,
+                        config_.l2);
+  NegativeSampler sampler(train);
+
+  std::vector<size_t> order(train.num_interactions());
+  std::iota(order.begin(), order.end(), size_t{0});
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const size_t end = std::min(order.size(), start + config_.batch_size);
+      std::vector<int32_t> users, pos_items, neg_items;
+      for (size_t i = start; i < end; ++i) {
+        const Interaction& x = train.interactions()[order[i]];
+        users.push_back(x.user);
+        pos_items.push_back(x.item);
+        neg_items.push_back(sampler.Sample(x.user, rng));
+      }
+      nn::Tensor u = nn::Gather(user_emb_, users);
+      nn::Tensor pos = nn::Gather(item_emb_, pos_items);
+      nn::Tensor neg = nn::Gather(item_emb_, neg_items);
+      nn::Tensor loss =
+          nn::BprLoss(nn::RowwiseDot(u, pos), nn::RowwiseDot(u, neg));
+      optimizer.ZeroGrad();
+      nn::Backward(loss);
+      optimizer.Step();
+    }
+  }
+}
+
+}  // namespace kgrec

@@ -1,0 +1,50 @@
+#ifndef KGREC_CF_MF_H_
+#define KGREC_CF_MF_H_
+
+#include "core/recommender.h"
+#include "nn/tensor.h"
+
+namespace kgrec {
+
+/// Shared hyper-parameters of the latent-factor baselines.
+struct MfConfig {
+  size_t dim = 16;
+  int epochs = 30;
+  size_t batch_size = 256;
+  float learning_rate = 0.05f;
+  float l2 = 1e-5f;
+  /// Pointwise MF: negatives per positive.
+  int negatives_per_positive = 1;
+};
+
+/// Pointwise matrix factorization (the model-based CF latent factor model
+/// of survey Section 2.2): y_hat = u . v, trained with binary
+/// cross-entropy on observed pairs vs sampled negatives.
+class MfRecommender : public Recommender {
+ public:
+  explicit MfRecommender(MfConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "MF"; }
+  void Fit(const RecContext& context) override;
+  float Score(int32_t user, int32_t item) const override;
+
+ protected:
+  MfConfig config_;
+  nn::Tensor user_emb_;
+  nn::Tensor item_emb_;
+};
+
+/// Bayesian personalized ranking MF (Rendle et al.): pairwise loss
+/// -log sigmoid(y_hat_pos - y_hat_neg), the standard implicit-feedback
+/// CF baseline the surveyed papers compare against.
+class BprMfRecommender : public MfRecommender {
+ public:
+  explicit BprMfRecommender(MfConfig config = {}) : MfRecommender(config) {}
+
+  std::string name() const override { return "BPR-MF"; }
+  void Fit(const RecContext& context) override;
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_CF_MF_H_

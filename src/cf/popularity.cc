@@ -1,0 +1,19 @@
+#include "cf/popularity.h"
+
+#include "core/check.h"
+
+namespace kgrec {
+
+void PopularityRecommender::Fit(const RecContext& context) {
+  KGREC_CHECK(context.train != nullptr);
+  counts_.assign(context.train->num_items(), 0.0f);
+  for (const Interaction& x : context.train->interactions()) {
+    counts_[x.item] += 1.0f;
+  }
+}
+
+float PopularityRecommender::Score(int32_t /*user*/, int32_t item) const {
+  return counts_[item];
+}
+
+}  // namespace kgrec

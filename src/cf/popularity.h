@@ -1,0 +1,24 @@
+#ifndef KGREC_CF_POPULARITY_H_
+#define KGREC_CF_POPULARITY_H_
+
+#include <vector>
+
+#include "core/recommender.h"
+
+namespace kgrec {
+
+/// Non-personalized most-popular baseline: scores items by training
+/// interaction count. The floor every personalized model must beat.
+class PopularityRecommender : public Recommender {
+ public:
+  std::string name() const override { return "Popularity"; }
+  void Fit(const RecContext& context) override;
+  float Score(int32_t user, int32_t item) const override;
+
+ private:
+  std::vector<float> counts_;
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_CF_POPULARITY_H_

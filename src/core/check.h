@@ -1,0 +1,34 @@
+#ifndef KGREC_CORE_CHECK_H_
+#define KGREC_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kgrec::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "KGREC_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace kgrec::internal
+
+/// Aborts the program when a programmer-error invariant does not hold.
+/// Used for conditions that indicate a bug in the caller rather than a
+/// recoverable input error (those return Status instead).
+#define KGREC_CHECK(expr)                                        \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::kgrec::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                            \
+  } while (0)
+
+#define KGREC_CHECK_EQ(a, b) KGREC_CHECK((a) == (b))
+#define KGREC_CHECK_NE(a, b) KGREC_CHECK((a) != (b))
+#define KGREC_CHECK_LT(a, b) KGREC_CHECK((a) < (b))
+#define KGREC_CHECK_LE(a, b) KGREC_CHECK((a) <= (b))
+#define KGREC_CHECK_GT(a, b) KGREC_CHECK((a) > (b))
+#define KGREC_CHECK_GE(a, b) KGREC_CHECK((a) >= (b))
+
+#endif  // KGREC_CORE_CHECK_H_

@@ -1,0 +1,12 @@
+#include "core/recommender.h"
+
+namespace kgrec {
+
+std::vector<float> Recommender::ScoreAll(int32_t user,
+                                         int32_t num_items) const {
+  std::vector<float> scores(num_items);
+  for (int32_t j = 0; j < num_items; ++j) scores[j] = Score(user, j);
+  return scores;
+}
+
+}  // namespace kgrec

@@ -1,0 +1,55 @@
+#ifndef KGREC_CORE_RECOMMENDER_H_
+#define KGREC_CORE_RECOMMENDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/interactions.h"
+#include "data/synthetic.h"
+#include "graph/knowledge_graph.h"
+
+namespace kgrec {
+
+/// Everything a model may consume at training time. Models use the
+/// subset they need: CF baselines read only `train`; embedding-based
+/// methods add `item_kg`; CFKG/KGAT/path-based methods read
+/// `user_item_graph`.
+///
+/// Entity-layout conventions:
+///  * in `item_kg`, entity j == item j for j < train->num_items();
+///  * in `user_item_graph->kg`, entity u == user u and entity
+///    (num_users + j) == item j (see UserItemGraph helpers).
+struct RecContext {
+  const InteractionDataset* train = nullptr;
+  const KnowledgeGraph* item_kg = nullptr;
+  const UserItemGraph* user_item_graph = nullptr;
+  uint64_t seed = 7;
+};
+
+/// Base interface of every recommender in the zoo (survey Section 2.2):
+/// learn representations, expose a scoring function f(u, v) -> y_hat, and
+/// rank items by descending preference score.
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  /// A short identifier, e.g. "RippleNet".
+  virtual std::string name() const = 0;
+
+  /// Trains the model. Must be called exactly once before scoring.
+  virtual void Fit(const RecContext& context) = 0;
+
+  /// Predicted preference y_hat_{u,v} as an unnormalized score (higher =
+  /// preferred). Implementations must be usable for any valid user/item
+  /// pair, including items unseen in training (cold start).
+  virtual float Score(int32_t user, int32_t item) const = 0;
+
+  /// Scores every item for the user. The default loops over Score();
+  /// models with cheap batch scoring may override.
+  virtual std::vector<float> ScoreAll(int32_t user, int32_t num_items) const;
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_CORE_RECOMMENDER_H_

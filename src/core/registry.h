@@ -1,0 +1,53 @@
+#ifndef KGREC_CORE_REGISTRY_H_
+#define KGREC_CORE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+
+namespace kgrec {
+
+/// How a method uses the KG (survey Table 3 columns).
+enum class UsageType { kNone, kEmbedding, kPath, kUnified };
+
+/// One row of the survey's Table 3 (plus the non-KG baselines of
+/// Section 2.2), with a factory when the method is implemented here.
+struct MethodInfo {
+  std::string name;
+  std::string venue;
+  int year = 0;
+  UsageType usage = UsageType::kNone;
+  /// Technique flags as in Table 3.
+  bool uses_cnn = false;
+  bool uses_rnn = false;
+  bool uses_attention = false;
+  bool uses_gnn = false;
+  bool uses_gan = false;
+  bool uses_rl = false;
+  bool uses_autoencoder = false;
+  bool uses_mf = false;
+  /// False for surveyed methods catalogued but not implemented in kgrec.
+  bool implemented = false;
+};
+
+/// All methods: the implemented zoo first (baselines + one per family
+/// walkthrough of the survey), then the remaining Table 3 rows for
+/// completeness (implemented = false).
+std::vector<MethodInfo> AllMethods();
+
+/// Creates an implemented recommender by name (e.g. "RippleNet",
+/// "BPR-MF", "KGCN-LS"). Returns nullptr for unknown or unimplemented
+/// names. Models are created with their default (library-scale)
+/// hyper-parameters.
+std::unique_ptr<Recommender> MakeRecommender(const std::string& name);
+
+/// Names of all implemented methods, in Table 3 order.
+std::vector<std::string> ImplementedMethodNames();
+
+const char* UsageTypeName(UsageType usage);
+
+}  // namespace kgrec
+
+#endif  // KGREC_CORE_REGISTRY_H_

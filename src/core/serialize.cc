@@ -1,0 +1,141 @@
+#include "core/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace kgrec {
+namespace {
+
+constexpr char kMagic[4] = {'K', 'G', 'R', 'T'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteBytes(std::FILE* f, const void* data, size_t size) {
+  return std::fwrite(data, 1, size, f) == size;
+}
+
+bool ReadBytes(std::FILE* f, void* data, size_t size) {
+  return std::fread(data, 1, size, f) == size;
+}
+
+}  // namespace
+
+Status SaveTensorArchive(const std::string& path,
+                         const std::vector<NamedTensor>& tensors) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  const uint32_t count = static_cast<uint32_t>(tensors.size());
+  if (!WriteBytes(f.get(), kMagic, sizeof(kMagic)) ||
+      !WriteBytes(f.get(), &kVersion, sizeof(kVersion)) ||
+      !WriteBytes(f.get(), &count, sizeof(count))) {
+    return Status::IoError("write failed: " + path);
+  }
+  for (const NamedTensor& t : tensors) {
+    if (t.data.size() != t.rows * t.cols) {
+      return Status::InvalidArgument("tensor '" + t.name +
+                                     "' data does not match its shape");
+    }
+    const uint32_t name_len = static_cast<uint32_t>(t.name.size());
+    const uint64_t rows = t.rows;
+    const uint64_t cols = t.cols;
+    if (!WriteBytes(f.get(), &name_len, sizeof(name_len)) ||
+        !WriteBytes(f.get(), t.name.data(), name_len) ||
+        !WriteBytes(f.get(), &rows, sizeof(rows)) ||
+        !WriteBytes(f.get(), &cols, sizeof(cols)) ||
+        !WriteBytes(f.get(), t.data.data(), t.data.size() * sizeof(float))) {
+      return Status::IoError("write failed: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadTensorArchive(const std::string& path,
+                         std::vector<NamedTensor>* tensors) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  char magic[4];
+  uint32_t version = 0, count = 0;
+  if (!ReadBytes(f.get(), magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a KGRT archive: " + path);
+  }
+  if (!ReadBytes(f.get(), &version, sizeof(version)) || version != kVersion) {
+    return Status::InvalidArgument("unsupported KGRT version");
+  }
+  if (!ReadBytes(f.get(), &count, sizeof(count))) {
+    return Status::IoError("truncated archive: " + path);
+  }
+  tensors->clear();
+  for (uint32_t i = 0; i < count; ++i) {
+    NamedTensor t;
+    uint32_t name_len = 0;
+    uint64_t rows = 0, cols = 0;
+    if (!ReadBytes(f.get(), &name_len, sizeof(name_len))) {
+      return Status::IoError("truncated archive: " + path);
+    }
+    if (name_len > 4096) {
+      return Status::InvalidArgument("corrupt archive (name too long)");
+    }
+    t.name.resize(name_len);
+    if (!ReadBytes(f.get(), t.name.data(), name_len) ||
+        !ReadBytes(f.get(), &rows, sizeof(rows)) ||
+        !ReadBytes(f.get(), &cols, sizeof(cols))) {
+      return Status::IoError("truncated archive: " + path);
+    }
+    if (rows * cols > (1ull << 32)) {
+      return Status::InvalidArgument("corrupt archive (blob too large)");
+    }
+    t.rows = rows;
+    t.cols = cols;
+    t.data.resize(rows * cols);
+    if (!ReadBytes(f.get(), t.data.data(), t.data.size() * sizeof(float))) {
+      return Status::IoError("truncated archive: " + path);
+    }
+    tensors->push_back(std::move(t));
+  }
+  return Status::OK();
+}
+
+std::vector<NamedTensor> SnapshotParams(
+    const std::vector<nn::Tensor>& params) {
+  std::vector<NamedTensor> out;
+  for (size_t i = 0; i < params.size(); ++i) {
+    NamedTensor t;
+    t.name = "param_" + std::to_string(i);
+    t.rows = params[i].rows();
+    t.cols = params[i].cols();
+    t.data.assign(params[i].data(), params[i].data() + params[i].size());
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+Status RestoreParams(const std::vector<NamedTensor>& snapshot,
+                     std::vector<nn::Tensor>* params) {
+  if (snapshot.size() != params->size()) {
+    return Status::FailedPrecondition("parameter count mismatch");
+  }
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    nn::Tensor& p = (*params)[i];
+    if (snapshot[i].rows != p.rows() || snapshot[i].cols != p.cols()) {
+      return Status::FailedPrecondition("shape mismatch at " +
+                                        snapshot[i].name);
+    }
+    std::copy(snapshot[i].data.begin(), snapshot[i].data.end(), p.data());
+  }
+  return Status::OK();
+}
+
+}  // namespace kgrec

@@ -1,0 +1,47 @@
+#ifndef KGREC_CORE_SERIALIZE_H_
+#define KGREC_CORE_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "math/dense.h"
+#include "nn/tensor.h"
+
+namespace kgrec {
+
+/// Binary tensor archive ("KGRT" format): persists a list of named,
+/// shaped float blobs. Used to checkpoint trained models (KGE tables,
+/// embedding matrices) across processes.
+///
+/// Layout: magic "KGRT", uint32 version, uint32 count, then per entry:
+/// uint32 name length + bytes, uint64 rows, uint64 cols, rows*cols
+/// little-endian floats.
+struct NamedTensor {
+  std::string name;
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<float> data;
+};
+
+/// Writes the archive; overwrites any existing file.
+Status SaveTensorArchive(const std::string& path,
+                         const std::vector<NamedTensor>& tensors);
+
+/// Reads the archive. Fails with IoError / InvalidArgument on missing or
+/// corrupt files.
+Status LoadTensorArchive(const std::string& path,
+                         std::vector<NamedTensor>* tensors);
+
+/// Convenience: snapshots a list of parameters (e.g. KgeModel::Params())
+/// with names "param_0", "param_1", ...
+std::vector<NamedTensor> SnapshotParams(const std::vector<nn::Tensor>& params);
+
+/// Restores a snapshot into existing parameters; shapes must match
+/// exactly (FailedPrecondition otherwise).
+Status RestoreParams(const std::vector<NamedTensor>& snapshot,
+                     std::vector<nn::Tensor>* params);
+
+}  // namespace kgrec
+
+#endif  // KGREC_CORE_SERIALIZE_H_

@@ -1,0 +1,73 @@
+#ifndef KGREC_CORE_STATUS_H_
+#define KGREC_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace kgrec {
+
+/// Error categories used across the library. The library does not use C++
+/// exceptions; fallible operations return a Status (or StatusOr<T>).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kIoError = 6,
+};
+
+/// Lightweight status object modeled after the common database-library
+/// idiom (RocksDB/Arrow): cheap to return, carries a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable representation, e.g. "InvalidArgument: bad triple".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Returns early with the status if the expression is not OK.
+#define KGREC_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::kgrec::Status kgrec_status_tmp_ = (expr);     \
+    if (!kgrec_status_tmp_.ok()) {                  \
+      return kgrec_status_tmp_;                     \
+    }                                               \
+  } while (0)
+
+}  // namespace kgrec
+
+#endif  // KGREC_CORE_STATUS_H_

@@ -1,0 +1,124 @@
+#include "data/interactions.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/check.h"
+
+namespace kgrec {
+
+void InteractionDataset::Add(int32_t user, int32_t item) {
+  KGREC_CHECK(user >= 0 && user < num_users_);
+  KGREC_CHECK(item >= 0 && item < num_items_);
+  interactions_.push_back({user, item});
+  user_items_[user].push_back(item);
+}
+
+bool InteractionDataset::Contains(int32_t user, int32_t item) const {
+  const auto& items = user_items_[user];
+  return std::find(items.begin(), items.end(), item) != items.end();
+}
+
+double InteractionDataset::Density() const {
+  if (num_users_ == 0 || num_items_ == 0) return 0.0;
+  return static_cast<double>(interactions_.size()) /
+         (static_cast<double>(num_users_) * num_items_);
+}
+
+CsrMatrix InteractionDataset::ToCsr() const {
+  std::vector<std::tuple<int32_t, int32_t, float>> triplets;
+  triplets.reserve(interactions_.size());
+  for (const Interaction& x : interactions_) {
+    triplets.emplace_back(x.user, x.item, 1.0f);
+  }
+  return CsrMatrix::FromTriplets(num_users_, num_items_, triplets);
+}
+
+std::vector<int32_t> InteractionDataset::ItemsWithInteractions() const {
+  std::vector<bool> seen(num_items_, false);
+  for (const Interaction& x : interactions_) seen[x.item] = true;
+  std::vector<int32_t> out;
+  for (int32_t i = 0; i < num_items_; ++i) {
+    if (seen[i]) out.push_back(i);
+  }
+  return out;
+}
+
+DataSplit RatioSplit(const InteractionDataset& data, double test_fraction,
+                     Rng& rng) {
+  KGREC_CHECK(test_fraction >= 0.0 && test_fraction < 1.0);
+  DataSplit split;
+  split.train = InteractionDataset(data.num_users(), data.num_items());
+  split.test = InteractionDataset(data.num_users(), data.num_items());
+  for (int32_t u = 0; u < data.num_users(); ++u) {
+    std::vector<int32_t> items = data.UserItems(u);
+    rng.Shuffle(items);
+    size_t num_test = static_cast<size_t>(items.size() * test_fraction);
+    if (num_test >= items.size() && !items.empty()) num_test = items.size() - 1;
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i < num_test) {
+        split.test.Add(u, items[i]);
+      } else {
+        split.train.Add(u, items[i]);
+      }
+    }
+  }
+  return split;
+}
+
+DataSplit LeaveOneOutSplit(const InteractionDataset& data, Rng& rng) {
+  DataSplit split;
+  split.train = InteractionDataset(data.num_users(), data.num_items());
+  split.test = InteractionDataset(data.num_users(), data.num_items());
+  for (int32_t u = 0; u < data.num_users(); ++u) {
+    const auto& items = data.UserItems(u);
+    if (items.size() < 2) {
+      for (int32_t i : items) split.train.Add(u, i);
+      continue;
+    }
+    const size_t held_out = rng.UniformInt(items.size());
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i == held_out) {
+        split.test.Add(u, items[i]);
+      } else {
+        split.train.Add(u, items[i]);
+      }
+    }
+  }
+  return split;
+}
+
+NegativeSampler::NegativeSampler(const InteractionDataset& reference)
+    : reference_(reference) {}
+
+int32_t NegativeSampler::Sample(int32_t user, Rng& rng) const {
+  const int32_t n = reference_.num_items();
+  KGREC_CHECK_GT(n, 0);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const int32_t item = static_cast<int32_t>(rng.UniformInt(n));
+    if (!reference_.Contains(user, item)) return item;
+  }
+  // Dense user: scan for any non-interacted item.
+  std::unordered_set<int32_t> owned(reference_.UserItems(user).begin(),
+                                    reference_.UserItems(user).end());
+  for (int32_t i = 0; i < n; ++i) {
+    if (owned.count(i) == 0) return i;
+  }
+  return static_cast<int32_t>(rng.UniformInt(n));  // user owns everything
+}
+
+std::vector<int32_t> NegativeSampler::SampleMany(int32_t user, size_t count,
+                                                 Rng& rng) const {
+  std::unordered_set<int32_t> chosen;
+  const size_t available =
+      reference_.num_items() - reference_.UserItems(user).size();
+  count = std::min(count, available);
+  std::vector<int32_t> out;
+  while (out.size() < count) {
+    int32_t item = Sample(user, rng);
+    if (chosen.insert(item).second) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace kgrec

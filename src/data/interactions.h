@@ -1,0 +1,100 @@
+#ifndef KGREC_DATA_INTERACTIONS_H_
+#define KGREC_DATA_INTERACTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "math/rng.h"
+#include "math/sparse.h"
+
+namespace kgrec {
+
+/// One implicit-feedback event R_ij = 1 (survey Section 3, User Feedback).
+struct Interaction {
+  int32_t user;
+  int32_t item;
+};
+
+/// An implicit-feedback dataset: m users, n items, and the observed
+/// (user, item) pairs of the binary interaction matrix R.
+class InteractionDataset {
+ public:
+  InteractionDataset() : num_users_(0), num_items_(0) {}
+  InteractionDataset(int32_t num_users, int32_t num_items)
+      : num_users_(num_users), num_items_(num_items),
+        user_items_(num_users) {}
+
+  int32_t num_users() const { return num_users_; }
+  int32_t num_items() const { return num_items_; }
+  size_t num_interactions() const { return interactions_.size(); }
+
+  /// Appends an interaction (deduplicated per user lazily by callers).
+  void Add(int32_t user, int32_t item);
+
+  /// True if (user, item) is observed.
+  bool Contains(int32_t user, int32_t item) const;
+
+  const std::vector<Interaction>& interactions() const {
+    return interactions_;
+  }
+
+  /// The items the user interacted with, in insertion order (the user's
+  /// history E_u^0).
+  const std::vector<int32_t>& UserItems(int32_t user) const {
+    return user_items_[user];
+  }
+
+  /// Density |R| / (m * n).
+  double Density() const;
+
+  /// The interaction matrix R as sparse CSR (m x n, entries 1.0).
+  CsrMatrix ToCsr() const;
+
+  /// Items with at least one interaction.
+  std::vector<int32_t> ItemsWithInteractions() const;
+
+ private:
+  int32_t num_users_;
+  int32_t num_items_;
+  std::vector<Interaction> interactions_;
+  std::vector<std::vector<int32_t>> user_items_;
+};
+
+/// A train/test partition of an InteractionDataset.
+struct DataSplit {
+  InteractionDataset train;
+  InteractionDataset test;
+};
+
+/// Splits each user's interactions uniformly at random, holding out
+/// `test_fraction` of them (at least one interaction stays in train when
+/// the user has any). Users with a single interaction contribute no test
+/// pairs.
+DataSplit RatioSplit(const InteractionDataset& data, double test_fraction,
+                     Rng& rng);
+
+/// Holds out exactly one random interaction per user (users with fewer
+/// than two interactions contribute no test pairs).
+DataSplit LeaveOneOutSplit(const InteractionDataset& data, Rng& rng);
+
+/// Samples items the user did NOT interact with in the reference dataset;
+/// used both for training (BPR/CTR negatives) and evaluation candidates.
+class NegativeSampler {
+ public:
+  /// `reference` must outlive the sampler.
+  explicit NegativeSampler(const InteractionDataset& reference);
+
+  /// Uniformly samples a non-interacted item for the user.
+  int32_t Sample(int32_t user, Rng& rng) const;
+
+  /// Samples `count` distinct non-interacted items for the user (fewer if
+  /// the user interacted with almost everything).
+  std::vector<int32_t> SampleMany(int32_t user, size_t count, Rng& rng) const;
+
+ private:
+  const InteractionDataset& reference_;
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_DATA_INTERACTIONS_H_

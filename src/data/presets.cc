@@ -1,0 +1,266 @@
+#include "data/presets.h"
+
+#include "core/check.h"
+
+namespace kgrec {
+namespace {
+
+WorldConfig Movielens100k() {
+  WorldConfig c;
+  c.name = "movielens-100k";
+  c.num_users = 300;
+  c.num_items = 500;
+  c.latent_dim = 16;
+  c.avg_interactions_per_user = 30.0;  // MovieLens is comparatively dense
+  c.interaction_noise = 0.6;
+  c.item_relations = {
+      {"genre", 12, 2, 0.95f},
+      {"director", 60, 1, 0.8f},
+      {"actor", 90, 3, 0.7f},
+      {"country", 8, 1, 0.3f},
+  };
+  c.seed = 101;
+  return c;
+}
+
+WorldConfig Movielens1m() {
+  WorldConfig c = Movielens100k();
+  c.name = "movielens-1m";
+  c.num_users = 700;
+  c.num_items = 800;
+  c.avg_interactions_per_user = 40.0;
+  c.seed = 102;
+  return c;
+}
+
+WorldConfig BookCrossing() {
+  WorldConfig c;
+  c.name = "book-crossing";
+  c.num_users = 500;
+  c.num_items = 900;
+  c.latent_dim = 16;
+  c.avg_interactions_per_user = 5.0;  // extremely sparse feedback
+  c.interaction_noise = 0.9;
+  c.item_relations = {
+      {"author", 150, 1, 0.85f},
+      {"publisher", 40, 1, 0.5f},
+      {"subject", 25, 2, 0.9f},
+  };
+  c.seed = 103;
+  return c;
+}
+
+WorldConfig AmazonBook() {
+  WorldConfig c;
+  c.name = "amazon-book";
+  c.num_users = 500;
+  c.num_items = 800;
+  c.latent_dim = 16;
+  c.avg_interactions_per_user = 9.0;
+  c.interaction_noise = 0.7;
+  c.item_relations = {
+      {"category", 30, 2, 0.9f},
+      {"brand", 80, 1, 0.6f},
+      {"also_bought", 120, 2, 0.8f},
+  };
+  c.seed = 104;
+  return c;
+}
+
+WorldConfig LastFm() {
+  WorldConfig c;
+  c.name = "lastfm";
+  c.num_users = 400;
+  c.num_items = 600;
+  c.latent_dim = 16;
+  c.avg_interactions_per_user = 18.0;
+  c.interaction_noise = 0.6;
+  c.item_relations = {
+      {"artist", 100, 1, 0.9f},
+      {"genre", 15, 2, 0.9f},
+      {"label", 40, 1, 0.4f},
+  };
+  c.seed = 105;
+  return c;
+}
+
+WorldConfig Yelp() {
+  WorldConfig c;
+  c.name = "yelp";
+  c.num_users = 450;
+  c.num_items = 650;
+  c.latent_dim = 16;
+  c.avg_interactions_per_user = 12.0;
+  c.interaction_noise = 0.8;
+  c.item_relations = {
+      {"city", 20, 1, 0.5f},
+      {"category", 25, 2, 0.9f},
+      {"price_range", 4, 1, 0.4f},
+  };
+  c.seed = 106;
+  return c;
+}
+
+WorldConfig BingNews() {
+  WorldConfig c;
+  c.name = "bing-news";
+  c.num_users = 400;
+  c.num_items = 700;
+  c.latent_dim = 16;
+  c.avg_interactions_per_user = 8.0;  // shallow click histories
+  c.interaction_noise = 0.8;
+  // News items carry rich entity links (the survey: subgraphs of title
+  // entities extracted from Satori).
+  c.item_relations = {
+      {"entity", 160, 4, 0.85f},
+      {"topic", 18, 1, 0.9f},
+      {"source", 30, 1, 0.3f},
+  };
+  c.seed = 107;
+  return c;
+}
+
+WorldConfig DoubanMovie() {
+  WorldConfig c = Movielens100k();
+  c.name = "douban-movie";
+  c.num_users = 350;
+  c.num_items = 550;
+  c.avg_interactions_per_user = 22.0;
+  c.seed = 108;
+  return c;
+}
+
+WorldConfig Weibo() {
+  WorldConfig c;
+  c.name = "weibo";
+  c.num_users = 400;
+  c.num_items = 200;  // celebrities as "items"
+  c.latent_dim = 12;
+  c.avg_interactions_per_user = 10.0;
+  c.interaction_noise = 0.7;
+  c.item_relations = {
+      {"profession", 15, 1, 0.9f},
+      {"organization", 30, 1, 0.6f},
+  };
+  c.seed = 109;
+  return c;
+}
+
+WorldConfig AmazonProduct() {
+  WorldConfig c;
+  c.name = "amazon-product";
+  c.num_users = 500;
+  c.num_items = 900;
+  c.latent_dim = 16;
+  c.avg_interactions_per_user = 7.0;
+  c.interaction_noise = 0.8;
+  c.item_relations = {
+      {"category", 35, 2, 0.9f},
+      {"brand", 90, 1, 0.6f},
+      {"bought_together", 130, 2, 0.85f},
+      {"also_viewed", 100, 2, 0.7f},
+  };
+  c.seed = 111;
+  return c;
+}
+
+WorldConfig AlibabaTaobao() {
+  WorldConfig c = AmazonProduct();
+  c.name = "alibaba-taobao";
+  c.num_users = 600;
+  c.num_items = 700;
+  c.avg_interactions_per_user = 10.0;
+  c.seed = 112;
+  return c;
+}
+
+WorldConfig DianpingFood() {
+  WorldConfig c;
+  c.name = "dianping-food";
+  c.num_users = 400;
+  c.num_items = 500;
+  c.latent_dim = 16;
+  c.avg_interactions_per_user = 11.0;
+  c.interaction_noise = 0.7;
+  c.item_relations = {
+      {"cuisine", 18, 1, 0.9f},
+      {"district", 15, 1, 0.5f},
+      {"price_band", 5, 1, 0.4f},
+  };
+  c.seed = 113;
+  return c;
+}
+
+WorldConfig Dblp() {
+  WorldConfig c;
+  c.name = "dblp";
+  c.num_users = 350;   // researchers
+  c.num_items = 150;   // conferences
+  c.latent_dim = 12;
+  c.avg_interactions_per_user = 6.0;
+  c.interaction_noise = 0.6;
+  c.item_relations = {
+      {"field", 10, 1, 0.95f},
+      {"publisher", 6, 1, 0.3f},
+  };
+  c.seed = 114;
+  return c;
+}
+
+WorldConfig MeetUp() {
+  WorldConfig c;
+  c.name = "meetup";
+  c.num_users = 400;   // members
+  c.num_items = 250;   // meetings
+  c.latent_dim = 12;
+  c.avg_interactions_per_user = 7.0;
+  c.interaction_noise = 0.7;
+  c.item_relations = {
+      {"topic", 14, 1, 0.9f},
+      {"city", 12, 1, 0.5f},
+  };
+  c.seed = 115;
+  return c;
+}
+
+WorldConfig DbBook2014() {
+  WorldConfig c = BookCrossing();
+  c.name = "dbbook2014";
+  c.num_users = 350;
+  c.num_items = 600;
+  c.avg_interactions_per_user = 7.0;
+  c.seed = 110;
+  return c;
+}
+
+}  // namespace
+
+ScenarioPreset GetPreset(const std::string& dataset_name) {
+  for (const ScenarioPreset& p : AllPresets()) {
+    if (p.config.name == dataset_name) return p;
+  }
+  KGREC_CHECK(false);  // unknown preset name
+  return {};
+}
+
+std::vector<ScenarioPreset> AllPresets() {
+  return {
+      {"Movie", "MovieLens-100K", Movielens100k()},
+      {"Movie", "MovieLens-1M", Movielens1m()},
+      {"Movie", "DoubanMovie", DoubanMovie()},
+      {"Book", "Book-Crossing", BookCrossing()},
+      {"Book", "Amazon-Book", AmazonBook()},
+      {"Book", "DBbook2014", DbBook2014()},
+      {"News", "Bing-News", BingNews()},
+      {"Product", "Amazon Product data", AmazonProduct()},
+      {"Product", "Alibaba Taobao", AlibabaTaobao()},
+      {"POI", "Yelp challenge", Yelp()},
+      {"POI", "Dianping-Food", DianpingFood()},
+      {"Music", "Last.FM", LastFm()},
+      {"Social Platform", "Weibo", Weibo()},
+      {"Social Platform", "DBLP", Dblp()},
+      {"Social Platform", "MeetUp", MeetUp()},
+  };
+}
+
+}  // namespace kgrec

@@ -1,0 +1,33 @@
+#ifndef KGREC_DATA_PRESETS_H_
+#define KGREC_DATA_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+
+namespace kgrec {
+
+/// A scenario preset emulating one of the datasets of survey Table 4.
+struct ScenarioPreset {
+  std::string scenario;   ///< e.g. "Movie"
+  std::string dataset;    ///< e.g. "MovieLens-100K"
+  WorldConfig config;     ///< scaled-down synthetic stand-in
+};
+
+/// Returns the preset for a dataset name from Table 4 (case-sensitive):
+/// "movielens-100k", "movielens-1m", "book-crossing", "amazon-book",
+/// "lastfm", "yelp", "bing-news", "douban-movie", "weibo", "dbbook2014".
+/// Scales are reduced ~100x-10000x versus the originals so that every
+/// model trains on one CPU core in seconds; the density and KG-richness
+/// *profiles* follow the originals (e.g. Book-Crossing is much sparser
+/// than MovieLens; Bing-News items have rich entity links but shallow
+/// user histories).
+ScenarioPreset GetPreset(const std::string& dataset_name);
+
+/// All presets, one per Table 4 dataset family we emulate.
+std::vector<ScenarioPreset> AllPresets();
+
+}  // namespace kgrec
+
+#endif  // KGREC_DATA_PRESETS_H_

@@ -1,0 +1,34 @@
+#include "embed/cfkg.h"
+
+#include "core/check.h"
+#include "kge/kge_trainer.h"
+
+namespace kgrec {
+
+void CfkgRecommender::Fit(const RecContext& context) {
+  KGREC_CHECK(context.user_item_graph != nullptr);
+  graph_ = context.user_item_graph;
+  const KnowledgeGraph& kg = graph_->kg;
+  Rng rng(context.seed);
+  model_ = MakeKgeModel(config_.kge, kg.num_entities(), kg.num_relations(),
+                        config_.dim, rng);
+  KgeTrainConfig train_config;
+  train_config.epochs = config_.epochs;
+  train_config.batch_size = config_.batch_size;
+  train_config.learning_rate = config_.learning_rate;
+  train_config.margin = config_.margin;
+  train_config.l2 = config_.l2;
+  train_config.seed = context.seed + 1;
+  TrainKge(*model_, kg, train_config);
+}
+
+float CfkgRecommender::Score(int32_t user, int32_t item) const {
+  // KGE plausibility of <user, interact, item>; higher = preferred
+  // (equivalently: ascending distance order, survey Eq. 7).
+  std::vector<int32_t> h{graph_->UserEntity(user)};
+  std::vector<int32_t> r{graph_->interact_relation};
+  std::vector<int32_t> t{graph_->ItemEntity(item)};
+  return model_->ScoreBatch(h, r, t).value();
+}
+
+}  // namespace kgrec

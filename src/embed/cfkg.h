@@ -1,0 +1,44 @@
+#ifndef KGREC_EMBED_CFKG_H_
+#define KGREC_EMBED_CFKG_H_
+
+#include <memory>
+
+#include "core/recommender.h"
+#include "kge/kge_model.h"
+
+namespace kgrec {
+
+/// Hyper-parameters for CFKG.
+struct CfkgConfig {
+  size_t dim = 16;
+  int epochs = 20;
+  size_t batch_size = 256;
+  float learning_rate = 0.05f;
+  float margin = 1.0f;
+  float l2 = 1e-5f;
+  /// KGE backend name ("transe" in the paper; any backend works).
+  std::string kge = "transe";
+};
+
+/// CFKG (Zhang et al., survey Eq. 7): user behaviour becomes a relation
+/// in a single user-item knowledge graph, a translation model is trained
+/// over all its triples, and candidates are ranked by ascending
+/// d(u + r_interact, v) — i.e. the KGE plausibility of the "interact"
+/// fact itself.
+class CfkgRecommender : public Recommender {
+ public:
+  explicit CfkgRecommender(CfkgConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "CFKG"; }
+  void Fit(const RecContext& context) override;
+  float Score(int32_t user, int32_t item) const override;
+
+ protected:
+  CfkgConfig config_;
+  std::unique_ptr<KgeModel> model_;
+  const UserItemGraph* graph_ = nullptr;
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_EMBED_CFKG_H_

@@ -1,0 +1,139 @@
+#include "embed/cke.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+
+namespace kgrec {
+
+void CkeRecommender::Fit(const RecContext& context) {
+  KGREC_CHECK(context.train != nullptr);
+  KGREC_CHECK(context.item_kg != nullptr);
+  const InteractionDataset& train = *context.train;
+  const KnowledgeGraph& kg = *context.item_kg;
+  const int32_t m = train.num_users();
+  const int32_t n = train.num_items();
+  const size_t d = config_.dim;
+  Rng rng(context.seed);
+
+  // Attribute lists per item (content channel).
+  std::vector<std::vector<int32_t>> item_attrs(n);
+  for (int32_t j = 0; j < n; ++j) {
+    const size_t degree = kg.OutDegree(j);
+    const Edge* edges = kg.OutEdges(j);
+    for (size_t e = 0; e < degree; ++e) {
+      if (edges[e].target >= n) item_attrs[j].push_back(edges[e].target);
+    }
+  }
+
+  nn::Tensor user_emb = nn::NormalInit(m, d, 0.1f, rng);
+  nn::Tensor offset_emb = nn::NormalInit(n, d, 0.1f, rng);
+  std::unique_ptr<KgeModel> transr =
+      MakeKgeModel("transr", kg.num_entities(), kg.num_relations(), d, rng);
+  nn::Tensor content_emb = nn::NormalInit(kg.num_entities(), d, 0.1f, rng);
+
+  std::vector<nn::Tensor> params{user_emb, offset_emb, content_emb};
+  for (const auto& p : transr->Params()) params.push_back(p);
+  nn::Adagrad optimizer(params, config_.learning_rate, config_.l2);
+  NegativeSampler sampler(train);
+  const auto& triples = kg.triples();
+
+  // Builds v = offset + entity + mean(content[attrs]) for an item batch.
+  auto item_vectors = [&](const std::vector<int32_t>& items) {
+    nn::Tensor v = nn::Add(nn::Gather(offset_emb, items),
+                           nn::Gather(transr->entity_embeddings(), items));
+    // Content channel: one attribute content vector sampled per item per
+    // batch — an unbiased estimate of the full attribute mean, so over
+    // training it converges to the mean used at inference time below.
+    std::vector<int32_t> sampled(items.size(), 0);
+    std::vector<float> scale(items.size(), 1.0f);
+    for (size_t i = 0; i < items.size(); ++i) {
+      const auto& attrs = item_attrs[items[i]];
+      if (!attrs.empty()) {
+        sampled[i] = attrs[rng.UniformInt(attrs.size())];
+      } else {
+        sampled[i] = items[i];
+        scale[i] = 0.0f;
+      }
+    }
+    nn::Tensor z = nn::Gather(content_emb, sampled);
+    nn::Tensor mask = nn::Tensor::FromData(items.size(), 1, std::move(scale));
+    return nn::Add(v, nn::Mul(z, mask));
+  };
+
+  std::vector<size_t> order(train.num_interactions());
+  std::iota(order.begin(), order.end(), size_t{0});
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const size_t end = std::min(order.size(), start + config_.batch_size);
+      std::vector<int32_t> users, pos_items, neg_items;
+      std::vector<int32_t> heads, rels, tails, neg_heads, neg_tails;
+      for (size_t i = start; i < end; ++i) {
+        const Interaction& x = train.interactions()[order[i]];
+        users.push_back(x.user);
+        pos_items.push_back(x.item);
+        neg_items.push_back(sampler.Sample(x.user, rng));
+        // One KG triple per interaction keeps the two losses balanced.
+        const Triple& t = triples[rng.UniformInt(triples.size())];
+        heads.push_back(t.head);
+        rels.push_back(t.relation);
+        tails.push_back(t.tail);
+        int32_t nh = t.head, nt = t.tail;
+        if (rng.Bernoulli(0.5)) {
+          nh = static_cast<int32_t>(rng.UniformInt(kg.num_entities()));
+        } else {
+          nt = static_cast<int32_t>(rng.UniformInt(kg.num_entities()));
+        }
+        neg_heads.push_back(nh);
+        neg_tails.push_back(nt);
+      }
+      nn::Tensor u = nn::Gather(user_emb, users);
+      nn::Tensor pos = item_vectors(pos_items);
+      nn::Tensor neg = item_vectors(neg_items);
+      nn::Tensor rec_loss =
+          nn::BprLoss(nn::RowwiseDot(u, pos), nn::RowwiseDot(u, neg));
+      nn::Tensor kg_pos = transr->ScoreBatch(heads, rels, tails);
+      nn::Tensor kg_neg = transr->ScoreBatch(neg_heads, rels, neg_tails);
+      nn::Tensor kg_loss =
+          nn::MarginRankingLoss(kg_neg, kg_pos, config_.margin);
+      nn::Tensor loss =
+          nn::Add(rec_loss, nn::ScaleBy(kg_loss, config_.kg_weight));
+      optimizer.ZeroGrad();
+      nn::Backward(loss);
+      optimizer.Step();
+    }
+    transr->PostEpoch();
+  }
+
+  // Cache final vectors; content uses the full attribute mean.
+  user_vecs_ = Matrix(m, d);
+  std::copy_n(user_emb.data(), user_vecs_.size(), user_vecs_.data());
+  item_vecs_ = Matrix(n, d);
+  const float* entity = transr->entity_embeddings().data();
+  for (int32_t j = 0; j < n; ++j) {
+    float* row = item_vecs_.Row(j);
+    const float* off = offset_emb.data() + j * d;
+    const float* ent = entity + j * d;
+    for (size_t c = 0; c < d; ++c) row[c] = off[c] + ent[c];
+    if (!item_attrs[j].empty()) {
+      const float inv = 1.0f / item_attrs[j].size();
+      for (int32_t a : item_attrs[j]) {
+        const float* content = content_emb.data() + a * d;
+        for (size_t c = 0; c < d; ++c) row[c] += inv * content[c];
+      }
+    }
+  }
+}
+
+float CkeRecommender::Score(int32_t user, int32_t item) const {
+  return dense::Dot(user_vecs_.Row(user), item_vecs_.Row(item),
+                    user_vecs_.cols());
+}
+
+}  // namespace kgrec

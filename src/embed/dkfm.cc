@@ -1,0 +1,91 @@
+#include "embed/dkfm.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.h"
+#include "kge/kge_model.h"
+#include "kge/kge_trainer.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+
+namespace kgrec {
+
+nn::Tensor DkfmRecommender::Logits(const std::vector<int32_t>& users,
+                                   const std::vector<int32_t>& items) const {
+  nn::Tensor u = nn::Gather(user_emb_, users);
+  nn::Tensor v = nn::Gather(item_emb_, items);
+  nn::Tensor e = nn::Gather(entity_emb_, items);
+  nn::Tensor fm_term = nn::RowwiseDot(u, v);
+  nn::Tensor deep_in = nn::Concat(nn::Concat(u, v), e);
+  nn::Tensor deep_term =
+      deep_out_.Forward(nn::Relu(deep_hidden_.Forward(deep_in)));
+  return nn::Add(fm_term, deep_term);
+}
+
+void DkfmRecommender::Fit(const RecContext& context) {
+  KGREC_CHECK(context.train != nullptr);
+  KGREC_CHECK(context.item_kg != nullptr);
+  const InteractionDataset& train = *context.train;
+  const KnowledgeGraph& kg = *context.item_kg;
+  const size_t d = config_.dim;
+  Rng rng(context.seed);
+
+  // Frozen TransE destination embeddings (the paper pretrains location
+  // embeddings on the city KG and feeds them to DeepFM).
+  std::unique_ptr<KgeModel> transe =
+      MakeKgeModel("transe", kg.num_entities(), kg.num_relations(), d, rng);
+  KgeTrainConfig kge_config;
+  kge_config.epochs = config_.kge_epochs;
+  kge_config.seed = context.seed + 4;
+  TrainKge(*transe, kg, kge_config);
+  entity_emb_ = nn::Tensor::FromData(
+      kg.num_entities(), d,
+      std::vector<float>(
+          transe->entity_embeddings().data(),
+          transe->entity_embeddings().data() +
+              transe->entity_embeddings().size()));  // no grad: frozen
+
+  user_emb_ = nn::NormalInit(train.num_users(), d, 0.1f, rng);
+  item_emb_ = nn::NormalInit(train.num_items(), d, 0.1f, rng);
+  deep_hidden_ = nn::Linear(3 * d, d, rng);
+  deep_out_ = nn::Linear(d, 1, rng);
+
+  std::vector<nn::Tensor> params{user_emb_, item_emb_};
+  for (const auto& p : deep_hidden_.Params()) params.push_back(p);
+  for (const auto& p : deep_out_.Params()) params.push_back(p);
+  nn::Adagrad optimizer(params, config_.learning_rate, config_.l2);
+  NegativeSampler sampler(train);
+  std::vector<size_t> order(train.num_interactions());
+  std::iota(order.begin(), order.end(), size_t{0});
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const size_t end = std::min(order.size(), start + config_.batch_size);
+      std::vector<int32_t> users, items;
+      std::vector<float> labels;
+      for (size_t i = start; i < end; ++i) {
+        const Interaction& x = train.interactions()[order[i]];
+        users.push_back(x.user);
+        items.push_back(x.item);
+        labels.push_back(1.0f);
+        users.push_back(x.user);
+        items.push_back(sampler.Sample(x.user, rng));
+        labels.push_back(0.0f);
+      }
+      nn::Tensor loss = nn::BceWithLogits(Logits(users, items), labels);
+      optimizer.ZeroGrad();
+      nn::Backward(loss);
+      optimizer.Step();
+    }
+  }
+}
+
+float DkfmRecommender::Score(int32_t user, int32_t item) const {
+  std::vector<int32_t> users{user}, items{item};
+  return Logits(users, items).value();
+}
+
+}  // namespace kgrec

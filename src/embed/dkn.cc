@@ -1,0 +1,200 @@
+#include "embed/dkn.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.h"
+#include "kge/kge_model.h"
+#include "kge/kge_trainer.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+
+namespace kgrec {
+
+nn::Tensor DknRecommender::ItemVectors(
+    const std::vector<int32_t>& items) const {
+  // Knowledge channel: one entity sampled deterministically per position
+  // would lose information; instead average via flat gather + group sum.
+  // All items here have >= 1 entity and >= 1 word by construction.
+  std::vector<int32_t> flat_entities;
+  std::vector<float> entity_weights;
+  std::vector<int32_t> flat_words;
+  std::vector<float> word_weights;
+  size_t max_entities = 1, max_words = 1;
+  for (int32_t j : items) {
+    max_entities = std::max(max_entities, item_entities_[j].size());
+    max_words = std::max(max_words, item_words_[j].size());
+  }
+  for (int32_t j : items) {
+    const auto& ents = item_entities_[j];
+    for (size_t k = 0; k < max_entities; ++k) {
+      flat_entities.push_back(ents[k % ents.size()]);
+      entity_weights.push_back(k < ents.size() ? 1.0f / ents.size() : 0.0f);
+    }
+    const auto& words = item_words_[j];
+    for (size_t k = 0; k < max_words; ++k) {
+      flat_words.push_back(words[k % words.size()]);
+      word_weights.push_back(k < words.size() ? 1.0f / words.size() : 0.0f);
+    }
+  }
+  nn::Tensor ent = nn::Gather(entity_emb_, flat_entities);
+  nn::Tensor ent_w =
+      nn::Tensor::FromData(flat_entities.size(), 1, std::move(entity_weights));
+  nn::Tensor knowledge =
+      nn::GroupSumRows(nn::Mul(ent, ent_w), max_entities);  // [B, d]
+  nn::Tensor words = nn::Gather(word_emb_, flat_words);
+  nn::Tensor word_w =
+      nn::Tensor::FromData(flat_words.size(), 1, std::move(word_weights));
+  nn::Tensor text = nn::GroupSumRows(nn::Mul(words, word_w), max_words);
+  return nn::Concat(knowledge, text);  // [B, 2d]
+}
+
+void DknRecommender::Fit(const RecContext& context) {
+  KGREC_CHECK(context.train != nullptr);
+  KGREC_CHECK(context.item_kg != nullptr);
+  const InteractionDataset& train = *context.train;
+  const KnowledgeGraph& kg = *context.item_kg;
+  const int32_t n = train.num_items();
+  const size_t d = config_.dim;
+  Rng rng(context.seed);
+
+  // Item "content": KG entities mentioned by the item (itself + its
+  // attribute targets) and pseudo title words (attribute mentions + noise
+  // words hashed from the item id).
+  const size_t vocab = kg.num_entities() + 97;
+  item_entities_.assign(n, {});
+  item_words_.assign(n, {});
+  for (int32_t j = 0; j < n; ++j) {
+    item_entities_[j].push_back(j);
+    const size_t degree = kg.OutDegree(j);
+    const Edge* edges = kg.OutEdges(j);
+    for (size_t e = 0; e < degree; ++e) {
+      if (edges[e].target >= n) {
+        item_entities_[j].push_back(edges[e].target);
+        item_words_[j].push_back(edges[e].target);
+      }
+    }
+    if (item_words_[j].empty()) item_words_[j].push_back(j);
+    for (size_t w = 0; w < config_.noise_words_per_item; ++w) {
+      item_words_[j].push_back(static_cast<int32_t>(
+          kg.num_entities() + (j * 31 + w * 17) % 97));
+    }
+  }
+
+  // Pretrain the knowledge channel with TransD (as the paper does).
+  std::unique_ptr<KgeModel> transd =
+      MakeKgeModel("transd", kg.num_entities(), kg.num_relations(), d, rng);
+  KgeTrainConfig kge_config;
+  kge_config.epochs = 8;
+  kge_config.seed = context.seed + 3;
+  TrainKge(*transd, kg, kge_config);
+  entity_emb_ = nn::Tensor::FromData(
+      kg.num_entities(), d,
+      std::vector<float>(transd->entity_embeddings().data(),
+                         transd->entity_embeddings().data() +
+                             transd->entity_embeddings().size()),
+      /*requires_grad=*/true);
+  word_emb_ = nn::NormalInit(vocab, d, 0.1f, rng);
+
+  attention_hidden_ = nn::Linear(4 * d, d, rng);
+  attention_out_ = nn::Linear(d, 1, rng);
+  score_hidden_ = nn::Linear(4 * d, d, rng);
+  score_out_ = nn::Linear(d, 1, rng);
+
+  // Clip histories to the most recent max_history items.
+  histories_.assign(train.num_users(), {});
+  for (int32_t u = 0; u < train.num_users(); ++u) {
+    const auto& items = train.UserItems(u);
+    const size_t take = std::min(items.size(), config_.max_history);
+    histories_[u].assign(items.end() - take, items.end());
+  }
+
+  std::vector<nn::Tensor> params{entity_emb_, word_emb_};
+  for (const nn::Linear* l :
+       {&attention_hidden_, &attention_out_, &score_hidden_, &score_out_}) {
+    for (const auto& p : l->Params()) params.push_back(p);
+  }
+  nn::Adagrad optimizer(params, config_.learning_rate, config_.l2);
+  NegativeSampler sampler(train);
+
+  const size_t h = config_.max_history;
+  std::vector<size_t> order(train.num_interactions());
+  std::iota(order.begin(), order.end(), size_t{0});
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const size_t end = std::min(order.size(), start + config_.batch_size);
+      std::vector<int32_t> cands;
+      std::vector<int32_t> hist_flat;
+      std::vector<float> hist_mask;
+      std::vector<int32_t> repeat_index;
+      std::vector<float> labels;
+      auto push_example = [&](int32_t user, int32_t item, float label) {
+        const auto& hist = histories_[user];
+        if (hist.empty()) return;
+        const int32_t row = static_cast<int32_t>(cands.size());
+        cands.push_back(item);
+        labels.push_back(label);
+        for (size_t k = 0; k < h; ++k) {
+          hist_flat.push_back(hist[k % hist.size()]);
+          hist_mask.push_back(k < hist.size() ? 0.0f : -1e9f);
+          repeat_index.push_back(row);
+        }
+      };
+      for (size_t i = start; i < end; ++i) {
+        const Interaction& x = train.interactions()[order[i]];
+        push_example(x.user, x.item, 1.0f);
+        push_example(x.user, sampler.Sample(x.user, rng), 0.0f);
+      }
+      if (cands.empty()) continue;
+      const size_t batch = cands.size();
+      nn::Tensor cand_vecs = ItemVectors(cands);          // [B, 2d]
+      nn::Tensor hist_vecs = ItemVectors(hist_flat);      // [B*h, 2d]
+      nn::Tensor cand_rep = nn::Gather(cand_vecs, repeat_index);
+      nn::Tensor att_in = nn::Concat(hist_vecs, cand_rep);  // [B*h, 4d]
+      nn::Tensor att_logit = attention_out_.Forward(
+          nn::Tanh(attention_hidden_.Forward(att_in)));     // [B*h, 1]
+      nn::Tensor mask =
+          nn::Tensor::FromData(batch * h, 1,
+                               std::vector<float>(hist_mask));
+      nn::Tensor att = nn::Softmax(
+          nn::Reshape(nn::Add(att_logit, mask), batch, h));  // [B, h]
+      nn::Tensor att_flat = nn::Reshape(att, batch * h, 1);
+      nn::Tensor user_vec =
+          nn::GroupSumRows(nn::Mul(hist_vecs, att_flat), h);  // [B, 2d]
+      nn::Tensor features = nn::Concat(user_vec, cand_vecs);  // [B, 4d]
+      nn::Tensor logits =
+          score_out_.Forward(nn::Relu(score_hidden_.Forward(features)));
+      nn::Tensor loss = nn::BceWithLogits(logits, labels);
+      optimizer.ZeroGrad();
+      nn::Backward(loss);
+      optimizer.Step();
+    }
+  }
+}
+
+float DknRecommender::Score(int32_t user, int32_t item) const {
+  const auto& hist = histories_[user];
+  const size_t h = std::max<size_t>(1, hist.size());
+  std::vector<int32_t> cand{item};
+  std::vector<int32_t> hist_items;
+  std::vector<int32_t> repeat_index(h, 0);
+  for (size_t k = 0; k < h; ++k) {
+    hist_items.push_back(hist.empty() ? item : hist[k]);
+  }
+  nn::Tensor cand_vecs = ItemVectors(cand);
+  nn::Tensor hist_vecs = ItemVectors(hist_items);
+  nn::Tensor cand_rep = nn::Gather(cand_vecs, repeat_index);
+  nn::Tensor att_logit = attention_out_.Forward(
+      nn::Tanh(attention_hidden_.Forward(nn::Concat(hist_vecs, cand_rep))));
+  nn::Tensor att = nn::Softmax(nn::Reshape(att_logit, 1, h));
+  nn::Tensor user_vec =
+      nn::GroupSumRows(nn::Mul(hist_vecs, nn::Reshape(att, h, 1)), h);
+  nn::Tensor logits = score_out_.Forward(
+      nn::Relu(score_hidden_.Forward(nn::Concat(user_vec, cand_vecs))));
+  return logits.value();
+}
+
+}  // namespace kgrec

@@ -1,0 +1,158 @@
+#include "embed/ktup.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/check.h"
+#include "kge/kge_model.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+
+namespace kgrec {
+namespace {
+
+/// Soft TUP preference: p_uv = softmax_k((u + v) . p_k)-weighted sum of
+/// the preference table rows. u, v are [B, d]; returns [B, d].
+nn::Tensor SoftPreference(const nn::Tensor& u, const nn::Tensor& v,
+                          const nn::Tensor& preferences) {
+  nn::Tensor context = nn::Add(u, v);                       // [B, d]
+  nn::Tensor logits =
+      nn::MatMul(context, nn::Transpose(preferences));      // [B, P]
+  nn::Tensor attn = nn::Softmax(logits);                    // [B, P]
+  return nn::MatMul(attn, preferences);                     // [B, d]
+}
+
+/// TUP distance f(u, v, p) = ||u + p - v||^2 per row -> [B, 1].
+nn::Tensor TupDistance(const nn::Tensor& u, const nn::Tensor& v,
+                       const nn::Tensor& p) {
+  return nn::SumRows(nn::Square(nn::Sub(nn::Add(u, p), v)));
+}
+
+}  // namespace
+
+void KtupRecommender::Fit(const RecContext& context) {
+  KGREC_CHECK(context.train != nullptr);
+  KGREC_CHECK(context.item_kg != nullptr);
+  const InteractionDataset& train = *context.train;
+  const KnowledgeGraph& kg = *context.item_kg;
+  const int32_t m = train.num_users();
+  const int32_t n = train.num_items();
+  const size_t d = config_.dim;
+  Rng rng(context.seed);
+
+  nn::Tensor user_emb = nn::NormalInit(m, d, 0.1f, rng);
+  nn::Tensor item_emb = nn::NormalInit(n, d, 0.1f, rng);
+  nn::Tensor pref_emb = nn::NormalInit(config_.num_preferences, d, 0.1f, rng);
+  std::unique_ptr<KgeModel> transh =
+      MakeKgeModel("transh", kg.num_entities(), kg.num_relations(), d, rng);
+
+  std::vector<nn::Tensor> params{user_emb, item_emb, pref_emb};
+  for (const auto& p : transh->Params()) params.push_back(p);
+  nn::Adagrad optimizer(params, config_.learning_rate, config_.l2);
+  NegativeSampler sampler(train);
+  const auto& triples = kg.triples();
+
+  // Item vectors enhanced by aligned entities: v + e_v (entity j == item j).
+  auto enhanced_items = [&](const std::vector<int32_t>& items) {
+    return nn::Add(nn::Gather(item_emb, items),
+                   nn::Gather(transh->entity_embeddings(), items));
+  };
+
+  std::vector<size_t> order(train.num_interactions());
+  std::iota(order.begin(), order.end(), size_t{0});
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const size_t end = std::min(order.size(), start + config_.batch_size);
+      std::vector<int32_t> users, pos_items, neg_items;
+      std::vector<int32_t> heads, rels, tails, neg_heads, neg_tails;
+      for (size_t i = start; i < end; ++i) {
+        const Interaction& x = train.interactions()[order[i]];
+        users.push_back(x.user);
+        pos_items.push_back(x.item);
+        neg_items.push_back(sampler.Sample(x.user, rng));
+        const Triple& t = triples[rng.UniformInt(triples.size())];
+        heads.push_back(t.head);
+        rels.push_back(t.relation);
+        tails.push_back(t.tail);
+        int32_t nh = t.head, nt = t.tail;
+        if (rng.Bernoulli(0.5)) {
+          nh = static_cast<int32_t>(rng.UniformInt(kg.num_entities()));
+        } else {
+          nt = static_cast<int32_t>(rng.UniformInt(kg.num_entities()));
+        }
+        neg_heads.push_back(nh);
+        neg_tails.push_back(nt);
+      }
+      nn::Tensor u = nn::Gather(user_emb, users);
+      nn::Tensor pos = enhanced_items(pos_items);
+      nn::Tensor neg = enhanced_items(neg_items);
+      nn::Tensor p_pos = SoftPreference(u, pos, pref_emb);
+      nn::Tensor p_neg = SoftPreference(u, neg, pref_emb);
+      // Eq. 10: -log sigmoid(f(u,v',p') - f(u,v,p)) with f a distance.
+      nn::Tensor rec_loss = nn::Mean(nn::Softplus(
+          nn::Sub(TupDistance(u, pos, p_pos), TupDistance(u, neg, p_neg))));
+      // Eq. 11: TransH hinge on the item KG.
+      nn::Tensor kg_pos = transh->ScoreBatch(heads, rels, tails);
+      nn::Tensor kg_neg = transh->ScoreBatch(neg_heads, rels, neg_tails);
+      nn::Tensor kg_loss =
+          nn::MarginRankingLoss(kg_neg, kg_pos, config_.margin);
+      nn::Tensor loss =
+          nn::Add(rec_loss, nn::ScaleBy(kg_loss, config_.kg_weight));
+      optimizer.ZeroGrad();
+      nn::Backward(loss);
+      optimizer.Step();
+    }
+    transh->PostEpoch();
+  }
+
+  user_vecs_ = Matrix(m, d);
+  std::copy_n(user_emb.data(), user_vecs_.size(), user_vecs_.data());
+  item_vecs_ = Matrix(n, d);
+  const float* entity = transh->entity_embeddings().data();
+  for (int32_t j = 0; j < n; ++j) {
+    const float* iv = item_emb.data() + j * d;
+    const float* ev = entity + j * d;
+    for (size_t c = 0; c < d; ++c) item_vecs_.At(j, c) = iv[c] + ev[c];
+  }
+  preference_vecs_ = Matrix(config_.num_preferences, d);
+  std::copy_n(pref_emb.data(), preference_vecs_.size(),
+              preference_vecs_.data());
+}
+
+float KtupRecommender::Score(int32_t user, int32_t item) const {
+  const size_t d = user_vecs_.cols();
+  const float* u = user_vecs_.Row(user);
+  const float* v = item_vecs_.Row(item);
+  // Soft preference attention, then negative TUP distance.
+  const size_t num_prefs = preference_vecs_.rows();
+  std::vector<float> logits(num_prefs);
+  for (size_t k = 0; k < num_prefs; ++k) {
+    const float* p = preference_vecs_.Row(k);
+    float acc = 0.0f;
+    for (size_t c = 0; c < d; ++c) acc += (u[c] + v[c]) * p[c];
+    logits[k] = acc;
+  }
+  float max_logit = logits[0];
+  for (float l : logits) max_logit = std::max(max_logit, l);
+  float total = 0.0f;
+  for (float& l : logits) {
+    l = std::exp(l - max_logit);
+    total += l;
+  }
+  float distance = 0.0f;
+  for (size_t c = 0; c < d; ++c) {
+    float p_c = 0.0f;
+    for (size_t k = 0; k < num_prefs; ++k) {
+      p_c += logits[k] / total * preference_vecs_.At(k, c);
+    }
+    const float diff = u[c] + p_c - v[c];
+    distance += diff * diff;
+  }
+  return -distance;
+}
+
+}  // namespace kgrec

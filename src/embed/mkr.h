@@ -1,0 +1,67 @@
+#ifndef KGREC_EMBED_MKR_H_
+#define KGREC_EMBED_MKR_H_
+
+#include <vector>
+
+#include "core/recommender.h"
+#include "nn/layers.h"
+#include "nn/tensor.h"
+
+namespace kgrec {
+
+/// Hyper-parameters for MKR.
+struct MkrConfig {
+  size_t dim = 16;
+  int epochs = 20;
+  size_t batch_size = 256;
+  float learning_rate = 0.05f;
+  float l2 = 1e-5f;
+  /// Weight of the KGE task in the alternating objective (Eq. 9 lambda).
+  float kg_weight = 0.5f;
+  /// Number of stacked cross&compress units.
+  int num_cross_layers = 1;
+};
+
+/// MKR (Wang et al., WWW'19): multi-task feature learning. The
+/// recommendation module and a KGE module share item/entity features
+/// through cross&compress units
+///   v' = v (e . w_vv) + e (v . w_ev) + b_v,
+///   e' = v (e . w_ve) + e (v . w_ee) + b_e,
+/// i.e. every pairwise feature interaction of the item vector and its
+/// aligned entity vector, compressed back to R^d. The KGE module predicts
+/// tail embeddings from (head, relation) with an MLP.
+class MkrRecommender : public Recommender {
+ public:
+  explicit MkrRecommender(MkrConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "MKR"; }
+  void Fit(const RecContext& context) override;
+  float Score(int32_t user, int32_t item) const override;
+
+ private:
+  struct CrossUnit {
+    nn::Tensor w_vv, w_ev, w_ve, w_ee;  // each [1, dim]
+    nn::Tensor b_v, b_e;                // each [1, dim]
+    std::vector<nn::Tensor> Params() const {
+      return {w_vv, w_ev, w_ve, w_ee, b_v, b_e};
+    }
+  };
+
+  /// Runs the cross&compress stack; items/entities are [B, d]; returns
+  /// the item-side output (and, via out_entity, the entity side).
+  nn::Tensor Cross(const nn::Tensor& item_vecs, const nn::Tensor& entity_vecs,
+                   nn::Tensor* out_entity) const;
+
+  MkrConfig config_;
+  int32_t num_items_ = 0;
+  nn::Tensor user_emb_;
+  nn::Tensor item_emb_;
+  nn::Tensor entity_emb_;
+  nn::Tensor relation_emb_;
+  std::vector<CrossUnit> cross_units_;
+  nn::Linear kge_hidden_;
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_EMBED_MKR_H_

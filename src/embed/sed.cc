@@ -1,0 +1,42 @@
+#include "embed/sed.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "graph/bfs.h"
+
+namespace kgrec {
+
+void SedRecommender::Fit(const RecContext& context) {
+  KGREC_CHECK(context.train != nullptr);
+  KGREC_CHECK(context.item_kg != nullptr);
+  train_ = context.train;
+  const KnowledgeGraph& kg = *context.item_kg;
+  const int32_t n = train_->num_items();
+  // All-pairs item distances by BFS from every item (items are entities
+  // [0, n) of the item graph; unreachable pairs get the cap + 1).
+  const float cap = static_cast<float>(config_.max_depth + 1);
+  distance_ = Matrix(n, n, cap);
+  for (int32_t j = 0; j < n; ++j) {
+    const std::vector<int32_t> dist =
+        BfsDistances(kg, j, config_.max_depth);
+    for (int32_t other = 0; other < n; ++other) {
+      if (dist[other] >= 0) {
+        distance_.At(j, other) = static_cast<float>(dist[other]);
+      }
+    }
+  }
+}
+
+float SedRecommender::Score(int32_t user, int32_t item) const {
+  const auto& history = train_->UserItems(user);
+  if (history.empty()) return 0.0f;
+  const size_t take = std::min(history.size(), config_.max_history);
+  float total = 0.0f;
+  for (size_t i = history.size() - take; i < history.size(); ++i) {
+    total += distance_.At(history[i], item);
+  }
+  return -total / static_cast<float>(take);
+}
+
+}  // namespace kgrec

@@ -1,0 +1,186 @@
+#include "embed/shine.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "core/check.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+
+namespace kgrec {
+
+nn::Tensor ShineRecommender::UserCodes(
+    const std::vector<int32_t>& users) const {
+  nn::Tensor sent = nn::Tanh(sent_enc_.Forward(nn::Gather(sentiment_rows_, users)));
+  nn::Tensor social =
+      nn::Tanh(social_enc_.Forward(nn::Gather(social_rows_, users)));
+  nn::Tensor profile =
+      nn::Tanh(profile_enc_.Forward(nn::Gather(profile_rows_, users)));
+  return nn::Concat(nn::Concat(sent, social), profile);
+}
+
+nn::Tensor ShineRecommender::ItemCodes(
+    const std::vector<int32_t>& items) const {
+  return nn::Tanh(item_enc_.Forward(nn::Gather(item_rows_, items)));
+}
+
+void ShineRecommender::Fit(const RecContext& context) {
+  KGREC_CHECK(context.train != nullptr);
+  KGREC_CHECK(context.item_kg != nullptr);
+  const InteractionDataset& train = *context.train;
+  const KnowledgeGraph& kg = *context.item_kg;
+  num_users_ = train.num_users();
+  num_items_ = train.num_items();
+  const size_t d = config_.dim;
+  Rng rng(context.seed);
+
+  // --- Build the three dense networks ----------------------------------
+  // Sentiment: the user-item interaction matrix (and its transpose for
+  // the item encoder).
+  std::vector<float> sent(num_users_ * num_items_, 0.0f);
+  std::vector<float> item_side(num_items_ * num_users_, 0.0f);
+  for (const Interaction& x : train.interactions()) {
+    sent[x.user * num_items_ + x.item] = 1.0f;
+    item_side[x.item * num_users_ + x.user] = 1.0f;
+  }
+  sentiment_rows_ = nn::Tensor::FromData(num_users_, num_items_, std::move(sent));
+  item_rows_ = nn::Tensor::FromData(num_items_, num_users_, std::move(item_side));
+  // Social: users connected when they share >= 2 items (co-interaction).
+  std::vector<float> social(num_users_ * num_users_, 0.0f);
+  {
+    std::vector<std::vector<int32_t>> users_of_item(num_items_);
+    for (const Interaction& x : train.interactions()) {
+      users_of_item[x.item].push_back(x.user);
+    }
+    std::unordered_map<int64_t, int> co_count;
+    for (const auto& users : users_of_item) {
+      for (size_t a = 0; a < users.size(); ++a) {
+        for (size_t b = a + 1; b < users.size(); ++b) {
+          ++co_count[(static_cast<int64_t>(users[a]) << 32) | users[b]];
+        }
+      }
+    }
+    for (const auto& [key, count] : co_count) {
+      if (count >= 2) {
+        const int32_t a = static_cast<int32_t>(key >> 32);
+        const int32_t b = static_cast<int32_t>(key & 0xffffffff);
+        social[a * num_users_ + b] = 1.0f;
+        social[b * num_users_ + a] = 1.0f;
+      }
+    }
+  }
+  social_rows_ = nn::Tensor::FromData(num_users_, num_users_, std::move(social));
+  // Profile: per-user counts of attribute entities of consumed items.
+  num_attributes_ = kg.num_entities() - num_items_;
+  std::vector<float> profile(num_users_ * num_attributes_, 0.0f);
+  for (const Interaction& x : train.interactions()) {
+    const size_t degree = kg.OutDegree(x.item);
+    const Edge* edges = kg.OutEdges(x.item);
+    for (size_t e = 0; e < degree; ++e) {
+      if (edges[e].target >= num_items_) {
+        profile[x.user * num_attributes_ + (edges[e].target - num_items_)] +=
+            1.0f;
+      }
+    }
+  }
+  // Row-normalize the profile counts.
+  for (int32_t u = 0; u < num_users_; ++u) {
+    float total = 0.0f;
+    for (size_t a = 0; a < num_attributes_; ++a) {
+      total += profile[u * num_attributes_ + a];
+    }
+    if (total > 0.0f) {
+      for (size_t a = 0; a < num_attributes_; ++a) {
+        profile[u * num_attributes_ + a] /= total;
+      }
+    }
+  }
+  profile_rows_ =
+      nn::Tensor::FromData(num_users_, num_attributes_, std::move(profile));
+
+  // --- Autoencoders + scoring head -------------------------------------
+  sent_enc_ = nn::Linear(num_items_, d, rng);
+  sent_dec_ = nn::Linear(d, num_items_, rng);
+  social_enc_ = nn::Linear(num_users_, d, rng);
+  social_dec_ = nn::Linear(d, num_users_, rng);
+  profile_enc_ = nn::Linear(num_attributes_, d, rng);
+  profile_dec_ = nn::Linear(d, num_attributes_, rng);
+  item_enc_ = nn::Linear(num_users_, d, rng);
+  item_dec_ = nn::Linear(d, num_users_, rng);
+  score_layer_ = nn::Linear(4 * d, 1, rng);
+
+  std::vector<nn::Tensor> params;
+  for (const nn::Linear* l :
+       {&sent_enc_, &sent_dec_, &social_enc_, &social_dec_, &profile_enc_,
+        &profile_dec_, &item_enc_, &item_dec_, &score_layer_}) {
+    for (const auto& p : l->Params()) params.push_back(p);
+  }
+  nn::Adagrad optimizer(params, config_.learning_rate, config_.l2);
+  NegativeSampler sampler(train);
+  std::vector<size_t> order(train.num_interactions());
+  std::iota(order.begin(), order.end(), size_t{0});
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const size_t end = std::min(order.size(), start + config_.batch_size);
+      std::vector<int32_t> users, items;
+      std::vector<float> labels;
+      for (size_t i = start; i < end; ++i) {
+        const Interaction& x = train.interactions()[order[i]];
+        users.push_back(x.user);
+        items.push_back(x.item);
+        labels.push_back(1.0f);
+        users.push_back(x.user);
+        items.push_back(sampler.Sample(x.user, rng));
+        labels.push_back(0.0f);
+      }
+      nn::Tensor ucode = UserCodes(users);        // [B, 3d]
+      nn::Tensor vcode = ItemCodes(items);        // [B, d]
+      // MLP on the fused codes plus an explicit sentiment-code x item
+      // interaction (SHINE aggregates embeddings by inner product).
+      nn::Tensor interaction =
+          nn::RowwiseDot(nn::SliceCols(ucode, 0, config_.dim), vcode);
+      nn::Tensor logits = nn::Add(
+          score_layer_.Forward(nn::Concat(ucode, vcode)),
+          nn::ScaleBy(interaction, 4.0f));  // [B, 1]
+      nn::Tensor loss = nn::BceWithLogits(logits, labels);
+      // Reconstruction losses tie the codes to the original networks.
+      if (config_.reconstruction_weight > 0.0f) {
+        nn::Tensor s_in = nn::Gather(sentiment_rows_, users);
+        nn::Tensor s_code = nn::Tanh(sent_enc_.Forward(s_in));
+        nn::Tensor s_rec =
+            nn::Mean(nn::Square(nn::Sub(sent_dec_.Forward(s_code), s_in)));
+        nn::Tensor p_in = nn::Gather(profile_rows_, users);
+        nn::Tensor p_code = nn::Tanh(profile_enc_.Forward(p_in));
+        nn::Tensor p_rec = nn::Mean(
+            nn::Square(nn::Sub(profile_dec_.Forward(p_code), p_in)));
+        nn::Tensor v_in = nn::Gather(item_rows_, items);
+        nn::Tensor v_code = nn::Tanh(item_enc_.Forward(v_in));
+        nn::Tensor v_rec =
+            nn::Mean(nn::Square(nn::Sub(item_dec_.Forward(v_code), v_in)));
+        nn::Tensor rec = nn::Add(nn::Add(s_rec, p_rec), v_rec);
+        loss = nn::Add(loss, nn::ScaleBy(rec, config_.reconstruction_weight));
+      }
+      optimizer.ZeroGrad();
+      nn::Backward(loss);
+      optimizer.Step();
+    }
+  }
+}
+
+float ShineRecommender::Score(int32_t user, int32_t item) const {
+  std::vector<int32_t> users{user}, items{item};
+  nn::Tensor ucode = UserCodes(users);
+  nn::Tensor vcode = ItemCodes(items);
+  nn::Tensor interaction =
+      nn::RowwiseDot(nn::SliceCols(ucode, 0, config_.dim), vcode);
+  nn::Tensor logits =
+      nn::Add(score_layer_.Forward(nn::Concat(ucode, vcode)),
+              nn::ScaleBy(interaction, 4.0f));
+  return logits.value();
+}
+
+}  // namespace kgrec

@@ -1,0 +1,60 @@
+#ifndef KGREC_EMBED_SHINE_H_
+#define KGREC_EMBED_SHINE_H_
+
+#include "core/recommender.h"
+#include "nn/layers.h"
+#include "nn/tensor.h"
+
+namespace kgrec {
+
+/// Hyper-parameters for SHINE.
+struct ShineConfig {
+  size_t dim = 16;
+  int epochs = 20;
+  size_t batch_size = 128;
+  float learning_rate = 0.05f;
+  float l2 = 1e-5f;
+  /// Weight of the autoencoder reconstruction losses.
+  float reconstruction_weight = 0.3f;
+};
+
+/// SHINE (Wang et al., WSDM'18): celebrity recommendation as sentiment
+/// link prediction. Three networks are embedded with autoencoders and
+/// fused: the sentiment network (user-item interactions), the social
+/// network (user-user co-interaction) and the profile network
+/// (user-attribute counts derived from the KG attributes of consumed
+/// items). The fused user and item codes are compared for the final
+/// preference score, trained jointly with the reconstruction losses.
+class ShineRecommender : public Recommender {
+ public:
+  explicit ShineRecommender(ShineConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "SHINE"; }
+  void Fit(const RecContext& context) override;
+  float Score(int32_t user, int32_t item) const override;
+
+ private:
+  /// Fused user code [B, 3*dim] (differentiable).
+  nn::Tensor UserCodes(const std::vector<int32_t>& users) const;
+  /// Item code [B, dim] from the sentiment-network item side.
+  nn::Tensor ItemCodes(const std::vector<int32_t>& items) const;
+
+  ShineConfig config_;
+  int32_t num_users_ = 0;
+  int32_t num_items_ = 0;
+  size_t num_attributes_ = 0;
+  /// Dense network rows (inputs to the encoders).
+  nn::Tensor sentiment_rows_;  // [m, n]
+  nn::Tensor social_rows_;     // [m, m]
+  nn::Tensor profile_rows_;    // [m, A]
+  nn::Tensor item_rows_;       // [n, m] (sentiment network, item side)
+  nn::Linear sent_enc_, sent_dec_;
+  nn::Linear social_enc_, social_dec_;
+  nn::Linear profile_enc_, profile_dec_;
+  nn::Linear item_enc_, item_dec_;
+  nn::Linear score_layer_;
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_EMBED_SHINE_H_

@@ -1,0 +1,126 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace kgrec {
+
+double Auc(const std::vector<float>& scores, const std::vector<int>& labels) {
+  KGREC_CHECK_EQ(scores.size(), labels.size());
+  std::vector<size_t> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&scores](size_t a, size_t b) { return scores[a] < scores[b]; });
+  // Average ranks over tie groups.
+  std::vector<double> ranks(scores.size(), 0.0);
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    const double avg_rank = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  double pos_rank_sum = 0.0;
+  size_t num_pos = 0;
+  for (size_t k = 0; k < labels.size(); ++k) {
+    if (labels[k] == 1) {
+      pos_rank_sum += ranks[k];
+      ++num_pos;
+    }
+  }
+  const size_t num_neg = labels.size() - num_pos;
+  if (num_pos == 0 || num_neg == 0) return 0.5;
+  return (pos_rank_sum - num_pos * (num_pos + 1) / 2.0) /
+         (static_cast<double>(num_pos) * num_neg);
+}
+
+double Accuracy(const std::vector<float>& scores,
+                const std::vector<int>& labels) {
+  KGREC_CHECK_EQ(scores.size(), labels.size());
+  if (scores.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const int pred = scores[i] > 0.0f ? 1 : 0;
+    if (pred == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / scores.size();
+}
+
+double F1Score(const std::vector<float>& scores,
+               const std::vector<int>& labels) {
+  KGREC_CHECK_EQ(scores.size(), labels.size());
+  size_t tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const int pred = scores[i] > 0.0f ? 1 : 0;
+    if (pred == 1 && labels[i] == 1) ++tp;
+    if (pred == 1 && labels[i] == 0) ++fp;
+    if (pred == 0 && labels[i] == 1) ++fn;
+  }
+  if (tp == 0) return 0.0;
+  const double precision = static_cast<double>(tp) / (tp + fp);
+  const double recall = static_cast<double>(tp) / (tp + fn);
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+double PrecisionAtK(const std::vector<int32_t>& ranked,
+                    const std::unordered_set<int32_t>& relevant, size_t k) {
+  if (k == 0) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < std::min(k, ranked.size()); ++i) {
+    if (relevant.count(ranked[i]) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / k;
+}
+
+double RecallAtK(const std::vector<int32_t>& ranked,
+                 const std::unordered_set<int32_t>& relevant, size_t k) {
+  if (relevant.empty()) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < std::min(k, ranked.size()); ++i) {
+    if (relevant.count(ranked[i]) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / relevant.size();
+}
+
+double HitRateAtK(const std::vector<int32_t>& ranked,
+                  const std::unordered_set<int32_t>& relevant, size_t k) {
+  for (size_t i = 0; i < std::min(k, ranked.size()); ++i) {
+    if (relevant.count(ranked[i]) > 0) return 1.0;
+  }
+  return 0.0;
+}
+
+double NdcgAtK(const std::vector<int32_t>& ranked,
+               const std::unordered_set<int32_t>& relevant, size_t k) {
+  if (relevant.empty()) return 0.0;
+  double dcg = 0.0;
+  for (size_t i = 0; i < std::min(k, ranked.size()); ++i) {
+    if (relevant.count(ranked[i]) > 0) {
+      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    }
+  }
+  double ideal = 0.0;
+  const size_t ideal_hits = std::min(k, relevant.size());
+  for (size_t i = 0; i < ideal_hits; ++i) {
+    ideal += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return ideal > 0.0 ? dcg / ideal : 0.0;
+}
+
+double ReciprocalRank(const std::vector<int32_t>& ranked,
+                      const std::unordered_set<int32_t>& relevant) {
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (relevant.count(ranked[i]) > 0) {
+      return 1.0 / (static_cast<double>(i) + 1.0);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace kgrec

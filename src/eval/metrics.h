@@ -1,0 +1,46 @@
+#ifndef KGREC_EVAL_METRICS_H_
+#define KGREC_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace kgrec {
+
+/// Area under the ROC curve for binary labels and real scores. Ties are
+/// handled by the rank-sum (Mann-Whitney) formulation. Returns 0.5 when a
+/// class is empty.
+double Auc(const std::vector<float>& scores, const std::vector<int>& labels);
+
+/// Accuracy of thresholding sigmoid(score) at 0.5 (i.e. score at 0).
+double Accuracy(const std::vector<float>& scores,
+                const std::vector<int>& labels);
+
+/// F1 of the positive class at threshold 0.
+double F1Score(const std::vector<float>& scores,
+               const std::vector<int>& labels);
+
+/// Precision@K for one ranked list: |top-K ∩ relevant| / K.
+double PrecisionAtK(const std::vector<int32_t>& ranked,
+                    const std::unordered_set<int32_t>& relevant, size_t k);
+
+/// Recall@K for one ranked list: |top-K ∩ relevant| / |relevant|.
+double RecallAtK(const std::vector<int32_t>& ranked,
+                 const std::unordered_set<int32_t>& relevant, size_t k);
+
+/// Hit-rate@K: 1 if any relevant item appears in the top K.
+double HitRateAtK(const std::vector<int32_t>& ranked,
+                  const std::unordered_set<int32_t>& relevant, size_t k);
+
+/// NDCG@K with binary relevance.
+double NdcgAtK(const std::vector<int32_t>& ranked,
+               const std::unordered_set<int32_t>& relevant, size_t k);
+
+/// Reciprocal rank of the first relevant item (0 if none).
+double ReciprocalRank(const std::vector<int32_t>& ranked,
+                      const std::unordered_set<int32_t>& relevant);
+
+}  // namespace kgrec
+
+#endif  // KGREC_EVAL_METRICS_H_

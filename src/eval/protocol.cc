@@ -1,0 +1,85 @@
+#include "eval/protocol.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "eval/metrics.h"
+#include "math/topk.h"
+
+namespace kgrec {
+
+CtrMetrics EvaluateCtr(const Recommender& model,
+                       const InteractionDataset& train,
+                       const InteractionDataset& test, Rng& rng) {
+  // Negatives must avoid both train and test positives: sample against
+  // the union via rejection on both sets.
+  NegativeSampler sampler(train);
+  std::vector<float> scores;
+  std::vector<int> labels;
+  for (const Interaction& x : test.interactions()) {
+    scores.push_back(model.Score(x.user, x.item));
+    labels.push_back(1);
+    int32_t neg = sampler.Sample(x.user, rng);
+    for (int attempt = 0; attempt < 50 && test.Contains(x.user, neg);
+         ++attempt) {
+      neg = sampler.Sample(x.user, rng);
+    }
+    scores.push_back(model.Score(x.user, neg));
+    labels.push_back(0);
+  }
+  CtrMetrics out;
+  out.num_pairs = scores.size();
+  if (scores.empty()) return out;
+  out.auc = Auc(scores, labels);
+  out.accuracy = Accuracy(scores, labels);
+  out.f1 = F1Score(scores, labels);
+  return out;
+}
+
+TopKMetrics EvaluateTopK(const Recommender& model,
+                         const InteractionDataset& train,
+                         const InteractionDataset& test, size_t k,
+                         size_t num_negatives, Rng& rng) {
+  NegativeSampler sampler(train);
+  TopKMetrics out;
+  for (int32_t u = 0; u < test.num_users(); ++u) {
+    const auto& positives = test.UserItems(u);
+    if (positives.empty()) continue;
+    std::unordered_set<int32_t> relevant(positives.begin(), positives.end());
+    // Candidate pool: test positives + sampled negatives not in
+    // train/test for this user.
+    std::vector<int32_t> candidates(positives.begin(), positives.end());
+    std::unordered_set<int32_t> in_pool(relevant.begin(), relevant.end());
+    size_t guard = 0;
+    while (candidates.size() < positives.size() + num_negatives &&
+           guard++ < num_negatives * 20) {
+      const int32_t neg = sampler.Sample(u, rng);
+      if (test.Contains(u, neg)) continue;
+      if (!in_pool.insert(neg).second) continue;
+      candidates.push_back(neg);
+    }
+    std::vector<float> scores(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      scores[i] = model.Score(u, candidates[i]);
+    }
+    std::vector<int32_t> order = TopKIndices(scores, candidates.size());
+    std::vector<int32_t> ranked(order.size());
+    for (size_t i = 0; i < order.size(); ++i) ranked[i] = candidates[order[i]];
+    out.precision += PrecisionAtK(ranked, relevant, k);
+    out.recall += RecallAtK(ranked, relevant, k);
+    out.hit_rate += HitRateAtK(ranked, relevant, k);
+    out.ndcg += NdcgAtK(ranked, relevant, k);
+    out.mrr += ReciprocalRank(ranked, relevant);
+    ++out.num_users;
+  }
+  if (out.num_users > 0) {
+    out.precision /= out.num_users;
+    out.recall /= out.num_users;
+    out.hit_rate /= out.num_users;
+    out.ndcg /= out.num_users;
+    out.mrr /= out.num_users;
+  }
+  return out;
+}
+
+}  // namespace kgrec

@@ -1,0 +1,44 @@
+#ifndef KGREC_EVAL_PROTOCOL_H_
+#define KGREC_EVAL_PROTOCOL_H_
+
+#include <cstdint>
+
+#include "core/recommender.h"
+#include "data/interactions.h"
+#include "math/rng.h"
+
+namespace kgrec {
+
+/// Click-through-rate style evaluation: for every test interaction a
+/// random non-interacted item is paired as a negative (1:1), the model
+/// scores both, and threshold-free / threshold metrics are computed.
+struct CtrMetrics {
+  double auc = 0.0;
+  double accuracy = 0.0;
+  double f1 = 0.0;
+  size_t num_pairs = 0;
+};
+
+CtrMetrics EvaluateCtr(const Recommender& model, const InteractionDataset& train,
+                       const InteractionDataset& test, Rng& rng);
+
+/// Top-K evaluation: for every user with test interactions, rank that
+/// user's test items against `num_negatives` sampled non-interacted items
+/// (the standard sampled-candidate protocol) and average ranking metrics.
+struct TopKMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double hit_rate = 0.0;
+  double ndcg = 0.0;
+  double mrr = 0.0;
+  size_t num_users = 0;
+};
+
+TopKMetrics EvaluateTopK(const Recommender& model,
+                         const InteractionDataset& train,
+                         const InteractionDataset& test, size_t k,
+                         size_t num_negatives, Rng& rng);
+
+}  // namespace kgrec
+
+#endif  // KGREC_EVAL_PROTOCOL_H_

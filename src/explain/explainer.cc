@@ -1,0 +1,56 @@
+#include "explain/explainer.h"
+
+#include <algorithm>
+
+namespace kgrec {
+namespace {
+
+/// Renders one template path as a human-readable reason.
+std::string Verbalize(const KnowledgeGraph& kg, const PathInstance& path) {
+  // Shared-attribute template: U -I-> j -r-> a -r^-1-> v.
+  if (path.entities.size() == 4 && path.relations.size() == 3 &&
+      kg.relation_name(path.relations[1]) + "^-1" ==
+          kg.relation_name(path.relations[2])) {
+    return "it shares " + kg.relation_name(path.relations[1]) + " '" +
+           kg.entity_name(path.entities[2]) + "' with '" +
+           kg.entity_name(path.entities[1]) +
+           "', which you interacted with";
+  }
+  // Collaborative template: U -I-> j -I^-1-> u' -I-> v.
+  if (path.entities.size() == 4 && path.relations.size() == 3) {
+    return "'" + kg.entity_name(path.entities[2]) + "', who also liked '" +
+           kg.entity_name(path.entities[1]) + "', interacted with it";
+  }
+  return FormatPath(kg, path);
+}
+
+}  // namespace
+
+Explainer::Explainer(const UserItemGraph& graph,
+                     const InteractionDataset& train)
+    : graph_(&graph), finder_(graph, train, /*max_paths_per_template=*/4) {}
+
+std::vector<Explanation> Explainer::Explain(int32_t user, int32_t item,
+                                            size_t max_explanations) const {
+  std::vector<PathInstance> paths = finder_.FindPaths(user, item);
+  // Shared-attribute paths first (they name the reason most directly).
+  std::stable_sort(paths.begin(), paths.end(),
+                   [this](const PathInstance& a, const PathInstance& b) {
+                     auto is_attr = [this](const PathInstance& p) {
+                       return p.relations.size() == 3 &&
+                              p.relations[1] != graph_->interact_relation;
+                     };
+                     return is_attr(a) > is_attr(b);
+                   });
+  if (paths.size() > max_explanations) paths.resize(max_explanations);
+  std::vector<Explanation> out;
+  for (PathInstance& path : paths) {
+    Explanation e;
+    e.text = Verbalize(graph_->kg, path);
+    e.path = std::move(path);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace kgrec

@@ -1,0 +1,44 @@
+#ifndef KGREC_EXPLAIN_EXPLAINER_H_
+#define KGREC_EXPLAIN_EXPLAINER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/interactions.h"
+#include "data/synthetic.h"
+#include "path/path_finder.h"
+
+namespace kgrec {
+
+/// One explanation for a recommendation: a KG path from the user to the
+/// item plus a natural-language rendering ("... because it shares genre_3
+/// with item_17, which you interacted with").
+struct Explanation {
+  PathInstance path;
+  std::string text;
+};
+
+/// Model-agnostic path-based explanation engine (the survey's second
+/// headline benefit, Figure 1): given any recommended item, enumerate the
+/// KG paths connecting the user to it and verbalize them. Models with
+/// intrinsic explanations (KPRN path scores, PGPR beams, RuleRec rules)
+/// can rank these paths; this engine provides the fallback for
+/// embedding-based models whose reasoning is latent.
+class Explainer {
+ public:
+  /// `graph` and `train` must outlive the explainer.
+  Explainer(const UserItemGraph& graph, const InteractionDataset& train);
+
+  /// Up to `max_explanations` explanations for recommending `item` to
+  /// `user`, ordered shared-attribute paths first.
+  std::vector<Explanation> Explain(int32_t user, int32_t item,
+                                   size_t max_explanations = 3) const;
+
+ private:
+  const UserItemGraph* graph_;
+  TemplatePathFinder finder_;
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_EXPLAIN_EXPLAINER_H_

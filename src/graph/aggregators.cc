@@ -1,0 +1,72 @@
+#include "graph/aggregators.h"
+
+#include "core/check.h"
+#include "nn/ops.h"
+
+namespace kgrec {
+
+AggregatorKind AggregatorKindFromName(const std::string& name) {
+  if (name == "sum") return AggregatorKind::kSum;
+  if (name == "concat") return AggregatorKind::kConcat;
+  if (name == "neighbor") return AggregatorKind::kNeighbor;
+  if (name == "bi-interaction") return AggregatorKind::kBiInteraction;
+  KGREC_CHECK(false);
+  return AggregatorKind::kSum;
+}
+
+std::string AggregatorKindName(AggregatorKind kind) {
+  switch (kind) {
+    case AggregatorKind::kSum:
+      return "sum";
+    case AggregatorKind::kConcat:
+      return "concat";
+    case AggregatorKind::kNeighbor:
+      return "neighbor";
+    case AggregatorKind::kBiInteraction:
+      return "bi-interaction";
+  }
+  return "unknown";
+}
+
+Aggregator::Aggregator(AggregatorKind kind, size_t dim, Rng& rng)
+    : kind_(kind) {
+  const size_t in_dim = kind == AggregatorKind::kConcat ? 2 * dim : dim;
+  main_ = nn::Linear(in_dim, dim, rng);
+  if (kind == AggregatorKind::kBiInteraction) {
+    interaction_ = nn::Linear(dim, dim, rng);
+  }
+}
+
+nn::Tensor Aggregator::Forward(const nn::Tensor& self,
+                               const nn::Tensor& neighbor,
+                               bool final_layer) const {
+  auto phi = [final_layer](const nn::Tensor& x) {
+    return final_layer ? nn::Tanh(x) : nn::Relu(x);
+  };
+  switch (kind_) {
+    case AggregatorKind::kSum:
+      return phi(main_.Forward(nn::Add(self, neighbor)));
+    case AggregatorKind::kConcat:
+      return phi(main_.Forward(nn::Concat(self, neighbor)));
+    case AggregatorKind::kNeighbor:
+      return phi(main_.Forward(neighbor));
+    case AggregatorKind::kBiInteraction: {
+      nn::Tensor sum_part = phi(main_.Forward(nn::Add(self, neighbor)));
+      nn::Tensor prod_part =
+          phi(interaction_.Forward(nn::Mul(self, neighbor)));
+      return nn::Add(sum_part, prod_part);
+    }
+  }
+  KGREC_CHECK(false);
+  return self;
+}
+
+std::vector<nn::Tensor> Aggregator::Params() const {
+  std::vector<nn::Tensor> out = main_.Params();
+  if (kind_ == AggregatorKind::kBiInteraction) {
+    for (const auto& p : interaction_.Params()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace kgrec

@@ -1,0 +1,50 @@
+#ifndef KGREC_GRAPH_AGGREGATORS_H_
+#define KGREC_GRAPH_AGGREGATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "math/rng.h"
+#include "nn/layers.h"
+#include "nn/tensor.h"
+
+namespace kgrec {
+
+/// The four neighborhood aggregators of survey Section 4.3 (Eq. 30-33).
+enum class AggregatorKind {
+  kSum,           ///< Phi(W (e_h + e_N) + b)
+  kConcat,        ///< Phi(W (e_h ++ e_N) + b)
+  kNeighbor,      ///< Phi(W e_N + b)
+  kBiInteraction  ///< Phi(W1 (e_h + e_N) + b1) + Phi(W2 (e_h . e_N) + b2)
+};
+
+/// Parses "sum" / "concat" / "neighbor" / "bi-interaction".
+AggregatorKind AggregatorKindFromName(const std::string& name);
+std::string AggregatorKindName(AggregatorKind kind);
+
+/// A trainable aggregator combining an entity's own embedding with the
+/// pooled embedding of its sampled neighborhood. The nonlinearity Phi is
+/// tanh for the final propagation layer and relu otherwise, following
+/// KGCN; callers choose via `final_layer` at Forward time.
+class Aggregator {
+ public:
+  Aggregator() = default;
+  Aggregator(AggregatorKind kind, size_t dim, Rng& rng);
+
+  /// self and neighbor are [B, dim]; returns [B, dim].
+  nn::Tensor Forward(const nn::Tensor& self, const nn::Tensor& neighbor,
+                     bool final_layer) const;
+
+  std::vector<nn::Tensor> Params() const;
+
+  AggregatorKind kind() const { return kind_; }
+
+ private:
+  AggregatorKind kind_ = AggregatorKind::kSum;
+  nn::Linear main_;
+  nn::Linear interaction_;  // only used by kBiInteraction
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_GRAPH_AGGREGATORS_H_

@@ -1,0 +1,32 @@
+#include "graph/bfs.h"
+
+#include <queue>
+
+#include "core/check.h"
+
+namespace kgrec {
+
+std::vector<int32_t> BfsDistances(const KnowledgeGraph& graph,
+                                  EntityId source, int32_t max_depth) {
+  KGREC_CHECK(graph.finalized());
+  std::vector<int32_t> dist(graph.num_entities(), -1);
+  std::queue<EntityId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const EntityId current = frontier.front();
+    frontier.pop();
+    if (dist[current] >= max_depth) continue;
+    const size_t degree = graph.OutDegree(current);
+    const Edge* edges = graph.OutEdges(current);
+    for (size_t i = 0; i < degree; ++i) {
+      if (dist[edges[i].target] < 0) {
+        dist[edges[i].target] = dist[current] + 1;
+        frontier.push(edges[i].target);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace kgrec

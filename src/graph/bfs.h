@@ -1,0 +1,19 @@
+#ifndef KGREC_GRAPH_BFS_H_
+#define KGREC_GRAPH_BFS_H_
+
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+
+namespace kgrec {
+
+/// Unweighted shortest-path (hop) distances from `source` to every
+/// entity, following out-edges, cut off at `max_depth`. Unreachable
+/// entities (or those beyond the cutoff) get -1. Used by SED's shortest
+/// entity distance and by diagnostics.
+std::vector<int32_t> BfsDistances(const KnowledgeGraph& graph,
+                                  EntityId source, int32_t max_depth);
+
+}  // namespace kgrec
+
+#endif  // KGREC_GRAPH_BFS_H_

@@ -1,0 +1,67 @@
+#include "graph/hin.h"
+
+#include "core/check.h"
+
+namespace kgrec {
+
+Hin::Hin(const KnowledgeGraph* graph, std::vector<int32_t> entity_types,
+         std::vector<std::string> type_names)
+    : graph_(graph),
+      entity_types_(std::move(entity_types)),
+      type_names_(std::move(type_names)) {
+  KGREC_CHECK(graph_->finalized());
+  KGREC_CHECK_EQ(entity_types_.size(), graph_->num_entities());
+  by_type_.resize(type_names_.size());
+  for (size_t e = 0; e < entity_types_.size(); ++e) {
+    const int32_t t = entity_types_[e];
+    KGREC_CHECK(t >= 0 && static_cast<size_t>(t) < type_names_.size());
+    by_type_[t].push_back(static_cast<EntityId>(e));
+  }
+}
+
+const std::vector<EntityId>& Hin::EntitiesOfType(int32_t type) const {
+  KGREC_CHECK(type >= 0 && static_cast<size_t>(type) < by_type_.size());
+  return by_type_[type];
+}
+
+CsrMatrix Hin::RelationMatrix(RelationId relation) const {
+  const size_t n = graph_->num_entities();
+  std::vector<std::tuple<int32_t, int32_t, float>> triplets;
+  for (const Triple& t : graph_->triples()) {
+    if (t.relation == relation) triplets.emplace_back(t.head, t.tail, 1.0f);
+  }
+  return CsrMatrix::FromTriplets(n, n, triplets);
+}
+
+CsrMatrix Hin::CommutingMatrix(const MetaPath& path) const {
+  KGREC_CHECK(!path.relations.empty());
+  CsrMatrix result = RelationMatrix(path.relations[0]);
+  for (size_t i = 1; i < path.relations.size(); ++i) {
+    result = result.Multiply(RelationMatrix(path.relations[i]));
+  }
+  return result;
+}
+
+CsrMatrix Hin::CommutingMatrix(const MetaGraph& graph) const {
+  KGREC_CHECK(!graph.paths.empty());
+  CsrMatrix total = CommutingMatrix(graph.paths[0]);
+  const size_t n = total.rows();
+  for (size_t p = 1; p < graph.paths.size(); ++p) {
+    CsrMatrix next = CommutingMatrix(graph.paths[p]);
+    std::vector<std::tuple<int32_t, int32_t, float>> triplets;
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t i = 0; i < total.RowNnz(r); ++i) {
+        triplets.emplace_back(static_cast<int32_t>(r), total.RowCols(r)[i],
+                              total.RowVals(r)[i]);
+      }
+      for (size_t i = 0; i < next.RowNnz(r); ++i) {
+        triplets.emplace_back(static_cast<int32_t>(r), next.RowCols(r)[i],
+                              next.RowVals(r)[i]);
+      }
+    }
+    total = CsrMatrix::FromTriplets(n, n, triplets);
+  }
+  return total;
+}
+
+}  // namespace kgrec

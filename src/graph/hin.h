@@ -1,0 +1,68 @@
+#ifndef KGREC_GRAPH_HIN_H_
+#define KGREC_GRAPH_HIN_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+#include "math/sparse.h"
+
+namespace kgrec {
+
+/// A meta-path A_0 --R_1--> A_1 --R_2--> ... --R_k--> A_k (survey
+/// Section 3): a composite relation expressed as a relation-id sequence.
+struct MetaPath {
+  std::string name;
+  std::vector<RelationId> relations;
+
+  size_t length() const { return relations.size(); }
+};
+
+/// A meta-graph: a combination of meta-paths between the same endpoint
+/// types (survey Section 3, used by FMG). Its commuting matrix is the sum
+/// of the member meta-paths' commuting matrices, which rewards entity
+/// pairs connected through several parallel relation sequences at once.
+struct MetaGraph {
+  std::string name;
+  std::vector<MetaPath> paths;
+};
+
+/// A Heterogeneous Information Network view over a KnowledgeGraph: every
+/// entity carries a type from a small type vocabulary (user, item, genre,
+/// ...). The KG is an instance of a HIN (survey Section 3).
+class Hin {
+ public:
+  /// Wraps a finalized graph. `entity_types` maps every entity id to a
+  /// type id; `type_names` names the types.
+  Hin(const KnowledgeGraph* graph, std::vector<int32_t> entity_types,
+      std::vector<std::string> type_names);
+
+  const KnowledgeGraph& graph() const { return *graph_; }
+  size_t num_types() const { return type_names_.size(); }
+  int32_t entity_type(EntityId e) const { return entity_types_[e]; }
+  const std::string& type_name(int32_t t) const { return type_names_[t]; }
+
+  /// All entities of the given type, ascending.
+  const std::vector<EntityId>& EntitiesOfType(int32_t type) const;
+
+  /// Sparse (num_entities x num_entities) adjacency of one relation;
+  /// entry (h, t) = 1 iff <h, r, t> is a fact.
+  CsrMatrix RelationMatrix(RelationId relation) const;
+
+  /// Commuting matrix of a meta-path: the product of its relation
+  /// matrices. Entry (x, y) counts path instances from x to y.
+  CsrMatrix CommutingMatrix(const MetaPath& path) const;
+
+  /// Commuting matrix of a meta-graph: the sum over member paths.
+  CsrMatrix CommutingMatrix(const MetaGraph& graph) const;
+
+ private:
+  const KnowledgeGraph* graph_;
+  std::vector<int32_t> entity_types_;
+  std::vector<std::string> type_names_;
+  std::vector<std::vector<EntityId>> by_type_;
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_GRAPH_HIN_H_

@@ -1,0 +1,146 @@
+#include "graph/knowledge_graph.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace kgrec {
+
+EntityId KnowledgeGraph::AddEntity(const std::string& name) {
+  KGREC_CHECK(!finalized_);
+  auto it = entity_index_.find(name);
+  if (it != entity_index_.end()) return it->second;
+  const EntityId id = static_cast<EntityId>(entity_names_.size());
+  entity_names_.push_back(name);
+  entity_index_.emplace(name, id);
+  return id;
+}
+
+RelationId KnowledgeGraph::AddRelation(const std::string& name) {
+  KGREC_CHECK(!finalized_);
+  auto it = relation_index_.find(name);
+  if (it != relation_index_.end()) return it->second;
+  const RelationId id = static_cast<RelationId>(relation_names_.size());
+  relation_names_.push_back(name);
+  relation_index_.emplace(name, id);
+  return id;
+}
+
+Status KnowledgeGraph::AddTriple(EntityId head, RelationId relation,
+                                 EntityId tail) {
+  if (finalized_) {
+    return Status::FailedPrecondition("graph is finalized");
+  }
+  if (head < 0 || static_cast<size_t>(head) >= num_entities()) {
+    return Status::InvalidArgument("head entity out of range");
+  }
+  if (tail < 0 || static_cast<size_t>(tail) >= num_entities()) {
+    return Status::InvalidArgument("tail entity out of range");
+  }
+  if (relation < 0 || static_cast<size_t>(relation) >= num_relations()) {
+    return Status::InvalidArgument("relation out of range");
+  }
+  triples_.push_back({head, relation, tail});
+  return Status::OK();
+}
+
+void KnowledgeGraph::AddInverseRelations() {
+  KGREC_CHECK(!finalized_);
+  const size_t original_relations = relation_names_.size();
+  std::vector<RelationId> inverse(original_relations);
+  for (size_t r = 0; r < original_relations; ++r) {
+    inverse[r] = AddRelation(relation_names_[r] + "^-1");
+  }
+  const size_t original_triples = triples_.size();
+  triples_.reserve(original_triples * 2);
+  for (size_t i = 0; i < original_triples; ++i) {
+    const Triple& t = triples_[i];
+    triples_.push_back({t.tail, inverse[t.relation], t.head});
+  }
+}
+
+void KnowledgeGraph::Finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  const size_t n = num_entities();
+  adj_ptr_.assign(n + 1, 0);
+  for (const Triple& t : triples_) ++adj_ptr_[t.head + 1];
+  for (size_t i = 0; i < n; ++i) adj_ptr_[i + 1] += adj_ptr_[i];
+  adj_edges_.resize(triples_.size());
+  std::vector<size_t> cursor(adj_ptr_.begin(), adj_ptr_.end() - 1);
+  for (const Triple& t : triples_) {
+    adj_edges_[cursor[t.head]++] = {t.relation, t.tail};
+  }
+  // Deterministic edge order within each entity.
+  for (size_t e = 0; e < n; ++e) {
+    std::sort(adj_edges_.begin() + adj_ptr_[e],
+              adj_edges_.begin() + adj_ptr_[e + 1],
+              [](const Edge& a, const Edge& b) {
+                if (a.relation != b.relation) return a.relation < b.relation;
+                return a.target < b.target;
+              });
+  }
+}
+
+Status KnowledgeGraph::FindEntity(const std::string& name,
+                                  EntityId* out) const {
+  auto it = entity_index_.find(name);
+  if (it == entity_index_.end()) {
+    return Status::NotFound("entity: " + name);
+  }
+  *out = it->second;
+  return Status::OK();
+}
+
+Status KnowledgeGraph::FindRelation(const std::string& name,
+                                    RelationId* out) const {
+  auto it = relation_index_.find(name);
+  if (it == relation_index_.end()) {
+    return Status::NotFound("relation: " + name);
+  }
+  *out = it->second;
+  return Status::OK();
+}
+
+size_t KnowledgeGraph::OutDegree(EntityId entity) const {
+  KGREC_CHECK(finalized_);
+  KGREC_CHECK(entity >= 0 && static_cast<size_t>(entity) < num_entities());
+  return adj_ptr_[entity + 1] - adj_ptr_[entity];
+}
+
+const Edge* KnowledgeGraph::OutEdges(EntityId entity) const {
+  KGREC_CHECK(finalized_);
+  return adj_edges_.data() + adj_ptr_[entity];
+}
+
+std::vector<Edge> KnowledgeGraph::SampleNeighbors(EntityId entity,
+                                                  size_t count,
+                                                  Rng& rng) const {
+  const size_t degree = OutDegree(entity);
+  if (degree == 0 || count == 0) return {};
+  const Edge* edges = OutEdges(entity);
+  std::vector<Edge> out;
+  out.reserve(count);
+  if (degree <= count) {
+    // Take all, then pad with uniform resamples to reach the fixed size.
+    out.assign(edges, edges + degree);
+    while (out.size() < count) out.push_back(edges[rng.UniformInt(degree)]);
+  } else {
+    for (size_t i : rng.SampleWithoutReplacement(degree, count)) {
+      out.push_back(edges[i]);
+    }
+  }
+  return out;
+}
+
+bool KnowledgeGraph::HasTriple(EntityId head, RelationId relation,
+                               EntityId tail) const {
+  const size_t degree = OutDegree(head);
+  const Edge* edges = OutEdges(head);
+  for (size_t i = 0; i < degree; ++i) {
+    if (edges[i].relation == relation && edges[i].target == tail) return true;
+  }
+  return false;
+}
+
+}  // namespace kgrec

@@ -1,0 +1,115 @@
+#ifndef KGREC_GRAPH_KNOWLEDGE_GRAPH_H_
+#define KGREC_GRAPH_KNOWLEDGE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+#include "math/rng.h"
+
+namespace kgrec {
+
+using EntityId = int32_t;
+using RelationId = int32_t;
+
+/// A subject-property-object fact <e_h, r, e_t> (survey Section 3).
+struct Triple {
+  EntityId head;
+  RelationId relation;
+  EntityId tail;
+
+  bool operator==(const Triple& other) const {
+    return head == other.head && relation == other.relation &&
+           tail == other.tail;
+  }
+};
+
+/// An outgoing edge of an entity: (relation, target).
+struct Edge {
+  RelationId relation;
+  EntityId target;
+};
+
+/// A directed heterogeneous graph whose nodes are entities and whose edges
+/// are (head, relation, tail) triples — the KG of survey Section 3.
+///
+/// Usage: register entities/relations, add triples, then Finalize() to
+/// build the CSR adjacency used by neighbor queries and sampling. The
+/// graph is immutable after Finalize().
+class KnowledgeGraph {
+ public:
+  KnowledgeGraph() = default;
+
+  /// Registers an entity and returns its id; returns the existing id if
+  /// the name was already registered.
+  EntityId AddEntity(const std::string& name);
+
+  /// Registers a relation type and returns its id.
+  RelationId AddRelation(const std::string& name);
+
+  /// Adds a fact. Fails with InvalidArgument if either entity or the
+  /// relation has not been registered.
+  Status AddTriple(EntityId head, RelationId relation, EntityId tail);
+
+  /// Adds, for every relation r, an inverse relation "r^-1" and the
+  /// reversed triples. Must be called before Finalize(). Embedding
+  /// propagation and path enumeration treat the graph as undirected via
+  /// these inverses, as the surveyed methods do.
+  void AddInverseRelations();
+
+  /// Builds the CSR adjacency. Idempotent.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  size_t num_entities() const { return entity_names_.size(); }
+  size_t num_relations() const { return relation_names_.size(); }
+  size_t num_triples() const { return triples_.size(); }
+
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  const std::string& entity_name(EntityId id) const {
+    return entity_names_[id];
+  }
+  const std::string& relation_name(RelationId id) const {
+    return relation_names_[id];
+  }
+
+  /// Looks up an entity id by name; NotFound if absent.
+  Status FindEntity(const std::string& name, EntityId* out) const;
+
+  /// Looks up a relation id by name; NotFound if absent.
+  Status FindRelation(const std::string& name, RelationId* out) const;
+
+  /// Number of outgoing edges of an entity. Requires finalized().
+  size_t OutDegree(EntityId entity) const;
+
+  /// Outgoing edges of an entity (CSR view). Requires finalized().
+  const Edge* OutEdges(EntityId entity) const;
+
+  /// Samples exactly `count` outgoing edges of the entity, with
+  /// replacement when the degree is smaller than `count` (the fixed-size
+  /// receptive field of KGCN, survey Section 4.3). Returns an empty vector
+  /// for isolated entities.
+  std::vector<Edge> SampleNeighbors(EntityId entity, size_t count,
+                                    Rng& rng) const;
+
+  /// True if a triple exists. Requires finalized(). O(out degree).
+  bool HasTriple(EntityId head, RelationId relation, EntityId tail) const;
+
+ private:
+  std::vector<std::string> entity_names_;
+  std::vector<std::string> relation_names_;
+  std::unordered_map<std::string, EntityId> entity_index_;
+  std::unordered_map<std::string, RelationId> relation_index_;
+  std::vector<Triple> triples_;
+
+  bool finalized_ = false;
+  std::vector<size_t> adj_ptr_;
+  std::vector<Edge> adj_edges_;
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_GRAPH_KNOWLEDGE_GRAPH_H_

@@ -1,0 +1,94 @@
+#include "graph/paths.h"
+
+#include <unordered_set>
+
+#include "core/check.h"
+
+namespace kgrec {
+namespace {
+
+void Dfs(const KnowledgeGraph& graph, EntityId current, EntityId target,
+         size_t max_length, size_t max_paths, PathInstance& prefix,
+         std::unordered_set<EntityId>& on_path,
+         std::vector<PathInstance>& out) {
+  if (out.size() >= max_paths) return;
+  if (current == target && !prefix.relations.empty()) {
+    out.push_back(prefix);
+    return;
+  }
+  if (prefix.relations.size() >= max_length) return;
+  const size_t degree = graph.OutDegree(current);
+  const Edge* edges = graph.OutEdges(current);
+  for (size_t i = 0; i < degree && out.size() < max_paths; ++i) {
+    const Edge& edge = edges[i];
+    if (on_path.count(edge.target) > 0) continue;  // simple paths only
+    prefix.entities.push_back(edge.target);
+    prefix.relations.push_back(edge.relation);
+    on_path.insert(edge.target);
+    Dfs(graph, edge.target, target, max_length, max_paths, prefix, on_path,
+        out);
+    on_path.erase(edge.target);
+    prefix.entities.pop_back();
+    prefix.relations.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<PathInstance> EnumeratePaths(const KnowledgeGraph& graph,
+                                         EntityId from, EntityId to,
+                                         size_t max_length,
+                                         size_t max_paths) {
+  KGREC_CHECK(graph.finalized());
+  std::vector<PathInstance> out;
+  PathInstance prefix;
+  prefix.entities.push_back(from);
+  std::unordered_set<EntityId> on_path{from};
+  Dfs(graph, from, to, max_length, max_paths, prefix, on_path, out);
+  return out;
+}
+
+std::vector<PathInstance> SampleMetaPathInstances(
+    const KnowledgeGraph& graph, EntityId from,
+    const std::vector<RelationId>& relations, size_t max_paths, Rng& rng) {
+  KGREC_CHECK(graph.finalized());
+  std::vector<PathInstance> out;
+  const size_t attempts = max_paths * 4;
+  for (size_t a = 0; a < attempts && out.size() < max_paths; ++a) {
+    PathInstance path;
+    path.entities.push_back(from);
+    EntityId current = from;
+    bool ok = true;
+    for (RelationId wanted : relations) {
+      // Collect matching edges.
+      const size_t degree = graph.OutDegree(current);
+      const Edge* edges = graph.OutEdges(current);
+      std::vector<const Edge*> matching;
+      for (size_t i = 0; i < degree; ++i) {
+        if (edges[i].relation == wanted) matching.push_back(&edges[i]);
+      }
+      if (matching.empty()) {
+        ok = false;
+        break;
+      }
+      const Edge* chosen = matching[rng.UniformInt(matching.size())];
+      path.entities.push_back(chosen->target);
+      path.relations.push_back(chosen->relation);
+      current = chosen->target;
+    }
+    if (ok) out.push_back(std::move(path));
+  }
+  return out;
+}
+
+std::string FormatPath(const KnowledgeGraph& graph, const PathInstance& path) {
+  KGREC_CHECK(!path.entities.empty());
+  std::string out = graph.entity_name(path.entities[0]);
+  for (size_t i = 0; i < path.relations.size(); ++i) {
+    out += " -[" + graph.relation_name(path.relations[i]) + "]-> ";
+    out += graph.entity_name(path.entities[i + 1]);
+  }
+  return out;
+}
+
+}  // namespace kgrec

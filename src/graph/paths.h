@@ -1,0 +1,43 @@
+#ifndef KGREC_GRAPH_PATHS_H_
+#define KGREC_GRAPH_PATHS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+
+namespace kgrec {
+
+/// A concrete path instance e_0 --r_1--> e_1 --...--> e_k in the graph
+/// (survey Section 3, "H-hop neighbor" chains). entities has one more
+/// element than relations.
+struct PathInstance {
+  std::vector<EntityId> entities;
+  std::vector<RelationId> relations;
+
+  size_t length() const { return relations.size(); }
+};
+
+/// Enumerates up to `max_paths` simple paths (no repeated entity) from
+/// `from` to `to` with length in [1, max_length], by depth-first search in
+/// deterministic edge order. This is RKGE's automatic path mining between
+/// user-item pairs (survey Section 4.2).
+std::vector<PathInstance> EnumeratePaths(const KnowledgeGraph& graph,
+                                         EntityId from, EntityId to,
+                                         size_t max_length, size_t max_paths);
+
+/// Samples up to `max_paths` path instances of the given meta-path
+/// (relation sequence) starting at `from`, by random walk restricted to
+/// matching relations. Paths that dead-end are discarded. Used by MCRec-
+/// style meta-path context sampling.
+std::vector<PathInstance> SampleMetaPathInstances(
+    const KnowledgeGraph& graph, EntityId from,
+    const std::vector<RelationId>& relations, size_t max_paths, Rng& rng);
+
+/// Renders a path as "Bob -[watched]-> Avatar -[genre]-> SciFi" using the
+/// graph's entity/relation names. The explanation surface of Figure 1.
+std::string FormatPath(const KnowledgeGraph& graph, const PathInstance& path);
+
+}  // namespace kgrec
+
+#endif  // KGREC_GRAPH_PATHS_H_

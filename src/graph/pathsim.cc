@@ -1,0 +1,32 @@
+#include "graph/pathsim.h"
+
+namespace kgrec {
+
+CsrMatrix PathSim(const CsrMatrix& commuting) {
+  const size_t n = commuting.rows();
+  std::vector<float> diag(n, 0.0f);
+  for (size_t r = 0; r < n; ++r) {
+    diag[r] = commuting.At(r, r);
+  }
+  std::vector<std::tuple<int32_t, int32_t, float>> triplets;
+  for (size_t r = 0; r < n; ++r) {
+    const size_t nnz = commuting.RowNnz(r);
+    const int32_t* cols = commuting.RowCols(r);
+    const float* vals = commuting.RowVals(r);
+    for (size_t i = 0; i < nnz; ++i) {
+      const int32_t c = cols[i];
+      const float denom = diag[r] + diag[c];
+      if (denom > 0.0f && vals[i] != 0.0f) {
+        triplets.emplace_back(static_cast<int32_t>(r), c,
+                              2.0f * vals[i] / denom);
+      }
+    }
+  }
+  return CsrMatrix::FromTriplets(n, commuting.cols(), triplets);
+}
+
+CsrMatrix PathSim(const Hin& hin, const MetaPath& path) {
+  return PathSim(hin.CommutingMatrix(path));
+}
+
+}  // namespace kgrec

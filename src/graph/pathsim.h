@@ -1,0 +1,22 @@
+#ifndef KGREC_GRAPH_PATHSIM_H_
+#define KGREC_GRAPH_PATHSIM_H_
+
+#include "graph/hin.h"
+#include "math/sparse.h"
+
+namespace kgrec {
+
+/// PathSim meta-path-based similarity (Sun et al., survey Eq. 12):
+///   s(x, y) = 2 |paths x~>y| / (|paths x~>x| + |paths y~>y|)
+/// computed from the commuting matrix M of a (round-trip) meta-path.
+/// Returns a sparse matrix with the same sparsity pattern as M.
+CsrMatrix PathSim(const CsrMatrix& commuting);
+
+/// Convenience: commuting matrix of the meta-path, then PathSim.
+/// The meta-path should be symmetric (end where it starts, e.g.
+/// item -genre-> g -genre^-1-> item) for the measure to be meaningful.
+CsrMatrix PathSim(const Hin& hin, const MetaPath& path);
+
+}  // namespace kgrec
+
+#endif  // KGREC_GRAPH_PATHSIM_H_

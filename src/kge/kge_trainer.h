@@ -1,0 +1,47 @@
+#ifndef KGREC_KGE_KGE_TRAINER_H_
+#define KGREC_KGE_KGE_TRAINER_H_
+
+#include <cstdint>
+
+#include "graph/knowledge_graph.h"
+#include "kge/kge_model.h"
+#include "math/rng.h"
+
+namespace kgrec {
+
+/// Hyper-parameters for margin-ranking KGE training (survey Eq. 11).
+struct KgeTrainConfig {
+  int epochs = 20;
+  size_t batch_size = 256;
+  float learning_rate = 0.05f;
+  float margin = 1.0f;
+  float l2 = 1e-5f;
+  uint64_t seed = 11;
+};
+
+/// Trains a KGE model on the graph's triples with uniform head-or-tail
+/// corruption negatives and the hinge loss
+///   [margin - g(h,r,t) + g(h',r,t')]_+   (scores: higher = plausible).
+/// Returns the final mean epoch loss.
+float TrainKge(KgeModel& model, const KnowledgeGraph& graph,
+               const KgeTrainConfig& config);
+
+/// Link-prediction quality on a sample of the graph's triples: each test
+/// triple's tail is ranked against `num_candidates` random corrupted
+/// tails (filtered: corruptions that form true triples are skipped).
+struct LinkPredictionMetrics {
+  double mrr = 0.0;
+  double hits_at_1 = 0.0;
+  double hits_at_3 = 0.0;
+  double hits_at_10 = 0.0;
+  size_t num_queries = 0;
+};
+
+LinkPredictionMetrics EvaluateLinkPrediction(const KgeModel& model,
+                                             const KnowledgeGraph& graph,
+                                             size_t num_queries,
+                                             size_t num_candidates, Rng& rng);
+
+}  // namespace kgrec
+
+#endif  // KGREC_KGE_KGE_TRAINER_H_

@@ -1,0 +1,67 @@
+#ifndef KGREC_MATH_DENSE_H_
+#define KGREC_MATH_DENSE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace kgrec {
+
+/// Plain float vector/matrix kernels used by the non-autodiff parts of the
+/// library (PathSim, matrix factorization baselines, the data generator).
+/// Matrices are row-major, described by (data, rows, cols).
+namespace dense {
+
+/// Dot product of two equal-length vectors.
+float Dot(const float* a, const float* b, size_t n);
+
+/// y += alpha * x (axpy).
+void Axpy(float alpha, const float* x, float* y, size_t n);
+
+/// Scales x in place by alpha.
+void Scale(float* x, size_t n, float alpha);
+
+/// Euclidean norm.
+float Norm2(const float* x, size_t n);
+
+/// Squared Euclidean distance between two vectors.
+float SquaredDistance(const float* a, const float* b, size_t n);
+
+/// C = A * B with A (m x k), B (k x n), C (m x n). C is overwritten.
+void MatMul(const float* a, const float* b, float* c, size_t m, size_t k,
+            size_t n);
+
+/// C = A * B^T with A (m x k), B (n x k), C (m x n). C is overwritten.
+void MatMulTransposeB(const float* a, const float* b, float* c, size_t m,
+                      size_t k, size_t n);
+
+/// Cosine similarity; returns 0 when either vector is all-zero.
+float CosineSimilarity(const float* a, const float* b, size_t n);
+
+}  // namespace dense
+
+/// Row-major owning matrix of floats.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  float* Row(size_t r) { return data_.data() + r * cols_; }
+  const float* Row(size_t r) const { return data_.data() + r * cols_; }
+  float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  size_t size() const { return data_.size(); }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_MATH_DENSE_H_

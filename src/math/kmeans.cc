@@ -1,0 +1,79 @@
+#include "math/kmeans.h"
+
+#include <limits>
+
+#include "core/check.h"
+
+namespace kgrec {
+
+KMeansResult KMeans(const Matrix& points, size_t k, int max_iters, Rng& rng) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  KGREC_CHECK_GT(k, 0u);
+  KGREC_CHECK_GE(n, k);
+
+  KMeansResult result;
+  result.assignment.assign(n, 0);
+  result.centroids = Matrix(k, d);
+
+  // k-means++ seeding.
+  std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+  size_t first = rng.UniformInt(n);
+  for (size_t j = 0; j < d; ++j) result.centroids.At(0, j) = points.At(first, j);
+  for (size_t c = 1; c < k; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      double dist = dense::SquaredDistance(points.Row(i),
+                                           result.centroids.Row(c - 1), d);
+      if (dist < min_dist[i]) min_dist[i] = dist;
+    }
+    std::vector<double> weights(min_dist.begin(), min_dist.end());
+    double total = 0.0;
+    for (double w : weights) total += w;
+    size_t chosen = total > 0.0 ? rng.Categorical(weights) : rng.UniformInt(n);
+    for (size_t j = 0; j < d; ++j)
+      result.centroids.At(c, j) = points.At(chosen, j);
+  }
+
+  std::vector<size_t> counts(k, 0);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      float best = std::numeric_limits<float>::max();
+      int32_t best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        float dist =
+            dense::SquaredDistance(points.Row(i), result.centroids.Row(c), d);
+        if (dist < best) {
+          best = dist;
+          best_c = static_cast<int32_t>(c);
+        }
+      }
+      if (best_c != result.assignment[i]) {
+        result.assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Recompute centroids.
+    result.centroids = Matrix(k, d);
+    counts.assign(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const int32_t c = result.assignment[i];
+      ++counts[c];
+      dense::Axpy(1.0f, points.Row(i), result.centroids.Row(c), d);
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] > 0) {
+        dense::Scale(result.centroids.Row(c), d, 1.0f / counts[c]);
+      } else {
+        // Re-seed an empty cluster at a random point.
+        size_t pick = rng.UniformInt(n);
+        for (size_t j = 0; j < d; ++j)
+          result.centroids.At(c, j) = points.At(pick, j);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace kgrec

@@ -1,0 +1,27 @@
+#ifndef KGREC_MATH_KMEANS_H_
+#define KGREC_MATH_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "math/dense.h"
+#include "math/rng.h"
+
+namespace kgrec {
+
+/// Result of a k-means clustering run.
+struct KMeansResult {
+  /// Cluster assignment per row of the input.
+  std::vector<int32_t> assignment;
+  /// Cluster centroids, one row per cluster.
+  Matrix centroids;
+};
+
+/// Lloyd's k-means with k-means++ style seeding. Used by the synthetic
+/// world generator (attribute entities = latent clusters) and by
+/// HeteRec-p's user grouping (Eq. 18 of the survey).
+KMeansResult KMeans(const Matrix& points, size_t k, int max_iters, Rng& rng);
+
+}  // namespace kgrec
+
+#endif  // KGREC_MATH_KMEANS_H_

@@ -1,0 +1,104 @@
+#include "math/rng.h"
+
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+namespace kgrec {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+  has_cached_normal_ = false;
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  KGREC_CHECK_GT(bound, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::Uniform() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  KGREC_CHECK(!weights.empty());
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  KGREC_CHECK_GT(total, 0.0);
+  double draw = Uniform() * total;
+  double cumulative = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (draw < cumulative) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  KGREC_CHECK_LE(k, n);
+  if (k == 0) return {};
+  if (k * 3 >= n) {
+    std::vector<size_t> all(n);
+    std::iota(all.begin(), all.end(), size_t{0});
+    Shuffle(all);
+    all.resize(k);
+    return all;
+  }
+  std::unordered_set<size_t> seen;
+  std::vector<size_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    size_t candidate = UniformInt(n);
+    if (seen.insert(candidate).second) out.push_back(candidate);
+  }
+  return out;
+}
+
+}  // namespace kgrec

@@ -1,0 +1,111 @@
+#include "math/sparse.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/check.h"
+
+namespace kgrec {
+
+CsrMatrix CsrMatrix::FromTriplets(
+    size_t rows, size_t cols,
+    const std::vector<std::tuple<int32_t, int32_t, float>>& triplets) {
+  CsrMatrix m(rows, cols);
+  std::vector<std::tuple<int32_t, int32_t, float>> sorted = triplets;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) {
+              return std::tie(std::get<0>(a), std::get<1>(a)) <
+                     std::tie(std::get<0>(b), std::get<1>(b));
+            });
+  std::vector<size_t> counts(rows, 0);
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    auto [r, c, v] = sorted[i];
+    KGREC_CHECK(r >= 0 && static_cast<size_t>(r) < rows);
+    KGREC_CHECK(c >= 0 && static_cast<size_t>(c) < cols);
+    if (!m.col_idx_.empty() && i > 0 &&
+        std::get<0>(sorted[i - 1]) == r && std::get<1>(sorted[i - 1]) == c) {
+      m.values_.back() += v;  // merge duplicate
+      continue;
+    }
+    m.col_idx_.push_back(c);
+    m.values_.push_back(v);
+    ++counts[r];
+  }
+  for (size_t r = 0; r < rows; ++r) m.row_ptr_[r + 1] = m.row_ptr_[r] + counts[r];
+  return m;
+}
+
+float CsrMatrix::At(size_t r, size_t c) const {
+  KGREC_CHECK_LT(r, rows_);
+  for (size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+    if (static_cast<size_t>(col_idx_[i]) == c) return values_[i];
+  }
+  return 0.0f;
+}
+
+CsrMatrix CsrMatrix::Multiply(const CsrMatrix& other) const {
+  KGREC_CHECK_EQ(cols_, other.rows_);
+  CsrMatrix out(rows_, other.cols_);
+  std::vector<float> accumulator(other.cols_, 0.0f);
+  std::vector<int32_t> touched;
+  for (size_t r = 0; r < rows_; ++r) {
+    touched.clear();
+    for (size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      const size_t mid = col_idx_[i];
+      const float av = values_[i];
+      for (size_t j = other.row_ptr_[mid]; j < other.row_ptr_[mid + 1]; ++j) {
+        const int32_t c = other.col_idx_[j];
+        if (accumulator[c] == 0.0f) touched.push_back(c);
+        accumulator[c] += av * other.values_[j];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (int32_t c : touched) {
+      if (accumulator[c] != 0.0f) {
+        out.col_idx_.push_back(c);
+        out.values_.push_back(accumulator[c]);
+      }
+      accumulator[c] = 0.0f;
+    }
+    out.row_ptr_[r + 1] = out.col_idx_.size();
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::Transpose() const {
+  CsrMatrix out(cols_, rows_);
+  std::vector<size_t> counts(cols_, 0);
+  for (int32_t c : col_idx_) ++counts[c];
+  for (size_t c = 0; c < cols_; ++c)
+    out.row_ptr_[c + 1] = out.row_ptr_[c] + counts[c];
+  out.col_idx_.resize(nnz());
+  out.values_.resize(nnz());
+  std::vector<size_t> cursor(out.row_ptr_.begin(), out.row_ptr_.end() - 1);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      const size_t c = col_idx_[i];
+      out.col_idx_[cursor[c]] = static_cast<int32_t>(r);
+      out.values_[cursor[c]] = values_[i];
+      ++cursor[c];
+    }
+  }
+  return out;
+}
+
+void CsrMatrix::MultiplyVector(const float* x, float* y) const {
+  for (size_t r = 0; r < rows_; ++r) {
+    float acc = 0.0f;
+    for (size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      acc += values_[i] * x[col_idx_[i]];
+    }
+    y[r] = acc;
+  }
+}
+
+double CsrMatrix::Sum() const {
+  double acc = 0.0;
+  for (float v : values_) acc += v;
+  return acc;
+}
+
+}  // namespace kgrec

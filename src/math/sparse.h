@@ -1,0 +1,67 @@
+#ifndef KGREC_MATH_SPARSE_H_
+#define KGREC_MATH_SPARSE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+namespace kgrec {
+
+/// Compressed sparse row matrix of floats with int32 column ids.
+///
+/// Used for user-item interaction matrices and meta-path commuting
+/// matrices (PathSim, HeteRec's diffused preference matrices).
+class CsrMatrix {
+ public:
+  CsrMatrix() : rows_(0), cols_(0) { row_ptr_.push_back(0); }
+  CsrMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
+
+  /// Builds from (row, col, value) triplets; duplicates are summed.
+  static CsrMatrix FromTriplets(
+      size_t rows, size_t cols,
+      const std::vector<std::tuple<int32_t, int32_t, float>>& triplets);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return values_.size(); }
+
+  /// Number of stored entries in a row.
+  size_t RowNnz(size_t r) const { return row_ptr_[r + 1] - row_ptr_[r]; }
+  const int32_t* RowCols(size_t r) const {
+    return col_idx_.data() + row_ptr_[r];
+  }
+  const float* RowVals(size_t r) const { return values_.data() + row_ptr_[r]; }
+
+  /// Value at (r, c); 0 if not stored. O(row nnz).
+  float At(size_t r, size_t c) const;
+
+  /// Returns this * other (both CSR). Column count of *this must equal the
+  /// row count of other.
+  CsrMatrix Multiply(const CsrMatrix& other) const;
+
+  /// Returns the transpose.
+  CsrMatrix Transpose() const;
+
+  /// y = this * x for a dense vector x of length cols().
+  void MultiplyVector(const float* x, float* y) const;
+
+  /// Sum of all stored values.
+  double Sum() const;
+
+  const std::vector<size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int32_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<size_t> row_ptr_;
+  std::vector<int32_t> col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_MATH_SPARSE_H_

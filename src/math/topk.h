@@ -1,0 +1,37 @@
+#ifndef KGREC_MATH_TOPK_H_
+#define KGREC_MATH_TOPK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace kgrec {
+
+/// Returns the indices of the k largest scores, ordered best-first.
+/// Ties are broken toward the smaller index so results are deterministic.
+inline std::vector<int32_t> TopKIndices(const std::vector<float>& scores,
+                                        size_t k) {
+  std::vector<int32_t> idx(scores.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int32_t>(i);
+  k = std::min(k, scores.size());
+  auto better = [&scores](int32_t a, int32_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  };
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(), better);
+  idx.resize(k);
+  return idx;
+}
+
+/// Returns (index, score) pairs of the k largest scores, best-first.
+inline std::vector<std::pair<int32_t, float>> TopKScored(
+    const std::vector<float>& scores, size_t k) {
+  std::vector<std::pair<int32_t, float>> out;
+  for (int32_t i : TopKIndices(scores, k)) out.emplace_back(i, scores[i]);
+  return out;
+}
+
+}  // namespace kgrec
+
+#endif  // KGREC_MATH_TOPK_H_

@@ -1,0 +1,38 @@
+#include "nn/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kgrec::nn {
+
+double GradCheck(const std::function<Tensor()>& loss_fn,
+                 const std::vector<Tensor>& params, double epsilon) {
+  // Analytic pass.
+  for (auto p : params) p.ZeroGrad();
+  Tensor loss = loss_fn();
+  Backward(loss);
+  std::vector<std::vector<float>> analytic;
+  for (const auto& p : params) {
+    analytic.emplace_back(p.grad(), p.grad() + p.size());
+  }
+
+  double max_err = 0.0;
+  for (size_t k = 0; k < params.size(); ++k) {
+    Tensor p = params[k];
+    for (size_t i = 0; i < p.size(); ++i) {
+      const float original = p.data()[i];
+      p.data()[i] = original + static_cast<float>(epsilon);
+      const double loss_plus = loss_fn().value();
+      p.data()[i] = original - static_cast<float>(epsilon);
+      const double loss_minus = loss_fn().value();
+      p.data()[i] = original;
+      const double numeric = (loss_plus - loss_minus) / (2.0 * epsilon);
+      const double a = analytic[k][i];
+      const double denom = std::max(1.0, std::fabs(a) + std::fabs(numeric));
+      max_err = std::max(max_err, std::fabs(a - numeric) / denom);
+    }
+  }
+  return max_err;
+}
+
+}  // namespace kgrec::nn

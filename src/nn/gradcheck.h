@@ -1,0 +1,23 @@
+#ifndef KGREC_NN_GRADCHECK_H_
+#define KGREC_NN_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace kgrec::nn {
+
+/// Verifies the analytic gradient of a scalar-valued function against
+/// central finite differences.
+///
+/// `loss_fn` must rebuild the computation graph from the current contents
+/// of `params` and return a [1,1] loss. Returns the maximum relative error
+/// max |analytic - numeric| / max(1, |analytic| + |numeric|) observed over
+/// all parameter elements.
+double GradCheck(const std::function<Tensor()>& loss_fn,
+                 const std::vector<Tensor>& params, double epsilon = 1e-3);
+
+}  // namespace kgrec::nn
+
+#endif  // KGREC_NN_GRADCHECK_H_

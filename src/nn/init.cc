@@ -1,0 +1,24 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace kgrec::nn {
+
+Tensor XavierUniform(size_t rows, size_t cols, Rng& rng) {
+  const float a = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  return UniformInit(rows, cols, -a, a, rng);
+}
+
+Tensor NormalInit(size_t rows, size_t cols, float stddev, Rng& rng) {
+  std::vector<float> data(rows * cols);
+  for (auto& v : data) v = static_cast<float>(rng.Normal(0.0, stddev));
+  return Tensor::FromData(rows, cols, std::move(data), /*requires_grad=*/true);
+}
+
+Tensor UniformInit(size_t rows, size_t cols, float lo, float hi, Rng& rng) {
+  std::vector<float> data(rows * cols);
+  for (auto& v : data) v = static_cast<float>(rng.Uniform(lo, hi));
+  return Tensor::FromData(rows, cols, std::move(data), /*requires_grad=*/true);
+}
+
+}  // namespace kgrec::nn

@@ -1,0 +1,21 @@
+#ifndef KGREC_NN_INIT_H_
+#define KGREC_NN_INIT_H_
+
+#include "math/rng.h"
+#include "nn/tensor.h"
+
+namespace kgrec::nn {
+
+/// Creates a [rows, cols] parameter with Xavier/Glorot uniform
+/// initialization: U(-a, a), a = sqrt(6 / (rows + cols)).
+Tensor XavierUniform(size_t rows, size_t cols, Rng& rng);
+
+/// Creates a [rows, cols] parameter with N(0, stddev^2) entries.
+Tensor NormalInit(size_t rows, size_t cols, float stddev, Rng& rng);
+
+/// Creates a [rows, cols] parameter with U(lo, hi) entries.
+Tensor UniformInit(size_t rows, size_t cols, float lo, float hi, Rng& rng);
+
+}  // namespace kgrec::nn
+
+#endif  // KGREC_NN_INIT_H_

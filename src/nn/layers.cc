@@ -1,0 +1,74 @@
+#include "nn/layers.h"
+
+#include "nn/init.h"
+
+namespace kgrec::nn {
+
+Linear::Linear(size_t in_dim, size_t out_dim, Rng& rng)
+    : weight_(XavierUniform(in_dim, out_dim, rng)),
+      bias_(Tensor::Zeros(1, out_dim, /*requires_grad=*/true)) {}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  return Add(MatMul(x, weight_), bias_);
+}
+
+GruCell::GruCell(size_t input_dim, size_t hidden_dim, Rng& rng)
+    : hidden_dim_(hidden_dim),
+      xz_(input_dim, hidden_dim, rng),
+      hz_(hidden_dim, hidden_dim, rng),
+      xr_(input_dim, hidden_dim, rng),
+      hr_(hidden_dim, hidden_dim, rng),
+      xn_(input_dim, hidden_dim, rng),
+      hn_(hidden_dim, hidden_dim, rng) {}
+
+Tensor GruCell::Step(const Tensor& x, const Tensor& h) const {
+  Tensor z = Sigmoid(Add(xz_.Forward(x), hz_.Forward(h)));
+  Tensor r = Sigmoid(Add(xr_.Forward(x), hr_.Forward(h)));
+  Tensor n = Tanh(Add(xn_.Forward(x), hn_.Forward(Mul(r, h))));
+  // h' = (1 - z) * n + z * h.
+  Tensor one_minus_z = AddConst(Neg(z), 1.0f);
+  return Add(Mul(one_minus_z, n), Mul(z, h));
+}
+
+std::vector<Tensor> GruCell::Params() const {
+  std::vector<Tensor> out;
+  for (const Linear* l : {&xz_, &hz_, &xr_, &hr_, &xn_, &hn_}) {
+    for (const auto& p : l->Params()) out.push_back(p);
+  }
+  return out;
+}
+
+LstmCell::LstmCell(size_t input_dim, size_t hidden_dim, Rng& rng)
+    : hidden_dim_(hidden_dim),
+      xi_(input_dim, hidden_dim, rng),
+      hi_(hidden_dim, hidden_dim, rng),
+      xf_(input_dim, hidden_dim, rng),
+      hf_(hidden_dim, hidden_dim, rng),
+      xo_(input_dim, hidden_dim, rng),
+      ho_(hidden_dim, hidden_dim, rng),
+      xg_(input_dim, hidden_dim, rng),
+      hg_(hidden_dim, hidden_dim, rng) {}
+
+LstmCell::State LstmCell::Step(const Tensor& x, const State& state) const {
+  Tensor i = Sigmoid(Add(xi_.Forward(x), hi_.Forward(state.h)));
+  Tensor f = Sigmoid(Add(xf_.Forward(x), hf_.Forward(state.h)));
+  Tensor o = Sigmoid(Add(xo_.Forward(x), ho_.Forward(state.h)));
+  Tensor g = Tanh(Add(xg_.Forward(x), hg_.Forward(state.h)));
+  Tensor c = Add(Mul(f, state.c), Mul(i, g));
+  Tensor h = Mul(o, Tanh(c));
+  return {h, c};
+}
+
+LstmCell::State LstmCell::InitialState(size_t batch) const {
+  return {Tensor::Zeros(batch, hidden_dim_), Tensor::Zeros(batch, hidden_dim_)};
+}
+
+std::vector<Tensor> LstmCell::Params() const {
+  std::vector<Tensor> out;
+  for (const Linear* l : {&xi_, &hi_, &xf_, &hf_, &xo_, &ho_, &xg_, &hg_}) {
+    for (const auto& p : l->Params()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace kgrec::nn

@@ -1,0 +1,82 @@
+#ifndef KGREC_NN_LAYERS_H_
+#define KGREC_NN_LAYERS_H_
+
+#include <vector>
+
+#include "math/rng.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace kgrec::nn {
+
+/// Fully-connected layer y = x W + b with x [B, in], W [in, out], b [1, out].
+class Linear {
+ public:
+  Linear() = default;
+  Linear(size_t in_dim, size_t out_dim, Rng& rng);
+
+  /// Applies the affine map (no activation).
+  Tensor Forward(const Tensor& x) const;
+
+  /// The trainable parameters {W, b}.
+  std::vector<Tensor> Params() const { return {weight_, bias_}; }
+
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  Tensor weight_;
+  Tensor bias_;
+};
+
+/// Gated recurrent unit cell (Cho et al.); one step of
+///   z = sigmoid(x Wz + h Uz + bz), r = sigmoid(x Wr + h Ur + br),
+///   n = tanh(x Wn + (r * h) Un + bn), h' = (1 - z) * n + z * h.
+/// Used by RKGE's recurrent path encoder.
+class GruCell {
+ public:
+  GruCell() = default;
+  GruCell(size_t input_dim, size_t hidden_dim, Rng& rng);
+
+  /// One recurrence step; x [B, input_dim], h [B, hidden_dim].
+  Tensor Step(const Tensor& x, const Tensor& h) const;
+
+  std::vector<Tensor> Params() const;
+
+  size_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  size_t hidden_dim_ = 0;
+  Linear xz_, hz_, xr_, hr_, xn_, hn_;
+};
+
+/// Long short-term memory cell; one step of the standard LSTM equations.
+/// Used by KPRN's path encoder.
+class LstmCell {
+ public:
+  LstmCell() = default;
+  LstmCell(size_t input_dim, size_t hidden_dim, Rng& rng);
+
+  struct State {
+    Tensor h;
+    Tensor c;
+  };
+
+  /// One recurrence step; x [B, input_dim].
+  State Step(const Tensor& x, const State& state) const;
+
+  /// Zero-filled initial state for a batch.
+  State InitialState(size_t batch) const;
+
+  std::vector<Tensor> Params() const;
+
+  size_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  size_t hidden_dim_ = 0;
+  Linear xi_, hi_, xf_, hf_, xo_, ho_, xg_, hg_;
+};
+
+}  // namespace kgrec::nn
+
+#endif  // KGREC_NN_LAYERS_H_

@@ -1,0 +1,133 @@
+#ifndef KGREC_NN_OPS_H_
+#define KGREC_NN_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace kgrec::nn {
+
+/// Elementwise addition with broadcasting. Shapes must be equal, or b must
+/// be [1,1] (scalar), [1,N] (row broadcast over a [M,N] a), or [M,1]
+/// (column broadcast).
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// Elementwise subtraction, broadcasting as Add.
+Tensor Sub(const Tensor& a, const Tensor& b);
+
+/// Elementwise (Hadamard) product, broadcasting as Add.
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// Elementwise maximum, broadcasting as Add; the gradient flows to the
+/// winning operand (ties favor a). Used for CNN max-pooling (MCRec).
+Tensor Max(const Tensor& a, const Tensor& b);
+
+/// Matrix product of a [M,K] and b [K,N].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Transpose, [M,N] -> [N,M].
+Tensor Transpose(const Tensor& a);
+
+/// Multiplies every element by a compile-time constant.
+Tensor ScaleBy(const Tensor& a, float c);
+
+/// Adds a constant to every element.
+Tensor AddConst(const Tensor& a, float c);
+
+/// Elementwise negation.
+Tensor Neg(const Tensor& a);
+
+/// Elementwise sigmoid.
+Tensor Sigmoid(const Tensor& a);
+
+/// Elementwise hyperbolic tangent.
+Tensor Tanh(const Tensor& a);
+
+/// Elementwise rectified linear unit.
+Tensor Relu(const Tensor& a);
+
+/// Elementwise exponential.
+Tensor Exp(const Tensor& a);
+
+/// Elementwise natural logarithm of (a + eps) for numerical safety.
+Tensor Log(const Tensor& a, float eps = 1e-12f);
+
+/// Elementwise square.
+Tensor Square(const Tensor& a);
+
+/// Elementwise softplus log(1 + e^x), computed stably.
+Tensor Softplus(const Tensor& a);
+
+/// Sum of all elements -> [1,1].
+Tensor Sum(const Tensor& a);
+
+/// Mean of all elements -> [1,1].
+Tensor Mean(const Tensor& a);
+
+/// Per-row sum, [M,N] -> [M,1].
+Tensor SumRows(const Tensor& a);
+
+/// Per-row mean, [M,N] -> [M,1].
+Tensor MeanRows(const Tensor& a);
+
+/// Sum over rows, [M,N] -> [1,N].
+Tensor SumCols(const Tensor& a);
+
+/// Row-wise softmax, [M,N] -> [M,N]; each row sums to 1.
+Tensor Softmax(const Tensor& a);
+
+/// Horizontal concatenation of [M,Na] and [M,Nb] -> [M,Na+Nb].
+Tensor Concat(const Tensor& a, const Tensor& b);
+
+/// Gathers rows of an embedding table: table [V,D], indices of length B
+/// -> [B,D]. The backward pass scatter-adds into the table's gradient.
+Tensor Gather(const Tensor& table, const std::vector<int32_t>& indices);
+
+/// Per-row dot product of equal-shaped tensors: [M,N] x [M,N] -> [M,1].
+Tensor RowwiseDot(const Tensor& a, const Tensor& b);
+
+/// Batched vector-matrix product: for each row b of x [B,D] and the D x D
+/// matrix block r of w [B,D*D], computes x_b^T * R_b -> [B,D]. Used by
+/// RippleNet's relation-space attention (Eq. 24) and TransR projections.
+Tensor RowwiseVecMat(const Tensor& x, const Tensor& w);
+
+/// Reinterprets the tensor with a new shape of equal element count
+/// (row-major layout is preserved); gradient passes through unchanged.
+Tensor Reshape(const Tensor& a, size_t rows, size_t cols);
+
+/// Sums consecutive groups of `group_size` rows:
+/// [G*group_size, D] -> [G, D]. Used to pool per-example neighbor or
+/// history rows after flat batched processing.
+Tensor GroupSumRows(const Tensor& a, size_t group_size);
+
+/// Scatter-add of rows: out[indices[i], :] += values[i, :], with `out`
+/// having `num_rows` rows. The reverse of Gather; used for full-graph
+/// message passing (KGAT) where each edge's message is summed into its
+/// head entity.
+Tensor IndexedSumRows(const Tensor& values, const std::vector<int32_t>& indices,
+                      size_t num_rows);
+
+/// Column slice: [M, N] -> [M, len], columns [start, start+len).
+Tensor SliceCols(const Tensor& a, size_t start, size_t len);
+
+/// Sum of squared elements -> [1,1]; the usual L2 regularization term.
+Tensor L2Norm(const Tensor& a);
+
+/// Mean binary cross-entropy between sigmoid(logits) and targets in {0,1}.
+/// logits has any shape; targets must have logits.size() elements.
+Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& targets);
+
+/// Mean BPR loss -log sigmoid(pos - neg); pos/neg must be equal shape.
+Tensor BprLoss(const Tensor& pos_scores, const Tensor& neg_scores);
+
+/// Mean margin ranking (hinge) loss max(0, margin + pos - neg); used with
+/// distance scores where smaller pos is better (TransE-family, Eq. 11).
+Tensor MarginRankingLoss(const Tensor& pos, const Tensor& neg, float margin);
+
+/// Mean squared error between a and constant targets.
+Tensor MseLoss(const Tensor& a, const std::vector<float>& targets);
+
+}  // namespace kgrec::nn
+
+#endif  // KGREC_NN_OPS_H_

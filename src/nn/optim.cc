@@ -1,0 +1,79 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace kgrec::nn {
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+void Sgd::Step() {
+  for (auto& p : params_) {
+    float* w = p.data();
+    const float* g = p.grad();
+    for (size_t i = 0; i < p.size(); ++i) {
+      w[i] -= lr_ * (g[i] + weight_decay_ * w[i]);
+    }
+  }
+}
+
+Adagrad::Adagrad(std::vector<Tensor> params, float lr, float weight_decay,
+                 float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      weight_decay_(weight_decay),
+      eps_(eps) {
+  for (const auto& p : params_) accum_.emplace_back(p.size(), 0.0f);
+}
+
+void Adagrad::Step() {
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Tensor& p = params_[k];
+    float* w = p.data();
+    const float* g = p.grad();
+    std::vector<float>& acc = accum_[k];
+    for (size_t i = 0; i < p.size(); ++i) {
+      const float grad = g[i] + weight_decay_ * w[i];
+      acc[i] += grad * grad;
+      w[i] -= lr_ * grad / (std::sqrt(acc[i]) + eps_);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  for (const auto& p : params_) {
+    m_.emplace_back(p.size(), 0.0f);
+    v_.emplace_back(p.size(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Tensor& p = params_[k];
+    float* w = p.data();
+    const float* g = p.grad();
+    std::vector<float>& m = m_[k];
+    std::vector<float>& v = v_[k];
+    for (size_t i = 0; i < p.size(); ++i) {
+      const float grad = g[i] + weight_decay_ * w[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * grad;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * grad * grad;
+      const float mhat = m[i] / bias1;
+      const float vhat = v[i] / bias2;
+      w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace kgrec::nn

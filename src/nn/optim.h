@@ -1,0 +1,74 @@
+#ifndef KGREC_NN_OPTIM_H_
+#define KGREC_NN_OPTIM_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace kgrec::nn {
+
+/// Base class for first-order optimizers over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears the gradients of all managed parameters.
+  void ZeroGrad();
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// Stochastic gradient descent with optional L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float weight_decay = 0.0f)
+      : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
+  void Step() override;
+
+ private:
+  float lr_;
+  float weight_decay_;
+};
+
+/// Adagrad with per-element accumulated squared gradients.
+class Adagrad : public Optimizer {
+ public:
+  Adagrad(std::vector<Tensor> params, float lr, float weight_decay = 0.0f,
+          float eps = 1e-8f);
+  void Step() override;
+
+ private:
+  float lr_;
+  float weight_decay_;
+  float eps_;
+  std::vector<std::vector<float>> accum_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace kgrec::nn
+
+#endif  // KGREC_NN_OPTIM_H_

@@ -1,0 +1,90 @@
+#include "nn/tensor.h"
+
+#include <unordered_set>
+
+#include "core/check.h"
+
+namespace kgrec::nn {
+
+Tensor Tensor::Zeros(size_t rows, size_t cols, bool requires_grad) {
+  auto node = std::make_shared<internal::Node>();
+  node->rows = rows;
+  node->cols = cols;
+  node->data.assign(rows * cols, 0.0f);
+  node->requires_grad = requires_grad;
+  if (requires_grad) node->grad.assign(rows * cols, 0.0f);
+  return Wrap(std::move(node));
+}
+
+Tensor Tensor::FromData(size_t rows, size_t cols, std::vector<float> data,
+                        bool requires_grad) {
+  KGREC_CHECK_EQ(data.size(), rows * cols);
+  auto node = std::make_shared<internal::Node>();
+  node->rows = rows;
+  node->cols = cols;
+  node->data = std::move(data);
+  node->requires_grad = requires_grad;
+  if (requires_grad) node->grad.assign(rows * cols, 0.0f);
+  return Wrap(std::move(node));
+}
+
+Tensor Tensor::Scalar(float value) { return FromData(1, 1, {value}); }
+
+float Tensor::value() const {
+  KGREC_CHECK_EQ(size(), 1u);
+  return node_->data[0];
+}
+
+void Tensor::ZeroGrad() {
+  if (node_->requires_grad) {
+    node_->grad.assign(node_->size(), 0.0f);
+  }
+}
+
+Tensor Tensor::Wrap(std::shared_ptr<internal::Node> node) {
+  Tensor t;
+  t.node_ = std::move(node);
+  return t;
+}
+
+void Backward(const Tensor& loss) {
+  KGREC_CHECK(loss.defined());
+  KGREC_CHECK_EQ(loss.size(), 1u);
+  using internal::Node;
+  // Iterative post-order DFS to topologically sort the graph.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(loss.node().get(), 0);
+  visited.insert(loss.node().get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      Node* child = node->parents[next_child].get();
+      ++next_child;
+      if (child->requires_grad && visited.insert(child).second) {
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // Seed and propagate in reverse topological order.
+  Node* root = loss.node().get();
+  if (root->grad.size() != root->size()) root->grad.assign(root->size(), 0.0f);
+  root->grad[0] += 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward) {
+      for (auto& parent : node->parents) {
+        if (parent->requires_grad && parent->grad.size() != parent->size()) {
+          parent->grad.assign(parent->size(), 0.0f);
+        }
+      }
+      node->backward(*node);
+    }
+  }
+}
+
+}  // namespace kgrec::nn

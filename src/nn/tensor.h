@@ -1,0 +1,94 @@
+#ifndef KGREC_NN_TENSOR_H_
+#define KGREC_NN_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace kgrec::nn {
+
+namespace internal {
+
+/// A node in the dynamically-built computation graph. Holds the forward
+/// value, the (lazily used) gradient buffer, the parent edges and the
+/// function that pushes this node's gradient into its parents.
+struct Node {
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<float> data;
+  std::vector<float> grad;
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  std::function<void(Node&)> backward;
+
+  size_t size() const { return rows * cols; }
+};
+
+}  // namespace internal
+
+/// A 2-D float tensor participating in reverse-mode automatic
+/// differentiation.
+///
+/// Tensor is a cheap value type (a shared handle to a graph node). All
+/// tensors are matrices of shape [rows, cols]; vectors are represented as
+/// [1, n] or [n, 1] and scalars as [1, 1]. Operations (see ops.h) build the
+/// computation graph eagerly; Backward() then accumulates gradients into
+/// every tensor created with requires_grad = true.
+///
+/// This engine is the library's substitute for libtorch: every surveyed
+/// model is expressed in a handful of dense ops, and the engine is verified
+/// against finite differences (see nn/gradcheck.h).
+class Tensor {
+ public:
+  /// Creates a null tensor handle.
+  Tensor() = default;
+
+  /// Creates a zero-filled tensor.
+  static Tensor Zeros(size_t rows, size_t cols, bool requires_grad = false);
+
+  /// Creates a tensor taking ownership of the given row-major data
+  /// (data.size() must equal rows * cols).
+  static Tensor FromData(size_t rows, size_t cols, std::vector<float> data,
+                         bool requires_grad = false);
+
+  /// Creates a 1x1 constant.
+  static Tensor Scalar(float value);
+
+  bool defined() const { return node_ != nullptr; }
+  size_t rows() const { return node_->rows; }
+  size_t cols() const { return node_->cols; }
+  size_t size() const { return node_->size(); }
+  bool requires_grad() const { return node_->requires_grad; }
+
+  float* data() { return node_->data.data(); }
+  const float* data() const { return node_->data.data(); }
+
+  /// Gradient buffer; valid after Backward() for requires_grad tensors.
+  float* grad() { return node_->grad.data(); }
+  const float* grad() const { return node_->grad.data(); }
+
+  /// Value of a 1x1 tensor.
+  float value() const;
+
+  /// Fills the gradient buffer with zeros.
+  void ZeroGrad();
+
+  /// Internal node accessor (used by ops.cc and the optimizers).
+  const std::shared_ptr<internal::Node>& node() const { return node_; }
+
+  /// Wraps an existing node.
+  static Tensor Wrap(std::shared_ptr<internal::Node> node);
+
+ private:
+  std::shared_ptr<internal::Node> node_;
+};
+
+/// Runs reverse-mode differentiation from the given scalar (1x1) loss,
+/// accumulating into the grad buffers of all reachable requires_grad
+/// tensors. Gradients accumulate across calls until ZeroGrad().
+void Backward(const Tensor& loss);
+
+}  // namespace kgrec::nn
+
+#endif  // KGREC_NN_TENSOR_H_

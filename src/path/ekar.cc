@@ -1,0 +1,21 @@
+#include "path/ekar.h"
+
+#include <cmath>
+
+namespace kgrec {
+
+float EkarRecommender::Reward(int32_t user, EntityId entity) const {
+  const int32_t first_item = graph_->ItemEntity(0);
+  const int32_t last_item = graph_->ItemEntity(train_->num_items() - 1);
+  if (entity < first_item || entity > last_item) return 0.0f;
+  const int32_t item = entity - first_item;
+  if (train_->Contains(user, item)) return 1.0f;  // known interaction
+  // Small shaped reward toward plausible unconsumed items.
+  std::vector<int32_t> h{graph_->UserEntity(user)};
+  std::vector<int32_t> r{graph_->interact_relation};
+  std::vector<int32_t> t{entity};
+  const float plausibility = kge_->ScoreBatch(h, r, t).value();
+  return 0.2f / (1.0f + std::exp(-plausibility - 4.0f));
+}
+
+}  // namespace kgrec

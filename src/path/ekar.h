@@ -1,0 +1,27 @@
+#ifndef KGREC_PATH_EKAR_H_
+#define KGREC_PATH_EKAR_H_
+
+#include "path/pgpr.h"
+
+namespace kgrec {
+
+/// Ekar (Song et al., arXiv'19): explainable knowledge-aware
+/// recommendation via deep reinforcement learning. Like PGPR the agent
+/// walks the user-item KG, but the reward design differs: reaching an
+/// item the user is *known* to have interacted with yields the full
+/// reward (+1) — the policy learns to navigate toward relevant regions
+/// and generalizes to unconsumed items at inference time — while
+/// unconsumed items receive only a small KGE-shaped reward.
+class EkarRecommender : public PgprRecommender {
+ public:
+  explicit EkarRecommender(PgprConfig config = {}) : PgprRecommender(config) {}
+
+  std::string name() const override { return "Ekar"; }
+
+ protected:
+  float Reward(int32_t user, EntityId entity) const override;
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_PATH_EKAR_H_

@@ -1,0 +1,132 @@
+#include "path/fmg.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.h"
+#include "math/nmf.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+#include "path/metapaths.h"
+
+namespace kgrec {
+
+void FmgRecommender::Fit(const RecContext& context) {
+  KGREC_CHECK(context.train != nullptr);
+  KGREC_CHECK(context.item_kg != nullptr);
+  const InteractionDataset& train = *context.train;
+  Rng rng(context.seed);
+
+  // Meta-graphs: the plain interaction matrix, each attribute round-trip
+  // meta-path, and pairwise *combinations* of attribute round-trips (the
+  // meta-graph advantage: two parallel relation sequences at once).
+  CsrMatrix r = train.ToCsr();
+  std::vector<ItemSimilarity> paths = ItemMetaPathSimilarities(
+      *context.item_kg, train.num_items(), config_.top_k);
+  std::vector<CsrMatrix> diffused;
+  diffused.push_back(r);
+  for (const ItemSimilarity& p : paths) {
+    diffused.push_back(r.Multiply(p.matrix));
+  }
+  const size_t n_items = train.num_items();
+  for (size_t a = 0; a + 1 < paths.size(); ++a) {
+    for (size_t b = a + 1; b < paths.size() && b < a + 2; ++b) {
+      // Meta-graph similarity = sum of member path similarities
+      // (parallel-path fan-in), truncated again to top_k.
+      std::vector<std::tuple<int32_t, int32_t, float>> triplets;
+      for (const ItemSimilarity* sim : {&paths[a], &paths[b]}) {
+        for (size_t row = 0; row < sim->matrix.rows(); ++row) {
+          const int32_t* cols = sim->matrix.RowCols(row);
+          const float* vals = sim->matrix.RowVals(row);
+          for (size_t i = 0; i < sim->matrix.RowNnz(row); ++i) {
+            triplets.emplace_back(static_cast<int32_t>(row), cols[i],
+                                  vals[i]);
+          }
+        }
+      }
+      CsrMatrix combined = TopKPerRow(
+          CsrMatrix::FromTriplets(n_items, n_items, triplets),
+          config_.top_k);
+      diffused.push_back(r.Multiply(combined));
+    }
+  }
+
+  user_factors_.clear();
+  item_factors_.clear();
+  for (const CsrMatrix& matrix : diffused) {
+    NmfResult nmf = Nmf(matrix, config_.rank, config_.nmf_iterations, rng);
+    user_factors_.push_back(std::move(nmf.user_factors));
+    item_factors_.push_back(std::move(nmf.item_factors));
+  }
+
+  // --- Factorization machine over the dense latent features -----------
+  const size_t f = user_factors_.size() * config_.rank * 2;
+  fm_linear_ = nn::NormalInit(1, f, 0.01f, rng);
+  fm_factors_ = nn::NormalInit(f, config_.fm_dim, 0.05f, rng);
+  nn::Adagrad optimizer({fm_linear_, fm_factors_}, config_.learning_rate,
+                        config_.l2);
+  NegativeSampler sampler(train);
+  std::vector<size_t> order(train.num_interactions());
+  std::iota(order.begin(), order.end(), size_t{0});
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const size_t end = std::min(order.size(), start + config_.batch_size);
+      std::vector<float> flat;
+      std::vector<float> labels;
+      size_t batch = 0;
+      for (size_t i = start; i < end; ++i) {
+        const Interaction& x = train.interactions()[order[i]];
+        std::vector<float> pos = PairFeatures(x.user, x.item);
+        std::vector<float> neg =
+            PairFeatures(x.user, sampler.Sample(x.user, rng));
+        flat.insert(flat.end(), pos.begin(), pos.end());
+        labels.push_back(1.0f);
+        flat.insert(flat.end(), neg.begin(), neg.end());
+        labels.push_back(0.0f);
+        batch += 2;
+      }
+      nn::Tensor x = nn::Tensor::FromData(batch, f, std::move(flat));
+      // Dense FM: w.x + 0.5 * sum((xV)^2 - x^2 V^2).
+      nn::Tensor linear = nn::SumRows(nn::Mul(x, fm_linear_));
+      nn::Tensor xv = nn::MatMul(x, fm_factors_);
+      nn::Tensor x2v2 = nn::MatMul(nn::Square(x), nn::Square(fm_factors_));
+      nn::Tensor pair =
+          nn::ScaleBy(nn::SumRows(nn::Sub(nn::Square(xv), x2v2)), 0.5f);
+      nn::Tensor logits = nn::Add(linear, pair);
+      nn::Tensor loss = nn::BceWithLogits(logits, labels);
+      optimizer.ZeroGrad();
+      nn::Backward(loss);
+      optimizer.Step();
+    }
+  }
+}
+
+std::vector<float> FmgRecommender::PairFeatures(int32_t user,
+                                                int32_t item) const {
+  std::vector<float> out;
+  out.reserve(user_factors_.size() * config_.rank * 2);
+  for (size_t l = 0; l < user_factors_.size(); ++l) {
+    const float* u = user_factors_[l].Row(user);
+    const float* v = item_factors_[l].Row(item);
+    out.insert(out.end(), u, u + config_.rank);
+    out.insert(out.end(), v, v + config_.rank);
+  }
+  return out;
+}
+
+float FmgRecommender::Score(int32_t user, int32_t item) const {
+  std::vector<float> features = PairFeatures(user, item);
+  const size_t f = features.size();
+  nn::Tensor x = nn::Tensor::FromData(1, f, std::move(features));
+  nn::Tensor linear = nn::SumRows(nn::Mul(x, fm_linear_));
+  nn::Tensor xv = nn::MatMul(x, fm_factors_);
+  nn::Tensor x2v2 = nn::MatMul(nn::Square(x), nn::Square(fm_factors_));
+  nn::Tensor pair =
+      nn::ScaleBy(nn::SumRows(nn::Sub(nn::Square(xv), x2v2)), 0.5f);
+  return nn::Add(linear, pair).value();
+}
+
+}  // namespace kgrec

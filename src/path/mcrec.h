@@ -1,0 +1,63 @@
+#ifndef KGREC_PATH_MCREC_H_
+#define KGREC_PATH_MCREC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "nn/layers.h"
+#include "nn/tensor.h"
+#include "path/path_finder.h"
+
+namespace kgrec {
+
+/// Hyper-parameters for MCRec.
+struct McRecConfig {
+  size_t dim = 16;
+  int epochs = 6;
+  size_t batch_size = 64;
+  float learning_rate = 0.05f;
+  float l2 = 1e-5f;
+  /// Path instances sampled per meta-path type (padded by repetition).
+  size_t instances_per_type = 3;
+};
+
+/// MCRec (Hu et al., KDD'18): meta-path based context for top-N
+/// recommendation with a neural co-attention model. For each user-item
+/// pair, path instances of every meta-path type are encoded with a CNN
+/// (window-2 convolution over the entity sequence + max-pooling), pooled
+/// into per-type context vectors, fused with user-conditioned attention
+/// into a single interaction context, and the preference is an MLP over
+/// [user ++ context ++ item].
+class McRecRecommender : public Recommender {
+ public:
+  explicit McRecRecommender(McRecConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "MCRec"; }
+  void Fit(const RecContext& context) override;
+  float Score(int32_t user, int32_t item) const override;
+
+ private:
+  /// Logits [B,1] for user-item pairs (differentiable).
+  nn::Tensor Forward(const std::vector<int32_t>& users,
+                     const std::vector<int32_t>& items) const;
+
+  McRecConfig config_;
+  std::unique_ptr<TemplatePathFinder> finder_;
+  const UserItemGraph* graph_ = nullptr;
+  /// Meta-path type signatures (relation-id sequences rendered to keys).
+  std::vector<std::string> type_keys_;
+  nn::Tensor user_emb_;
+  nn::Tensor item_emb_;
+  nn::Tensor entity_emb_;
+  nn::Linear conv_;         // window-2 convolution, 2*dim -> dim
+  nn::Linear att_hidden_;   // attention over path types
+  nn::Linear att_out_;
+  nn::Linear score_hidden_;
+  nn::Linear score_out_;
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_PATH_MCREC_H_

@@ -1,0 +1,104 @@
+#include "path/metapaths.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "graph/pathsim.h"
+#include "math/topk.h"
+
+namespace kgrec {
+namespace {
+
+/// Adjacency of one relation as a sparse matrix over all entities.
+CsrMatrix RelationMatrix(const KnowledgeGraph& kg, RelationId relation) {
+  std::vector<std::tuple<int32_t, int32_t, float>> triplets;
+  for (const Triple& t : kg.triples()) {
+    if (t.relation == relation) triplets.emplace_back(t.head, t.tail, 1.0f);
+  }
+  return CsrMatrix::FromTriplets(kg.num_entities(), kg.num_entities(),
+                                 triplets);
+}
+
+bool IsInverseName(const std::string& name) {
+  return name.size() > 3 && name.substr(name.size() - 3) == "^-1";
+}
+
+}  // namespace
+
+CsrMatrix ItemBlock(const CsrMatrix& full, int32_t num_items) {
+  std::vector<std::tuple<int32_t, int32_t, float>> triplets;
+  for (int32_t r = 0; r < num_items && static_cast<size_t>(r) < full.rows();
+       ++r) {
+    const int32_t* cols = full.RowCols(r);
+    const float* vals = full.RowVals(r);
+    for (size_t i = 0; i < full.RowNnz(r); ++i) {
+      if (cols[i] < num_items) triplets.emplace_back(r, cols[i], vals[i]);
+    }
+  }
+  return CsrMatrix::FromTriplets(num_items, num_items, triplets);
+}
+
+CsrMatrix TopKPerRow(const CsrMatrix& matrix, size_t top_k) {
+  std::vector<std::tuple<int32_t, int32_t, float>> triplets;
+  for (size_t r = 0; r < matrix.rows(); ++r) {
+    const size_t nnz = matrix.RowNnz(r);
+    const int32_t* cols = matrix.RowCols(r);
+    const float* vals = matrix.RowVals(r);
+    std::vector<float> scores;
+    std::vector<int32_t> idx;
+    for (size_t i = 0; i < nnz; ++i) {
+      if (static_cast<size_t>(cols[i]) == r) continue;  // drop diagonal
+      scores.push_back(vals[i]);
+      idx.push_back(cols[i]);
+    }
+    for (int32_t pick : TopKIndices(scores, top_k)) {
+      triplets.emplace_back(static_cast<int32_t>(r), idx[pick],
+                            scores[pick]);
+    }
+  }
+  return CsrMatrix::FromTriplets(matrix.rows(), matrix.cols(), triplets);
+}
+
+std::vector<ItemSimilarity> ItemMetaPathSimilarities(
+    const KnowledgeGraph& item_kg, int32_t num_items, size_t top_k) {
+  std::vector<ItemSimilarity> out;
+  for (size_t r = 0; r < item_kg.num_relations(); ++r) {
+    const std::string& name =
+        item_kg.relation_name(static_cast<RelationId>(r));
+    if (IsInverseName(name)) continue;
+    RelationId inverse = -1;
+    if (!item_kg.FindRelation(name + "^-1", &inverse).ok()) continue;
+    CsrMatrix forward = RelationMatrix(item_kg, static_cast<RelationId>(r));
+    CsrMatrix commuting = forward.Multiply(RelationMatrix(item_kg, inverse));
+    CsrMatrix sim =
+        TopKPerRow(ItemBlock(PathSim(commuting), num_items), top_k);
+    out.push_back({"item-" + name + "-item", std::move(sim)});
+  }
+  return out;
+}
+
+std::vector<MetaPath> UserItemMetaPaths(const UserItemGraph& graph) {
+  const KnowledgeGraph& kg = graph.kg;
+  const RelationId interact = graph.interact_relation;
+  RelationId interact_inv = -1;
+  KGREC_CHECK(kg.FindRelation(kg.relation_name(interact) + "^-1",
+                              &interact_inv)
+                  .ok());
+  std::vector<MetaPath> out;
+  out.push_back({"U-I", {interact}});
+  out.push_back({"U-I-U-I", {interact, interact_inv, interact}});
+  for (size_t r = 0; r < kg.num_relations(); ++r) {
+    const std::string& name =
+        kg.relation_name(static_cast<RelationId>(r));
+    if (IsInverseName(name) || static_cast<RelationId>(r) == interact) {
+      continue;
+    }
+    RelationId inverse = -1;
+    if (!kg.FindRelation(name + "^-1", &inverse).ok()) continue;
+    out.push_back({"U-I-" + name + "-I",
+                   {interact, static_cast<RelationId>(r), inverse}});
+  }
+  return out;
+}
+
+}  // namespace kgrec

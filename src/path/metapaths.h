@@ -1,0 +1,45 @@
+#ifndef KGREC_PATH_METAPATHS_H_
+#define KGREC_PATH_METAPATHS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "graph/hin.h"
+#include "graph/knowledge_graph.h"
+#include "math/sparse.h"
+
+namespace kgrec {
+
+/// A named sparse item-item similarity matrix derived from one meta-path
+/// (or meta-graph), e.g. "item-genre-item" PathSim.
+struct ItemSimilarity {
+  std::string name;
+  CsrMatrix matrix;  ///< num_items x num_items (PathSim scores)
+};
+
+/// Builds, for every forward attribute relation r of the item KG, the
+/// PathSim similarity of the round-trip meta-path item -r-> a -r^-1-> item,
+/// truncated to the `top_k` strongest neighbors per item. These are the
+/// "L meta-paths" of the traditional path-based methods (Hete-MF, HeteRec;
+/// survey Eq. 13-16).
+std::vector<ItemSimilarity> ItemMetaPathSimilarities(
+    const KnowledgeGraph& item_kg, int32_t num_items, size_t top_k);
+
+/// Relation-id sequences of user->item meta-paths in a user-item graph:
+///   U -interact-> I                                (direct)
+///   U -interact-> I -r-> A -r^-1-> I               (shared attribute)
+///   U -interact-> I -interact^-1-> U -interact-> I (collaborative)
+/// Used by MCRec-style path sampling and by PGPR's action space pruning.
+std::vector<MetaPath> UserItemMetaPaths(const UserItemGraph& graph);
+
+/// Restricts a full-entity commuting/similarity matrix to its item-item
+/// block (entities [0, num_items) of an item KG).
+CsrMatrix ItemBlock(const CsrMatrix& full, int32_t num_items);
+
+/// Keeps only the `top_k` largest off-diagonal entries per row.
+CsrMatrix TopKPerRow(const CsrMatrix& matrix, size_t top_k);
+
+}  // namespace kgrec
+
+#endif  // KGREC_PATH_METAPATHS_H_

@@ -1,0 +1,102 @@
+#include "path/path_finder.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace kgrec {
+namespace {
+
+int64_t PairKey(int32_t a, int32_t b) {
+  return (static_cast<int64_t>(a) << 32) | static_cast<uint32_t>(b);
+}
+
+}  // namespace
+
+TemplatePathFinder::TemplatePathFinder(const UserItemGraph& graph,
+                                       const InteractionDataset& train,
+                                       size_t max_paths_per_template)
+    : graph_(&graph),
+      train_(&train),
+      max_per_template_(max_paths_per_template) {
+  const KnowledgeGraph& kg = graph.kg;
+  KGREC_CHECK(kg.finalized());
+  KGREC_CHECK(
+      kg.FindRelation(kg.relation_name(graph.interact_relation) + "^-1",
+                      &interact_inv_)
+          .ok());
+  item_attrs_.assign(train.num_items(), {});
+  item_users_.assign(train.num_items(), {});
+  for (int32_t j = 0; j < train.num_items(); ++j) {
+    const EntityId entity = graph.ItemEntity(j);
+    const size_t degree = kg.OutDegree(entity);
+    const Edge* edges = kg.OutEdges(entity);
+    for (size_t e = 0; e < degree; ++e) {
+      // Attribute targets live beyond the item range.
+      if (edges[e].target >= graph.ItemEntity(train.num_items()) &&
+          edges[e].relation != graph.interact_relation &&
+          edges[e].relation != interact_inv_) {
+        item_attrs_[j].push_back(edges[e]);
+        item_attr_relation_[PairKey(j, edges[e].target)] = edges[e].relation;
+      }
+    }
+  }
+  for (const Interaction& x : train.interactions()) {
+    item_users_[x.item].push_back(x.user);
+  }
+}
+
+std::vector<PathInstance> TemplatePathFinder::FindPaths(int32_t user,
+                                                        int32_t item) const {
+  std::vector<PathInstance> out;
+  const EntityId user_entity = graph_->UserEntity(user);
+  const EntityId item_entity = graph_->ItemEntity(item);
+  const RelationId interact = graph_->interact_relation;
+  const auto& history = train_->UserItems(user);
+
+  // The direct U -I-> v edge is intentionally excluded: during training
+  // it is present for every positive and absent for every negative, so a
+  // path model would learn that shortcut and transfer nothing to held-out
+  // items (which never have the direct edge either).
+
+  // Template 1: shared attribute U -I-> j -r-> a -r^-1-> v.
+  size_t found = 0;
+  for (const Edge& attr : item_attrs_[item]) {
+    if (found >= max_per_template_) break;
+    for (int32_t j : history) {
+      if (j == item) continue;
+      auto it = item_attr_relation_.find(PairKey(j, attr.target));
+      if (it == item_attr_relation_.end()) continue;
+      RelationId inverse = -1;
+      const std::string& rel_name = graph_->kg.relation_name(attr.relation);
+      if (!graph_->kg.FindRelation(rel_name + "^-1", &inverse).ok()) continue;
+      PathInstance p;
+      p.entities = {user_entity, graph_->ItemEntity(j), attr.target,
+                    item_entity};
+      p.relations = {interact, it->second, inverse};
+      out.push_back(std::move(p));
+      if (++found >= max_per_template_) break;
+    }
+  }
+
+  // Template 2: collaborative U -I-> j -I^-1-> u' -I-> v.
+  found = 0;
+  for (int32_t other : item_users_[item]) {
+    if (found >= max_per_template_) break;
+    if (other == user) continue;
+    for (int32_t j : train_->UserItems(other)) {
+      if (j == item) continue;
+      if (!train_->Contains(user, j)) continue;
+      PathInstance p;
+      p.entities = {user_entity, graph_->ItemEntity(j),
+                    graph_->UserEntity(other), item_entity};
+      p.relations = {interact, interact_inv_, interact};
+      out.push_back(std::move(p));
+      ++found;
+      break;  // one witness item per collaborating user
+    }
+  }
+  return out;
+}
+
+}  // namespace kgrec

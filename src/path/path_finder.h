@@ -1,0 +1,52 @@
+#ifndef KGREC_PATH_PATH_FINDER_H_
+#define KGREC_PATH_PATH_FINDER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "data/interactions.h"
+#include "data/synthetic.h"
+#include "graph/paths.h"
+
+namespace kgrec {
+
+/// Efficient extraction of user->item path instances in a user-item KG,
+/// following the standard semantic templates
+///   U -interact-> I                                 (direct history)
+///   U -interact-> J -r-> A -r^-1-> I                (shared attribute)
+///   U -interact-> J -interact^-1-> U' -interact-> I (collaborative)
+/// instead of unbounded DFS: paths are found by meeting in the middle,
+/// which keeps RKGE/KPRN training tractable (RKGE's "automatic"
+/// enumeration explores the same <=3-edge path space; the templates are
+/// exactly the relation sequences that exist in this schema).
+class TemplatePathFinder {
+ public:
+  /// `graph` and `train` must outlive the finder.
+  TemplatePathFinder(const UserItemGraph& graph,
+                     const InteractionDataset& train,
+                     size_t max_paths_per_template = 3);
+
+  /// Path instances from the user to the item (entity ids of the
+  /// user-item KG), at most 3 * max_paths_per_template, deterministic.
+  std::vector<PathInstance> FindPaths(int32_t user, int32_t item) const;
+
+  const UserItemGraph& graph() const { return *graph_; }
+
+ private:
+  const UserItemGraph* graph_;
+  const InteractionDataset* train_;
+  size_t max_per_template_;
+  RelationId interact_inv_ = -1;
+  /// Attribute edges per item: (relation, attribute entity).
+  std::vector<std::vector<Edge>> item_attrs_;
+  /// (item, attribute entity) membership with the connecting relation.
+  std::unordered_map<int64_t, RelationId> item_attr_relation_;
+  /// Users per item (train interactions).
+  std::vector<std::vector<int32_t>> item_users_;
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_PATH_PATH_FINDER_H_

@@ -1,0 +1,211 @@
+#include "path/pgpr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "kge/kge_trainer.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+
+namespace kgrec {
+
+nn::Tensor PgprRecommender::ActionLogits(
+    int32_t user, EntityId current, const std::vector<Edge>& actions) const {
+  const size_t a = actions.size();
+  std::vector<int32_t> user_ids(a, graph_->UserEntity(user));
+  std::vector<int32_t> cur_ids(a, current);
+  std::vector<int32_t> rel_ids(a), tgt_ids(a);
+  for (size_t i = 0; i < a; ++i) {
+    rel_ids[i] = actions[i].relation;
+    tgt_ids[i] = actions[i].target;
+  }
+  const nn::Tensor& ent = kge_->entity_embeddings();
+  const nn::Tensor& rel = kge_->relation_embeddings();
+  nn::Tensor features = nn::Concat(
+      nn::Concat(nn::Gather(ent, user_ids), nn::Gather(ent, cur_ids)),
+      nn::Concat(nn::Gather(rel, rel_ids), nn::Gather(ent, tgt_ids)));
+  return policy_out_.Forward(
+      nn::Tanh(policy_hidden_.Forward(features)));  // [A, 1]
+}
+
+const std::vector<Edge>& PgprRecommender::Actions(EntityId entity) const {
+  return pruned_actions_[entity];
+}
+
+float PgprRecommender::Reward(int32_t user, EntityId entity) const {
+  const int32_t first_item = graph_->ItemEntity(0);
+  const int32_t last_item = graph_->ItemEntity(train_->num_items() - 1);
+  if (entity < first_item || entity > last_item) return 0.0f;
+  const int32_t item = entity - first_item;
+  if (train_->Contains(user, item)) return 0.0f;  // already consumed
+  std::vector<int32_t> h{graph_->UserEntity(user)};
+  std::vector<int32_t> r{graph_->interact_relation};
+  std::vector<int32_t> t{entity};
+  const float plausibility = kge_->ScoreBatch(h, r, t).value();
+  return 1.0f / (1.0f + std::exp(-plausibility - 4.0f));
+}
+
+void PgprRecommender::Fit(const RecContext& context) {
+  KGREC_CHECK(context.train != nullptr);
+  KGREC_CHECK(context.user_item_graph != nullptr);
+  graph_ = context.user_item_graph;
+  train_ = context.train;
+  const KnowledgeGraph& kg = graph_->kg;
+  Rng rng(context.seed);
+
+  // --- Stage 1: pretrain the KGE reward/embedding function -------------
+  kge_ = MakeKgeModel("transe", kg.num_entities(), kg.num_relations(),
+                      config_.dim, rng);
+  KgeTrainConfig kge_config;
+  kge_config.epochs = config_.kge_epochs;
+  kge_config.seed = context.seed + 5;
+  TrainKge(*kge_, kg, kge_config);
+
+  // Freeze KGE parameters for the RL stage (the paper's two-stage setup).
+  // Policy network over [user ++ current ++ relation ++ target].
+  policy_hidden_ = nn::Linear(4 * config_.dim, config_.dim, rng);
+  policy_out_ = nn::Linear(config_.dim, 1, rng);
+
+  // Deterministic pruned action sets.
+  pruned_actions_.assign(kg.num_entities(), {});
+  for (size_t e = 0; e < kg.num_entities(); ++e) {
+    const size_t degree = kg.OutDegree(static_cast<EntityId>(e));
+    if (degree <= config_.max_actions) {
+      pruned_actions_[e].assign(kg.OutEdges(static_cast<EntityId>(e)),
+                                kg.OutEdges(static_cast<EntityId>(e)) +
+                                    degree);
+    } else {
+      pruned_actions_[e] = kg.SampleNeighbors(static_cast<EntityId>(e),
+                                              config_.max_actions, rng);
+    }
+  }
+
+  // --- Stage 2: REINFORCE ----------------------------------------------
+  std::vector<nn::Tensor> params;
+  for (const auto& p : policy_hidden_.Params()) params.push_back(p);
+  for (const auto& p : policy_out_.Params()) params.push_back(p);
+  nn::Adagrad optimizer(params, config_.learning_rate, config_.l2);
+  float baseline = 0.0f;
+  for (int epoch = 0; epoch < config_.rl_epochs; ++epoch) {
+    for (int32_t user = 0; user < train_->num_users(); ++user) {
+      if (train_->UserItems(user).empty()) continue;
+      for (size_t ep = 0; ep < config_.episodes_per_user; ++ep) {
+        EntityId current = graph_->UserEntity(user);
+        std::vector<nn::Tensor> step_logprobs;
+        for (size_t step = 0; step < config_.max_path_length; ++step) {
+          const std::vector<Edge>& actions = Actions(current);
+          if (actions.empty()) break;
+          nn::Tensor logits = ActionLogits(user, current, actions);
+          nn::Tensor probs = nn::Softmax(
+              nn::Reshape(logits, 1, actions.size()));  // [1, A]
+          // Sample an action from the current policy.
+          std::vector<double> weights(actions.size());
+          for (size_t i = 0; i < actions.size(); ++i) {
+            weights[i] = probs.data()[i];
+          }
+          const size_t chosen = rng.Categorical(weights);
+          step_logprobs.push_back(
+              nn::Log(nn::SliceCols(probs, chosen, 1)));
+          current = actions[chosen].target;
+        }
+        if (step_logprobs.empty()) continue;
+        const float reward = Reward(user, current);
+        baseline = 0.99f * baseline + 0.01f * reward;
+        const float advantage = reward - baseline;
+        if (std::fabs(advantage) < 1e-6f) continue;
+        nn::Tensor logprob = step_logprobs[0];
+        for (size_t i = 1; i < step_logprobs.size(); ++i) {
+          logprob = nn::Add(logprob, step_logprobs[i]);
+        }
+        nn::Tensor loss = nn::ScaleBy(logprob, -advantage);
+        optimizer.ZeroGrad();
+        nn::Backward(loss);
+        optimizer.Step();
+      }
+    }
+  }
+
+  RunBeamSearch();
+}
+
+void PgprRecommender::RunBeamSearch() {
+  reached_.assign(train_->num_users(), {});
+  const int32_t first_item = graph_->ItemEntity(0);
+  const int32_t last_item = graph_->ItemEntity(train_->num_items() - 1);
+  for (int32_t user = 0; user < train_->num_users(); ++user) {
+    struct BeamState {
+      EntityId entity;
+      float logprob;
+      PathInstance path;
+    };
+    std::vector<BeamState> beam{{graph_->UserEntity(user), 0.0f, {}}};
+    beam[0].path.entities.push_back(graph_->UserEntity(user));
+    for (size_t step = 0; step < config_.max_path_length; ++step) {
+      std::vector<BeamState> expanded;
+      for (const BeamState& state : beam) {
+        const std::vector<Edge>& actions = Actions(state.entity);
+        if (actions.empty()) continue;
+        nn::Tensor logits = ActionLogits(user, state.entity, actions);
+        // Log-softmax by hand from the raw logits.
+        float max_logit = logits.data()[0];
+        for (size_t i = 1; i < actions.size(); ++i) {
+          max_logit = std::max(max_logit, logits.data()[i]);
+        }
+        float denom = 0.0f;
+        for (size_t i = 0; i < actions.size(); ++i) {
+          denom += std::exp(logits.data()[i] - max_logit);
+        }
+        for (size_t i = 0; i < actions.size(); ++i) {
+          BeamState next = state;
+          next.entity = actions[i].target;
+          next.logprob += logits.data()[i] - max_logit - std::log(denom);
+          next.path.entities.push_back(actions[i].target);
+          next.path.relations.push_back(actions[i].relation);
+          expanded.push_back(std::move(next));
+        }
+      }
+      std::sort(expanded.begin(), expanded.end(),
+                [](const BeamState& a, const BeamState& b) {
+                  return a.logprob > b.logprob;
+                });
+      if (expanded.size() > config_.beam_width) {
+        expanded.resize(config_.beam_width);
+      }
+      beam = std::move(expanded);
+      // Register items reached at this depth.
+      for (const BeamState& state : beam) {
+        if (state.entity < first_item || state.entity > last_item) continue;
+        const int32_t item = state.entity - first_item;
+        if (train_->Contains(user, item)) continue;
+        const float value = state.logprob + Reward(user, state.entity);
+        auto it = reached_[user].find(item);
+        if (it == reached_[user].end() || value > it->second.value) {
+          reached_[user][item] = {value, state.path};
+        }
+      }
+    }
+  }
+}
+
+float PgprRecommender::Score(int32_t user, int32_t item) const {
+  auto it = reached_[user].find(item);
+  if (it != reached_[user].end()) {
+    // Reached items rank first, ordered by path value.
+    return 100.0f + it->second.value;
+  }
+  // Fallback: the pretrained KGE plausibility (the reward function).
+  std::vector<int32_t> h{graph_->UserEntity(user)};
+  std::vector<int32_t> r{graph_->interact_relation};
+  std::vector<int32_t> t{graph_->ItemEntity(item)};
+  return kge_->ScoreBatch(h, r, t).value();
+}
+
+std::string PgprRecommender::ExplainPath(int32_t user, int32_t item) const {
+  auto it = reached_[user].find(item);
+  if (it == reached_[user].end()) return "";
+  return FormatPath(graph_->kg, it->second.path);
+}
+
+}  // namespace kgrec

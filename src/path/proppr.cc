@@ -1,0 +1,55 @@
+#include "path/proppr.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "data/synthetic.h"
+
+namespace kgrec {
+
+void ProPprRecommender::Fit(const RecContext& context) {
+  KGREC_CHECK(context.train != nullptr);
+  KGREC_CHECK(context.user_item_graph != nullptr);
+  const UserItemGraph& graph = *context.user_item_graph;
+  const KnowledgeGraph& kg = graph.kg;
+  const InteractionDataset& train = *context.train;
+  const size_t num_entities = kg.num_entities();
+  const int32_t m = train.num_users();
+  const int32_t n = train.num_items();
+
+  // Out-degree row normalization of the full user-item KG.
+  std::vector<float> inv_degree(num_entities, 0.0f);
+  for (size_t e = 0; e < num_entities; ++e) {
+    const size_t degree = kg.OutDegree(static_cast<EntityId>(e));
+    if (degree > 0) inv_degree[e] = 1.0f / static_cast<float>(degree);
+  }
+
+  ppr_ = Matrix(m, n);
+  std::vector<float> mass(num_entities), next(num_entities);
+  for (int32_t u = 0; u < m; ++u) {
+    std::fill(mass.begin(), mass.end(), 0.0f);
+    const EntityId source = graph.UserEntity(u);
+    mass[source] = 1.0f;
+    for (int iter = 0; iter < config_.iterations; ++iter) {
+      std::fill(next.begin(), next.end(), 0.0f);
+      next[source] += config_.restart;
+      for (size_t e = 0; e < num_entities; ++e) {
+        if (mass[e] == 0.0f || inv_degree[e] == 0.0f) continue;
+        const float push = (1.0f - config_.restart) * mass[e] * inv_degree[e];
+        const size_t degree = kg.OutDegree(static_cast<EntityId>(e));
+        const Edge* edges = kg.OutEdges(static_cast<EntityId>(e));
+        for (size_t i = 0; i < degree; ++i) next[edges[i].target] += push;
+      }
+      mass.swap(next);
+    }
+    for (int32_t j = 0; j < n; ++j) {
+      ppr_.At(u, j) = mass[graph.ItemEntity(j)];
+    }
+  }
+}
+
+float ProPprRecommender::Score(int32_t user, int32_t item) const {
+  return ppr_.At(user, item);
+}
+
+}  // namespace kgrec

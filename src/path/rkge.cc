@@ -1,0 +1,90 @@
+#include "path/rkge.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+
+namespace kgrec {
+
+nn::Tensor RkgeRecommender::PairLogit(int32_t user, int32_t item) const {
+  const std::vector<PathInstance> paths = finder_->FindPaths(user, item);
+  if (paths.empty()) return no_path_bias_;
+  // Encode all paths in one GRU batch: paths are padded to the longest
+  // (<= 4 entities) by repeating the final entity (a no-op for the state
+  // that reached it: negligible at these lengths).
+  size_t max_len = 0;
+  for (const PathInstance& p : paths) {
+    max_len = std::max(max_len, p.entities.size());
+  }
+  const size_t batch = paths.size();
+  nn::Tensor h = nn::Tensor::Zeros(batch, config_.hidden_dim);
+  for (size_t step = 0; step < max_len; ++step) {
+    std::vector<int32_t> ids(batch);
+    for (size_t p = 0; p < batch; ++p) {
+      const auto& entities = paths[p].entities;
+      ids[p] = entities[std::min(step, entities.size() - 1)];
+    }
+    h = gru_.Step(nn::Gather(entity_emb_, ids), h);
+  }
+  // Average-pool the final states, then FC (Eq. 19-20).
+  nn::Tensor pooled =
+      nn::ScaleBy(nn::GroupSumRows(h, batch), 1.0f / batch);  // [1, hidden]
+  return output_.Forward(pooled);  // [1,1]
+}
+
+void RkgeRecommender::Fit(const RecContext& context) {
+  KGREC_CHECK(context.train != nullptr);
+  KGREC_CHECK(context.user_item_graph != nullptr);
+  const InteractionDataset& train = *context.train;
+  const UserItemGraph& graph = *context.user_item_graph;
+  Rng rng(context.seed);
+
+  finder_ = std::make_unique<TemplatePathFinder>(
+      graph, train, config_.max_paths_per_template);
+  entity_emb_ =
+      nn::NormalInit(graph.kg.num_entities(), config_.dim, 0.1f, rng);
+  gru_ = nn::GruCell(config_.dim, config_.hidden_dim, rng);
+  output_ = nn::Linear(config_.hidden_dim, 1, rng);
+  no_path_bias_ =
+      nn::Tensor::FromData(1, 1, {-1.0f}, /*requires_grad=*/true);
+
+  std::vector<nn::Tensor> params{entity_emb_, no_path_bias_};
+  for (const auto& p : gru_.Params()) params.push_back(p);
+  for (const auto& p : output_.Params()) params.push_back(p);
+  nn::Adagrad optimizer(params, config_.learning_rate, config_.l2);
+  NegativeSampler sampler(train);
+  std::vector<size_t> order(train.num_interactions());
+  std::iota(order.begin(), order.end(), size_t{0});
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const size_t end = std::min(order.size(), start + config_.batch_size);
+      nn::Tensor logits;
+      std::vector<float> labels;
+      for (size_t i = start; i < end; ++i) {
+        const Interaction& x = train.interactions()[order[i]];
+        nn::Tensor pos = PairLogit(x.user, x.item);
+        nn::Tensor neg = PairLogit(x.user, sampler.Sample(x.user, rng));
+        logits = logits.defined() ? nn::Concat(nn::Concat(logits, pos), neg)
+                                  : nn::Concat(pos, neg);
+        labels.push_back(1.0f);
+        labels.push_back(0.0f);
+      }
+      nn::Tensor loss = nn::BceWithLogits(logits, labels);
+      optimizer.ZeroGrad();
+      nn::Backward(loss);
+      optimizer.Step();
+    }
+  }
+}
+
+float RkgeRecommender::Score(int32_t user, int32_t item) const {
+  return PairLogit(user, item).value();
+}
+
+}  // namespace kgrec

@@ -1,0 +1,52 @@
+#ifndef KGREC_PATH_RKGE_H_
+#define KGREC_PATH_RKGE_H_
+
+#include <memory>
+
+#include "core/recommender.h"
+#include "nn/layers.h"
+#include "nn/tensor.h"
+#include "path/path_finder.h"
+
+namespace kgrec {
+
+/// Hyper-parameters for RKGE.
+struct RkgeConfig {
+  size_t dim = 16;
+  size_t hidden_dim = 16;
+  int epochs = 6;
+  size_t batch_size = 64;
+  float learning_rate = 0.05f;
+  float l2 = 1e-5f;
+  size_t max_paths_per_template = 3;
+};
+
+/// RKGE (Sun et al., RecSys'18; survey Eq. 19-20): recurrent knowledge
+/// graph embedding. All (<= 3-edge) semantic paths connecting a user-item
+/// pair are each encoded by a GRU over the path's entity embeddings; the
+/// final hidden states are average-pooled and a fully-connected layer
+/// yields the preference score. Pairs with no connecting path fall back
+/// to a learned bias.
+class RkgeRecommender : public Recommender {
+ public:
+  explicit RkgeRecommender(RkgeConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "RKGE"; }
+  void Fit(const RecContext& context) override;
+  float Score(int32_t user, int32_t item) const override;
+
+ private:
+  /// Scalar logit [1,1] for one pair (differentiable).
+  nn::Tensor PairLogit(int32_t user, int32_t item) const;
+
+  RkgeConfig config_;
+  std::unique_ptr<TemplatePathFinder> finder_;
+  nn::Tensor entity_emb_;
+  nn::GruCell gru_;
+  nn::Linear output_;
+  nn::Tensor no_path_bias_;  // [1,1]
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_PATH_RKGE_H_

@@ -1,0 +1,129 @@
+#include "path/rulerec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/check.h"
+#include "path/metapaths.h"
+
+namespace kgrec {
+namespace {
+
+/// Rule activation: total similarity from the user's history to the item
+/// under one rule matrix.
+float RuleActivation(const CsrMatrix& rule, const std::vector<int32_t>& history,
+                     int32_t item) {
+  float acc = 0.0f;
+  for (int32_t j : history) acc += rule.At(j, item);
+  return acc;
+}
+
+}  // namespace
+
+void RuleRecRecommender::Fit(const RecContext& context) {
+  KGREC_CHECK(context.train != nullptr);
+  KGREC_CHECK(context.item_kg != nullptr);
+  const InteractionDataset& train = *context.train;
+  train_ = &train;
+  kg_ = context.item_kg;
+  Rng rng(context.seed);
+
+  // Rule mining: candidate rules are the item-association meta-paths of
+  // the external KG (shared attribute per relation).
+  rule_names_.clear();
+  rule_matrices_.clear();
+  for (ItemSimilarity& sim : ItemMetaPathSimilarities(
+           *context.item_kg, train.num_items(), config_.top_k)) {
+    rule_names_.push_back(sim.name);
+    rule_matrices_.push_back(std::move(sim.matrix));
+  }
+  rule_weights_.assign(rule_matrices_.size(), 0.1f);
+
+  popularity_.assign(train.num_items(), 0.0f);
+  for (const Interaction& x : train.interactions()) {
+    popularity_[x.item] += 1.0f;
+  }
+  const float max_pop =
+      std::max(1.0f, *std::max_element(popularity_.begin(),
+                                       popularity_.end()));
+  for (float& p : popularity_) p /= max_pop;
+  popularity_weight_ = 0.1f;
+
+  // Learn rule weights with BPR over (history -> pos vs neg) activations.
+  NegativeSampler sampler(train);
+  std::vector<size_t> order(train.num_interactions());
+  std::iota(order.begin(), order.end(), size_t{0});
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t idx : order) {
+      const Interaction& x = train.interactions()[idx];
+      const auto& history = train.UserItems(x.user);
+      const int32_t neg = sampler.Sample(x.user, rng);
+      std::vector<float> diff(rule_matrices_.size());
+      float margin = 0.0f;
+      for (size_t rule = 0; rule < rule_matrices_.size(); ++rule) {
+        diff[rule] = RuleActivation(rule_matrices_[rule], history, x.item) -
+                     RuleActivation(rule_matrices_[rule], history, neg);
+        margin += rule_weights_[rule] * diff[rule];
+      }
+      const float pop_diff = popularity_[x.item] - popularity_[neg];
+      margin += popularity_weight_ * pop_diff;
+      const float sig = 1.0f / (1.0f + std::exp(margin));
+      for (size_t rule = 0; rule < rule_matrices_.size(); ++rule) {
+        rule_weights_[rule] +=
+            config_.learning_rate *
+            (sig * diff[rule] - config_.l2 * rule_weights_[rule]);
+      }
+      popularity_weight_ += config_.learning_rate *
+                            (sig * pop_diff - config_.l2 * popularity_weight_);
+    }
+  }
+}
+
+float RuleRecRecommender::Score(int32_t user, int32_t item) const {
+  const auto& history = train_->UserItems(user);
+  float score = popularity_weight_ * popularity_[item];
+  for (size_t rule = 0; rule < rule_matrices_.size(); ++rule) {
+    score += rule_weights_[rule] *
+             RuleActivation(rule_matrices_[rule], history, item);
+  }
+  return score;
+}
+
+std::vector<std::pair<std::string, float>> RuleRecRecommender::Rules() const {
+  std::vector<std::pair<std::string, float>> out;
+  for (size_t rule = 0; rule < rule_names_.size(); ++rule) {
+    out.emplace_back(rule_names_[rule], rule_weights_[rule]);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return std::fabs(a.second) > std::fabs(b.second);
+  });
+  return out;
+}
+
+std::string RuleRecRecommender::Explain(int32_t user, int32_t item) const {
+  const auto& history = train_->UserItems(user);
+  float best = 0.0f;
+  size_t best_rule = 0;
+  int32_t best_source = -1;
+  for (size_t rule = 0; rule < rule_matrices_.size(); ++rule) {
+    for (int32_t j : history) {
+      const float contribution =
+          rule_weights_[rule] * rule_matrices_[rule].At(j, item);
+      if (contribution > best) {
+        best = contribution;
+        best_rule = rule;
+        best_source = j;
+      }
+    }
+  }
+  if (best_source < 0) {
+    return "recommended by popularity";
+  }
+  return "rule " + rule_names_[best_rule] + " links '" +
+         kg_->entity_name(best_source) + "' from your history to '" +
+         kg_->entity_name(item) + "'";
+}
+
+}  // namespace kgrec

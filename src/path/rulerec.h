@@ -1,0 +1,56 @@
+#ifndef KGREC_PATH_RULEREC_H_
+#define KGREC_PATH_RULEREC_H_
+
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "math/sparse.h"
+
+namespace kgrec {
+
+/// Hyper-parameters for RuleRec.
+struct RuleRecConfig {
+  int epochs = 10;
+  float learning_rate = 0.1f;
+  float l2 = 1e-4f;
+  size_t top_k = 10;
+};
+
+/// RuleRec (Ma et al., WWW'19): jointly learns *explainable rules* (item
+/// association meta-paths in an external KG) and their weights, then
+/// recommends by propagating the user's history through the weighted
+/// rules:
+///   score(u, i) = sum_{j in history(u)} sum_rules w_r * S_r(j, i) + b_pop.
+/// The learned (rule name, weight) list is exposed so that a
+/// recommendation can be explained by its strongest contributing rule.
+class RuleRecRecommender : public Recommender {
+ public:
+  explicit RuleRecRecommender(RuleRecConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "RuleRec"; }
+  void Fit(const RecContext& context) override;
+  float Score(int32_t user, int32_t item) const override;
+
+  /// The learned rules, most important first.
+  std::vector<std::pair<std::string, float>> Rules() const;
+
+  /// Human-readable reason for recommending `item` to `user`: the rule
+  /// and history item with the largest contribution ("because you liked
+  /// item_12 which shares <genre> with it").
+  std::string Explain(int32_t user, int32_t item) const;
+
+ private:
+  RuleRecConfig config_;
+  const InteractionDataset* train_ = nullptr;
+  const KnowledgeGraph* kg_ = nullptr;
+  std::vector<std::string> rule_names_;
+  std::vector<CsrMatrix> rule_matrices_;
+  std::vector<float> rule_weights_;
+  std::vector<float> popularity_;
+  float popularity_weight_ = 0.0f;
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_PATH_RULEREC_H_

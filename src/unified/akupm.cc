@@ -1,0 +1,27 @@
+#include "unified/akupm.h"
+
+#include "nn/ops.h"
+
+namespace kgrec {
+
+nn::Tensor AkupmRecommender::CombineResponses(
+    const std::vector<nn::Tensor>& responses,
+    const nn::Tensor& item_vecs) const {
+  if (responses.size() == 1) return responses[0];
+  // Attention logits: compatibility of each hop response with the
+  // candidate item; softmax over hops.
+  nn::Tensor logits = nn::SumRows(nn::Mul(responses[0], item_vecs));
+  for (size_t h = 1; h < responses.size(); ++h) {
+    logits =
+        nn::Concat(logits, nn::SumRows(nn::Mul(responses[h], item_vecs)));
+  }
+  nn::Tensor attention = nn::Softmax(logits);  // [B, H]
+  nn::Tensor user = nn::Mul(responses[0], nn::SliceCols(attention, 0, 1));
+  for (size_t h = 1; h < responses.size(); ++h) {
+    user = nn::Add(user,
+                   nn::Mul(responses[h], nn::SliceCols(attention, h, 1)));
+  }
+  return user;
+}
+
+}  // namespace kgrec

@@ -1,0 +1,28 @@
+#ifndef KGREC_UNIFIED_AKUPM_H_
+#define KGREC_UNIFIED_AKUPM_H_
+
+#include "unified/ripplenet.h"
+
+namespace kgrec {
+
+/// AKUPM (Tang et al., KDD'19): attention-enhanced knowledge-aware user
+/// preference. Like RippleNet it propagates the user's click history
+/// through ripple sets, but the per-hop responses are combined with a
+/// self-attention mechanism (conditioned on the candidate) instead of a
+/// plain sum, letting the model weight different propagation depths per
+/// user-item pair.
+class AkupmRecommender : public RippleNetRecommender {
+ public:
+  explicit AkupmRecommender(RippleNetConfig config = {})
+      : RippleNetRecommender(config) {}
+
+  std::string name() const override { return "AKUPM"; }
+
+ protected:
+  nn::Tensor CombineResponses(const std::vector<nn::Tensor>& responses,
+                              const nn::Tensor& item_vecs) const override;
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_UNIFIED_AKUPM_H_

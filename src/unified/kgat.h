@@ -1,0 +1,52 @@
+#ifndef KGREC_UNIFIED_KGAT_H_
+#define KGREC_UNIFIED_KGAT_H_
+
+#include <vector>
+
+#include "core/recommender.h"
+#include "graph/aggregators.h"
+#include "math/dense.h"
+#include "nn/tensor.h"
+
+namespace kgrec {
+
+/// Hyper-parameters for KGAT.
+struct KgatConfig {
+  size_t dim = 16;
+  /// Number of propagation layers (survey Eq. 34: H).
+  size_t num_layers = 2;
+  int epochs = 15;
+  size_t batch_size = 256;
+  float learning_rate = 0.05f;
+  float l2 = 1e-5f;
+  /// Weight of the auxiliary TransR-style KG loss (trained jointly).
+  float kg_weight = 0.5f;
+  float margin = 1.0f;
+};
+
+/// KGAT (Wang et al., KDD'19; survey Eq. 34): attentive embedding
+/// propagation over the *user-item* KG. Every entity (users included)
+/// repeatedly aggregates its neighborhood with knowledge-aware attention
+/// pi(h, r, t) = e_t . tanh(e_h + e_r) (softmax-normalized per head,
+/// refreshed every epoch), using the bi-interaction aggregator; the final
+/// representation concatenates all layer embeddings, and preference is
+/// their inner product. A translation hinge loss on the KG triples is
+/// trained jointly.
+class KgatRecommender : public Recommender {
+ public:
+  explicit KgatRecommender(KgatConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "KGAT"; }
+  void Fit(const RecContext& context) override;
+  float Score(int32_t user, int32_t item) const override;
+
+ private:
+  KgatConfig config_;
+  const UserItemGraph* graph_ = nullptr;
+  /// Final concatenated embeddings [num_entities, dim * (layers + 1)].
+  Matrix final_emb_;
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_UNIFIED_KGAT_H_

@@ -1,0 +1,172 @@
+#include "unified/kgcn.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+
+namespace kgrec {
+
+nn::Tensor KgcnRecommender::Forward(const std::vector<int32_t>& users,
+                                    const std::vector<int32_t>& items,
+                                    nn::Tensor* ls_logits) const {
+  const size_t batch = users.size();
+  const size_t k = config_.num_neighbors;
+  const size_t depth = config_.num_layers;
+
+  // Build the receptive field: entities[l] has batch * k^l rows.
+  std::vector<std::vector<int32_t>> entities(depth + 1);
+  std::vector<std::vector<int32_t>> relations(depth + 1);  // edge into row
+  entities[0] = items;
+  for (size_t l = 0; l < depth; ++l) {
+    entities[l + 1].reserve(entities[l].size() * k);
+    relations[l + 1].reserve(entities[l].size() * k);
+    for (int32_t e : entities[l]) {
+      const auto& neighbors = sampled_neighbors_[e];
+      for (size_t j = 0; j < k; ++j) {
+        if (neighbors.empty()) {
+          entities[l + 1].push_back(e);  // self-loop for isolated nodes
+          relations[l + 1].push_back(0);
+        } else {
+          entities[l + 1].push_back(neighbors[j % neighbors.size()].target);
+          relations[l + 1].push_back(
+              neighbors[j % neighbors.size()].relation);
+        }
+      }
+    }
+  }
+
+  // Initial vectors per level.
+  std::vector<nn::Tensor> vecs(depth + 1);
+  for (size_t l = 0; l <= depth; ++l) {
+    vecs[l] = nn::Gather(entity_emb_, entities[l]);
+  }
+
+  // Per-level user-relation attention, fixed across iterations.
+  auto attention_for_level = [&](size_t l) {
+    const size_t rows = entities[l].size();  // == batch * k^l
+    const size_t per_user = rows / batch;
+    std::vector<int32_t> user_of_row(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      user_of_row[i] = users[i / per_user];
+    }
+    nn::Tensor u = nn::Gather(user_emb_, user_of_row);
+    nn::Tensor r = nn::Gather(relation_emb_, relations[l]);
+    nn::Tensor logits = nn::SumRows(nn::Mul(u, r));  // [rows, 1]
+    nn::Tensor att =
+        nn::Softmax(nn::Reshape(logits, rows / k, k));  // per parent node
+    return nn::Reshape(att, rows, 1);
+  };
+
+  std::vector<nn::Tensor> attention(depth + 1);
+  for (size_t l = 1; l <= depth; ++l) attention[l] = attention_for_level(l);
+
+  // Label smoothness (KGCN-LS): the attention-propagated interaction
+  // labels of the item's 1-hop neighborhood should predict the label.
+  if (ls_logits != nullptr && depth >= 1) {
+    std::vector<float> signed_labels(entities[1].size());
+    for (size_t i = 0; i < entities[1].size(); ++i) {
+      const int32_t e = entities[1][i];
+      const int32_t u = users[i / k];
+      const bool positive =
+          e < num_items_ && train_->Contains(u, e);
+      signed_labels[i] = positive ? 1.0f : -1.0f;
+    }
+    nn::Tensor labels =
+        nn::Tensor::FromData(entities[1].size(), 1, std::move(signed_labels));
+    *ls_logits = nn::ScaleBy(
+        nn::GroupSumRows(nn::Mul(labels, attention[1]), k), 4.0f);
+  }
+
+  // Iterative inward aggregation (Eq. 29): H sweeps; sweep i updates
+  // levels 0 .. depth-1-i.
+  for (size_t i = 0; i < depth; ++i) {
+    const bool final_sweep = (i + 1 == depth);
+    std::vector<nn::Tensor> next(depth + 1);
+    for (size_t l = 0; l + i < depth; ++l) {
+      nn::Tensor weighted = nn::Mul(vecs[l + 1], attention[l + 1]);
+      nn::Tensor pooled = nn::GroupSumRows(weighted, k);  // [rows(l), d]
+      next[l] = aggregators_[i].Forward(vecs[l], pooled, final_sweep);
+    }
+    for (size_t l = 0; l + i < depth; ++l) vecs[l] = next[l];
+  }
+
+  nn::Tensor u = nn::Gather(user_emb_, users);
+  return nn::SumRows(nn::Mul(u, vecs[0]));
+}
+
+void KgcnRecommender::Fit(const RecContext& context) {
+  KGREC_CHECK(context.train != nullptr);
+  KGREC_CHECK(context.item_kg != nullptr);
+  const InteractionDataset& train = *context.train;
+  const KnowledgeGraph& kg = *context.item_kg;
+  train_ = &train;
+  num_items_ = train.num_items();
+  const size_t d = config_.dim;
+  Rng rng(context.seed);
+
+  user_emb_ = nn::NormalInit(train.num_users(), d, 0.1f, rng);
+  entity_emb_ = nn::NormalInit(kg.num_entities(), d, 0.1f, rng);
+  relation_emb_ = nn::NormalInit(kg.num_relations(), d, 0.1f, rng);
+  aggregators_.clear();
+  for (size_t l = 0; l < config_.num_layers; ++l) {
+    aggregators_.emplace_back(config_.aggregator, d, rng);
+  }
+
+  // Static fixed-size receptive field (the paper resamples per batch; a
+  // static sample keeps runs deterministic and is a standard variant).
+  sampled_neighbors_.assign(kg.num_entities(), {});
+  for (size_t e = 0; e < kg.num_entities(); ++e) {
+    sampled_neighbors_[e] = kg.SampleNeighbors(
+        static_cast<EntityId>(e), config_.num_neighbors, rng);
+  }
+
+  std::vector<nn::Tensor> params{user_emb_, entity_emb_, relation_emb_};
+  for (const Aggregator& agg : aggregators_) {
+    for (const auto& p : agg.Params()) params.push_back(p);
+  }
+  nn::Adagrad optimizer(params, config_.learning_rate, config_.l2);
+  NegativeSampler sampler(train);
+  std::vector<size_t> order(train.num_interactions());
+  std::iota(order.begin(), order.end(), size_t{0});
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const size_t end = std::min(order.size(), start + config_.batch_size);
+      std::vector<int32_t> users, items;
+      std::vector<float> labels;
+      for (size_t i = start; i < end; ++i) {
+        const Interaction& x = train.interactions()[order[i]];
+        users.push_back(x.user);
+        items.push_back(x.item);
+        labels.push_back(1.0f);
+        users.push_back(x.user);
+        items.push_back(sampler.Sample(x.user, rng));
+        labels.push_back(0.0f);
+      }
+      nn::Tensor ls;
+      nn::Tensor logits = Forward(
+          users, items, config_.ls_weight > 0.0f ? &ls : nullptr);
+      nn::Tensor loss = nn::BceWithLogits(logits, labels);
+      if (config_.ls_weight > 0.0f) {
+        loss = nn::Add(
+            loss, nn::ScaleBy(nn::BceWithLogits(ls, labels),
+                              config_.ls_weight));
+      }
+      optimizer.ZeroGrad();
+      nn::Backward(loss);
+      optimizer.Step();
+    }
+  }
+}
+
+float KgcnRecommender::Score(int32_t user, int32_t item) const {
+  std::vector<int32_t> users{user}, items{item};
+  return Forward(users, items, nullptr).value();
+}
+
+}  // namespace kgrec

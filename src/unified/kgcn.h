@@ -1,0 +1,65 @@
+#ifndef KGREC_UNIFIED_KGCN_H_
+#define KGREC_UNIFIED_KGCN_H_
+
+#include <vector>
+
+#include "core/recommender.h"
+#include "graph/aggregators.h"
+#include "nn/tensor.h"
+
+namespace kgrec {
+
+/// Hyper-parameters for KGCN / KGCN-LS.
+struct KgcnConfig {
+  size_t dim = 16;
+  /// Receptive-field depth H.
+  size_t num_layers = 2;
+  /// Fixed number of sampled neighbors per entity.
+  size_t num_neighbors = 6;
+  AggregatorKind aggregator = AggregatorKind::kSum;
+  int epochs = 12;
+  size_t batch_size = 128;
+  float learning_rate = 0.05f;
+  float l2 = 1e-5f;
+  /// KGCN-LS only: weight of the label-smoothness regularizer.
+  float ls_weight = 0.0f;
+};
+
+/// KGCN (Wang et al., WWW'19; survey Eq. 28-29): the candidate item's
+/// representation is computed by sampling a fixed-size receptive field in
+/// the item KG and aggregating neighbor embeddings inward, with
+/// user-relation attention pi(u, r) = u . r deciding how much each edge
+/// matters to this user. All four aggregators of Eq. 30-33 are supported.
+class KgcnRecommender : public Recommender {
+ public:
+  explicit KgcnRecommender(KgcnConfig config = {}) : config_(config) {}
+
+  std::string name() const override {
+    return config_.ls_weight > 0.0f ? "KGCN-LS" : "KGCN";
+  }
+  void Fit(const RecContext& context) override;
+  float Score(int32_t user, int32_t item) const override;
+
+ private:
+  /// Differentiable forward: logits [B,1] for (users, items). When
+  /// `ls_logits` is non-null also emits label-smoothness logits (the
+  /// attention-propagated interaction labels of the 1-hop neighborhood).
+  nn::Tensor Forward(const std::vector<int32_t>& users,
+                     const std::vector<int32_t>& items,
+                     nn::Tensor* ls_logits) const;
+
+  KgcnConfig config_;
+  int32_t num_items_ = 0;
+  const InteractionDataset* train_ = nullptr;
+  /// Static receptive field: per entity, num_neighbors sampled (relation,
+  /// target) pairs (resampled-with-replacement when degree is small).
+  std::vector<std::vector<Edge>> sampled_neighbors_;
+  nn::Tensor user_emb_;
+  nn::Tensor entity_emb_;
+  nn::Tensor relation_emb_;
+  std::vector<Aggregator> aggregators_;  // one per layer
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_UNIFIED_KGCN_H_

@@ -1,0 +1,108 @@
+#include "unified/kni.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+
+namespace kgrec {
+
+nn::Tensor KniRecommender::Forward(const std::vector<int32_t>& users,
+                                   const std::vector<int32_t>& items) const {
+  const size_t batch = users.size();
+  const size_t k = config_.num_neighbors;
+  const size_t pairs = k * k;
+  std::vector<int32_t> left(batch * pairs), right(batch * pairs);
+  for (size_t b = 0; b < batch; ++b) {
+    const auto& nu = user_neighbors_[users[b]];
+    const auto& nv = item_neighbors_[items[b]];
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < k; ++j) {
+        left[b * pairs + i * k + j] = nu[i];
+        right[b * pairs + i * k + j] = nv[j];
+      }
+    }
+  }
+  nn::Tensor ei = nn::Gather(entity_emb_, left);    // [B*k*k, d]
+  nn::Tensor ej = nn::Gather(entity_emb_, right);   // [B*k*k, d]
+  nn::Tensor s = nn::RowwiseDot(ei, ej);            // [B*k*k, 1]
+  nn::Tensor s_rows = nn::Reshape(s, batch, pairs); // [B, k*k]
+  nn::Tensor att = nn::Softmax(s_rows);
+  return nn::SumRows(nn::Mul(att, s_rows));         // [B, 1]
+}
+
+void KniRecommender::Fit(const RecContext& context) {
+  KGREC_CHECK(context.train != nullptr);
+  KGREC_CHECK(context.user_item_graph != nullptr);
+  graph_ = context.user_item_graph;
+  const InteractionDataset& train = *context.train;
+  const KnowledgeGraph& kg = graph_->kg;
+  const size_t k = config_.num_neighbors;
+  Rng rng(context.seed);
+
+  entity_emb_ = nn::NormalInit(kg.num_entities(), config_.dim, 0.1f, rng);
+
+  // User-side neighborhoods: the user entity + sampled consumed items.
+  user_neighbors_.assign(train.num_users(), {});
+  for (int32_t u = 0; u < train.num_users(); ++u) {
+    auto& neighbors = user_neighbors_[u];
+    neighbors.push_back(graph_->UserEntity(u));
+    const auto& history = train.UserItems(u);
+    while (neighbors.size() < k) {
+      if (history.empty()) {
+        neighbors.push_back(graph_->UserEntity(u));
+      } else {
+        neighbors.push_back(
+            graph_->ItemEntity(history[rng.UniformInt(history.size())]));
+      }
+    }
+  }
+  // Item-side neighborhoods: the item entity + sampled KG neighbors
+  // (attributes and co-consumers).
+  item_neighbors_.assign(train.num_items(), {});
+  for (int32_t j = 0; j < train.num_items(); ++j) {
+    auto& neighbors = item_neighbors_[j];
+    const EntityId entity = graph_->ItemEntity(j);
+    neighbors.push_back(entity);
+    std::vector<Edge> sampled = kg.SampleNeighbors(entity, k - 1, rng);
+    for (const Edge& e : sampled) neighbors.push_back(e.target);
+    while (neighbors.size() < k) neighbors.push_back(entity);
+  }
+
+  nn::Adagrad optimizer({entity_emb_}, config_.learning_rate, config_.l2);
+  NegativeSampler sampler(train);
+  std::vector<size_t> order(train.num_interactions());
+  std::iota(order.begin(), order.end(), size_t{0});
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const size_t end = std::min(order.size(), start + config_.batch_size);
+      std::vector<int32_t> users, items;
+      std::vector<float> labels;
+      for (size_t i = start; i < end; ++i) {
+        const Interaction& x = train.interactions()[order[i]];
+        users.push_back(x.user);
+        items.push_back(x.item);
+        labels.push_back(1.0f);
+        users.push_back(x.user);
+        items.push_back(sampler.Sample(x.user, rng));
+        labels.push_back(0.0f);
+      }
+      nn::Tensor loss = nn::BceWithLogits(Forward(users, items), labels);
+      optimizer.ZeroGrad();
+      nn::Backward(loss);
+      optimizer.Step();
+    }
+  }
+}
+
+float KniRecommender::Score(int32_t user, int32_t item) const {
+  std::vector<int32_t> users{user}, items{item};
+  return Forward(users, items).value();
+}
+
+}  // namespace kgrec

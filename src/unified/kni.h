@@ -1,0 +1,52 @@
+#ifndef KGREC_UNIFIED_KNI_H_
+#define KGREC_UNIFIED_KNI_H_
+
+#include <vector>
+
+#include "core/recommender.h"
+#include "nn/tensor.h"
+
+namespace kgrec {
+
+/// Hyper-parameters for KNI.
+struct KniConfig {
+  size_t dim = 16;
+  /// Sampled neighborhood size on each side.
+  size_t num_neighbors = 6;
+  int epochs = 12;
+  size_t batch_size = 128;
+  float learning_rate = 0.05f;
+  float l2 = 1e-5f;
+};
+
+/// KNI (Qu et al., 2019): end-to-end neighborhood-based interaction. The
+/// preference for (u, v) is computed from *all pairwise interactions*
+/// between the user-side neighborhood (the user itself + consumed items)
+/// and the item-side neighborhood (the item itself + its KG neighbors),
+/// attention-weighted:
+///   y = sum_{i in N(u), j in N(v)} softmax_{ij}(e_i . e_j) (e_i . e_j),
+/// so the refinement of user and item representations is not separated
+/// (survey Section 4.3).
+class KniRecommender : public Recommender {
+ public:
+  explicit KniRecommender(KniConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "KNI"; }
+  void Fit(const RecContext& context) override;
+  float Score(int32_t user, int32_t item) const override;
+
+ private:
+  nn::Tensor Forward(const std::vector<int32_t>& users,
+                     const std::vector<int32_t>& items) const;
+
+  KniConfig config_;
+  const UserItemGraph* graph_ = nullptr;
+  /// Fixed sampled neighborhoods (entity ids of the user-item KG).
+  std::vector<std::vector<EntityId>> user_neighbors_;
+  std::vector<std::vector<EntityId>> item_neighbors_;
+  nn::Tensor entity_emb_;
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_UNIFIED_KNI_H_

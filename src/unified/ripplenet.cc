@@ -1,0 +1,217 @@
+#include "unified/ripplenet.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.h"
+#include "graph/ripple.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+
+namespace kgrec {
+
+nn::Tensor RippleNetRecommender::Forward(
+    const std::vector<int32_t>& users,
+    const std::vector<int32_t>& items) const {
+  const size_t batch = users.size();
+  const size_t s = config_.hop_size;
+  const size_t d = config_.dim;
+  nn::Tensor v = ItemVectors(items);  // [B, d]
+
+  // Flat per-hop index arrays across the batch.
+  std::vector<nn::Tensor> responses;
+  std::vector<int32_t> repeat(batch * s);
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t k = 0; k < s; ++k) repeat[b * s + k] = static_cast<int32_t>(b);
+  }
+  // 0-hop response: mean of the user's clicked-item embeddings.
+  std::vector<int32_t> seed_flat(batch * s);
+  std::vector<float> seed_w(batch * s);
+  for (size_t b = 0; b < batch; ++b) {
+    const UserRipples& ur = user_ripples_[users[b]];
+    for (size_t k = 0; k < s; ++k) {
+      seed_flat[b * s + k] = ur.seeds[k];
+      seed_w[b * s + k] = ur.seed_weights[k];
+    }
+  }
+  nn::Tensor seed_emb = nn::Gather(entity_emb_, seed_flat);
+  nn::Tensor seed_weights =
+      nn::Tensor::FromData(batch * s, 1, std::move(seed_w));
+  std::vector<nn::Tensor> all_responses{
+      nn::GroupSumRows(nn::Mul(seed_emb, seed_weights), s)};
+
+  nn::Tensor probe = v;  // Eq. 24 starts with the candidate item.
+  for (size_t hop = 0; hop < config_.num_hops; ++hop) {
+    std::vector<int32_t> heads(batch * s), rels(batch * s), tails(batch * s);
+    for (size_t b = 0; b < batch; ++b) {
+      const UserRipples& ur = user_ripples_[users[b]];
+      for (size_t k = 0; k < s; ++k) {
+        heads[b * s + k] = ur.heads[hop][k];
+        rels[b * s + k] = ur.relations[hop][k];
+        tails[b * s + k] = ur.tails[hop][k];
+      }
+    }
+    nn::Tensor h = nn::Gather(entity_emb_, heads);        // [B*s, d]
+    nn::Tensor r = nn::Gather(relation_mats_, rels);      // [B*s, d*d]
+    nn::Tensor t = nn::Gather(entity_emb_, tails);        // [B*s, d]
+    nn::Tensor rh = nn::RowwiseVecMat(h, r);              // [B*s, d]
+    nn::Tensor probe_rep = nn::Gather(probe, repeat);     // [B*s, d]
+    nn::Tensor logits = nn::SumRows(nn::Mul(rh, probe_rep));  // [B*s, 1]
+    nn::Tensor p = nn::Softmax(nn::Reshape(logits, batch, s));
+    nn::Tensor p_flat = nn::Reshape(p, batch * s, 1);
+    nn::Tensor o = nn::GroupSumRows(nn::Mul(t, p_flat), s);  // [B, d]
+    responses.push_back(o);
+    all_responses.push_back(o);
+    probe = o;  // Eq. 24 replaces v with o^(h-1) for the next hop.
+  }
+  nn::Tensor u = CombineResponses(all_responses, v);
+  return nn::SumRows(nn::Mul(u, v));  // logits; sigma applied in the loss
+}
+
+nn::Tensor RippleNetRecommender::ItemVectors(
+    const std::vector<int32_t>& items) const {
+  return nn::Gather(entity_emb_, items);
+}
+
+void RippleNetRecommender::PrepareAux(const RecContext& /*context*/,
+                                      Rng& /*rng*/) {}
+
+nn::Tensor RippleNetRecommender::CombineResponses(
+    const std::vector<nn::Tensor>& responses,
+    const nn::Tensor& /*item_vecs*/) const {
+  nn::Tensor u = responses[0];
+  for (size_t i = 1; i < responses.size(); ++i) {
+    u = nn::Add(u, responses[i]);
+  }
+  return u;
+}
+
+void RippleNetRecommender::Fit(const RecContext& context) {
+  KGREC_CHECK(context.train != nullptr);
+  KGREC_CHECK(context.item_kg != nullptr);
+  const InteractionDataset& train = *context.train;
+  const KnowledgeGraph& kg = *context.item_kg;
+  const size_t d = config_.dim;
+  Rng rng(context.seed);
+
+  entity_emb_ = nn::NormalInit(kg.num_entities(), d, 0.1f, rng);
+  relation_mats_ = nn::NormalInit(kg.num_relations(), d * d, 0.1f, rng);
+  // Identity bias so h^T R t starts near h . t.
+  for (size_t r = 0; r < kg.num_relations(); ++r) {
+    for (size_t i = 0; i < d; ++i) {
+      relation_mats_.data()[r * d * d + i * d + i] += 1.0f;
+    }
+  }
+
+  PrepareAux(context, rng);
+
+  // Precompute fixed-size ripple sets per user from training history.
+  user_ripples_.assign(train.num_users(), {});
+  for (int32_t u = 0; u < train.num_users(); ++u) {
+    const auto& seeds = train.UserItems(u);
+    if (seeds.empty()) continue;
+    std::vector<EntityId> seed_entities(seeds.begin(), seeds.end());
+    std::vector<RippleHop> hops = BuildRippleSets(
+        kg, seed_entities, config_.num_hops, config_.hop_size * 4, rng);
+    UserRipples& ur = user_ripples_[u];
+    ur.empty = false;
+    ur.seeds.resize(config_.hop_size);
+    ur.seed_weights.resize(config_.hop_size);
+    for (size_t k = 0; k < config_.hop_size; ++k) {
+      ur.seeds[k] = seed_entities[k % seed_entities.size()];
+      ur.seed_weights[k] =
+          k < seed_entities.size()
+              ? 1.0f / std::min<size_t>(seed_entities.size(),
+                                        config_.hop_size)
+              : 0.0f;
+    }
+    for (const RippleHop& hop : hops) {
+      std::vector<int32_t> heads(config_.hop_size),
+          rels(config_.hop_size), tails(config_.hop_size);
+      if (hop.triples.empty()) {
+        // Isolated seeds: self-loops on the first seed keep shapes fixed.
+        for (size_t k = 0; k < config_.hop_size; ++k) {
+          heads[k] = seed_entities[0];
+          rels[k] = 0;
+          tails[k] = seed_entities[0];
+        }
+      } else {
+        for (size_t k = 0; k < config_.hop_size; ++k) {
+          const Triple& t = hop.triples[rng.UniformInt(hop.triples.size())];
+          heads[k] = t.head;
+          rels[k] = t.relation;
+          tails[k] = t.tail;
+        }
+      }
+      ur.heads.push_back(std::move(heads));
+      ur.relations.push_back(std::move(rels));
+      ur.tails.push_back(std::move(tails));
+    }
+  }
+
+  nn::Adagrad optimizer({entity_emb_, relation_mats_},
+                        config_.learning_rate, config_.l2);
+  NegativeSampler sampler(train);
+  std::vector<size_t> order(train.num_interactions());
+  std::iota(order.begin(), order.end(), size_t{0});
+  const auto& triples = kg.triples();
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const size_t end = std::min(order.size(), start + config_.batch_size);
+      std::vector<int32_t> users, items;
+      std::vector<float> labels;
+      for (size_t i = start; i < end; ++i) {
+        const Interaction& x = train.interactions()[order[i]];
+        if (user_ripples_[x.user].empty) continue;
+        users.push_back(x.user);
+        items.push_back(x.item);
+        labels.push_back(1.0f);
+        users.push_back(x.user);
+        items.push_back(sampler.Sample(x.user, rng));
+        labels.push_back(0.0f);
+      }
+      if (users.empty()) continue;
+      nn::Tensor logits = Forward(users, items);
+      nn::Tensor loss = nn::BceWithLogits(logits, labels);
+      if (config_.kge_weight > 0.0f) {
+        // KGE regularizer: sampled triples should satisfy h^T R t > 0.
+        std::vector<int32_t> heads, rels, tails;
+        std::vector<float> kge_labels;
+        for (size_t i = 0; i < users.size() / 2; ++i) {
+          const Triple& t = triples[rng.UniformInt(triples.size())];
+          heads.push_back(t.head);
+          rels.push_back(t.relation);
+          tails.push_back(t.tail);
+          kge_labels.push_back(1.0f);
+          // Corrupted tail as a negative, so the regularizer separates
+          // true facts from noise instead of inflating all scores.
+          heads.push_back(t.head);
+          rels.push_back(t.relation);
+          tails.push_back(
+              static_cast<int32_t>(rng.UniformInt(kg.num_entities())));
+          kge_labels.push_back(0.0f);
+        }
+        nn::Tensor h = nn::Gather(entity_emb_, heads);
+        nn::Tensor r = nn::Gather(relation_mats_, rels);
+        nn::Tensor t = nn::Gather(entity_emb_, tails);
+        nn::Tensor plaus = nn::SumRows(nn::Mul(nn::RowwiseVecMat(h, r), t));
+        loss = nn::Add(loss, nn::ScaleBy(nn::BceWithLogits(plaus, kge_labels),
+                                         config_.kge_weight));
+      }
+      optimizer.ZeroGrad();
+      nn::Backward(loss);
+      optimizer.Step();
+    }
+  }
+}
+
+float RippleNetRecommender::Score(int32_t user, int32_t item) const {
+  if (user_ripples_[user].empty) return 0.0f;
+  std::vector<int32_t> users{user}, items{item};
+  return Forward(users, items).value();
+}
+
+}  // namespace kgrec

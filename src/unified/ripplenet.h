@@ -1,0 +1,82 @@
+#ifndef KGREC_UNIFIED_RIPPLENET_H_
+#define KGREC_UNIFIED_RIPPLENET_H_
+
+#include <vector>
+
+#include "core/recommender.h"
+#include "nn/tensor.h"
+
+namespace kgrec {
+
+/// Hyper-parameters for RippleNet.
+struct RippleNetConfig {
+  size_t dim = 16;
+  /// Number of ripple hops H.
+  size_t num_hops = 2;
+  /// Fixed ripple-set size per hop (padded by resampling).
+  size_t hop_size = 32;
+  int epochs = 15;
+  size_t batch_size = 128;
+  float learning_rate = 0.05f;
+  float l2 = 1e-5f;
+  /// Weight of the KGE regularization term ||R - E^T E|| surrogate
+  /// (we regularize hop triple plausibility h^T R t).
+  float kge_weight = 0.01f;
+};
+
+/// RippleNet (Wang et al., CIKM'18; survey Eq. 24-26): the first
+/// preference-propagation model. A user's interests ripple outward from
+/// their clicked items along KG triples; hop responses
+///   o_u^h = sum_i softmax_i(v^T R_i h_i) t_i
+/// are summed into the user embedding and scored against the candidate
+/// with a sigmoid inner product.
+class RippleNetRecommender : public Recommender {
+ public:
+  explicit RippleNetRecommender(RippleNetConfig config = {})
+      : config_(config) {}
+
+  std::string name() const override { return "RippleNet"; }
+  void Fit(const RecContext& context) override;
+  float Score(int32_t user, int32_t item) const override;
+
+ protected:
+  /// Fixed-size padded ripple arrays for one user.
+  struct UserRipples {
+    /// Per hop: heads/relations/tails, each of length hop_size.
+    std::vector<std::vector<int32_t>> heads;
+    std::vector<std::vector<int32_t>> relations;
+    std::vector<std::vector<int32_t>> tails;
+    /// Seed items padded to hop_size with per-slot averaging weights
+    /// (the 0-hop response o_u^0 = mean of clicked-item embeddings).
+    std::vector<int32_t> seeds;
+    std::vector<float> seed_weights;
+    bool empty = true;
+  };
+
+  /// Differentiable forward: logits [B,1] for (users, items) pairs.
+  nn::Tensor Forward(const std::vector<int32_t>& users,
+                     const std::vector<int32_t>& items) const;
+
+  /// Hook: combines hop responses [B*H rows grouped] into the user
+  /// vector. RippleNet sums; AKUPM overrides with self-attention.
+  virtual nn::Tensor CombineResponses(const std::vector<nn::Tensor>& responses,
+                                      const nn::Tensor& item_vecs) const;
+
+  /// Hook: candidate-item representation [B, dim]. RippleNet uses the
+  /// plain entity embedding; RippleNet-agg aggregates the item's entity
+  /// ripple set (its KG neighborhood) into it.
+  virtual nn::Tensor ItemVectors(const std::vector<int32_t>& items) const;
+
+  /// Hook: called at the start of Fit() after embeddings exist, so
+  /// subclasses can build auxiliary structures (sampled neighborhoods).
+  virtual void PrepareAux(const RecContext& context, Rng& rng);
+
+  RippleNetConfig config_;
+  std::vector<UserRipples> user_ripples_;
+  nn::Tensor entity_emb_;
+  nn::Tensor relation_mats_;  // [num_relations, dim*dim]
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_UNIFIED_RIPPLENET_H_

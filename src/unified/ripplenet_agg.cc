@@ -1,0 +1,44 @@
+#include "unified/ripplenet_agg.h"
+
+#include "core/check.h"
+#include "nn/ops.h"
+
+namespace kgrec {
+
+void RippleNetAggRecommender::PrepareAux(const RecContext& context,
+                                         Rng& rng) {
+  KGREC_CHECK(context.item_kg != nullptr);
+  const KnowledgeGraph& kg = *context.item_kg;
+  const int32_t num_items = context.train->num_items();
+  item_neighbors_.assign(num_items, {});
+  for (int32_t j = 0; j < num_items; ++j) {
+    std::vector<Edge> sampled = kg.SampleNeighbors(j, neighbor_count_, rng);
+    std::vector<EntityId>& neighbors = item_neighbors_[j];
+    if (sampled.empty()) {
+      neighbors.assign(neighbor_count_, j);  // isolated: self only
+    } else {
+      for (const Edge& e : sampled) neighbors.push_back(e.target);
+      while (neighbors.size() < neighbor_count_) {
+        neighbors.push_back(neighbors[neighbors.size() %
+                                      sampled.size()]);
+      }
+    }
+  }
+}
+
+nn::Tensor RippleNetAggRecommender::ItemVectors(
+    const std::vector<int32_t>& items) const {
+  nn::Tensor self = nn::Gather(entity_emb_, items);
+  std::vector<int32_t> flat;
+  flat.reserve(items.size() * neighbor_count_);
+  for (int32_t j : items) {
+    for (EntityId e : item_neighbors_[j]) flat.push_back(e);
+  }
+  nn::Tensor neighborhood = nn::ScaleBy(
+      nn::GroupSumRows(nn::Gather(entity_emb_, flat), neighbor_count_),
+      1.0f / static_cast<float>(neighbor_count_));
+  // v = 0.5 (e_v + mean of entity ripple set): both sides knowledge-mixed.
+  return nn::ScaleBy(nn::Add(self, neighborhood), 0.5f);
+}
+
+}  // namespace kgrec

@@ -1,0 +1,35 @@
+#ifndef KGREC_UNIFIED_RIPPLENET_AGG_H_
+#define KGREC_UNIFIED_RIPPLENET_AGG_H_
+
+#include <vector>
+
+#include "unified/ripplenet.h"
+
+namespace kgrec {
+
+/// RippleNet-agg (Wang et al., TOIS'19, "Exploring high-order user
+/// preference on the knowledge graph"): the journal extension of
+/// RippleNet that additionally refines the *candidate item* with its
+/// entity ripple set — the item embedding becomes a mixture of itself and
+/// its aggregated KG neighborhood, so both sides of sigma(u^T v) are
+/// knowledge-enhanced.
+class RippleNetAggRecommender : public RippleNetRecommender {
+ public:
+  explicit RippleNetAggRecommender(RippleNetConfig config = {})
+      : RippleNetRecommender(config) {}
+
+  std::string name() const override { return "RippleNet-agg"; }
+
+ protected:
+  nn::Tensor ItemVectors(const std::vector<int32_t>& items) const override;
+  void PrepareAux(const RecContext& context, Rng& rng) override;
+
+ private:
+  /// Fixed-size sampled neighborhood per item entity.
+  std::vector<std::vector<EntityId>> item_neighbors_;
+  size_t neighbor_count_ = 8;
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_UNIFIED_RIPPLENET_AGG_H_

@@ -1,0 +1,96 @@
+// Unit and property tests for the evaluation library.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+
+namespace kgrec {
+namespace {
+
+TEST(Auc, PerfectReversedAndRandom) {
+  std::vector<float> scores{0.9f, 0.8f, 0.2f, 0.1f};
+  std::vector<int> labels{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(Auc(scores, labels), 1.0);
+  std::vector<int> reversed{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(Auc(scores, reversed), 0.0);
+  std::vector<float> constant{0.5f, 0.5f, 0.5f, 0.5f};
+  EXPECT_DOUBLE_EQ(Auc(constant, labels), 0.5);
+}
+
+TEST(Auc, HandComputedWithTies) {
+  // scores: pos {3, 1}, neg {2, 1}: pairs (3>2)=1, (3>1)=1, (1<2)=0,
+  // (1=1)=0.5 -> AUC = 2.5/4.
+  std::vector<float> scores{3.0f, 1.0f, 2.0f, 1.0f};
+  std::vector<int> labels{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(Auc(scores, labels), 2.5 / 4.0);
+}
+
+TEST(Auc, DegenerateClassesReturnHalf) {
+  EXPECT_DOUBLE_EQ(Auc({1.0f, 2.0f}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(Auc({1.0f, 2.0f}, {0, 0}), 0.5);
+}
+
+TEST(AccuracyF1, ThresholdAtZero) {
+  std::vector<float> scores{2.0f, -1.0f, 0.5f, -0.5f};
+  std::vector<int> labels{1, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(Accuracy(scores, labels), 0.5);
+  // tp=1 (score 2), fp=1 (0.5), fn=1 (-0.5): P=0.5, R=0.5, F1=0.5.
+  EXPECT_DOUBLE_EQ(F1Score(scores, labels), 0.5);
+  EXPECT_DOUBLE_EQ(F1Score({-1.0f}, {1}), 0.0);
+}
+
+TEST(TopKMetricsTest, HandComputed) {
+  std::vector<int32_t> ranked{7, 3, 9, 1, 5};
+  std::unordered_set<int32_t> relevant{3, 5};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, relevant, 2), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, relevant, 2), 0.5);
+  EXPECT_DOUBLE_EQ(HitRateAtK(ranked, relevant, 1), 0.0);
+  EXPECT_DOUBLE_EQ(HitRateAtK(ranked, relevant, 2), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(ranked, relevant), 0.5);
+  // NDCG@5: hits at ranks 2 and 5 -> dcg = 1/log2(3) + 1/log2(6);
+  // ideal = 1/log2(2) + 1/log2(3).
+  const double dcg = 1.0 / std::log2(3.0) + 1.0 / std::log2(6.0);
+  const double ideal = 1.0 + 1.0 / std::log2(3.0);
+  EXPECT_NEAR(NdcgAtK(ranked, relevant, 5), dcg / ideal, 1e-12);
+}
+
+TEST(TopKMetricsTest, EdgeCases) {
+  std::vector<int32_t> ranked{1, 2, 3};
+  std::unordered_set<int32_t> empty;
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, empty, 3), 0.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK(ranked, empty, 3), 0.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(ranked, empty), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, {1}, 0), 0.0);
+}
+
+class NdcgMonotoneTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(NdcgMonotoneTest, PerfectRankingIsOptimal) {
+  // A perfect ranking must have NDCG 1; any swap cannot exceed it.
+  const size_t k = GetParam();
+  std::vector<int32_t> perfect{0, 1, 2, 3, 4, 5};
+  std::unordered_set<int32_t> relevant{0, 1, 2};
+  EXPECT_DOUBLE_EQ(NdcgAtK(perfect, relevant, k), 1.0);
+  std::vector<int32_t> swapped{3, 1, 2, 0, 4, 5};
+  EXPECT_LE(NdcgAtK(swapped, relevant, k), 1.0);
+  EXPECT_LT(NdcgAtK(swapped, relevant, k), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, NdcgMonotoneTest, ::testing::Values(3u, 4u, 6u));
+
+TEST(TopKMetricsTest, RecallMonotoneInK) {
+  std::vector<int32_t> ranked{9, 8, 7, 6, 5, 4, 3, 2, 1, 0};
+  std::unordered_set<int32_t> relevant{7, 2, 0};
+  double previous = 0.0;
+  for (size_t k = 1; k <= ranked.size(); ++k) {
+    const double recall = RecallAtK(ranked, relevant, k);
+    EXPECT_GE(recall, previous);
+    previous = recall;
+  }
+  EXPECT_DOUBLE_EQ(previous, 1.0);
+}
+
+}  // namespace
+}  // namespace kgrec

@@ -1,0 +1,220 @@
+// Finite-difference verification of every autodiff op. These tests are
+// the foundation the whole model zoo stands on: if they pass, the
+// optimisation dynamics of every model are trustworthy.
+
+#include <gtest/gtest.h>
+
+#include "math/rng.h"
+#include "nn/gradcheck.h"
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+
+namespace kgrec::nn {
+namespace {
+
+constexpr double kTol = 2e-3;
+
+Tensor RandomParam(size_t rows, size_t cols, Rng& rng) {
+  return UniformInit(rows, cols, -0.9f, 0.9f, rng);
+}
+
+TEST(GradCheck, AddSubMulSameShape) {
+  Rng rng(1);
+  Tensor a = RandomParam(3, 4, rng);
+  Tensor b = RandomParam(3, 4, rng);
+  EXPECT_LT(GradCheck([&] { return Sum(Add(a, b)); }, {a, b}), kTol);
+  EXPECT_LT(GradCheck([&] { return Sum(Sub(a, b)); }, {a, b}), kTol);
+  EXPECT_LT(GradCheck([&] { return Sum(Mul(a, b)); }, {a, b}), kTol);
+}
+
+TEST(GradCheck, BroadcastScalarRowCol) {
+  Rng rng(2);
+  Tensor a = RandomParam(3, 4, rng);
+  Tensor scalar = RandomParam(1, 1, rng);
+  Tensor row = RandomParam(1, 4, rng);
+  Tensor col = RandomParam(3, 1, rng);
+  EXPECT_LT(GradCheck([&] { return Sum(Mul(a, scalar)); }, {a, scalar}), kTol);
+  EXPECT_LT(GradCheck([&] { return Sum(Mul(a, row)); }, {a, row}), kTol);
+  EXPECT_LT(GradCheck([&] { return Sum(Mul(a, col)); }, {a, col}), kTol);
+  EXPECT_LT(GradCheck([&] { return Sum(Add(a, row)); }, {a, row}), kTol);
+  EXPECT_LT(GradCheck([&] { return Sum(Sub(a, col)); }, {a, col}), kTol);
+}
+
+TEST(GradCheck, MatMulAndTranspose) {
+  Rng rng(3);
+  Tensor a = RandomParam(3, 5, rng);
+  Tensor b = RandomParam(5, 2, rng);
+  EXPECT_LT(GradCheck([&] { return Sum(MatMul(a, b)); }, {a, b}), kTol);
+  EXPECT_LT(GradCheck([&] { return Sum(Square(Transpose(a))); }, {a}), kTol);
+}
+
+TEST(GradCheck, UnaryOps) {
+  Rng rng(4);
+  Tensor a = RandomParam(2, 6, rng);
+  EXPECT_LT(GradCheck([&] { return Sum(Sigmoid(a)); }, {a}), kTol);
+  EXPECT_LT(GradCheck([&] { return Sum(Tanh(a)); }, {a}), kTol);
+  EXPECT_LT(GradCheck([&] { return Sum(Exp(a)); }, {a}), kTol);
+  EXPECT_LT(GradCheck([&] { return Sum(Square(a)); }, {a}), kTol);
+  EXPECT_LT(GradCheck([&] { return Sum(Softplus(a)); }, {a}), kTol);
+  EXPECT_LT(GradCheck([&] { return Sum(ScaleBy(a, -2.5f)); }, {a}), kTol);
+  EXPECT_LT(GradCheck([&] { return Sum(AddConst(a, 0.7f)); }, {a}), kTol);
+}
+
+TEST(GradCheck, LogAwayFromZero) {
+  Rng rng(5);
+  Tensor a = UniformInit(2, 4, 0.5f, 1.5f, rng);
+  EXPECT_LT(GradCheck([&] { return Sum(Log(a)); }, {a}), kTol);
+}
+
+TEST(GradCheck, Reductions) {
+  Rng rng(6);
+  Tensor a = RandomParam(3, 4, rng);
+  EXPECT_LT(GradCheck([&] { return Mean(Square(a)); }, {a}), kTol);
+  EXPECT_LT(GradCheck([&] { return Sum(Square(SumRows(a))); }, {a}), kTol);
+  EXPECT_LT(GradCheck([&] { return Sum(Square(SumCols(a))); }, {a}), kTol);
+  EXPECT_LT(GradCheck([&] { return Sum(Square(MeanRows(a))); }, {a}), kTol);
+}
+
+TEST(GradCheck, SoftmaxConcat) {
+  Rng rng(7);
+  Tensor a = RandomParam(3, 4, rng);
+  Tensor b = RandomParam(3, 2, rng);
+  EXPECT_LT(GradCheck([&] { return Sum(Square(Softmax(a))); }, {a}), kTol);
+  EXPECT_LT(GradCheck([&] { return Sum(Square(Concat(a, b))); }, {a, b}),
+            kTol);
+}
+
+TEST(GradCheck, GatherScatterAdd) {
+  Rng rng(8);
+  Tensor table = RandomParam(6, 3, rng);
+  // Repeated indices exercise gradient accumulation.
+  std::vector<int32_t> indices{0, 2, 2, 5, 0};
+  EXPECT_LT(GradCheck([&] { return Sum(Square(Gather(table, indices))); },
+                      {table}),
+            kTol);
+}
+
+TEST(GradCheck, RowwiseOps) {
+  Rng rng(9);
+  Tensor a = RandomParam(4, 3, rng);
+  Tensor b = RandomParam(4, 3, rng);
+  Tensor w = RandomParam(4, 9, rng);
+  EXPECT_LT(GradCheck([&] { return Sum(Square(RowwiseDot(a, b))); }, {a, b}),
+            kTol);
+  EXPECT_LT(
+      GradCheck([&] { return Sum(Square(RowwiseVecMat(a, w))); }, {a, w}),
+      kTol);
+}
+
+TEST(GradCheck, MaxOp) {
+  Rng rng(23);
+  Tensor a = RandomParam(3, 4, rng);
+  Tensor b = RandomParam(3, 4, rng);
+  EXPECT_LT(GradCheck([&] { return Sum(Max(a, b)); }, {a, b}), kTol);
+  Tensor row = RandomParam(1, 4, rng);
+  EXPECT_LT(GradCheck([&] { return Sum(Max(a, row)); }, {a, row}), kTol);
+}
+
+TEST(GradCheck, ReshapeAndGroupSum) {
+  Rng rng(21);
+  Tensor a = RandomParam(6, 4, rng);
+  EXPECT_LT(GradCheck([&] { return Sum(Square(Reshape(a, 3, 8))); }, {a}),
+            kTol);
+  EXPECT_LT(GradCheck([&] { return Sum(Square(GroupSumRows(a, 3))); }, {a}),
+            kTol);
+}
+
+TEST(GradCheck, IndexedSumRows) {
+  Rng rng(22);
+  Tensor values = RandomParam(5, 3, rng);
+  std::vector<int32_t> indices{0, 2, 2, 1, 0};
+  EXPECT_LT(GradCheck(
+                [&] { return Sum(Square(IndexedSumRows(values, indices, 4))); },
+                {values}),
+            kTol);
+}
+
+TEST(GradCheck, Losses) {
+  Rng rng(10);
+  Tensor logits = RandomParam(5, 1, rng);
+  Tensor pos = RandomParam(5, 1, rng);
+  Tensor neg = RandomParam(5, 1, rng);
+  std::vector<float> targets{1, 0, 1, 1, 0};
+  std::vector<float> values{0.5f, -0.25f, 1.0f, 0.0f, 2.0f};
+  EXPECT_LT(GradCheck([&] { return BceWithLogits(logits, targets); },
+                      {logits}),
+            kTol);
+  EXPECT_LT(GradCheck([&] { return BprLoss(pos, neg); }, {pos, neg}), kTol);
+  EXPECT_LT(GradCheck([&] { return MseLoss(logits, values); }, {logits}),
+            kTol);
+  EXPECT_LT(GradCheck([&] { return Sum(Square(Relu(logits))); }, {logits}),
+            kTol);
+}
+
+TEST(GradCheck, LinearLayerAndComposition) {
+  Rng rng(11);
+  Linear layer(4, 3, rng);
+  Tensor x = RandomParam(2, 4, rng);
+  std::vector<Tensor> params = layer.Params();
+  params.push_back(x);
+  EXPECT_LT(
+      GradCheck([&] { return Sum(Square(Tanh(layer.Forward(x)))); }, params),
+      kTol);
+}
+
+TEST(GradCheck, GruCell) {
+  Rng rng(12);
+  GruCell cell(3, 4, rng);
+  Tensor x = RandomParam(2, 3, rng);
+  Tensor h = RandomParam(2, 4, rng);
+  std::vector<Tensor> params = cell.Params();
+  params.push_back(x);
+  params.push_back(h);
+  EXPECT_LT(GradCheck([&] { return Sum(Square(cell.Step(x, h))); }, params),
+            kTol);
+}
+
+TEST(GradCheck, LstmCellTwoSteps) {
+  Rng rng(13);
+  LstmCell cell(3, 4, rng);
+  Tensor x1 = RandomParam(2, 3, rng);
+  Tensor x2 = RandomParam(2, 3, rng);
+  std::vector<Tensor> params = cell.Params();
+  params.push_back(x1);
+  params.push_back(x2);
+  auto loss = [&] {
+    LstmCell::State s = cell.InitialState(2);
+    s = cell.Step(x1, s);
+    s = cell.Step(x2, s);
+    return Sum(Square(s.h));
+  };
+  EXPECT_LT(GradCheck(loss, params), kTol);
+}
+
+TEST(GradCheck, GradAccumulatesAcrossBackwardCalls) {
+  Tensor a = Tensor::FromData(1, 1, {2.0f}, /*requires_grad=*/true);
+  Tensor loss1 = Square(a);
+  Backward(loss1);
+  const float g1 = a.grad()[0];
+  Tensor loss2 = Square(a);
+  Backward(loss2);
+  EXPECT_FLOAT_EQ(a.grad()[0], 2.0f * g1);
+  a.ZeroGrad();
+  EXPECT_FLOAT_EQ(a.grad()[0], 0.0f);
+}
+
+TEST(GradCheck, DiamondGraphReuse) {
+  // a feeds two branches that rejoin: gradient must sum both paths.
+  Rng rng(14);
+  Tensor a = RandomParam(2, 3, rng);
+  auto loss = [&] {
+    Tensor left = Sigmoid(a);
+    Tensor right = Tanh(a);
+    return Sum(Mul(left, right));
+  };
+  EXPECT_LT(GradCheck(loss, {a}), kTol);
+}
+
+}  // namespace
+}  // namespace kgrec::nn

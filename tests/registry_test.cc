@@ -1,0 +1,88 @@
+// Tests of the method registry against the survey's Table 3.
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+
+namespace kgrec {
+namespace {
+
+TEST(Registry, Table3RowCountsMatchTheSurvey) {
+  size_t embedding = 0, path = 0, unified = 0, baselines = 0;
+  for (const MethodInfo& info : AllMethods()) {
+    switch (info.usage) {
+      case UsageType::kEmbedding:
+        ++embedding;
+        break;
+      case UsageType::kPath:
+        ++path;
+        break;
+      case UsageType::kUnified:
+        ++unified;
+        break;
+      case UsageType::kNone:
+        ++baselines;
+        break;
+    }
+  }
+  // Survey Table 3: 14 embedding-based, 15 path-based, 10 unified rows.
+  EXPECT_EQ(embedding, 14u);
+  EXPECT_EQ(path, 15u);
+  EXPECT_EQ(unified, 10u);
+  EXPECT_EQ(baselines, 6u);  // our non-KG baselines
+}
+
+TEST(Registry, EveryImplementedMethodConstructsWithMatchingName) {
+  size_t implemented = 0;
+  for (const MethodInfo& info : AllMethods()) {
+    if (!info.implemented) continue;
+    ++implemented;
+    auto model = MakeRecommender(info.name);
+    ASSERT_NE(model, nullptr) << info.name;
+    EXPECT_EQ(model->name(), info.name);
+  }
+  EXPECT_GE(implemented, 38u);
+  EXPECT_EQ(ImplementedMethodNames().size(), implemented);
+}
+
+TEST(Registry, UnknownAndUnimplementedReturnNull) {
+  EXPECT_EQ(MakeRecommender("NoSuchModel"), nullptr);
+  EXPECT_EQ(MakeRecommender("AKGE"), nullptr);  // catalogued, not built
+}
+
+TEST(Registry, TechniqueFlagsFollowTable3) {
+  for (const MethodInfo& info : AllMethods()) {
+    if (info.name == "DKN") {
+      EXPECT_TRUE(info.uses_cnn);
+      EXPECT_TRUE(info.uses_attention);
+    }
+    if (info.name == "KPRN") {
+      EXPECT_TRUE(info.uses_rnn);
+    }
+    if (info.name == "PGPR") {
+      EXPECT_TRUE(info.uses_rl);
+    }
+    if (info.name == "KGAT") {
+      EXPECT_TRUE(info.uses_gnn);
+      EXPECT_TRUE(info.uses_attention);
+    }
+    if (info.name == "KTGAN") {
+      EXPECT_TRUE(info.uses_gan);
+    }
+    if (info.name == "CKE") {
+      EXPECT_TRUE(info.uses_autoencoder);
+    }
+    if (info.name == "FMG") {
+      EXPECT_TRUE(info.uses_mf);
+    }
+  }
+}
+
+TEST(Registry, UsageTypeNames) {
+  EXPECT_STREQ(UsageTypeName(UsageType::kEmbedding), "Emb.");
+  EXPECT_STREQ(UsageTypeName(UsageType::kPath), "Path");
+  EXPECT_STREQ(UsageTypeName(UsageType::kUnified), "Uni.");
+}
+
+}  // namespace
+}  // namespace kgrec

@@ -1,0 +1,125 @@
+// Tests of the KGRT tensor-archive checkpoint format.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "core/serialize.h"
+#include "graph/knowledge_graph.h"
+#include "kge/kge_model.h"
+#include "kge/kge_trainer.h"
+
+namespace kgrec {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(Serialize, RoundTripNamedTensors) {
+  const std::string path = TempPath("roundtrip.kgrt");
+  std::vector<NamedTensor> original;
+  original.push_back({"alpha", 2, 3, {1, 2, 3, 4, 5, 6}});
+  original.push_back({"beta", 1, 1, {-0.5f}});
+  ASSERT_TRUE(SaveTensorArchive(path, original).ok());
+  std::vector<NamedTensor> loaded;
+  ASSERT_TRUE(LoadTensorArchive(path, &loaded).ok());
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].name, "alpha");
+  EXPECT_EQ(loaded[0].rows, 2u);
+  EXPECT_EQ(loaded[0].cols, 3u);
+  EXPECT_EQ(loaded[0].data, original[0].data);
+  EXPECT_EQ(loaded[1].name, "beta");
+  EXPECT_FLOAT_EQ(loaded[1].data[0], -0.5f);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileIsIoError) {
+  std::vector<NamedTensor> loaded;
+  EXPECT_EQ(LoadTensorArchive("/nonexistent/dir/x.kgrt", &loaded).code(),
+            StatusCode::kIoError);
+}
+
+TEST(Serialize, CorruptMagicIsInvalidArgument) {
+  const std::string path = TempPath("corrupt.kgrt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("NOPE", 1, 4, f);
+  std::fclose(f);
+  std::vector<NamedTensor> loaded;
+  EXPECT_EQ(LoadTensorArchive(path, &loaded).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TruncatedArchiveIsIoError) {
+  const std::string path = TempPath("truncated.kgrt");
+  std::vector<NamedTensor> original{{"x", 4, 4, std::vector<float>(16, 1.0f)}};
+  ASSERT_TRUE(SaveTensorArchive(path, original).ok());
+  // Truncate the file mid-blob.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 8), 0);
+  std::vector<NamedTensor> loaded;
+  EXPECT_EQ(LoadTensorArchive(path, &loaded).code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ShapeMismatchRejectedOnSave) {
+  const std::string path = TempPath("badshape.kgrt");
+  std::vector<NamedTensor> bad{{"x", 2, 2, {1.0f}}};  // 1 value, shape 2x2
+  EXPECT_EQ(SaveTensorArchive(path, bad).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Serialize, KgeModelCheckpointRestoresScores) {
+  // Train a model, snapshot it, restore into a fresh model: scores must
+  // be bit-identical.
+  KnowledgeGraph kg;
+  for (int i = 0; i < 12; ++i) kg.AddEntity("e" + std::to_string(i));
+  kg.AddRelation("r");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(kg.AddTriple(i, 0, (i + 1) % 12).ok());
+  }
+  kg.Finalize();
+  Rng rng(1);
+  auto trained = MakeKgeModel("transh", kg.num_entities(),
+                              kg.num_relations(), 8, rng);
+  KgeTrainConfig config;
+  config.epochs = 10;
+  TrainKge(*trained, kg, config);
+
+  const std::string path = TempPath("transh.kgrt");
+  ASSERT_TRUE(SaveTensorArchive(path, SnapshotParams(trained->Params())).ok());
+
+  Rng rng2(999);  // different init on purpose
+  auto restored = MakeKgeModel("transh", kg.num_entities(),
+                               kg.num_relations(), 8, rng2);
+  std::vector<NamedTensor> snapshot;
+  ASSERT_TRUE(LoadTensorArchive(path, &snapshot).ok());
+  std::vector<nn::Tensor> params = restored->Params();
+  ASSERT_TRUE(RestoreParams(snapshot, &params).ok());
+
+  for (int i = 0; i < 10; ++i) {
+    const float a =
+        trained->ScoreBatch({i}, {0}, {(i + 1) % 12}).value();
+    const float b =
+        restored->ScoreBatch({i}, {0}, {(i + 1) % 12}).value();
+    EXPECT_FLOAT_EQ(a, b);
+  }
+  std::remove(path.c_str());
+
+  // Restoring into a model of the wrong dimension fails cleanly.
+  Rng rng3(5);
+  auto wrong = MakeKgeModel("transh", kg.num_entities(), kg.num_relations(),
+                            4, rng3);
+  std::vector<nn::Tensor> wrong_params = wrong->Params();
+  EXPECT_EQ(RestoreParams(snapshot, &wrong_params).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace kgrec

@@ -1,0 +1,43 @@
+// Tests for the Status error-handling type.
+
+#include <gtest/gtest.h>
+
+#include "core/status.h"
+
+namespace kgrec {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  Status s = Status::InvalidArgument("bad triple");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "bad triple");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad triple");
+}
+
+Status FailsEarly() {
+  KGREC_RETURN_IF_ERROR(Status::NotFound("inner"));
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  Status s = FailsEarly();
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace kgrec
