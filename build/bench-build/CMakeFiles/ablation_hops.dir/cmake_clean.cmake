@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hops"
+  "../bench/ablation_hops.pdb"
+  "CMakeFiles/ablation_hops.dir/ablation_hops.cc.o"
+  "CMakeFiles/ablation_hops.dir/ablation_hops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

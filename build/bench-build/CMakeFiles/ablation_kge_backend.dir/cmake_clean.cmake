@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_kge_backend"
+  "../bench/ablation_kge_backend.pdb"
+  "CMakeFiles/ablation_kge_backend.dir/ablation_kge_backend.cc.o"
+  "CMakeFiles/ablation_kge_backend.dir/ablation_kge_backend.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kge_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_multitask"
+  "../bench/ablation_multitask.pdb"
+  "CMakeFiles/ablation_multitask.dir/ablation_multitask.cc.o"
+  "CMakeFiles/ablation_multitask.dir/ablation_multitask.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multitask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sparsity_coldstart"
+  "../bench/ablation_sparsity_coldstart.pdb"
+  "CMakeFiles/ablation_sparsity_coldstart.dir/ablation_sparsity_coldstart.cc.o"
+  "CMakeFiles/ablation_sparsity_coldstart.dir/ablation_sparsity_coldstart.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sparsity_coldstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

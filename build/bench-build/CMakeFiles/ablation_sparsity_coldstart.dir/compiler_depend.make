@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_sparsity_coldstart.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_cross_domain"
+  "../bench/extension_cross_domain.pdb"
+  "CMakeFiles/extension_cross_domain.dir/extension_cross_domain.cc.o"
+  "CMakeFiles/extension_cross_domain.dir/extension_cross_domain.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_cross_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

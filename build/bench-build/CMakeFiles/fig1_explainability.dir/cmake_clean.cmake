@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_explainability"
+  "../bench/fig1_explainability.pdb"
+  "CMakeFiles/fig1_explainability.dir/fig1_explainability.cc.o"
+  "CMakeFiles/fig1_explainability.dir/fig1_explainability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_explainability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

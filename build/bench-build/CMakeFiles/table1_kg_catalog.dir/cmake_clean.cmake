@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_kg_catalog"
+  "../bench/table1_kg_catalog.pdb"
+  "CMakeFiles/table1_kg_catalog.dir/table1_kg_catalog.cc.o"
+  "CMakeFiles/table1_kg_catalog.dir/table1_kg_catalog.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_kg_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

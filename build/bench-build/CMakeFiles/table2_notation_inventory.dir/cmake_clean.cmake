@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_notation_inventory"
+  "../bench/table2_notation_inventory.pdb"
+  "CMakeFiles/table2_notation_inventory.dir/table2_notation_inventory.cc.o"
+  "CMakeFiles/table2_notation_inventory.dir/table2_notation_inventory.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_notation_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

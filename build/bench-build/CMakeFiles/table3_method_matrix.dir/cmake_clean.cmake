@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_method_matrix"
+  "../bench/table3_method_matrix.pdb"
+  "CMakeFiles/table3_method_matrix.dir/table3_method_matrix.cc.o"
+  "CMakeFiles/table3_method_matrix.dir/table3_method_matrix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_method_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

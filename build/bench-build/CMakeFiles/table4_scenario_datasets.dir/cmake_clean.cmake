@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_scenario_datasets"
+  "../bench/table4_scenario_datasets.pdb"
+  "CMakeFiles/table4_scenario_datasets.dir/table4_scenario_datasets.cc.o"
+  "CMakeFiles/table4_scenario_datasets.dir/table4_scenario_datasets.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_scenario_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_explainable.dir/movie_explainable.cpp.o"
+  "CMakeFiles/movie_explainable.dir/movie_explainable.cpp.o.d"
+  "movie_explainable"
+  "movie_explainable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_explainable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

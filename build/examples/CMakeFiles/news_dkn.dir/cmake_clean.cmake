@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_dkn.dir/news_dkn.cpp.o"
+  "CMakeFiles/news_dkn.dir/news_dkn.cpp.o.d"
+  "news_dkn"
+  "news_dkn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_dkn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,84 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cf/fm.cc" "src/CMakeFiles/kgrec.dir/cf/fm.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/cf/fm.cc.o.d"
+  "/root/repo/src/cf/knn.cc" "src/CMakeFiles/kgrec.dir/cf/knn.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/cf/knn.cc.o.d"
+  "/root/repo/src/cf/mf.cc" "src/CMakeFiles/kgrec.dir/cf/mf.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/cf/mf.cc.o.d"
+  "/root/repo/src/cf/popularity.cc" "src/CMakeFiles/kgrec.dir/cf/popularity.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/cf/popularity.cc.o.d"
+  "/root/repo/src/core/recommender.cc" "src/CMakeFiles/kgrec.dir/core/recommender.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/core/recommender.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/CMakeFiles/kgrec.dir/core/registry.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/core/registry.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/CMakeFiles/kgrec.dir/core/serialize.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/core/serialize.cc.o.d"
+  "/root/repo/src/core/status.cc" "src/CMakeFiles/kgrec.dir/core/status.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/core/status.cc.o.d"
+  "/root/repo/src/data/interactions.cc" "src/CMakeFiles/kgrec.dir/data/interactions.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/data/interactions.cc.o.d"
+  "/root/repo/src/data/presets.cc" "src/CMakeFiles/kgrec.dir/data/presets.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/data/presets.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/kgrec.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/embed/cfkg.cc" "src/CMakeFiles/kgrec.dir/embed/cfkg.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/embed/cfkg.cc.o.d"
+  "/root/repo/src/embed/cke.cc" "src/CMakeFiles/kgrec.dir/embed/cke.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/embed/cke.cc.o.d"
+  "/root/repo/src/embed/dkfm.cc" "src/CMakeFiles/kgrec.dir/embed/dkfm.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/embed/dkfm.cc.o.d"
+  "/root/repo/src/embed/dkn.cc" "src/CMakeFiles/kgrec.dir/embed/dkn.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/embed/dkn.cc.o.d"
+  "/root/repo/src/embed/ecfkg.cc" "src/CMakeFiles/kgrec.dir/embed/ecfkg.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/embed/ecfkg.cc.o.d"
+  "/root/repo/src/embed/entity2rec.cc" "src/CMakeFiles/kgrec.dir/embed/entity2rec.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/embed/entity2rec.cc.o.d"
+  "/root/repo/src/embed/ksr.cc" "src/CMakeFiles/kgrec.dir/embed/ksr.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/embed/ksr.cc.o.d"
+  "/root/repo/src/embed/ktgan.cc" "src/CMakeFiles/kgrec.dir/embed/ktgan.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/embed/ktgan.cc.o.d"
+  "/root/repo/src/embed/ktup.cc" "src/CMakeFiles/kgrec.dir/embed/ktup.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/embed/ktup.cc.o.d"
+  "/root/repo/src/embed/mkr.cc" "src/CMakeFiles/kgrec.dir/embed/mkr.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/embed/mkr.cc.o.d"
+  "/root/repo/src/embed/sed.cc" "src/CMakeFiles/kgrec.dir/embed/sed.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/embed/sed.cc.o.d"
+  "/root/repo/src/embed/shine.cc" "src/CMakeFiles/kgrec.dir/embed/shine.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/embed/shine.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/kgrec.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/protocol.cc" "src/CMakeFiles/kgrec.dir/eval/protocol.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/eval/protocol.cc.o.d"
+  "/root/repo/src/explain/explainer.cc" "src/CMakeFiles/kgrec.dir/explain/explainer.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/explain/explainer.cc.o.d"
+  "/root/repo/src/graph/aggregators.cc" "src/CMakeFiles/kgrec.dir/graph/aggregators.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/graph/aggregators.cc.o.d"
+  "/root/repo/src/graph/bfs.cc" "src/CMakeFiles/kgrec.dir/graph/bfs.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/graph/bfs.cc.o.d"
+  "/root/repo/src/graph/hin.cc" "src/CMakeFiles/kgrec.dir/graph/hin.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/graph/hin.cc.o.d"
+  "/root/repo/src/graph/knowledge_graph.cc" "src/CMakeFiles/kgrec.dir/graph/knowledge_graph.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/graph/knowledge_graph.cc.o.d"
+  "/root/repo/src/graph/paths.cc" "src/CMakeFiles/kgrec.dir/graph/paths.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/graph/paths.cc.o.d"
+  "/root/repo/src/graph/pathsim.cc" "src/CMakeFiles/kgrec.dir/graph/pathsim.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/graph/pathsim.cc.o.d"
+  "/root/repo/src/graph/ripple.cc" "src/CMakeFiles/kgrec.dir/graph/ripple.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/graph/ripple.cc.o.d"
+  "/root/repo/src/kge/kge_models.cc" "src/CMakeFiles/kgrec.dir/kge/kge_models.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/kge/kge_models.cc.o.d"
+  "/root/repo/src/kge/kge_trainer.cc" "src/CMakeFiles/kgrec.dir/kge/kge_trainer.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/kge/kge_trainer.cc.o.d"
+  "/root/repo/src/math/dense.cc" "src/CMakeFiles/kgrec.dir/math/dense.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/math/dense.cc.o.d"
+  "/root/repo/src/math/kmeans.cc" "src/CMakeFiles/kgrec.dir/math/kmeans.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/math/kmeans.cc.o.d"
+  "/root/repo/src/math/nmf.cc" "src/CMakeFiles/kgrec.dir/math/nmf.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/math/nmf.cc.o.d"
+  "/root/repo/src/math/rng.cc" "src/CMakeFiles/kgrec.dir/math/rng.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/math/rng.cc.o.d"
+  "/root/repo/src/math/sparse.cc" "src/CMakeFiles/kgrec.dir/math/sparse.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/math/sparse.cc.o.d"
+  "/root/repo/src/nn/gradcheck.cc" "src/CMakeFiles/kgrec.dir/nn/gradcheck.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/nn/gradcheck.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/kgrec.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/kgrec.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "src/CMakeFiles/kgrec.dir/nn/ops.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/nn/ops.cc.o.d"
+  "/root/repo/src/nn/optim.cc" "src/CMakeFiles/kgrec.dir/nn/optim.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/nn/optim.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/CMakeFiles/kgrec.dir/nn/tensor.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/nn/tensor.cc.o.d"
+  "/root/repo/src/path/ekar.cc" "src/CMakeFiles/kgrec.dir/path/ekar.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/path/ekar.cc.o.d"
+  "/root/repo/src/path/fmg.cc" "src/CMakeFiles/kgrec.dir/path/fmg.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/path/fmg.cc.o.d"
+  "/root/repo/src/path/herec.cc" "src/CMakeFiles/kgrec.dir/path/herec.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/path/herec.cc.o.d"
+  "/root/repo/src/path/hete_cf.cc" "src/CMakeFiles/kgrec.dir/path/hete_cf.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/path/hete_cf.cc.o.d"
+  "/root/repo/src/path/hete_mf.cc" "src/CMakeFiles/kgrec.dir/path/hete_mf.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/path/hete_mf.cc.o.d"
+  "/root/repo/src/path/heterec.cc" "src/CMakeFiles/kgrec.dir/path/heterec.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/path/heterec.cc.o.d"
+  "/root/repo/src/path/kprn.cc" "src/CMakeFiles/kgrec.dir/path/kprn.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/path/kprn.cc.o.d"
+  "/root/repo/src/path/mcrec.cc" "src/CMakeFiles/kgrec.dir/path/mcrec.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/path/mcrec.cc.o.d"
+  "/root/repo/src/path/metapaths.cc" "src/CMakeFiles/kgrec.dir/path/metapaths.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/path/metapaths.cc.o.d"
+  "/root/repo/src/path/path_finder.cc" "src/CMakeFiles/kgrec.dir/path/path_finder.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/path/path_finder.cc.o.d"
+  "/root/repo/src/path/pgpr.cc" "src/CMakeFiles/kgrec.dir/path/pgpr.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/path/pgpr.cc.o.d"
+  "/root/repo/src/path/proppr.cc" "src/CMakeFiles/kgrec.dir/path/proppr.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/path/proppr.cc.o.d"
+  "/root/repo/src/path/rkge.cc" "src/CMakeFiles/kgrec.dir/path/rkge.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/path/rkge.cc.o.d"
+  "/root/repo/src/path/rulerec.cc" "src/CMakeFiles/kgrec.dir/path/rulerec.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/path/rulerec.cc.o.d"
+  "/root/repo/src/unified/akupm.cc" "src/CMakeFiles/kgrec.dir/unified/akupm.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/unified/akupm.cc.o.d"
+  "/root/repo/src/unified/kgat.cc" "src/CMakeFiles/kgrec.dir/unified/kgat.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/unified/kgat.cc.o.d"
+  "/root/repo/src/unified/kgcn.cc" "src/CMakeFiles/kgrec.dir/unified/kgcn.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/unified/kgcn.cc.o.d"
+  "/root/repo/src/unified/kni.cc" "src/CMakeFiles/kgrec.dir/unified/kni.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/unified/kni.cc.o.d"
+  "/root/repo/src/unified/ripplenet.cc" "src/CMakeFiles/kgrec.dir/unified/ripplenet.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/unified/ripplenet.cc.o.d"
+  "/root/repo/src/unified/ripplenet_agg.cc" "src/CMakeFiles/kgrec.dir/unified/ripplenet_agg.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/unified/ripplenet_agg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

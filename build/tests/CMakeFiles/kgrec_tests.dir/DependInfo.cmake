@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/kgrec_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/eval_test.cc" "tests/CMakeFiles/kgrec_tests.dir/eval_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/eval_test.cc.o.d"
+  "/root/repo/tests/explain_test.cc" "tests/CMakeFiles/kgrec_tests.dir/explain_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/explain_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/kgrec_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/integration_cf_test.cc" "tests/CMakeFiles/kgrec_tests.dir/integration_cf_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/integration_cf_test.cc.o.d"
+  "/root/repo/tests/integration_embed_test.cc" "tests/CMakeFiles/kgrec_tests.dir/integration_embed_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/integration_embed_test.cc.o.d"
+  "/root/repo/tests/integration_extended_test.cc" "tests/CMakeFiles/kgrec_tests.dir/integration_extended_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/integration_extended_test.cc.o.d"
+  "/root/repo/tests/integration_path_test.cc" "tests/CMakeFiles/kgrec_tests.dir/integration_path_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/integration_path_test.cc.o.d"
+  "/root/repo/tests/integration_unified_test.cc" "tests/CMakeFiles/kgrec_tests.dir/integration_unified_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/integration_unified_test.cc.o.d"
+  "/root/repo/tests/integration_wave3_test.cc" "tests/CMakeFiles/kgrec_tests.dir/integration_wave3_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/integration_wave3_test.cc.o.d"
+  "/root/repo/tests/kge_test.cc" "tests/CMakeFiles/kgrec_tests.dir/kge_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/kge_test.cc.o.d"
+  "/root/repo/tests/math_test.cc" "tests/CMakeFiles/kgrec_tests.dir/math_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/math_test.cc.o.d"
+  "/root/repo/tests/nn_extra_test.cc" "tests/CMakeFiles/kgrec_tests.dir/nn_extra_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/nn_extra_test.cc.o.d"
+  "/root/repo/tests/nn_gradcheck_test.cc" "tests/CMakeFiles/kgrec_tests.dir/nn_gradcheck_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/nn_gradcheck_test.cc.o.d"
+  "/root/repo/tests/protocol_test.cc" "tests/CMakeFiles/kgrec_tests.dir/protocol_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/protocol_test.cc.o.d"
+  "/root/repo/tests/registry_test.cc" "tests/CMakeFiles/kgrec_tests.dir/registry_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/registry_test.cc.o.d"
+  "/root/repo/tests/serialize_test.cc" "tests/CMakeFiles/kgrec_tests.dir/serialize_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/serialize_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/kgrec_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/status_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kgrec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
