@@ -3,6 +3,8 @@
 // the same attribute-clustered world.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "data/presets.h"
@@ -22,18 +24,24 @@ int main() {
               "Recall@10", "train_s");
   for (int i = 0; i < 56; ++i) std::putchar('-');
   std::putchar('\n');
-  for (AggregatorKind kind :
-       {AggregatorKind::kSum, AggregatorKind::kConcat,
-        AggregatorKind::kNeighbor, AggregatorKind::kBiInteraction}) {
-    KgcnConfig kgcn_config;
-    kgcn_config.aggregator = kind;
-    KgcnRecommender model(kgcn_config);
-    bench::RunResult result = bench::RunModel(model, wb);
-    std::printf("%-16s %8.3f %9.3f %9.3f %9.2f\n",
-                AggregatorKindName(kind).c_str(), result.ctr.auc,
-                result.topk.ndcg, result.topk.recall, result.train_seconds);
-    std::fflush(stdout);
-  }
+  const std::vector<AggregatorKind> kinds = {
+      AggregatorKind::kSum, AggregatorKind::kConcat, AggregatorKind::kNeighbor,
+      AggregatorKind::kBiInteraction};
+  std::vector<std::string> rows = bench::RunRowsParallel(
+      kinds.size(), [&](size_t i) -> std::string {
+        KgcnConfig kgcn_config;
+        kgcn_config.aggregator = kinds[i];
+        KgcnRecommender model(kgcn_config);
+        bench::RunResult result =
+            bench::RunModel(model, wb, /*seed=*/17, /*eval_threads=*/1);
+        char line[96];
+        std::snprintf(line, sizeof(line), "%-16s %8.3f %9.3f %9.3f %9.2f",
+                      AggregatorKindName(kinds[i]).c_str(), result.ctr.auc,
+                      result.topk.ndcg, result.topk.recall,
+                      result.train_seconds);
+        return line;
+      });
+  for (const std::string& row : rows) std::printf("%s\n", row.c_str());
   std::printf(
       "\nExpected shape: sum/concat/bi-interaction cluster together with\n"
       "bi-interaction at or near the top; neighbor (which discards the\n"

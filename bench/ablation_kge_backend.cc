@@ -3,6 +3,8 @@
 // both on raw link prediction and as the backend inside CFKG.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "data/presets.h"
@@ -22,27 +24,34 @@ int main() {
               "LP-H@10", "CFKG-AUC", "NDCG@10", "train_s");
   for (int i = 0; i < 64; ++i) std::putchar('-');
   std::putchar('\n');
-  for (const std::string& backend : KgeModelNames()) {
-    // Raw link prediction on the user-item KG.
-    Rng rng(31);
-    auto kge = MakeKgeModel(backend, wb.ui_graph.kg.num_entities(),
-                            wb.ui_graph.kg.num_relations(), 16, rng);
-    KgeTrainConfig kge_config;
-    kge_config.epochs = 15;
-    TrainKge(*kge, wb.ui_graph.kg, kge_config);
-    Rng lp_rng(32);
-    LinkPredictionMetrics lp =
-        EvaluateLinkPrediction(*kge, wb.ui_graph.kg, 200, 50, lp_rng);
-    // The same backend inside CFKG.
-    CfkgConfig cfkg_config;
-    cfkg_config.kge = backend;
-    CfkgRecommender cfkg(cfkg_config);
-    bench::RunResult r = bench::RunModel(cfkg, wb);
-    std::printf("%-10s | %8.3f %9.3f | %8.3f %9.3f %9.2f\n",
-                backend.c_str(), lp.mrr, lp.hits_at_10, r.ctr.auc,
-                r.topk.ndcg, r.train_seconds);
-    std::fflush(stdout);
-  }
+  const std::vector<std::string> backends = KgeModelNames();
+  std::vector<std::string> rows = bench::RunRowsParallel(
+      backends.size(), [&](size_t i) -> std::string {
+        const std::string& backend = backends[i];
+        // Raw link prediction on the user-item KG.
+        Rng rng(31);
+        auto kge = MakeKgeModel(backend, wb.ui_graph.kg.num_entities(),
+                                wb.ui_graph.kg.num_relations(), 16, rng);
+        KgeTrainConfig kge_config;
+        kge_config.epochs = 15;
+        TrainKge(*kge, wb.ui_graph.kg, kge_config);
+        Rng lp_rng(32);
+        LinkPredictionMetrics lp =
+            EvaluateLinkPrediction(*kge, wb.ui_graph.kg, 200, 50, lp_rng);
+        // The same backend inside CFKG.
+        CfkgConfig cfkg_config;
+        cfkg_config.kge = backend;
+        CfkgRecommender cfkg(cfkg_config);
+        bench::RunResult r =
+            bench::RunModel(cfkg, wb, /*seed=*/17, /*eval_threads=*/1);
+        char line[112];
+        std::snprintf(line, sizeof(line),
+                      "%-10s | %8.3f %9.3f | %8.3f %9.3f %9.2f",
+                      backend.c_str(), lp.mrr, lp.hits_at_10, r.ctr.auc,
+                      r.topk.ndcg, r.train_seconds);
+        return line;
+      });
+  for (const std::string& row : rows) std::printf("%s\n", row.c_str());
   std::printf(
       "\nExpected shape: all backends are serviceable; the richer\n"
       "projections (TransR/TransD) win on link prediction of the\n"

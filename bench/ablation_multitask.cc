@@ -3,6 +3,8 @@
 // argues joint training helps; the sweep shows an interior optimum.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "data/presets.h"
@@ -22,19 +24,27 @@ int main() {
               "NDCG@10", "MKR-AUC", "NDCG@10");
   for (int i = 0; i < 52; ++i) std::putchar('-');
   std::putchar('\n');
-  for (float lambda : {0.0f, 0.1f, 0.5f, 1.0f, 2.0f}) {
-    KtupConfig ktup_config;
-    ktup_config.kg_weight = lambda;
-    KtupRecommender ktup(ktup_config);
-    bench::RunResult kr = bench::RunModel(ktup, wb);
-    MkrConfig mkr_config;
-    mkr_config.kg_weight = lambda;
-    MkrRecommender mkr(mkr_config);
-    bench::RunResult mr = bench::RunModel(mkr, wb);
-    std::printf("%-8.1f | %8.3f %9.3f | %8.3f %9.3f\n", lambda, kr.ctr.auc,
-                kr.topk.ndcg, mr.ctr.auc, mr.topk.ndcg);
-    std::fflush(stdout);
-  }
+  const std::vector<float> lambdas = {0.0f, 0.1f, 0.5f, 1.0f, 2.0f};
+  std::vector<std::string> rows = bench::RunRowsParallel(
+      lambdas.size(), [&](size_t i) -> std::string {
+        const float lambda = lambdas[i];
+        KtupConfig ktup_config;
+        ktup_config.kg_weight = lambda;
+        KtupRecommender ktup(ktup_config);
+        bench::RunResult kr =
+            bench::RunModel(ktup, wb, /*seed=*/17, /*eval_threads=*/1);
+        MkrConfig mkr_config;
+        mkr_config.kg_weight = lambda;
+        MkrRecommender mkr(mkr_config);
+        bench::RunResult mr =
+            bench::RunModel(mkr, wb, /*seed=*/17, /*eval_threads=*/1);
+        char line[96];
+        std::snprintf(line, sizeof(line), "%-8.1f | %8.3f %9.3f | %8.3f %9.3f",
+                      lambda, kr.ctr.auc, kr.topk.ndcg, mr.ctr.auc,
+                      mr.topk.ndcg);
+        return line;
+      });
+  for (const std::string& row : rows) std::printf("%s\n", row.c_str());
   std::printf(
       "\nExpected shape: lambda = 0 (no KG task) underperforms moderate\n"
       "lambda; very large lambda drowns the recommendation signal — an\n"

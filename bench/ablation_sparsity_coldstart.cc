@@ -6,6 +6,8 @@
 //           recommendable only through the KG.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "cf/mf.h"
@@ -42,28 +44,34 @@ int main() {
               "BPR-MF", "CKE", "KGCN", "Ripple", "best-KG minus BPR-MF");
   for (int i = 0; i < 92; ++i) std::putchar('-');
   std::putchar('\n');
-  for (double per_user : {4.0, 8.0, 16.0, 32.0}) {
-    bench::Workbench wb =
-        bench::MakeWorkbench(BaseConfig(per_user, 900 + per_user));
-    double bpr = 0.0, best_kg = 0.0;
-    double auc[4] = {0, 0, 0, 0};
-    BprMfRecommender bpr_model;
-    auc[0] = bench::RunModel(bpr_model, wb).ctr.auc;
-    CkeRecommender cke;
-    auc[1] = bench::RunModel(cke, wb).ctr.auc;
-    KgcnRecommender kgcn;
-    auc[2] = bench::RunModel(kgcn, wb).ctr.auc;
-    RippleNetConfig ripple_config;
-    ripple_config.epochs = 8;
-    RippleNetRecommender ripple(ripple_config);
-    auc[3] = bench::RunModel(ripple, wb).ctr.auc;
-    bpr = auc[0];
-    best_kg = std::max(auc[1], std::max(auc[2], auc[3]));
-    std::printf("%8.0f %8.2f%% | %8.3f %8.3f %8.3f %8.3f | %+.3f\n",
-                per_user, 100.0 * wb.split.train.Density(), auc[0], auc[1],
-                auc[2], auc[3], best_kg - bpr);
-    std::fflush(stdout);
-  }
+  // Each density point is an independent world: sweep them across the
+  // hardware threads and print in density order.
+  const std::vector<double> densities = {4.0, 8.0, 16.0, 32.0};
+  std::vector<std::string> rows = bench::RunRowsParallel(
+      densities.size(), [&](size_t i) -> std::string {
+        const double per_user = densities[i];
+        bench::Workbench wb =
+            bench::MakeWorkbench(BaseConfig(per_user, 900 + per_user));
+        double auc[4] = {0, 0, 0, 0};
+        BprMfRecommender bpr_model;
+        auc[0] = bench::RunModel(bpr_model, wb, 17, 1).ctr.auc;
+        CkeRecommender cke;
+        auc[1] = bench::RunModel(cke, wb, 17, 1).ctr.auc;
+        KgcnRecommender kgcn;
+        auc[2] = bench::RunModel(kgcn, wb, 17, 1).ctr.auc;
+        RippleNetConfig ripple_config;
+        ripple_config.epochs = 8;
+        RippleNetRecommender ripple(ripple_config);
+        auc[3] = bench::RunModel(ripple, wb, 17, 1).ctr.auc;
+        const double best_kg = std::max(auc[1], std::max(auc[2], auc[3]));
+        char line[112];
+        std::snprintf(line, sizeof(line),
+                      "%8.0f %8.2f%% | %8.3f %8.3f %8.3f %8.3f | %+.3f",
+                      per_user, 100.0 * wb.split.train.Density(), auc[0],
+                      auc[1], auc[2], auc[3], best_kg - auc[0]);
+        return line;
+      });
+  for (const std::string& row : rows) std::printf("%s\n", row.c_str());
 
   std::printf("\n== S3: cold-start items (20%% of items unseen in training) "
               "==\n\n");

@@ -3,10 +3,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/recommender.h"
+#include "core/thread_pool.h"
 #include "data/synthetic.h"
 #include "eval/protocol.h"
 
@@ -46,21 +49,53 @@ struct RunResult {
   double train_seconds = 0.0;
 };
 
+/// Trains the model and evaluates it with `eval_threads` workers. The
+/// metrics are bitwise independent of `eval_threads` (EvalOptions'
+/// determinism contract), so benches are free to pick any thread count —
+/// a sweep that is itself parallel passes 1 to avoid nested pools.
 inline RunResult RunModel(Recommender& model, const Workbench& bench,
-                          uint64_t seed = 17) {
+                          uint64_t seed = 17,
+                          size_t eval_threads = ThreadPool::HardwareThreads()) {
   const auto start = std::chrono::steady_clock::now();
   model.Fit(bench.Context(seed));
   const auto end = std::chrono::steady_clock::now();
   RunResult result;
   result.train_seconds =
       std::chrono::duration<double>(end - start).count();
-  Rng ctr_rng(101);
-  result.ctr =
-      EvaluateCtr(model, bench.split.train, bench.split.test, ctr_rng);
-  Rng topk_rng(102);
+  EvalOptions ctr_options;
+  ctr_options.num_threads = eval_threads;
+  ctr_options.seed = Rng(101).NextUint64();
+  result.ctr = EvaluateCtr(model, bench.split.train, bench.split.test,
+                           ctr_options);
+  EvalOptions topk_options;
+  topk_options.num_threads = eval_threads;
+  topk_options.k = 10;
+  topk_options.num_negatives = 50;
+  topk_options.seed = Rng(102).NextUint64();
   result.topk = EvaluateTopK(model, bench.split.train, bench.split.test,
-                             /*k=*/10, /*num_negatives=*/50, topk_rng);
+                             topk_options);
   return result;
+}
+
+/// Runs `body(i)` for i in [0, n) across the hardware threads and returns
+/// each row's preformatted output in index order, so sweeps over models /
+/// configs parallelize while the printed table stays deterministic.
+/// Bodies should evaluate with eval_threads = 1: the sweep itself already
+/// saturates the machine.
+inline std::vector<std::string> RunRowsParallel(
+    size_t n, const std::function<std::string(size_t)>& body) {
+  std::vector<std::string> rows(n);
+  const Status status =
+      ParallelFor(n, ThreadPool::HardwareThreads(),
+                  [&](size_t begin, size_t end) -> Status {
+                    for (size_t i = begin; i < end; ++i) rows[i] = body(i);
+                    return Status::OK();
+                  });
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench sweep failed: %s\n",
+                 status.ToString().c_str());
+  }
+  return rows;
 }
 
 inline void PrintRule(int width) {

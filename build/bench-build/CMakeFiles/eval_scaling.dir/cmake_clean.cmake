@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/eval_scaling"
+  "../bench/eval_scaling.pdb"
+  "CMakeFiles/eval_scaling.dir/eval_scaling.cc.o"
+  "CMakeFiles/eval_scaling.dir/eval_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -16,6 +16,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/registry.cc" "src/CMakeFiles/kgrec.dir/core/registry.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/core/registry.cc.o.d"
   "/root/repo/src/core/serialize.cc" "src/CMakeFiles/kgrec.dir/core/serialize.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/core/serialize.cc.o.d"
   "/root/repo/src/core/status.cc" "src/CMakeFiles/kgrec.dir/core/status.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/core/status.cc.o.d"
+  "/root/repo/src/core/thread_pool.cc" "src/CMakeFiles/kgrec.dir/core/thread_pool.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/core/thread_pool.cc.o.d"
   "/root/repo/src/data/interactions.cc" "src/CMakeFiles/kgrec.dir/data/interactions.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/data/interactions.cc.o.d"
   "/root/repo/src/data/presets.cc" "src/CMakeFiles/kgrec.dir/data/presets.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/data/presets.cc.o.d"
   "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/kgrec.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/kgrec.dir/data/synthetic.cc.o.d"

@@ -22,10 +22,13 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/math_test.cc" "tests/CMakeFiles/kgrec_tests.dir/math_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/math_test.cc.o.d"
   "/root/repo/tests/nn_extra_test.cc" "tests/CMakeFiles/kgrec_tests.dir/nn_extra_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/nn_extra_test.cc.o.d"
   "/root/repo/tests/nn_gradcheck_test.cc" "tests/CMakeFiles/kgrec_tests.dir/nn_gradcheck_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/nn_gradcheck_test.cc.o.d"
+  "/root/repo/tests/parallel_eval_test.cc" "tests/CMakeFiles/kgrec_tests.dir/parallel_eval_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/parallel_eval_test.cc.o.d"
   "/root/repo/tests/protocol_test.cc" "tests/CMakeFiles/kgrec_tests.dir/protocol_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/protocol_test.cc.o.d"
+  "/root/repo/tests/registry_smoke_test.cc" "tests/CMakeFiles/kgrec_tests.dir/registry_smoke_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/registry_smoke_test.cc.o.d"
   "/root/repo/tests/registry_test.cc" "tests/CMakeFiles/kgrec_tests.dir/registry_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/registry_test.cc.o.d"
   "/root/repo/tests/serialize_test.cc" "tests/CMakeFiles/kgrec_tests.dir/serialize_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/serialize_test.cc.o.d"
   "/root/repo/tests/status_test.cc" "tests/CMakeFiles/kgrec_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/thread_pool_test.cc" "tests/CMakeFiles/kgrec_tests.dir/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/kgrec_tests.dir/thread_pool_test.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -5,4 +5,6 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 add_test(kgrec_tests "/root/repo/build/tests/kgrec_tests")
-set_tests_properties(kgrec_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(kgrec_tests PROPERTIES  LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(parallel_eval_test "/root/repo/build/tests/kgrec_tests" "--gtest_filter=*ParallelEval*:*ThreadPool*:*ParallelFor*:*RngFork*")
+set_tests_properties(parallel_eval_test PROPERTIES  LABELS "tier1;tsan" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;14;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "core/recommender.h"
+#include "core/thread_pool.h"
 #include "data/synthetic.h"
 #include "eval/protocol.h"
 #include "math/topk.h"
@@ -43,11 +44,16 @@ int main() {
   ctx.seed = 1;
   model.Fit(ctx);
 
-  // 4. Evaluate: CTR AUC and top-10 ranking quality.
-  Rng eval_rng(9);
-  CtrMetrics ctr = EvaluateCtr(model, split.train, split.test, eval_rng);
-  TopKMetrics topk =
-      EvaluateTopK(model, split.train, split.test, 10, 50, eval_rng);
+  // 4. Evaluate: CTR AUC and top-10 ranking quality. Evaluation is
+  // parallel; per-user RNG streams make the metrics bitwise identical at
+  // any thread count.
+  EvalOptions eval;
+  eval.num_threads = ThreadPool::HardwareThreads();
+  eval.k = 10;
+  eval.num_negatives = 50;
+  eval.seed = 9;
+  CtrMetrics ctr = EvaluateCtr(model, split.train, split.test, eval);
+  TopKMetrics topk = EvaluateTopK(model, split.train, split.test, eval);
   std::printf("AUC=%.3f  ACC=%.3f  NDCG@10=%.3f  Recall@10=%.3f\n", ctr.auc,
               ctr.accuracy, topk.ndcg, topk.recall);
 

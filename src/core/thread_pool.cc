@@ -1,0 +1,137 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <string>
+#include <utility>
+
+namespace kgrec {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t count = std::max<size_t>(1, num_threads);
+  workers_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+size_t ThreadPool::HardwareThreads() {
+  return std::max<unsigned>(1, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    try {
+      task();
+    } catch (...) {
+      // Submit() tasks own their error reporting; ParallelFor never lets
+      // an exception reach this point. Swallow rather than terminate.
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+namespace {
+
+Status RunChunkGuarded(const std::function<Status(size_t, size_t)>& body,
+                       size_t begin, size_t end) {
+  try {
+    return body(begin, end);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("parallel task threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("parallel task threw a non-std exception");
+  }
+}
+
+struct ChunkPlan {
+  size_t num_chunks = 0;
+  size_t chunk_size = 0;
+};
+
+ChunkPlan PlanChunks(size_t n, size_t num_threads) {
+  ChunkPlan plan;
+  // A few chunks per worker smooths out uneven per-index cost without
+  // work stealing; chunk boundaries depend only on (n, num_threads).
+  plan.num_chunks = std::min(n, num_threads * 4);
+  plan.chunk_size = (n + plan.num_chunks - 1) / plan.num_chunks;
+  return plan;
+}
+
+}  // namespace
+
+Status ParallelFor(size_t n, size_t num_threads,
+                   const std::function<Status(size_t, size_t)>& body) {
+  if (n == 0) return Status::OK();
+  if (num_threads <= 1 || n == 1) return RunChunkGuarded(body, 0, n);
+  ThreadPool pool(std::min(num_threads, n));
+  return ParallelFor(pool, n, body);
+}
+
+Status ParallelFor(ThreadPool& pool, size_t n,
+                   const std::function<Status(size_t, size_t)>& body) {
+  if (n == 0) return Status::OK();
+  if (pool.num_threads() <= 1 || n == 1) return RunChunkGuarded(body, 0, n);
+  const ChunkPlan plan = PlanChunks(n, pool.num_threads());
+  std::vector<Status> statuses(plan.num_chunks);
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  size_t remaining = plan.num_chunks;
+  for (size_t c = 0; c < plan.num_chunks; ++c) {
+    const size_t begin = c * plan.chunk_size;
+    const size_t end = std::min(n, begin + plan.chunk_size);
+    pool.Submit([&, c, begin, end] {
+      Status status = RunChunkGuarded(body, begin, end);
+      std::unique_lock<std::mutex> lock(done_mutex);
+      statuses[c] = std::move(status);
+      if (--remaining == 0) done_cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&remaining] { return remaining == 0; });
+  }
+  // First failure in chunk order, independent of scheduling.
+  for (Status& status : statuses) {
+    if (!status.ok()) return std::move(status);
+  }
+  return Status::OK();
+}
+
+}  // namespace kgrec

@@ -1,0 +1,89 @@
+#ifndef KGREC_CORE_THREAD_POOL_H_
+#define KGREC_CORE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/status.h"
+
+namespace kgrec {
+
+/// A fixed-size pool of worker threads draining one shared FIFO queue.
+///
+/// The pool is deliberately work-stealing-free: tasks are executed in
+/// submission order by whichever worker becomes free, which keeps the
+/// scheduler trivial to reason about. Determinism of results is the
+/// *caller's* contract — see ParallelFor, which partitions index ranges
+/// statically and gives every partition an order-independent workspace, so
+/// outputs never depend on which worker ran which chunk.
+///
+/// Tasks must not throw: ParallelFor wraps its chunk bodies in a
+/// try/catch that converts exceptions into Status (the library itself is
+/// exception-free, but model code may still hit std::bad_alloc etc.).
+/// A task submitted directly through Submit() that throws anyway is
+/// swallowed by the worker loop rather than taking down the process.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task. Never blocks; tasks run in FIFO order.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// Number of hardware threads, with a floor of 1 (hardware_concurrency
+  /// may report 0 on exotic platforms).
+  static size_t HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `body(begin, end)` over a static partition of [0, n) using
+/// `num_threads` workers and returns the first non-OK Status in chunk
+/// order (so the reported error does not depend on scheduling).
+///
+/// Guarantees:
+///  * every chunk body runs exactly once, even after another chunk fails —
+///    a worker failure therefore surfaces as a Status, never as a hang;
+///  * exceptions escaping `body` are caught and converted to
+///    Status::Internal;
+///  * with num_threads <= 1 (or n <= 1) the body runs inline on the
+///    calling thread with zero pool overhead.
+///
+/// Chunks are contiguous, so a body that writes only to slots of a
+/// preallocated output indexed by its own range is race-free and produces
+/// results independent of the thread count.
+Status ParallelFor(size_t n, size_t num_threads,
+                   const std::function<Status(size_t begin, size_t end)>& body);
+
+/// Same, reusing an existing pool (all of its workers participate).
+Status ParallelFor(ThreadPool& pool, size_t n,
+                   const std::function<Status(size_t begin, size_t end)>& body);
+
+}  // namespace kgrec
+
+#endif  // KGREC_CORE_THREAD_POOL_H_

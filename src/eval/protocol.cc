@@ -3,30 +3,66 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "core/check.h"
+#include "core/thread_pool.h"
 #include "eval/metrics.h"
 #include "math/topk.h"
 
 namespace kgrec {
+namespace {
+
+// Distinct stream families so that EvaluateCtr and EvaluateTopK called
+// with the same root seed do not replay each other's negatives.
+constexpr uint64_t kCtrStreamSalt = 0x43545220535452ULL;   // "CTR STR"
+constexpr uint64_t kTopKStreamSalt = 0x544f504b53545230ULL;  // "TOPKSTR0"
+
+/// Per-user accumulator slot of the top-K protocol. Slots are written by
+/// exactly one ParallelFor chunk and reduced serially afterwards, so the
+/// reduction order (and therefore the floating-point result) is the same
+/// for every thread count.
+struct UserTopK {
+  double precision = 0.0;
+  double recall = 0.0;
+  double hit_rate = 0.0;
+  double ndcg = 0.0;
+  double mrr = 0.0;
+  bool counted = false;
+};
+
+}  // namespace
 
 CtrMetrics EvaluateCtr(const Recommender& model,
                        const InteractionDataset& train,
-                       const InteractionDataset& test, Rng& rng) {
+                       const InteractionDataset& test,
+                       const EvalOptions& options) {
   // Negatives must avoid both train and test positives: sample against
   // the union via rejection on both sets.
   NegativeSampler sampler(train);
-  std::vector<float> scores;
-  std::vector<int> labels;
-  for (const Interaction& x : test.interactions()) {
-    scores.push_back(model.Score(x.user, x.item));
-    labels.push_back(1);
-    int32_t neg = sampler.Sample(x.user, rng);
-    for (int attempt = 0; attempt < 50 && test.Contains(x.user, neg);
-         ++attempt) {
-      neg = sampler.Sample(x.user, rng);
-    }
-    scores.push_back(model.Score(x.user, neg));
-    labels.push_back(0);
-  }
+  const std::vector<Interaction>& pairs = test.interactions();
+  const Rng base(options.seed);
+  std::vector<float> scores(2 * pairs.size());
+  std::vector<int> labels(2 * pairs.size());
+  const Status status = ParallelFor(
+      pairs.size(), options.num_threads,
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          const Interaction& x = pairs[i];
+          // One counter-based stream per test pair: negative i is a pure
+          // function of (seed, i), never of thread scheduling.
+          Rng stream = base.Fork(kCtrStreamSalt ^ static_cast<uint64_t>(i));
+          scores[2 * i] = model.Score(x.user, x.item);
+          labels[2 * i] = 1;
+          int32_t neg = sampler.Sample(x.user, stream);
+          for (int attempt = 0; attempt < 50 && test.Contains(x.user, neg);
+               ++attempt) {
+            neg = sampler.Sample(x.user, stream);
+          }
+          scores[2 * i + 1] = model.Score(x.user, neg);
+          labels[2 * i + 1] = 0;
+        }
+        return Status::OK();
+      });
+  KGREC_CHECK(status.ok());
   CtrMetrics out;
   out.num_pairs = scores.size();
   if (scores.empty()) return out;
@@ -36,40 +72,78 @@ CtrMetrics EvaluateCtr(const Recommender& model,
   return out;
 }
 
+CtrMetrics EvaluateCtr(const Recommender& model,
+                       const InteractionDataset& train,
+                       const InteractionDataset& test, Rng& rng) {
+  EvalOptions options;
+  options.seed = rng.NextUint64();
+  return EvaluateCtr(model, train, test, options);
+}
+
 TopKMetrics EvaluateTopK(const Recommender& model,
                          const InteractionDataset& train,
-                         const InteractionDataset& test, size_t k,
-                         size_t num_negatives, Rng& rng) {
+                         const InteractionDataset& test,
+                         const EvalOptions& options) {
   NegativeSampler sampler(train);
+  const size_t num_users = static_cast<size_t>(test.num_users());
+  const Rng base(options.seed);
+  std::vector<UserTopK> per_user(num_users);
+  const Status status = ParallelFor(
+      num_users, options.num_threads,
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t uu = begin; uu < end; ++uu) {
+          const int32_t u = static_cast<int32_t>(uu);
+          const auto& positives = test.UserItems(u);
+          if (positives.empty()) continue;
+          // The user's negatives come from Fork(user_id): the same stream
+          // regardless of which thread evaluates the user.
+          Rng stream = base.Fork(kTopKStreamSalt ^ static_cast<uint64_t>(uu));
+          std::unordered_set<int32_t> relevant(positives.begin(),
+                                               positives.end());
+          // Candidate pool: test positives + sampled negatives not in
+          // train/test for this user.
+          std::vector<int32_t> candidates(positives.begin(), positives.end());
+          std::unordered_set<int32_t> in_pool(relevant.begin(),
+                                              relevant.end());
+          size_t guard = 0;
+          while (candidates.size() <
+                     positives.size() + options.num_negatives &&
+                 guard++ < options.num_negatives * 20) {
+            const int32_t neg = sampler.Sample(u, stream);
+            if (test.Contains(u, neg)) continue;
+            if (!in_pool.insert(neg).second) continue;
+            candidates.push_back(neg);
+          }
+          std::vector<float> scores(candidates.size());
+          for (size_t i = 0; i < candidates.size(); ++i) {
+            scores[i] = model.Score(u, candidates[i]);
+          }
+          std::vector<int32_t> order = TopKIndices(scores, candidates.size());
+          std::vector<int32_t> ranked(order.size());
+          for (size_t i = 0; i < order.size(); ++i) {
+            ranked[i] = candidates[order[i]];
+          }
+          UserTopK& slot = per_user[uu];
+          slot.precision = PrecisionAtK(ranked, relevant, options.k);
+          slot.recall = RecallAtK(ranked, relevant, options.k);
+          slot.hit_rate = HitRateAtK(ranked, relevant, options.k);
+          slot.ndcg = NdcgAtK(ranked, relevant, options.k);
+          slot.mrr = ReciprocalRank(ranked, relevant);
+          slot.counted = true;
+        }
+        return Status::OK();
+      });
+  KGREC_CHECK(status.ok());
+  // Serial reduction in user order: the summation order is identical for
+  // every thread count, keeping the averages bitwise stable.
   TopKMetrics out;
-  for (int32_t u = 0; u < test.num_users(); ++u) {
-    const auto& positives = test.UserItems(u);
-    if (positives.empty()) continue;
-    std::unordered_set<int32_t> relevant(positives.begin(), positives.end());
-    // Candidate pool: test positives + sampled negatives not in
-    // train/test for this user.
-    std::vector<int32_t> candidates(positives.begin(), positives.end());
-    std::unordered_set<int32_t> in_pool(relevant.begin(), relevant.end());
-    size_t guard = 0;
-    while (candidates.size() < positives.size() + num_negatives &&
-           guard++ < num_negatives * 20) {
-      const int32_t neg = sampler.Sample(u, rng);
-      if (test.Contains(u, neg)) continue;
-      if (!in_pool.insert(neg).second) continue;
-      candidates.push_back(neg);
-    }
-    std::vector<float> scores(candidates.size());
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      scores[i] = model.Score(u, candidates[i]);
-    }
-    std::vector<int32_t> order = TopKIndices(scores, candidates.size());
-    std::vector<int32_t> ranked(order.size());
-    for (size_t i = 0; i < order.size(); ++i) ranked[i] = candidates[order[i]];
-    out.precision += PrecisionAtK(ranked, relevant, k);
-    out.recall += RecallAtK(ranked, relevant, k);
-    out.hit_rate += HitRateAtK(ranked, relevant, k);
-    out.ndcg += NdcgAtK(ranked, relevant, k);
-    out.mrr += ReciprocalRank(ranked, relevant);
+  for (const UserTopK& slot : per_user) {
+    if (!slot.counted) continue;
+    out.precision += slot.precision;
+    out.recall += slot.recall;
+    out.hit_rate += slot.hit_rate;
+    out.ndcg += slot.ndcg;
+    out.mrr += slot.mrr;
     ++out.num_users;
   }
   if (out.num_users > 0) {
@@ -80,6 +154,17 @@ TopKMetrics EvaluateTopK(const Recommender& model,
     out.mrr /= out.num_users;
   }
   return out;
+}
+
+TopKMetrics EvaluateTopK(const Recommender& model,
+                         const InteractionDataset& train,
+                         const InteractionDataset& test, size_t k,
+                         size_t num_negatives, Rng& rng) {
+  EvalOptions options;
+  options.k = k;
+  options.num_negatives = num_negatives;
+  options.seed = rng.NextUint64();
+  return EvaluateTopK(model, train, test, options);
 }
 
 }  // namespace kgrec

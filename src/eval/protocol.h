@@ -1,6 +1,7 @@
 #ifndef KGREC_EVAL_PROTOCOL_H_
 #define KGREC_EVAL_PROTOCOL_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "core/recommender.h"
@@ -8,6 +9,29 @@
 #include "math/rng.h"
 
 namespace kgrec {
+
+/// Knobs of the evaluation protocols. The defaults reproduce the
+/// library-wide convention (K = 10, 50 sampled negatives, serial).
+///
+/// Determinism contract: for a fixed `seed`, both evaluators produce
+/// **bitwise identical** metrics for every value of `num_threads`.
+/// Negatives are drawn from per-work-unit counter-based RNG streams
+/// (`Rng::Fork`): EvaluateTopK forks one stream per user id, EvaluateCtr
+/// one stream per test-interaction index, so the sampled candidates never
+/// depend on the order in which threads pick up work. Per-user partial
+/// metrics are written into preallocated slots and reduced serially in
+/// user order, so even floating-point summation order is fixed.
+struct EvalOptions {
+  /// Worker threads for the per-user / per-interaction loops. 1 = run
+  /// inline on the caller's thread; values above 1 use a ThreadPool.
+  size_t num_threads = 1;
+  /// Sampled negatives per user in the top-K candidate pool.
+  size_t num_negatives = 50;
+  /// Cutoff of the @K ranking metrics.
+  size_t k = 10;
+  /// Root seed of the per-unit RNG streams.
+  uint64_t seed = 0x5eedULL;
+};
 
 /// Click-through-rate style evaluation: for every test interaction a
 /// random non-interacted item is paired as a negative (1:1), the model
@@ -19,6 +43,12 @@ struct CtrMetrics {
   size_t num_pairs = 0;
 };
 
+CtrMetrics EvaluateCtr(const Recommender& model, const InteractionDataset& train,
+                       const InteractionDataset& test,
+                       const EvalOptions& options = {});
+
+/// Legacy entry point: consumes one draw from `rng` to derive the stream
+/// seed, then forwards to the options-based overload (serial).
 CtrMetrics EvaluateCtr(const Recommender& model, const InteractionDataset& train,
                        const InteractionDataset& test, Rng& rng);
 
@@ -34,6 +64,13 @@ struct TopKMetrics {
   size_t num_users = 0;
 };
 
+TopKMetrics EvaluateTopK(const Recommender& model,
+                         const InteractionDataset& train,
+                         const InteractionDataset& test,
+                         const EvalOptions& options = {});
+
+/// Legacy entry point: consumes one draw from `rng` to derive the stream
+/// seed, then forwards to the options-based overload (serial).
 TopKMetrics EvaluateTopK(const Recommender& model,
                          const InteractionDataset& train,
                          const InteractionDataset& test, size_t k,

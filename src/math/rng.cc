@@ -25,6 +25,16 @@ void Rng::Seed(uint64_t seed) {
   has_cached_normal_ = false;
 }
 
+Rng Rng::Fork(uint64_t stream_id) const {
+  // Mix the full 256-bit state down to 64 bits, perturb with the stream
+  // id, and run one extra splitmix round so adjacent stream ids land far
+  // apart; Seed() then re-expands to 256 bits.
+  uint64_t mixed = state_[0] ^ Rotl(state_[1], 17) ^ Rotl(state_[2], 37) ^
+                   Rotl(state_[3], 53);
+  mixed ^= 0xd1b54a32d192ed03ULL + stream_id * 0x9e3779b97f4a7c15ULL;
+  return Rng(SplitMix64(mixed));
+}
+
 uint64_t Rng::NextUint64() {
   const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
   const uint64_t t = state_[1] << 17;

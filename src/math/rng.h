@@ -20,6 +20,16 @@ class Rng {
   /// Re-seeds the generator via splitmix64 state expansion.
   void Seed(uint64_t seed);
 
+  /// Derives an independent child generator for the given stream id
+  /// (counter-based stream splitting). Fork is const: it hashes the
+  /// current state together with `stream_id` without advancing this
+  /// generator, so `rng.Fork(a)` and `rng.Fork(b)` are order-independent
+  /// and a fixed (seed, stream_id) pair always yields the same stream.
+  /// This is what makes parallel evaluation bitwise-reproducible: every
+  /// work unit (e.g. a user) draws from Fork(unit_id) no matter which
+  /// thread, or in which order, it is processed.
+  Rng Fork(uint64_t stream_id) const;
+
   /// Uniform 64-bit value.
   uint64_t NextUint64();
 

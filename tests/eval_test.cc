@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "eval/metrics.h"
+#include "math/rng.h"
 
 namespace kgrec {
 namespace {
@@ -79,6 +81,102 @@ TEST_P(NdcgMonotoneTest, PerfectRankingIsOptimal) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Ks, NdcgMonotoneTest, ::testing::Values(3u, 4u, 6u));
+
+// ---- Property tests: bounds, closed forms, empty-input behaviour ------
+
+TEST(MetricProperty, RandomizedRankingsStayInUnitInterval) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 1 + rng.UniformInt(30);
+    std::vector<int32_t> ranked(n);
+    for (size_t i = 0; i < n; ++i) ranked[i] = static_cast<int32_t>(i);
+    rng.Shuffle(ranked);
+    std::unordered_set<int32_t> relevant;
+    const size_t num_rel = rng.UniformInt(n + 1);
+    for (size_t i = 0; i < num_rel; ++i) {
+      relevant.insert(static_cast<int32_t>(rng.UniformInt(n)));
+    }
+    const size_t k = 1 + rng.UniformInt(n);
+    for (double m : {PrecisionAtK(ranked, relevant, k),
+                     RecallAtK(ranked, relevant, k),
+                     HitRateAtK(ranked, relevant, k),
+                     NdcgAtK(ranked, relevant, k),
+                     ReciprocalRank(ranked, relevant)}) {
+      EXPECT_TRUE(std::isfinite(m));
+      EXPECT_GE(m, 0.0);
+      EXPECT_LE(m, 1.0);
+    }
+  }
+}
+
+TEST(MetricProperty, RandomizedAucStaysInUnitInterval) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 2 + rng.UniformInt(40);
+    std::vector<float> scores(n);
+    std::vector<int> labels(n);
+    for (size_t i = 0; i < n; ++i) {
+      scores[i] = static_cast<float>(rng.Normal());
+      labels[i] = rng.Bernoulli(0.5) ? 1 : 0;
+    }
+    const double auc = Auc(scores, labels);
+    EXPECT_TRUE(std::isfinite(auc));
+    EXPECT_GE(auc, 0.0);
+    EXPECT_LE(auc, 1.0);
+  }
+}
+
+TEST(MetricProperty, PerfectRankingScoresOne) {
+  // All relevant items first -> NDCG = MRR = HitRate = 1, and AUC of
+  // positives-above-negatives scores = 1.
+  std::vector<int32_t> ranked{4, 2, 9, 1, 7, 3};
+  std::unordered_set<int32_t> relevant{4, 2, 9};
+  EXPECT_DOUBLE_EQ(NdcgAtK(ranked, relevant, ranked.size()), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(ranked, relevant), 1.0);
+  EXPECT_DOUBLE_EQ(HitRateAtK(ranked, relevant, 1), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, relevant, 3), 1.0);
+  std::vector<float> scores{3.0f, 2.5f, 2.0f, 1.0f, 0.5f};
+  std::vector<int> labels{1, 1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(Auc(scores, labels), 1.0);
+}
+
+TEST(MetricProperty, ReversedRankingMatchesClosedForm) {
+  // n = 6 items, |relevant| = 2, all relevant at the *bottom* of the
+  // ranking (positions n-1 and n: discounts 1/log2(6) and 1/log2(7)).
+  std::vector<int32_t> ranked{10, 11, 12, 13, 0, 1};
+  std::unordered_set<int32_t> relevant{0, 1};
+  const double dcg = 1.0 / std::log2(6.0) + 1.0 / std::log2(7.0);
+  const double ideal = 1.0 + 1.0 / std::log2(3.0);
+  EXPECT_NEAR(NdcgAtK(ranked, relevant, 6), dcg / ideal, 1e-12);
+  // First relevant at rank n-1 -> MRR = 1/5.
+  EXPECT_DOUBLE_EQ(ReciprocalRank(ranked, relevant), 1.0 / 5.0);
+  // Every negative outranks every positive -> AUC = 0.
+  std::vector<float> scores{3.0f, 2.0f, 1.0f, 0.5f};
+  std::vector<int> labels{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(Auc(scores, labels), 0.0);
+}
+
+TEST(MetricProperty, EmptyInputsReturnZeroedMetricsNotNaN) {
+  const std::vector<int32_t> no_ranking;
+  const std::unordered_set<int32_t> no_relevant;
+  const std::unordered_set<int32_t> some_relevant{1, 2};
+  for (double m : {PrecisionAtK(no_ranking, some_relevant, 5),
+                   RecallAtK(no_ranking, some_relevant, 5),
+                   HitRateAtK(no_ranking, some_relevant, 5),
+                   NdcgAtK(no_ranking, some_relevant, 5),
+                   ReciprocalRank(no_ranking, some_relevant),
+                   RecallAtK({1, 2, 3}, no_relevant, 3),
+                   NdcgAtK({1, 2, 3}, no_relevant, 3)}) {
+    EXPECT_FALSE(std::isnan(m));
+    EXPECT_DOUBLE_EQ(m, 0.0);
+  }
+  // AUC degenerates to chance (0.5), never NaN, on empty/one-class input.
+  EXPECT_DOUBLE_EQ(Auc({}, {}), 0.5);
+  EXPECT_DOUBLE_EQ(Auc({1.0f}, {1}), 0.5);
+  // Accuracy/F1 on empty input: zero, not NaN.
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(F1Score({}, {}), 0.0);
+}
 
 TEST(TopKMetricsTest, RecallMonotoneInK) {
   std::vector<int32_t> ranked{9, 8, 7, 6, 5, 4, 3, 2, 1, 0};

