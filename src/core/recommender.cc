@@ -1,12 +1,23 @@
 #include "core/recommender.h"
 
+#include <numeric>
+
 namespace kgrec {
+
+std::vector<float> Recommender::ScoreItems(
+    int32_t user, std::span<const int32_t> items) const {
+  std::vector<float> scores(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    scores[i] = Score(user, items[i]);
+  }
+  return scores;
+}
 
 std::vector<float> Recommender::ScoreAll(int32_t user,
                                          int32_t num_items) const {
-  std::vector<float> scores(num_items);
-  for (int32_t j = 0; j < num_items; ++j) scores[j] = Score(user, j);
-  return scores;
+  std::vector<int32_t> items(num_items);
+  std::iota(items.begin(), items.end(), 0);
+  return ScoreItems(user, items);
 }
 
 }  // namespace kgrec

@@ -2,6 +2,7 @@
 #define KGREC_CORE_RECOMMENDER_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -45,8 +46,23 @@ class Recommender {
   /// pair, including items unseen in training (cold start).
   virtual float Score(int32_t user, int32_t item) const = 0;
 
-  /// Scores every item for the user. The default loops over Score();
-  /// models with cheap batch scoring may override.
+  /// Scores a batch of candidate items for one user; the hot path of both
+  /// evaluation protocols and of top-N serving (rank N candidates with
+  /// one call instead of N f(u, v) evaluations).
+  ///
+  /// Contract: `ScoreItems(u, items)[i]` must equal `Score(u, items[i])`
+  /// **bitwise** for every model, so the eval protocols may route through
+  /// either path without changing metrics (registry_smoke_test locks this
+  /// down for the whole zoo). The default loops over Score(); models that
+  /// recompute per-user state on every Score() call (ripple sets, H-hop
+  /// receptive fields, path enumeration) override it to hoist that state
+  /// out of the per-candidate loop. Overrides must therefore only batch
+  /// row-independent work — never fold scores across candidates.
+  virtual std::vector<float> ScoreItems(int32_t user,
+                                        std::span<const int32_t> items) const;
+
+  /// Scores every item for the user. Routed through ScoreItems(), so a
+  /// batched override accelerates full-catalog ranking too.
   virtual std::vector<float> ScoreAll(int32_t user, int32_t num_items) const;
 };
 

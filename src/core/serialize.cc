@@ -94,7 +94,14 @@ Status LoadTensorArchive(const std::string& path,
         !ReadBytes(f.get(), &cols, sizeof(cols))) {
       return Status::IoError("truncated archive: " + path);
     }
-    if (rows * cols > (1ull << 32)) {
+    // Checked via division: `rows * cols` itself can wrap uint64 for a
+    // corrupt header (e.g. rows = cols = 2^33) and sneak past a guard on
+    // the product with a tiny bogus allocation.
+    constexpr uint64_t kMaxElements = 1ull << 32;
+    if (cols != 0 && rows > kMaxElements / cols) {
+      return Status::InvalidArgument("corrupt archive (blob too large)");
+    }
+    if (rows * cols > kMaxElements) {
       return Status::InvalidArgument("corrupt archive (blob too large)");
     }
     t.rows = rows;

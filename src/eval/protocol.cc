@@ -29,6 +29,34 @@ struct UserTopK {
   bool counted = false;
 };
 
+/// Draws the CTR negative for one test interaction from its RNG stream.
+/// Consumes the stream exactly like the historical sampler (one draw plus
+/// up to 50 rejection redraws against the test set), then — instead of
+/// silently accepting a test positive as a "negative", which inflates AUC
+/// on dense worlds — falls back to a deterministic exhaustive scan over
+/// the item catalog. Returns -1 when the user has interacted with every
+/// item (train + test), in which case the pair must be skipped.
+int32_t SampleCtrNegative(const NegativeSampler& sampler,
+                          const InteractionDataset& train,
+                          const InteractionDataset& test, int32_t user,
+                          Rng& stream) {
+  int32_t neg = sampler.Sample(user, stream);
+  for (int attempt = 0; attempt < 50 && test.Contains(user, neg); ++attempt) {
+    neg = sampler.Sample(user, stream);
+  }
+  if (!test.Contains(user, neg)) return neg;
+  // Rejection exhausted: scan every item once, starting after the last
+  // rejected draw so the fallback stays a pure function of the stream.
+  const int32_t num_items = train.num_items();
+  for (int32_t step = 1; step <= num_items; ++step) {
+    const int32_t candidate = (neg + step) % num_items;
+    if (!train.Contains(user, candidate) && !test.Contains(user, candidate)) {
+      return candidate;
+    }
+  }
+  return -1;
+}
+
 }  // namespace
 
 CtrMetrics EvaluateCtr(const Recommender& model,
@@ -40,35 +68,74 @@ CtrMetrics EvaluateCtr(const Recommender& model,
   NegativeSampler sampler(train);
   const std::vector<Interaction>& pairs = test.interactions();
   const Rng base(options.seed);
+  // Group the test interactions by user so every user's positives and
+  // negatives go through one ScoreItems() call: models with a batched
+  // override pay the user-side precompute once per user instead of once
+  // per Score(). Slots stay indexed by interaction, so the scores land in
+  // the same positions as the historical per-pair loop.
+  const size_t num_users = static_cast<size_t>(test.num_users());
+  std::vector<std::vector<size_t>> by_user(num_users);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    by_user[pairs[i].user].push_back(i);
+  }
   std::vector<float> scores(2 * pairs.size());
-  std::vector<int> labels(2 * pairs.size());
+  std::vector<char> valid(pairs.size(), 0);
   const Status status = ParallelFor(
-      pairs.size(), options.num_threads,
+      num_users, options.num_threads,
       [&](size_t begin, size_t end) -> Status {
-        for (size_t i = begin; i < end; ++i) {
-          const Interaction& x = pairs[i];
-          // One counter-based stream per test pair: negative i is a pure
-          // function of (seed, i), never of thread scheduling.
-          Rng stream = base.Fork(kCtrStreamSalt ^ static_cast<uint64_t>(i));
-          scores[2 * i] = model.Score(x.user, x.item);
-          labels[2 * i] = 1;
-          int32_t neg = sampler.Sample(x.user, stream);
-          for (int attempt = 0; attempt < 50 && test.Contains(x.user, neg);
-               ++attempt) {
-            neg = sampler.Sample(x.user, stream);
+        std::vector<int32_t> candidates;
+        std::vector<size_t> kept;
+        for (size_t uu = begin; uu < end; ++uu) {
+          const std::vector<size_t>& user_pairs = by_user[uu];
+          if (user_pairs.empty()) continue;
+          candidates.clear();
+          kept.clear();
+          for (size_t i : user_pairs) {
+            const Interaction& x = pairs[i];
+            // One counter-based stream per test pair: negative i is a
+            // pure function of (seed, i), never of thread scheduling or
+            // of the by-user grouping.
+            Rng stream = base.Fork(kCtrStreamSalt ^ static_cast<uint64_t>(i));
+            const int32_t neg =
+                SampleCtrNegative(sampler, train, test, x.user, stream);
+            if (neg < 0) continue;  // user exhausted the catalog
+            candidates.push_back(x.item);
+            candidates.push_back(neg);
+            kept.push_back(i);
           }
-          scores[2 * i + 1] = model.Score(x.user, neg);
-          labels[2 * i + 1] = 0;
+          if (kept.empty()) continue;
+          const std::vector<float> user_scores =
+              model.ScoreItems(static_cast<int32_t>(uu), candidates);
+          for (size_t k = 0; k < kept.size(); ++k) {
+            const size_t i = kept[k];
+            scores[2 * i] = user_scores[2 * k];
+            scores[2 * i + 1] = user_scores[2 * k + 1];
+            valid[i] = 1;
+          }
         }
         return Status::OK();
       });
   KGREC_CHECK(status.ok());
+  // Serial compaction in interaction order: when nothing is skipped this
+  // reproduces the historical (pos, neg, pos, neg, ...) layout exactly,
+  // keeping the metric reduction bitwise stable.
+  std::vector<float> kept_scores;
+  std::vector<int> kept_labels;
+  kept_scores.reserve(2 * pairs.size());
+  kept_labels.reserve(2 * pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (!valid[i]) continue;
+    kept_scores.push_back(scores[2 * i]);
+    kept_labels.push_back(1);
+    kept_scores.push_back(scores[2 * i + 1]);
+    kept_labels.push_back(0);
+  }
   CtrMetrics out;
-  out.num_pairs = scores.size();
-  if (scores.empty()) return out;
-  out.auc = Auc(scores, labels);
-  out.accuracy = Accuracy(scores, labels);
-  out.f1 = F1Score(scores, labels);
+  out.num_pairs = kept_scores.size() / 2;
+  if (kept_scores.empty()) return out;
+  out.auc = Auc(kept_scores, kept_labels);
+  out.accuracy = Accuracy(kept_scores, kept_labels);
+  out.f1 = F1Score(kept_scores, kept_labels);
   return out;
 }
 
@@ -114,10 +181,7 @@ TopKMetrics EvaluateTopK(const Recommender& model,
             if (!in_pool.insert(neg).second) continue;
             candidates.push_back(neg);
           }
-          std::vector<float> scores(candidates.size());
-          for (size_t i = 0; i < candidates.size(); ++i) {
-            scores[i] = model.Score(u, candidates[i]);
-          }
+          const std::vector<float> scores = model.ScoreItems(u, candidates);
           std::vector<int32_t> order = TopKIndices(scores, candidates.size());
           std::vector<int32_t> ranked(order.size());
           for (size_t i = 0; i < order.size(); ++i) {

@@ -21,6 +21,10 @@ namespace kgrec {
 /// depend on the order in which threads pick up work. Per-user partial
 /// metrics are written into preallocated slots and reduced serially in
 /// user order, so even floating-point summation order is fixed.
+///
+/// Both evaluators score candidates through `Recommender::ScoreItems`
+/// (one batched call per user); its bitwise-equivalence contract with
+/// `Score` keeps metrics identical to the historical per-item loop.
 struct EvalOptions {
   /// Worker threads for the per-user / per-interaction loops. 1 = run
   /// inline on the caller's thread; values above 1 use a ThreadPool.
@@ -36,10 +40,16 @@ struct EvalOptions {
 /// Click-through-rate style evaluation: for every test interaction a
 /// random non-interacted item is paired as a negative (1:1), the model
 /// scores both, and threshold-free / threshold metrics are computed.
+/// A pair is skipped (not scored, not counted) only when the user has
+/// interacted with every item in the catalog, i.e. no valid negative
+/// exists.
 struct CtrMetrics {
   double auc = 0.0;
   double accuracy = 0.0;
   double f1 = 0.0;
+  /// Number of evaluated (positive, negative) pairs — equal to the number
+  /// of test interactions minus any skipped pairs. (Historically this
+  /// reported 2× the pair count, the raw score-vector length.)
   size_t num_pairs = 0;
 };
 

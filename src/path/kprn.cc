@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <unordered_map>
 
 #include "core/check.h"
 #include "nn/init.h"
@@ -101,6 +102,59 @@ void KprnRecommender::Fit(const RecContext& context) {
 
 float KprnRecommender::Score(int32_t user, int32_t item) const {
   return PairLogit(user, item).value();
+}
+
+std::vector<float> KprnRecommender::ScoreItems(
+    int32_t user, std::span<const int32_t> items) const {
+  std::vector<float> out(items.size());
+  const TemplatePathFinder::UserPathContext ctx =
+      finder_->BuildUserContext(user);
+  std::vector<std::vector<PathInstance>> per_item(items.size());
+  // PathScores pads every path in a batch to the batch's longest path, so
+  // candidates are grouped by their own max length to keep the LSTM step
+  // count — and therefore the floats — identical to the per-pair call.
+  // Template paths all have 4 entities, so in practice this is one group.
+  std::unordered_map<size_t, std::vector<size_t>> by_len;
+  for (size_t i = 0; i < items.size(); ++i) {
+    std::vector<PathInstance> paths = finder_->FindPaths(ctx, items[i]);
+    if (paths.empty()) {
+      out[i] = no_path_bias_.value();
+      continue;
+    }
+    size_t max_len = 0;
+    for (const PathInstance& p : paths) {
+      max_len = std::max(max_len, p.entities.size());
+    }
+    by_len[max_len].push_back(i);
+    per_item[i] = std::move(paths);
+  }
+  const float gamma = config_.pooling_gamma;
+  for (const auto& [len, group] : by_len) {
+    // Chunked so the [P, hidden] LSTM intermediates stay bounded.
+    constexpr size_t kChunk = 512;
+    for (size_t start = 0; start < group.size(); start += kChunk) {
+      const size_t chunk_end = std::min(group.size(), start + kChunk);
+      std::vector<PathInstance> batch_paths;
+      for (size_t g = start; g < chunk_end; ++g) {
+        const auto& paths = per_item[group[g]];
+        batch_paths.insert(batch_paths.end(), paths.begin(), paths.end());
+      }
+      nn::Tensor scores = PathScores(batch_paths);  // [P, 1]
+      size_t offset = 0;
+      for (size_t g = start; g < chunk_end; ++g) {
+        const size_t i = group[g];
+        std::vector<int32_t> rows(per_item[i].size());
+        std::iota(rows.begin(), rows.end(), static_cast<int32_t>(offset));
+        offset += rows.size();
+        nn::Tensor s = nn::Gather(scores, rows);
+        // Same pooling as PairLogit on the same floats in the same order.
+        nn::Tensor pooled = nn::ScaleBy(
+            nn::Log(nn::Sum(nn::Exp(nn::ScaleBy(s, 1.0f / gamma)))), gamma);
+        out[i] = pooled.value();
+      }
+    }
+  }
+  return out;
 }
 
 std::string KprnRecommender::ExplainBestPath(int32_t user,

@@ -39,6 +39,14 @@ class KprnRecommender : public Recommender {
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
 
+  /// Batched fast path: enumerates paths against a once-per-user
+  /// TemplatePathFinder context, runs all candidates' paths through one
+  /// LSTM pass (grouped by padded length so the step count matches the
+  /// per-pair call), then pools each candidate's gathered score rows with
+  /// the same op sequence as PairLogit — bitwise equal to Score().
+  std::vector<float> ScoreItems(int32_t user,
+                                std::span<const int32_t> items) const override;
+
   /// The highest-scoring path for the pair rendered as text, or "" when
   /// no path connects them. This is the model's explanation (Figure 1).
   std::string ExplainBestPath(int32_t user, int32_t item) const;

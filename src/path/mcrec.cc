@@ -28,6 +28,12 @@ std::string SignatureKey(const std::vector<RelationId>& relations) {
 
 nn::Tensor McRecRecommender::Forward(const std::vector<int32_t>& users,
                                      const std::vector<int32_t>& items) const {
+  return ForwardImpl(users, items, nullptr);
+}
+
+nn::Tensor McRecRecommender::ForwardImpl(
+    const std::vector<int32_t>& users, const std::vector<int32_t>& items,
+    const TemplatePathFinder::UserPathContext* ctx) const {
   const size_t batch = users.size();
   const size_t num_types = type_keys_.size();
   const size_t p = config_.instances_per_type;
@@ -39,7 +45,9 @@ nn::Tensor McRecRecommender::Forward(const std::vector<int32_t>& users,
       kPathLen, std::vector<int32_t>(rows));
   std::vector<float> type_mask(batch * num_types, -1e9f);
   for (size_t b = 0; b < batch; ++b) {
-    std::vector<PathInstance> paths = finder_->FindPaths(users[b], items[b]);
+    std::vector<PathInstance> paths =
+        ctx != nullptr ? finder_->FindPaths(*ctx, items[b])
+                       : finder_->FindPaths(users[b], items[b]);
     std::unordered_map<std::string, std::vector<const PathInstance*>> by_type;
     for (const PathInstance& path : paths) {
       by_type[SignatureKey(path.relations)].push_back(&path);
@@ -179,6 +187,24 @@ void McRecRecommender::Fit(const RecContext& context) {
 float McRecRecommender::Score(int32_t user, int32_t item) const {
   std::vector<int32_t> users{user}, items{item};
   return Forward(users, items).value();
+}
+
+std::vector<float> McRecRecommender::ScoreItems(
+    int32_t user, std::span<const int32_t> items) const {
+  std::vector<float> out(items.size());
+  const TemplatePathFinder::UserPathContext ctx =
+      finder_->BuildUserContext(user);
+  // Chunked so the [B*T*P, d] instance tensors stay cache-resident.
+  constexpr size_t kChunk = 128;
+  for (size_t start = 0; start < items.size(); start += kChunk) {
+    const size_t batch = std::min(items.size() - start, kChunk);
+    const std::vector<int32_t> users(batch, user);
+    const std::vector<int32_t> chunk(items.begin() + start,
+                                     items.begin() + start + batch);
+    nn::Tensor logits = ForwardImpl(users, chunk, &ctx);  // [B, 1]
+    std::copy(logits.data(), logits.data() + batch, out.begin() + start);
+  }
+  return out;
 }
 
 }  // namespace kgrec

@@ -38,10 +38,23 @@ class McRecRecommender : public Recommender {
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
 
+  /// Batched fast path: one chunked Forward() with the user repeated,
+  /// enumerating paths against a once-per-user TemplatePathFinder
+  /// context. Every op in Forward() is row-independent per pair, so the
+  /// batched rows are bitwise equal to per-item Score() calls.
+  std::vector<float> ScoreItems(int32_t user,
+                                std::span<const int32_t> items) const override;
+
  private:
   /// Logits [B,1] for user-item pairs (differentiable).
   nn::Tensor Forward(const std::vector<int32_t>& users,
                      const std::vector<int32_t>& items) const;
+
+  /// Forward with path enumeration through a reusable user context (all
+  /// users must equal ctx->user); ctx == nullptr probes per pair.
+  nn::Tensor ForwardImpl(const std::vector<int32_t>& users,
+                         const std::vector<int32_t>& items,
+                         const TemplatePathFinder::UserPathContext* ctx) const;
 
   McRecConfig config_;
   std::unique_ptr<TemplatePathFinder> finder_;

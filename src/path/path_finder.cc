@@ -44,6 +44,34 @@ TemplatePathFinder::TemplatePathFinder(const UserItemGraph& graph,
   for (const Interaction& x : train.interactions()) {
     item_users_[x.item].push_back(x.user);
   }
+  inverse_relation_.assign(kg.num_relations(), RelationId{-1});
+  for (size_t r = 0; r < kg.num_relations(); ++r) {
+    RelationId inverse = -1;
+    const RelationId rel = static_cast<RelationId>(r);
+    if (kg.FindRelation(kg.relation_name(rel) + "^-1", &inverse).ok()) {
+      inverse_relation_[r] = inverse;
+    }
+  }
+}
+
+TemplatePathFinder::UserPathContext TemplatePathFinder::BuildUserContext(
+    int32_t user) const {
+  UserPathContext ctx;
+  ctx.user = user;
+  ctx.user_entity = graph_->UserEntity(user);
+  for (int32_t j : train_->UserItems(user)) {
+    for (const Edge& e : item_attrs_[j]) {
+      auto& list = ctx.attr_items[e.target];
+      if (!list.empty() && list.back().first == j) {
+        // Parallel edge from j to the same attribute: keep the last
+        // relation, matching item_attr_relation_'s last write.
+        list.back().second = e.relation;
+      } else {
+        list.emplace_back(j, e.relation);
+      }
+    }
+  }
+  return ctx;
 }
 
 std::vector<PathInstance> TemplatePathFinder::FindPaths(int32_t user,
@@ -67,9 +95,8 @@ std::vector<PathInstance> TemplatePathFinder::FindPaths(int32_t user,
       if (j == item) continue;
       auto it = item_attr_relation_.find(PairKey(j, attr.target));
       if (it == item_attr_relation_.end()) continue;
-      RelationId inverse = -1;
-      const std::string& rel_name = graph_->kg.relation_name(attr.relation);
-      if (!graph_->kg.FindRelation(rel_name + "^-1", &inverse).ok()) continue;
+      const RelationId inverse = inverse_relation_[attr.relation];
+      if (inverse < 0) continue;
       PathInstance p;
       p.entities = {user_entity, graph_->ItemEntity(j), attr.target,
                     item_entity};
@@ -89,6 +116,53 @@ std::vector<PathInstance> TemplatePathFinder::FindPaths(int32_t user,
       if (!train_->Contains(user, j)) continue;
       PathInstance p;
       p.entities = {user_entity, graph_->ItemEntity(j),
+                    graph_->UserEntity(other), item_entity};
+      p.relations = {interact, interact_inv_, interact};
+      out.push_back(std::move(p));
+      ++found;
+      break;  // one witness item per collaborating user
+    }
+  }
+  return out;
+}
+
+std::vector<PathInstance> TemplatePathFinder::FindPaths(
+    const UserPathContext& ctx, int32_t item) const {
+  std::vector<PathInstance> out;
+  const EntityId item_entity = graph_->ItemEntity(item);
+  const RelationId interact = graph_->interact_relation;
+
+  // Template 1: shared attribute, probing the user-side index instead of
+  // the full history. Iteration order (attr-major, history-minor) and the
+  // caps match the user-id overload, so the emitted paths are identical.
+  size_t found = 0;
+  for (const Edge& attr : item_attrs_[item]) {
+    if (found >= max_per_template_) break;
+    const auto it = ctx.attr_items.find(attr.target);
+    if (it == ctx.attr_items.end()) continue;
+    const RelationId inverse = inverse_relation_[attr.relation];
+    for (const auto& [j, relation] : it->second) {
+      if (j == item) continue;
+      if (inverse < 0) continue;
+      PathInstance p;
+      p.entities = {ctx.user_entity, graph_->ItemEntity(j), attr.target,
+                    item_entity};
+      p.relations = {interact, relation, inverse};
+      out.push_back(std::move(p));
+      if (++found >= max_per_template_) break;
+    }
+  }
+
+  // Template 2: collaborative — inherently candidate-driven, unchanged.
+  found = 0;
+  for (int32_t other : item_users_[item]) {
+    if (found >= max_per_template_) break;
+    if (other == ctx.user) continue;
+    for (int32_t j : train_->UserItems(other)) {
+      if (j == item) continue;
+      if (!train_->Contains(ctx.user, j)) continue;
+      PathInstance p;
+      p.entities = {ctx.user_entity, graph_->ItemEntity(j),
                     graph_->UserEntity(other), item_entity};
       p.relations = {interact, interact_inv_, interact};
       out.push_back(std::move(p));

@@ -32,6 +32,29 @@ class TemplatePathFinder {
   /// user-item KG), at most 3 * max_paths_per_template, deterministic.
   std::vector<PathInstance> FindPaths(int32_t user, int32_t item) const;
 
+  /// User-side state of FindPaths, reusable across candidate items. The
+  /// shared-attribute template spends its time probing which history
+  /// items reach each attribute; that index depends only on the user.
+  struct UserPathContext {
+    int32_t user = -1;
+    EntityId user_entity = -1;
+    /// Per attribute entity: the user's history items that reach it, with
+    /// the connecting relation, in history order (one entry per item —
+    /// parallel edges collapse to the last relation, mirroring the
+    /// last-write-wins (item, attribute) index used by FindPaths).
+    std::unordered_map<EntityId,
+                       std::vector<std::pair<int32_t, RelationId>>>
+        attr_items;
+  };
+
+  /// Builds the reusable user-side index (one pass over the history).
+  UserPathContext BuildUserContext(int32_t user) const;
+
+  /// Identical output to FindPaths(ctx.user, item) — same paths, same
+  /// order — without re-probing the user's history per candidate.
+  std::vector<PathInstance> FindPaths(const UserPathContext& ctx,
+                                      int32_t item) const;
+
   const UserItemGraph& graph() const { return *graph_; }
 
  private:
@@ -45,6 +68,9 @@ class TemplatePathFinder {
   std::unordered_map<int64_t, RelationId> item_attr_relation_;
   /// Users per item (train interactions).
   std::vector<std::vector<int32_t>> item_users_;
+  /// Per relation id: the id of "<name>^-1", or -1 when absent (resolved
+  /// once here instead of a string lookup per emitted path).
+  std::vector<RelationId> inverse_relation_;
 };
 
 }  // namespace kgrec

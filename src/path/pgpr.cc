@@ -202,6 +202,33 @@ float PgprRecommender::Score(int32_t user, int32_t item) const {
   return kge_->ScoreBatch(h, r, t).value();
 }
 
+std::vector<float> PgprRecommender::ScoreItems(
+    int32_t user, std::span<const int32_t> items) const {
+  std::vector<float> out(items.size());
+  const auto& reached = reached_[user];
+  std::vector<size_t> misses;
+  for (size_t i = 0; i < items.size(); ++i) {
+    auto it = reached.find(items[i]);
+    if (it != reached.end()) {
+      out[i] = 100.0f + it->second.value;
+    } else {
+      misses.push_back(i);
+    }
+  }
+  if (misses.empty()) return out;
+  // One KGE forward for every beam miss instead of one per candidate.
+  std::vector<int32_t> h(misses.size(), graph_->UserEntity(user));
+  std::vector<int32_t> r(misses.size(), graph_->interact_relation);
+  std::vector<int32_t> t;
+  t.reserve(misses.size());
+  for (size_t i : misses) t.push_back(graph_->ItemEntity(items[i]));
+  nn::Tensor scores = kge_->ScoreBatch(h, r, t);  // [M, 1]
+  for (size_t m = 0; m < misses.size(); ++m) {
+    out[misses[m]] = scores.data()[m];
+  }
+  return out;
+}
+
 std::string PgprRecommender::ExplainPath(int32_t user, int32_t item) const {
   auto it = reached_[user].find(item);
   if (it == reached_[user].end()) return "";

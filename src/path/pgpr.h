@@ -46,6 +46,12 @@ class PgprRecommender : public Recommender {
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
 
+  /// Batched fast path: beam-reached candidates are map lookups; all
+  /// remaining candidates share one KGE ScoreBatch call (the KGE scorers
+  /// are rowwise, so the batched scores are bitwise equal to Score()).
+  std::vector<float> ScoreItems(int32_t user,
+                                std::span<const int32_t> items) const override;
+
   /// The path by which the beam search reached this item for this user,
   /// rendered as text ("" if the item was not reached).
   std::string ExplainPath(int32_t user, int32_t item) const;

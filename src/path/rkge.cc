@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <unordered_map>
 
 #include "core/check.h"
 #include "nn/init.h"
@@ -85,6 +86,70 @@ void RkgeRecommender::Fit(const RecContext& context) {
 
 float RkgeRecommender::Score(int32_t user, int32_t item) const {
   return PairLogit(user, item).value();
+}
+
+std::vector<float> RkgeRecommender::ScoreItems(
+    int32_t user, std::span<const int32_t> items) const {
+  std::vector<float> out(items.size());
+  const TemplatePathFinder::UserPathContext ctx =
+      finder_->BuildUserContext(user);
+  std::vector<std::vector<PathInstance>> per_item(items.size());
+  // PairLogit pads every path to the pair's longest, so candidates are
+  // grouped by their own max length to keep the GRU step count — and
+  // therefore the floats — identical to the per-pair call. Template paths
+  // all have 4 entities, so in practice this is one group.
+  std::unordered_map<size_t, std::vector<size_t>> by_len;
+  for (size_t i = 0; i < items.size(); ++i) {
+    std::vector<PathInstance> paths = finder_->FindPaths(ctx, items[i]);
+    if (paths.empty()) {
+      out[i] = no_path_bias_.value();
+      continue;
+    }
+    size_t max_len = 0;
+    for (const PathInstance& p : paths) {
+      max_len = std::max(max_len, p.entities.size());
+    }
+    by_len[max_len].push_back(i);
+    per_item[i] = std::move(paths);
+  }
+  for (const auto& [len, group] : by_len) {
+    // Chunked so the [P, hidden] GRU intermediates stay bounded.
+    constexpr size_t kChunk = 512;
+    for (size_t start = 0; start < group.size(); start += kChunk) {
+      const size_t chunk_end = std::min(group.size(), start + kChunk);
+      std::vector<const PathInstance*> batch_paths;
+      for (size_t g = start; g < chunk_end; ++g) {
+        for (const PathInstance& p : per_item[group[g]]) {
+          batch_paths.push_back(&p);
+        }
+      }
+      const size_t rows = batch_paths.size();
+      nn::Tensor h = nn::Tensor::Zeros(rows, config_.hidden_dim);
+      for (size_t step = 0; step < len; ++step) {
+        std::vector<int32_t> ids(rows);
+        for (size_t p = 0; p < rows; ++p) {
+          const auto& entities = batch_paths[p]->entities;
+          ids[p] = entities[std::min(step, entities.size() - 1)];
+        }
+        h = gru_.Step(nn::Gather(entity_emb_, ids), h);
+      }
+      size_t offset = 0;
+      for (size_t g = start; g < chunk_end; ++g) {
+        const size_t i = group[g];
+        const size_t count = per_item[i].size();
+        std::vector<int32_t> path_rows(count);
+        std::iota(path_rows.begin(), path_rows.end(),
+                  static_cast<int32_t>(offset));
+        offset += count;
+        nn::Tensor h_i = nn::Gather(h, path_rows);  // [P_i, hidden]
+        // Same mean-pool + FC as PairLogit on the same floats.
+        nn::Tensor pooled = nn::ScaleBy(nn::GroupSumRows(h_i, count),
+                                        1.0f / count);
+        out[i] = output_.Forward(pooled).value();
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace kgrec

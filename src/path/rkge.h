@@ -35,6 +35,14 @@ class RkgeRecommender : public Recommender {
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
 
+  /// Batched fast path: enumerates paths against a once-per-user
+  /// TemplatePathFinder context and encodes all candidates' paths in one
+  /// GRU pass (grouped by padded length), then mean-pools each
+  /// candidate's gathered hidden states with the same op sequence as
+  /// PairLogit — bitwise equal to Score().
+  std::vector<float> ScoreItems(int32_t user,
+                                std::span<const int32_t> items) const override;
+
  private:
   /// Scalar logit [1,1] for one pair (differentiable).
   nn::Tensor PairLogit(int32_t user, int32_t item) const;

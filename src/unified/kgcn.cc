@@ -169,4 +169,122 @@ float KgcnRecommender::Score(int32_t user, int32_t item) const {
   return Forward(users, items, nullptr).value();
 }
 
+std::vector<float> KgcnRecommender::ScoreItems(
+    int32_t user, std::span<const int32_t> items) const {
+  std::vector<float> out(items.size());
+  if (items.empty()) return out;
+  const size_t k = config_.num_neighbors;
+  const size_t depth = config_.num_layers;
+  const size_t num_entities = sampled_neighbors_.size();
+
+  // Once-per-user attention table: u . r for every relation, built with
+  // the exact op sequence attention_for_level uses per row.
+  const size_t num_relations = static_cast<size_t>(relation_emb_.rows());
+  std::vector<int32_t> user_rows(num_relations, user);
+  std::vector<int32_t> all_relations(num_relations);
+  std::iota(all_relations.begin(), all_relations.end(), 0);
+  nn::Tensor att_table = nn::SumRows(
+      nn::Mul(nn::Gather(user_emb_, user_rows),
+              nn::Gather(relation_emb_, all_relations)));  // [R, 1]
+
+  // In Forward(), sweep i recomputes every receptive-field slot even
+  // though the update for a slot holding entity e depends only on
+  // (user, e): it is agg_i(U_{i-1}(e), pool(U_{i-1}(children(e)))) with
+  // U_{-1} = entity_emb_ and the static neighbor sample fixed per
+  // entity. For a single user we therefore compute each *distinct*
+  // entity once per sweep — rows are capped by the entity count instead
+  // of growing as B * k^depth — and every op (Gather / Mul /
+  // GroupSumRows / per-parent Softmax / rowwise aggregator) runs the
+  // same in-order float sequence per row, so scores stay bitwise equal
+  // to Score().
+  const auto child_of = [&](int32_t e, size_t j) {
+    const auto& neighbors = sampled_neighbors_[e];
+    if (neighbors.empty()) return Edge{0, e};  // self-loop, relation 0
+    return neighbors[j % neighbors.size()];
+  };
+
+  // Distinct candidates, first-occurrence order; slot[i] = distinct row.
+  std::vector<int32_t> row_of(num_entities, -1);
+  std::vector<int32_t> distinct;
+  std::vector<int32_t> slot(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (row_of[items[i]] < 0) {
+      row_of[items[i]] = static_cast<int32_t>(distinct.size());
+      distinct.push_back(items[i]);
+    }
+    slot[i] = row_of[items[i]];
+  }
+
+  // need[i]: entities whose sweep-i output is required. Walking top-down,
+  // sweep i's inputs are need[i] plus their sampled children.
+  const auto expand = [&](const std::vector<int32_t>& s) {
+    std::vector<char> seen(num_entities, 0);
+    std::vector<int32_t> result = s;
+    for (int32_t e : s) seen[e] = 1;
+    for (int32_t e : s) {
+      for (size_t j = 0; j < k; ++j) {
+        const int32_t child = child_of(e, j).target;
+        if (!seen[child]) {
+          seen[child] = 1;
+          result.push_back(child);
+        }
+      }
+    }
+    return result;
+  };
+  std::vector<std::vector<int32_t>> need(depth);
+  if (depth > 0) need[depth - 1] = distinct;
+  for (size_t i = depth; i-- > 1;) need[i - 1] = expand(need[i]);
+  const std::vector<int32_t> base =
+      depth > 0 ? expand(need[0]) : distinct;
+
+  // U holds post-sweep representations; its rows follow `order`.
+  std::vector<int32_t> order = base;
+  nn::Tensor u_level = nn::Gather(entity_emb_, order);
+  const auto reindex = [&](const std::vector<int32_t>& ord) {
+    row_of.assign(num_entities, -1);
+    for (size_t idx = 0; idx < ord.size(); ++idx) {
+      row_of[ord[idx]] = static_cast<int32_t>(idx);
+    }
+  };
+  reindex(order);
+  for (size_t i = 0; i < depth; ++i) {
+    const std::vector<int32_t>& s = need[i];
+    const size_t rows = s.size() * k;
+    std::vector<int32_t> child_rows;
+    std::vector<int32_t> self_rows;
+    std::vector<float> logit_data;
+    child_rows.reserve(rows);
+    self_rows.reserve(s.size());
+    logit_data.reserve(rows);
+    for (int32_t e : s) {
+      self_rows.push_back(row_of[e]);
+      for (size_t j = 0; j < k; ++j) {
+        const Edge edge = child_of(e, j);
+        child_rows.push_back(row_of[edge.target]);
+        logit_data.push_back(att_table.data()[edge.relation]);
+      }
+    }
+    nn::Tensor logits =
+        nn::Tensor::FromData(rows, 1, std::move(logit_data));
+    nn::Tensor att = nn::Reshape(
+        nn::Softmax(nn::Reshape(logits, s.size(), k)), rows, 1);
+    nn::Tensor pooled =
+        nn::GroupSumRows(nn::Mul(nn::Gather(u_level, child_rows), att), k);
+    u_level = aggregators_[i].Forward(nn::Gather(u_level, self_rows),
+                                      pooled, i + 1 == depth);
+    order = s;
+    reindex(order);
+  }
+
+  // order == distinct here; dot with the user and scatter to candidates.
+  std::vector<int32_t> user_of_row(distinct.size(), user);
+  nn::Tensor scores = nn::SumRows(
+      nn::Mul(nn::Gather(user_emb_, user_of_row), u_level));
+  for (size_t i = 0; i < items.size(); ++i) {
+    out[i] = scores.data()[slot[i]];
+  }
+  return out;
+}
+
 }  // namespace kgrec

@@ -40,6 +40,16 @@ class KgcnRecommender : public Recommender {
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
 
+  /// Batched fast path. For a fixed user, a receptive-field node's
+  /// sweep-i update depends only on its entity (the neighbor sample is
+  /// static), so instead of materialising B * k^l rows per level this
+  /// computes each *distinct* entity once per sweep, with the u . r
+  /// attention logits built once per relation. Every op involved is
+  /// row-independent with the same in-order accumulation as Forward(),
+  /// so results are bitwise equal to per-item Score() calls.
+  std::vector<float> ScoreItems(int32_t user,
+                                std::span<const int32_t> items) const override;
+
  private:
   /// Differentiable forward: logits [B,1] for (users, items). When
   /// `ls_logits` is non-null also emits label-smoothness logits (the

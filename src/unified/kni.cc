@@ -105,4 +105,20 @@ float KniRecommender::Score(int32_t user, int32_t item) const {
   return Forward(users, items).value();
 }
 
+std::vector<float> KniRecommender::ScoreItems(
+    int32_t user, std::span<const int32_t> items) const {
+  std::vector<float> out(items.size());
+  // Chunked so the [B*k*k, d] pair tensors stay cache-resident.
+  constexpr size_t kChunk = 128;
+  for (size_t start = 0; start < items.size(); start += kChunk) {
+    const size_t batch = std::min(items.size() - start, kChunk);
+    const std::vector<int32_t> users(batch, user);
+    const std::vector<int32_t> chunk(items.begin() + start,
+                                     items.begin() + start + batch);
+    nn::Tensor logits = Forward(users, chunk);  // [B, 1]
+    std::copy(logits.data(), logits.data() + batch, out.begin() + start);
+  }
+  return out;
+}
+
 }  // namespace kgrec

@@ -35,6 +35,12 @@ class KniRecommender : public Recommender {
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
 
+  /// Batched fast path: one chunked Forward() with the user repeated.
+  /// The k*k neighbor-pair attention is softmaxed per batch row, so the
+  /// batched rows are bitwise equal to per-item Score() calls.
+  std::vector<float> ScoreItems(int32_t user,
+                                std::span<const int32_t> items) const override;
+
  private:
   nn::Tensor Forward(const std::vector<int32_t>& users,
                      const std::vector<int32_t>& items) const;

@@ -214,4 +214,60 @@ float RippleNetRecommender::Score(int32_t user, int32_t item) const {
   return Forward(users, items).value();
 }
 
+std::vector<float> RippleNetRecommender::ScoreItems(
+    int32_t user, std::span<const int32_t> items) const {
+  std::vector<float> out(items.size(), 0.0f);
+  if (items.empty() || user_ripples_[user].empty) return out;
+  const size_t s = config_.hop_size;
+  const UserRipples& ur = user_ripples_[user];
+
+  // Once-per-user tensors, built with the same ops (and therefore the
+  // same floats) a B=1 Forward() would produce for this user.
+  nn::Tensor seed_emb = nn::Gather(entity_emb_, ur.seeds);
+  nn::Tensor seed_weights = nn::Tensor::FromData(
+      s, 1, std::vector<float>(ur.seed_weights));
+  nn::Tensor o0 = nn::GroupSumRows(nn::Mul(seed_emb, seed_weights), s);
+  std::vector<nn::Tensor> rh_hops, tail_hops;
+  for (size_t hop = 0; hop < config_.num_hops; ++hop) {
+    nn::Tensor h = nn::Gather(entity_emb_, ur.heads[hop]);       // [s, d]
+    nn::Tensor r = nn::Gather(relation_mats_, ur.relations[hop]);  // [s, d*d]
+    rh_hops.push_back(nn::RowwiseVecMat(h, r));                  // [s, d]
+    tail_hops.push_back(nn::Gather(entity_emb_, ur.tails[hop]));  // [s, d]
+  }
+
+  // Chunked so the [B*s, d] intermediates stay cache-resident.
+  constexpr size_t kChunk = 256;
+  for (size_t start = 0; start < items.size(); start += kChunk) {
+    const size_t batch = std::min(items.size() - start, kChunk);
+    const std::vector<int32_t> chunk(items.begin() + start,
+                                     items.begin() + start + batch);
+    nn::Tensor v = ItemVectors(chunk);  // [B, d]
+    std::vector<int32_t> tile(batch * s), repeat(batch * s);
+    for (size_t b = 0; b < batch; ++b) {
+      for (size_t k = 0; k < s; ++k) {
+        tile[b * s + k] = static_cast<int32_t>(k);
+        repeat[b * s + k] = static_cast<int32_t>(b);
+      }
+    }
+    const std::vector<int32_t> zeros(batch, 0);
+    std::vector<nn::Tensor> all_responses{nn::Gather(o0, zeros)};  // [B, d]
+    nn::Tensor probe = v;
+    for (size_t hop = 0; hop < config_.num_hops; ++hop) {
+      nn::Tensor rh = nn::Gather(rh_hops[hop], tile);      // [B*s, d]
+      nn::Tensor t = nn::Gather(tail_hops[hop], tile);     // [B*s, d]
+      nn::Tensor probe_rep = nn::Gather(probe, repeat);    // [B*s, d]
+      nn::Tensor logits = nn::SumRows(nn::Mul(rh, probe_rep));
+      nn::Tensor p = nn::Softmax(nn::Reshape(logits, batch, s));
+      nn::Tensor p_flat = nn::Reshape(p, batch * s, 1);
+      nn::Tensor o = nn::GroupSumRows(nn::Mul(t, p_flat), s);  // [B, d]
+      all_responses.push_back(o);
+      probe = o;
+    }
+    nn::Tensor u = CombineResponses(all_responses, v);
+    nn::Tensor scores = nn::SumRows(nn::Mul(u, v));  // [B, 1]
+    std::copy(scores.data(), scores.data() + batch, out.begin() + start);
+  }
+  return out;
+}
+
 }  // namespace kgrec

@@ -39,6 +39,16 @@ class RippleNetRecommender : public Recommender {
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
 
+  /// Batched fast path: the ripple-set tensors (seed response, per-hop
+  /// h^T R products and tail embeddings) depend only on the user, so they
+  /// are computed once and re-tiled across candidates, skipping the
+  /// O(hop_size * dim^2) RowwiseVecMat per candidate that Score() pays.
+  /// Uses the same op sequence as Forward(), so results are bitwise equal.
+  /// Covers RippleNet-agg and AKUPM through the ItemVectors /
+  /// CombineResponses hooks (both are candidate-rowwise).
+  std::vector<float> ScoreItems(int32_t user,
+                                std::span<const int32_t> items) const override;
+
  protected:
   /// Fixed-size padded ripple arrays for one user.
   struct UserRipples {

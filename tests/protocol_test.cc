@@ -59,7 +59,59 @@ TEST(Protocol, OracleGetsPerfectCtrMetrics) {
   EXPECT_DOUBLE_EQ(m.auc, 1.0);
   EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
   EXPECT_DOUBLE_EQ(m.f1, 1.0);
-  EXPECT_EQ(m.num_pairs, 2 * f.test.num_interactions());
+  // num_pairs counts (positive, negative) pairs, i.e. evaluated test
+  // interactions — not the 2x score-vector length it once reported.
+  EXPECT_EQ(m.num_pairs, f.test.num_interactions());
+}
+
+TEST(Protocol, DenseWorldNeverLabelsATestPositiveAsNegative) {
+  // Per user: items 0-7 in train, 8-58 in test, item 59 untouched. The
+  // negative pool is then 51 test positives + 1 valid negative, so the
+  // 50-attempt rejection run exhausts for a large fraction of the 204
+  // pairs (p ~ 0.37 each). The old fallback silently emitted the test
+  // positive itself as the "negative"; the exhaustive fallback must find
+  // item 59 every time.
+  InteractionDataset train(4, 60);
+  InteractionDataset test(4, 60);
+  for (int32_t u = 0; u < 4; ++u) {
+    for (int32_t item = 0; item < 59; ++item) {
+      if (item < 8) {
+        train.Add(u, item);
+      } else {
+        test.Add(u, item);
+      }
+    }
+  }
+  OracleRecommender oracle(&test, /*inverted=*/false);
+  EvalOptions options;
+  CtrMetrics m = EvaluateCtr(oracle, train, test, options);
+  EXPECT_EQ(m.num_pairs, test.num_interactions());
+  // The oracle scores positives 1 and true negatives -1: any sneaked-in
+  // test positive would score 1 under label 0 and break the separation.
+  EXPECT_DOUBLE_EQ(m.auc, 1.0);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(Protocol, FullyInteractedUsersSkipTheirCtrPairs) {
+  // Users 0/1 have consumed the whole catalog (train + test): no valid
+  // negative exists, so their pairs must be skipped, not mislabeled.
+  InteractionDataset train(2, 6);
+  InteractionDataset test(2, 6);
+  for (int32_t u = 0; u < 2; ++u) {
+    for (int32_t item = 0; item < 6; ++item) {
+      if (item == 5) {
+        test.Add(u, item);
+      } else {
+        train.Add(u, item);
+      }
+    }
+  }
+  OracleRecommender oracle(&test, /*inverted=*/false);
+  EvalOptions options;
+  CtrMetrics m = EvaluateCtr(oracle, train, test, options);
+  EXPECT_EQ(m.num_pairs, 0u);
+  EXPECT_DOUBLE_EQ(m.auc, 0.0);
 }
 
 TEST(Protocol, InvertedOracleGetsZeroAuc) {

@@ -88,6 +88,21 @@ TEST_P(RegistrySmoke, FitScoreRecommendEvaluate) {
     }
   }
 
+  // Batched inference: ScoreItems must equal per-item Score bitwise (the
+  // contract the eval protocols rely on), including duplicate candidates,
+  // edge users, and the empty list.
+  for (int32_t user : {0, 7, 39}) {
+    const std::vector<int32_t> candidates{0, 31, 59, 31, 1, 58, 0};
+    const std::vector<float> batched = model->ScoreItems(user, candidates);
+    ASSERT_EQ(batched.size(), candidates.size()) << GetParam();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      EXPECT_EQ(batched[i], model->Score(user, candidates[i]))
+          << GetParam() << " ScoreItems(" << user << ")[" << i
+          << "] diverges from Score(" << user << "," << candidates[i] << ")";
+    }
+  }
+  EXPECT_TRUE(model->ScoreItems(0, {}).empty()) << GetParam();
+
   // Recommend: ScoreAll + top-k selection yields a full, finite ranking.
   const std::vector<float> all = model->ScoreAll(3, w.world.config.num_items);
   ASSERT_EQ(all.size(), static_cast<size_t>(w.world.config.num_items));

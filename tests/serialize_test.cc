@@ -68,6 +68,31 @@ TEST(Serialize, TruncatedArchiveIsIoError) {
   std::remove(path.c_str());
 }
 
+TEST(Serialize, OverflowingShapeHeaderIsRejected) {
+  // rows = cols = 2^33: the 2^66-element product wraps uint64 to 0, which
+  // slipped past the old `rows * cols > 2^32` guard and made the loader
+  // accept the tensor with an empty data blob but a 2^33-row shape. The
+  // division-based guard must reject the header outright.
+  const std::string path = TempPath("overflow.kgrt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const uint32_t version = 1, count = 1, name_len = 1;
+  const uint64_t rows = 1ull << 33, cols = 1ull << 33;
+  ASSERT_EQ(std::fwrite("KGRT", 1, 4, f), 4u);
+  ASSERT_EQ(std::fwrite(&version, sizeof(version), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(&count, sizeof(count), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(&name_len, sizeof(name_len), 1, f), 1u);
+  ASSERT_EQ(std::fwrite("x", 1, 1, f), 1u);
+  ASSERT_EQ(std::fwrite(&rows, sizeof(rows), 1, f), 1u);
+  ASSERT_EQ(std::fwrite(&cols, sizeof(cols), 1, f), 1u);
+  std::fclose(f);
+  ASSERT_EQ(rows * cols, 0u);  // the product wraps all the way to zero
+  std::vector<NamedTensor> loaded;
+  EXPECT_EQ(LoadTensorArchive(path, &loaded).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
 TEST(Serialize, ShapeMismatchRejectedOnSave) {
   const std::string path = TempPath("badshape.kgrt");
   std::vector<NamedTensor> bad{{"x", 2, 2, {1.0f}}};  // 1 value, shape 2x2
