@@ -19,6 +19,7 @@ void CfkgRecommender::Fit(const RecContext& context) {
   train_config.margin = config_.margin;
   train_config.l2 = config_.l2;
   train_config.seed = context.seed + 1;
+  train_config.num_threads = config_.num_threads;
   TrainKge(*model_, kg, train_config);
 }
 

@@ -39,6 +39,7 @@ void DkfmRecommender::Fit(const RecContext& context) {
   KgeTrainConfig kge_config;
   kge_config.epochs = config_.kge_epochs;
   kge_config.seed = context.seed + 4;
+  kge_config.num_threads = config_.num_threads;
   TrainKge(*transe, kg, kge_config);
   entity_emb_ = nn::Tensor::FromData(
       kg.num_entities(), d,

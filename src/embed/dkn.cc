@@ -88,6 +88,7 @@ void DknRecommender::Fit(const RecContext& context) {
   KgeTrainConfig kge_config;
   kge_config.epochs = 8;
   kge_config.seed = context.seed + 3;
+  kge_config.num_threads = config_.num_threads;
   TrainKge(*transd, kg, kge_config);
   entity_emb_ = nn::Tensor::FromData(
       kg.num_entities(), d,

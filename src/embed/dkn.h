@@ -21,6 +21,10 @@ struct DknConfig {
   size_t max_history = 10;
   /// Pseudo-words per item beyond its KG entities (title noise words).
   size_t noise_words_per_item = 2;
+  /// Threads for the TransD pretraining stage
+  /// (KgeTrainConfig::num_threads): 0 = legacy serial loop, >= 1 =
+  /// deterministic sharded trainer.
+  size_t num_threads = 0;
 };
 
 /// DKN (Wang et al., WWW'18; survey Eq. 4-5): each news item is encoded

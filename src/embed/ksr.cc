@@ -52,6 +52,7 @@ void KsrRecommender::Fit(const RecContext& context) {
   KgeTrainConfig kge_config;
   kge_config.epochs = config_.kge_epochs;
   kge_config.seed = context.seed + 2;
+  kge_config.num_threads = config_.num_threads;
   TrainKge(*transe, kg, kge_config);
   std::vector<RelationId> forward_relations;
   for (size_t rel = 0; rel < kg.num_relations(); ++rel) {

@@ -23,6 +23,10 @@ struct KsrConfig {
   /// Maximum sequence length fed to the GRU.
   size_t max_sequence = 10;
   int kge_epochs = 8;
+  /// Threads for the TransE pretraining stage
+  /// (KgeTrainConfig::num_threads): 0 = legacy serial loop, >= 1 =
+  /// deterministic sharded trainer.
+  size_t num_threads = 0;
 };
 
 /// KSR (Huang et al., SIGIR'18): knowledge-enhanced sequential

@@ -116,31 +116,44 @@ const Edge* KnowledgeGraph::OutEdges(EntityId entity) const {
 std::vector<Edge> KnowledgeGraph::SampleNeighbors(EntityId entity,
                                                   size_t count,
                                                   Rng& rng) const {
-  const size_t degree = OutDegree(entity);
-  if (degree == 0 || count == 0) return {};
-  const Edge* edges = OutEdges(entity);
   std::vector<Edge> out;
-  out.reserve(count);
+  SampleNeighbors(entity, count, rng, &out);
+  return out;
+}
+
+void KnowledgeGraph::SampleNeighbors(EntityId entity, size_t count, Rng& rng,
+                                     std::vector<Edge>* out) const {
+  out->clear();
+  const size_t degree = OutDegree(entity);
+  if (degree == 0 || count == 0) return;
+  const Edge* edges = OutEdges(entity);
+  out->reserve(count);
   if (degree <= count) {
     // Take all, then pad with uniform resamples to reach the fixed size.
-    out.assign(edges, edges + degree);
-    while (out.size() < count) out.push_back(edges[rng.UniformInt(degree)]);
+    out->assign(edges, edges + degree);
+    while (out->size() < count) {
+      out->push_back(edges[rng.UniformInt(degree)]);
+    }
   } else {
     for (size_t i : rng.SampleWithoutReplacement(degree, count)) {
-      out.push_back(edges[i]);
+      out->push_back(edges[i]);
     }
   }
-  return out;
 }
 
 bool KnowledgeGraph::HasTriple(EntityId head, RelationId relation,
                                EntityId tail) const {
-  const size_t degree = OutDegree(head);
-  const Edge* edges = OutEdges(head);
-  for (size_t i = 0; i < degree; ++i) {
-    if (edges[i].relation == relation && edges[i].target == tail) return true;
-  }
-  return false;
+  // Finalize() sorts each entity's edges by (relation, target), so
+  // membership is a binary search instead of a degree-linear scan.
+  const Edge* begin = OutEdges(head);
+  const Edge* end = begin + OutDegree(head);
+  return std::binary_search(begin, end, Edge{relation, tail},
+                            [](const Edge& a, const Edge& b) {
+                              if (a.relation != b.relation) {
+                                return a.relation < b.relation;
+                              }
+                              return a.target < b.target;
+                            });
 }
 
 }  // namespace kgrec

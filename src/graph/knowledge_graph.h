@@ -95,7 +95,16 @@ class KnowledgeGraph {
   std::vector<Edge> SampleNeighbors(EntityId entity, size_t count,
                                     Rng& rng) const;
 
-  /// True if a triple exists. Requires finalized(). O(out degree).
+  /// As above, but fills `*out` (cleared first), so hot loops — the
+  /// KGCN/KGCN-LS receptive-field build, RippleNet-agg's neighborhood
+  /// sampling — reuse one buffer instead of allocating per call. Draws
+  /// the same RNG sequence as the by-value overload.
+  void SampleNeighbors(EntityId entity, size_t count, Rng& rng,
+                       std::vector<Edge>* out) const;
+
+  /// True if a triple exists. Requires finalized(). Binary search over
+  /// the head's CSR range, which Finalize() sorts by (relation, target):
+  /// O(log out-degree).
   bool HasTriple(EntityId head, RelationId relation, EntityId tail) const;
 
  private:

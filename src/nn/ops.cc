@@ -64,13 +64,15 @@ Tensor BinaryBroadcastOp(const Tensor& a, const Tensor& b, Fwd fwd, BwdA bwd_a,
     node->backward = [kind, bwd_a, bwd_b](Node& self) {
       Node& pa = *self.parents[0];
       Node& pb = *self.parents[1];
+      float* ga = internal::GradBuf(pa);
+      float* gb = internal::GradBuf(pb);
       for (size_t i = 0; i < self.size(); ++i) {
         const size_t j = BIndex(kind, pa, i);
         const float g = self.grad[i];
         const float av = pa.data[i];
         const float bv = pb.data[j];
-        if (pa.requires_grad) pa.grad[i] += g * bwd_a(av, bv);
-        if (pb.requires_grad) pb.grad[j] += g * bwd_b(av, bv);
+        if (pa.requires_grad) ga[i] += g * bwd_a(av, bv);
+        if (pb.requires_grad) gb[j] += g * bwd_b(av, bv);
       }
     };
   }
@@ -85,10 +87,11 @@ Tensor UnaryOp(const Tensor& a, Fwd fwd, Bwd bwd) {
   if (node->requires_grad) {
     node->backward = [bwd](Node& self) {
       Node& pa = *self.parents[0];
+      float* ga = internal::GradBuf(pa);
       for (size_t i = 0; i < self.size(); ++i) {
         // bwd receives (input, output) so ops like sigmoid can reuse the
         // forward value.
-        pa.grad[i] += self.grad[i] * bwd(pa.data[i], self.data[i]);
+        ga[i] += self.grad[i] * bwd(pa.data[i], self.data[i]);
       }
     };
   }
@@ -144,9 +147,10 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       Node& pb = *self.parents[1];
       if (pa.requires_grad) {
         // dA[i,p] += sum_j dC[i,j] * B[p,j]
+        float* ga = internal::GradBuf(pa);
         for (size_t i = 0; i < m; ++i) {
           const float* grow = self.grad.data() + i * n;
-          float* garow = pa.grad.data() + i * k;
+          float* garow = ga + i * k;
           for (size_t p = 0; p < k; ++p) {
             const float* brow = pb.data.data() + p * n;
             float acc = 0.0f;
@@ -157,13 +161,14 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       }
       if (pb.requires_grad) {
         // dB[p,j] += sum_i A[i,p] * dC[i,j]
+        float* gb = internal::GradBuf(pb);
         for (size_t i = 0; i < m; ++i) {
           const float* arow = pa.data.data() + i * k;
           const float* grow = self.grad.data() + i * n;
           for (size_t p = 0; p < k; ++p) {
             const float av = arow[p];
             if (av == 0.0f) continue;
-            float* gbrow = pb.grad.data() + p * n;
+            float* gbrow = gb + p * n;
             for (size_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
           }
         }
@@ -184,9 +189,10 @@ Tensor Transpose(const Tensor& a) {
   if (node->requires_grad) {
     node->backward = [](Node& self) {
       Node& pa = *self.parents[0];
+      float* ga = internal::GradBuf(pa);
       for (size_t i = 0; i < pa.rows; ++i) {
         for (size_t j = 0; j < pa.cols; ++j) {
-          pa.grad[i * pa.cols + j] += self.grad[j * pa.rows + i];
+          ga[i * pa.cols + j] += self.grad[j * pa.rows + i];
         }
       }
     };
@@ -267,8 +273,9 @@ Tensor Sum(const Tensor& a) {
   if (node->requires_grad) {
     node->backward = [](Node& self) {
       Node& pa = *self.parents[0];
+      float* ga = internal::GradBuf(pa);
       const float g = self.grad[0];
-      for (size_t i = 0; i < pa.size(); ++i) pa.grad[i] += g;
+      for (size_t i = 0; i < pa.size(); ++i) ga[i] += g;
     };
   }
   return Tensor::Wrap(node);
@@ -289,9 +296,10 @@ Tensor SumRows(const Tensor& a) {
   if (node->requires_grad) {
     node->backward = [](Node& self) {
       Node& pa = *self.parents[0];
+      float* ga = internal::GradBuf(pa);
       for (size_t i = 0; i < pa.rows; ++i) {
         const float g = self.grad[i];
-        for (size_t j = 0; j < pa.cols; ++j) pa.grad[i * pa.cols + j] += g;
+        for (size_t j = 0; j < pa.cols; ++j) ga[i * pa.cols + j] += g;
       }
     };
   }
@@ -314,9 +322,10 @@ Tensor SumCols(const Tensor& a) {
   if (node->requires_grad) {
     node->backward = [](Node& self) {
       Node& pa = *self.parents[0];
+      float* ga = internal::GradBuf(pa);
       for (size_t i = 0; i < pa.rows; ++i) {
         for (size_t j = 0; j < pa.cols; ++j) {
-          pa.grad[i * pa.cols + j] += self.grad[j];
+          ga[i * pa.cols + j] += self.grad[j];
         }
       }
     };
@@ -342,12 +351,13 @@ Tensor Softmax(const Tensor& a) {
   if (node->requires_grad) {
     node->backward = [](Node& self) {
       Node& pa = *self.parents[0];
+      float* ga = internal::GradBuf(pa);
       for (size_t i = 0; i < self.rows; ++i) {
         const float* y = self.data.data() + i * self.cols;
         const float* dy = self.grad.data() + i * self.cols;
         float dot = 0.0f;
         for (size_t j = 0; j < self.cols; ++j) dot += y[j] * dy[j];
-        float* dx = pa.grad.data() + i * self.cols;
+        float* dx = ga + i * self.cols;
         for (size_t j = 0; j < self.cols; ++j) dx[j] += y[j] * (dy[j] - dot);
       }
     };
@@ -371,13 +381,15 @@ Tensor Concat(const Tensor& a, const Tensor& b) {
     node->backward = [na, nb](Node& self) {
       Node& pa = *self.parents[0];
       Node& pb = *self.parents[1];
+      float* ga = internal::GradBuf(pa);
+      float* gb = internal::GradBuf(pb);
       for (size_t i = 0; i < self.rows; ++i) {
         const float* grow = self.grad.data() + i * (na + nb);
         if (pa.requires_grad) {
-          for (size_t j = 0; j < na; ++j) pa.grad[i * na + j] += grow[j];
+          for (size_t j = 0; j < na; ++j) ga[i * na + j] += grow[j];
         }
         if (pb.requires_grad) {
-          for (size_t j = 0; j < nb; ++j) pb.grad[i * nb + j] += grow[na + j];
+          for (size_t j = 0; j < nb; ++j) gb[i * nb + j] += grow[na + j];
         }
       }
     };
@@ -396,9 +408,10 @@ Tensor Gather(const Tensor& table, const std::vector<int32_t>& indices) {
   if (node->requires_grad) {
     node->backward = [indices, d](Node& self) {
       Node& pt = *self.parents[0];
+      float* gt = internal::GradBuf(pt);
       for (size_t i = 0; i < indices.size(); ++i) {
         const float* grow = self.grad.data() + i * d;
-        float* trow = pt.grad.data() + indices[i] * d;
+        float* trow = gt + indices[i] * d;
         for (size_t j = 0; j < d; ++j) trow[j] += grow[j];
       }
     };
@@ -432,6 +445,8 @@ Tensor RowwiseVecMat(const Tensor& x, const Tensor& w) {
     node->backward = [batch, d](Node& self) {
       Node& px = *self.parents[0];
       Node& pw = *self.parents[1];
+      float* gx = internal::GradBuf(px);
+      float* gw = internal::GradBuf(pw);
       for (size_t b = 0; b < batch; ++b) {
         const float* dout = self.grad.data() + b * d;
         const float* xv = px.data.data() + b * d;
@@ -441,10 +456,10 @@ Tensor RowwiseVecMat(const Tensor& x, const Tensor& w) {
           if (px.requires_grad) {
             float acc = 0.0f;
             for (size_t j = 0; j < d; ++j) acc += dout[j] * mrow[j];
-            px.grad[b * d + i] += acc;
+            gx[b * d + i] += acc;
           }
           if (pw.requires_grad) {
-            float* gmrow = pw.grad.data() + b * d * d + i * d;
+            float* gmrow = gw + b * d * d + i * d;
             const float xvi = xv[i];
             for (size_t j = 0; j < d; ++j) gmrow[j] += xvi * dout[j];
           }
@@ -463,7 +478,8 @@ Tensor Reshape(const Tensor& a, size_t rows, size_t cols) {
   if (node->requires_grad) {
     node->backward = [](Node& self) {
       Node& pa = *self.parents[0];
-      for (size_t i = 0; i < self.size(); ++i) pa.grad[i] += self.grad[i];
+      float* ga = internal::GradBuf(pa);
+      for (size_t i = 0; i < self.size(); ++i) ga[i] += self.grad[i];
     };
   }
   return Tensor::Wrap(node);
@@ -486,10 +502,11 @@ Tensor GroupSumRows(const Tensor& a, size_t group_size) {
   if (node->requires_grad) {
     node->backward = [group_size, d](Node& self) {
       Node& pa = *self.parents[0];
+      float* ga = internal::GradBuf(pa);
       for (size_t r = 0; r < pa.rows; ++r) {
         const size_t g = r / group_size;
         for (size_t c = 0; c < d; ++c) {
-          pa.grad[r * d + c] += self.grad[g * d + c];
+          ga[r * d + c] += self.grad[g * d + c];
         }
       }
     };
@@ -514,9 +531,10 @@ Tensor IndexedSumRows(const Tensor& values,
   if (node->requires_grad) {
     node->backward = [indices, d](Node& self) {
       Node& pv = *self.parents[0];
+      float* gv = internal::GradBuf(pv);
       for (size_t i = 0; i < indices.size(); ++i) {
         const float* g = self.grad.data() + indices[i] * d;
-        float* dst = pv.grad.data() + i * d;
+        float* dst = gv + i * d;
         for (size_t c = 0; c < d; ++c) dst[c] += g[c];
       }
     };
@@ -535,9 +553,10 @@ Tensor SliceCols(const Tensor& a, size_t start, size_t len) {
   if (node->requires_grad) {
     node->backward = [start, len](Node& self) {
       Node& pa = *self.parents[0];
+      float* ga = internal::GradBuf(pa);
       for (size_t r = 0; r < self.rows; ++r) {
         for (size_t c = 0; c < len; ++c) {
-          pa.grad[r * pa.cols + start + c] += self.grad[r * len + c];
+          ga[r * pa.cols + start + c] += self.grad[r * len + c];
         }
       }
     };
@@ -562,12 +581,13 @@ Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& targets) {
   if (node->requires_grad) {
     node->backward = [targets](Node& self) {
       Node& pl = *self.parents[0];
+      float* gl = internal::GradBuf(pl);
       const float g = self.grad[0] / pl.size();
       for (size_t i = 0; i < pl.size(); ++i) {
         const float z = pl.data[i];
         const float s = z >= 0.0f ? 1.0f / (1.0f + std::exp(-z))
                                   : std::exp(z) / (1.0f + std::exp(z));
-        pl.grad[i] += g * (s - targets[i]);
+        gl[i] += g * (s - targets[i]);
       }
     };
   }
@@ -595,9 +615,10 @@ Tensor MseLoss(const Tensor& a, const std::vector<float>& targets) {
   if (node->requires_grad) {
     node->backward = [targets](Node& self) {
       Node& pa = *self.parents[0];
+      float* ga = internal::GradBuf(pa);
       const float g = 2.0f * self.grad[0] / pa.size();
       for (size_t i = 0; i < pa.size(); ++i) {
-        pa.grad[i] += g * (pa.data[i] - targets[i]);
+        ga[i] += g * (pa.data[i] - targets[i]);
       }
     };
   }

@@ -1,6 +1,9 @@
 #include "nn/optim.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "core/check.h"
 
 namespace kgrec::nn {
 
@@ -74,6 +77,56 @@ void Adam::Step() {
       w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
+}
+
+MiniBatchTrainer::MiniBatchTrainer(Optimizer& optimizer, size_t shard_size,
+                                   size_t num_threads)
+    : optimizer_(&optimizer),
+      shard_size_(shard_size),
+      num_threads_(num_threads) {
+  KGREC_CHECK_GT(shard_size_, 0u);
+  if (num_threads_ > 1) pool_ = std::make_unique<ThreadPool>(num_threads_);
+}
+
+double MiniBatchTrainer::Step(size_t num_examples, const Rng& batch_rng,
+                              const ShardFn& shard_fn) {
+  if (num_examples == 0) return 0.0;
+  const size_t num_shards = (num_examples + shard_size_ - 1) / shard_size_;
+  // Attach newly needed shadows on the calling thread; buffers are
+  // reused (and re-zeroed inside the shard tasks) across steps.
+  if (shadows_.size() < num_shards) {
+    std::vector<std::shared_ptr<internal::Node>> leaves;
+    for (const Tensor& p : optimizer_->params()) leaves.push_back(p.node());
+    const size_t old_size = shadows_.size();
+    shadows_.resize(num_shards);
+    for (size_t s = old_size; s < num_shards; ++s) shadows_[s].Attach(leaves);
+  }
+  std::vector<double> losses(num_shards, 0.0);
+  auto run_shards = [&](size_t begin, size_t end) -> Status {
+    for (size_t s = begin; s < end; ++s) {
+      internal::GradShadow& shadow = shadows_[s];
+      shadow.Clear();
+      Rng shard_rng = batch_rng.Fork(s);
+      internal::GradShadow::ThreadScope scope(shadow);
+      Tensor loss = shard_fn(
+          s * shard_size_, std::min(num_examples, (s + 1) * shard_size_),
+          shard_rng);
+      Backward(loss);
+      losses[s] = loss.value();
+    }
+    return Status::OK();
+  };
+  const Status status =
+      pool_ != nullptr ? ParallelFor(*pool_, num_shards, run_shards)
+                       : ParallelFor(num_shards, 1, run_shards);
+  KGREC_CHECK(status.ok());
+  // Ordered reduction: shard order, never thread order.
+  optimizer_->ZeroGrad();
+  for (size_t s = 0; s < num_shards; ++s) shadows_[s].AddTo();
+  optimizer_->Step();
+  double total = 0.0;
+  for (double loss : losses) total += loss;
+  return total;
 }
 
 }  // namespace kgrec::nn

@@ -1,9 +1,12 @@
 #ifndef KGREC_NN_OPTIM_H_
 #define KGREC_NN_OPTIM_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "core/thread_pool.h"
+#include "math/rng.h"
 #include "nn/tensor.h"
 
 namespace kgrec::nn {
@@ -67,6 +70,53 @@ class Adam : public Optimizer {
   int64_t t_ = 0;
   std::vector<std::vector<float>> m_;
   std::vector<std::vector<float>> v_;
+};
+
+/// Deterministic data-parallel minibatch SGD: shard → accumulate →
+/// ordered-reduce → apply.
+///
+/// Each minibatch is split into fixed-size shards (the shard layout
+/// depends only on `shard_size`, never on the thread count). Every shard
+/// builds its own forward graph over the shared optimizer parameters,
+/// draws any randomness from its own counter-forked RNG stream
+/// (`batch_rng.Fork(shard_index)`), and runs Backward() with a
+/// GradShadow scope installed, so its gradient contributions land in a
+/// shard-private buffer. Once all shards finish, the shadows are folded
+/// into the real grad buffers in ascending shard order and the optimizer
+/// applies a single update.
+///
+/// Because shard boundaries, per-shard RNG streams, and the reduction
+/// order are all functions of (num_examples, shard_size) alone, training
+/// with num_threads = 1 and num_threads = N produces bitwise-identical
+/// parameters.
+class MiniBatchTrainer {
+ public:
+  /// `optimizer` must outlive the trainer; its parameter list is the set
+  /// of leaves whose gradients are shadowed. `shard_size` is the fixed
+  /// number of examples per shard (> 0). `num_threads <= 1` runs shards
+  /// inline on the calling thread (same results, no pool).
+  MiniBatchTrainer(Optimizer& optimizer, size_t shard_size,
+                   size_t num_threads);
+
+  /// Builds the scalar loss for examples [begin, end) of the current
+  /// minibatch, drawing any randomness from `rng` only. The loss must be
+  /// decomposable across shards: summing every shard's gradient must
+  /// equal the intended whole-batch gradient (e.g. scale per-shard sums
+  /// by 1/batch_size rather than using a per-shard mean).
+  using ShardFn = std::function<Tensor(size_t begin, size_t end, Rng& rng)>;
+
+  /// Runs one optimizer step over a minibatch of `num_examples` examples
+  /// and returns the sum of the shard losses (accumulated in shard
+  /// order). No-op returning 0 when `num_examples` is 0.
+  double Step(size_t num_examples, const Rng& batch_rng,
+              const ShardFn& shard_fn);
+
+ private:
+  Optimizer* optimizer_;
+  size_t shard_size_;
+  size_t num_threads_;
+  std::unique_ptr<ThreadPool> pool_;         // only when num_threads_ > 1
+  std::vector<internal::GradShadow> shadows_;  // one per shard, reused
 };
 
 }  // namespace kgrec::nn

@@ -1,10 +1,74 @@
 #include "nn/tensor.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "core/check.h"
 
 namespace kgrec::nn {
+
+namespace internal {
+namespace {
+
+/// The shadow currently installed on this thread, if any. Plain reads
+/// on the hot path: null means "no redirect" and GradBuf falls through
+/// to the node's own buffer.
+thread_local GradShadow* g_active_shadow = nullptr;
+
+}  // namespace
+
+void GradShadow::Attach(const std::vector<std::shared_ptr<Node>>& leaves) {
+  leaves_.clear();
+  buffers_.clear();
+  index_.clear();
+  leaves_.reserve(leaves.size());
+  buffers_.reserve(leaves.size());
+  for (const auto& leaf : leaves) {
+    KGREC_CHECK(leaf != nullptr);
+    KGREC_CHECK(leaf->requires_grad);
+    // Leaves only: a node with a backward closure propagates gradients
+    // itself and must not be redirected.
+    KGREC_CHECK(!leaf->backward);
+    // The real buffer must exist up front so AddTo() never allocates
+    // and Backward()'s lazy allocation never touches a shadowed leaf.
+    KGREC_CHECK_EQ(leaf->grad.size(), leaf->size());
+    index_.emplace(leaf.get(), leaves_.size());
+    leaves_.push_back(leaf);
+    buffers_.emplace_back(leaf->size(), 0.0f);
+  }
+}
+
+void GradShadow::Clear() {
+  for (auto& buffer : buffers_) {
+    std::fill(buffer.begin(), buffer.end(), 0.0f);
+  }
+}
+
+void GradShadow::AddTo() {
+  for (size_t i = 0; i < leaves_.size(); ++i) {
+    float* dst = leaves_[i]->grad.data();
+    const std::vector<float>& src = buffers_[i];
+    for (size_t j = 0; j < src.size(); ++j) dst[j] += src[j];
+  }
+}
+
+GradShadow::ThreadScope::ThreadScope(GradShadow& shadow)
+    : previous_(g_active_shadow) {
+  g_active_shadow = &shadow;
+}
+
+GradShadow::ThreadScope::~ThreadScope() { g_active_shadow = previous_; }
+
+float* GradBuf(Node& node) {
+  GradShadow* shadow = g_active_shadow;
+  if (shadow != nullptr) {
+    auto it = shadow->index_.find(&node);
+    if (it != shadow->index_.end()) return shadow->buffers_[it->second].data();
+  }
+  return node.grad.data();
+}
+
+}  // namespace internal
 
 Tensor Tensor::Zeros(size_t rows, size_t cols, bool requires_grad) {
   auto node = std::make_shared<internal::Node>();

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 namespace kgrec::nn {
@@ -24,6 +25,71 @@ struct Node {
 
   size_t size() const { return rows * cols; }
 };
+
+/// Redirects gradient accumulation for a fixed set of *leaf* nodes (the
+/// optimizer parameters) into buffers private to one shard of a
+/// minibatch, so several shards can run Backward() concurrently over
+/// graphs that share the same parameter leaves.
+///
+/// Per-shard intermediates are never shared between threads; the only
+/// state two concurrent Backward() calls both touch is the grad buffer
+/// of a shared leaf. While a ThreadScope is installed, every backward
+/// closure routes its writes through GradBuf(), which substitutes the
+/// shard-private buffer for registered leaves; AddTo() then folds each
+/// shard's buffer into the real grads in whatever (fixed) order the
+/// caller chooses, making the reduction independent of thread count.
+///
+/// Only leaves may be registered: a registered node must have no
+/// backward closure of its own (its gradient is only ever *written* by
+/// its consumers), and its grad buffer must already be allocated.
+class GradShadow {
+ public:
+  GradShadow() = default;
+
+  /// Registers the leaves whose gradients this shadow captures and
+  /// allocates one zero-filled private buffer per leaf. May be called
+  /// again to re-attach to a different parameter set.
+  void Attach(const std::vector<std::shared_ptr<Node>>& leaves);
+
+  bool attached() const { return !leaves_.empty(); }
+
+  /// Zero-fills every private buffer (cheap re-use between steps).
+  void Clear();
+
+  /// Adds every private buffer into its leaf's real grad buffer. Must
+  /// not run while any thread still has a scope on this shadow; the
+  /// call order across shadows defines the reduction order.
+  void AddTo();
+
+  /// While alive, Backward() on the constructing thread accumulates
+  /// registered leaves' gradients into this shadow instead of the
+  /// leaves' own grad buffers. Scopes nest (the previous redirect is
+  /// restored on destruction).
+  class ThreadScope {
+   public:
+    explicit ThreadScope(GradShadow& shadow);
+    ~ThreadScope();
+    ThreadScope(const ThreadScope&) = delete;
+    ThreadScope& operator=(const ThreadScope&) = delete;
+
+   private:
+    GradShadow* previous_;
+  };
+
+ private:
+  friend float* GradBuf(Node& node);
+
+  std::vector<std::shared_ptr<Node>> leaves_;
+  std::vector<std::vector<float>> buffers_;
+  std::unordered_map<const Node*, size_t> index_;
+};
+
+/// The gradient accumulation buffer for `node` on the calling thread:
+/// the active shadow's private buffer when a GradShadow::ThreadScope is
+/// installed and `node` is registered with it, otherwise the node's own
+/// grad buffer. Every backward closure obtains its parents' (and its
+/// own) grad pointers through this helper.
+float* GradBuf(Node& node);
 
 }  // namespace internal
 

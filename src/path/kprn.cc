@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/check.h"
+#include "core/thread_pool.h"
 #include "nn/init.h"
 #include "nn/ops.h"
 #include "nn/optim.h"
@@ -38,7 +39,10 @@ nn::Tensor KprnRecommender::PathScores(
 }
 
 nn::Tensor KprnRecommender::PairLogit(int32_t user, int32_t item) const {
-  const std::vector<PathInstance> paths = finder_->FindPaths(user, item);
+  const std::vector<PathInstance> paths =
+      static_cast<size_t>(user) < user_ctx_.size()
+          ? finder_->FindPaths(user_ctx_[user], item)
+          : finder_->FindPaths(user, item);
   nn::Tensor scores = PathScores(paths);
   if (!scores.defined()) return no_path_bias_;
   // Weighted pooling (KPRN Eq. 9): gamma * log sum exp(s_p / gamma).
@@ -57,6 +61,20 @@ void KprnRecommender::Fit(const RecContext& context) {
 
   finder_ = std::make_unique<TemplatePathFinder>(
       graph, train, config_.max_paths_per_template);
+  // Precompute every user's path context in parallel (BuildUserContext is
+  // const and RNG-free, so the contexts are identical at any thread
+  // count); PairLogit then probes the index instead of rebuilding the
+  // user's attribute map for every pair in every epoch.
+  user_ctx_.resize(train.num_users());
+  const Status ctx_status = ParallelFor(
+      train.num_users(), config_.num_threads,
+      [&](size_t begin, size_t end) {
+        for (size_t u = begin; u < end; ++u) {
+          user_ctx_[u] = finder_->BuildUserContext(static_cast<int32_t>(u));
+        }
+        return Status::OK();
+      });
+  KGREC_CHECK(ctx_status.ok());
   entity_emb_ =
       nn::NormalInit(graph.kg.num_entities(), config_.dim, 0.1f, rng);
   end_relation_ = static_cast<int32_t>(graph.kg.num_relations());

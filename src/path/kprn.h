@@ -2,6 +2,7 @@
 #define KGREC_PATH_KPRN_H_
 
 #include <memory>
+#include <vector>
 
 #include "core/recommender.h"
 #include "nn/layers.h"
@@ -22,6 +23,11 @@ struct KprnConfig {
   /// Temperature gamma of the weighted pooling layer
   /// s = gamma * log sum exp(s_p / gamma).
   float pooling_gamma = 1.0f;
+  /// Threads for the per-user path-context precompute in Fit(). Context
+  /// construction is RNG-free and FindPaths(ctx, item) is documented
+  /// bitwise-identical to FindPaths(user, item), so any value >= 1 gives
+  /// identical training — this is a pure speed knob.
+  size_t num_threads = 1;
 };
 
 /// KPRN (Wang et al., AAAI'19): knowledge-aware path recurrent network.
@@ -61,6 +67,10 @@ class KprnRecommender : public Recommender {
 
   KprnConfig config_;
   std::unique_ptr<TemplatePathFinder> finder_;
+  /// Per-user path contexts precomputed once in Fit(), so training
+  /// enumerates paths against the index instead of re-probing the user's
+  /// history for every pair in every epoch.
+  std::vector<TemplatePathFinder::UserPathContext> user_ctx_;
   nn::Tensor entity_emb_;
   nn::Tensor relation_emb_;  // num_relations + 1 rows (<end> sentinel)
   int32_t end_relation_ = 0;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/check.h"
+#include "core/thread_pool.h"
 #include "nn/init.h"
 #include "nn/ops.h"
 #include "nn/optim.h"
@@ -45,9 +46,14 @@ nn::Tensor McRecRecommender::ForwardImpl(
       kPathLen, std::vector<int32_t>(rows));
   std::vector<float> type_mask(batch * num_types, -1e9f);
   for (size_t b = 0; b < batch; ++b) {
-    std::vector<PathInstance> paths =
-        ctx != nullptr ? finder_->FindPaths(*ctx, items[b])
-                       : finder_->FindPaths(users[b], items[b]);
+    std::vector<PathInstance> paths;
+    if (ctx != nullptr) {
+      paths = finder_->FindPaths(*ctx, items[b]);
+    } else if (static_cast<size_t>(users[b]) < user_ctx_.size()) {
+      paths = finder_->FindPaths(user_ctx_[users[b]], items[b]);
+    } else {
+      paths = finder_->FindPaths(users[b], items[b]);
+    }
     std::unordered_map<std::string, std::vector<const PathInstance*>> by_type;
     for (const PathInstance& path : paths) {
       by_type[SignatureKey(path.relations)].push_back(&path);
@@ -132,6 +138,20 @@ void McRecRecommender::Fit(const RecContext& context) {
 
   finder_ = std::make_unique<TemplatePathFinder>(
       *graph_, train, config_.instances_per_type);
+  // Precompute every user's path context in parallel (BuildUserContext is
+  // const and RNG-free, so the contexts are identical at any thread
+  // count); training forwards then probe the index instead of rebuilding
+  // the user's attribute map for every pair in every epoch.
+  user_ctx_.resize(train.num_users());
+  const Status ctx_status = ParallelFor(
+      train.num_users(), config_.num_threads,
+      [&](size_t begin, size_t end) {
+        for (size_t u = begin; u < end; ++u) {
+          user_ctx_[u] = finder_->BuildUserContext(static_cast<int32_t>(u));
+        }
+        return Status::OK();
+      });
+  KGREC_CHECK(ctx_status.ok());
   // Meta-path types: the >=2-edge user->item meta-paths of the schema
   // (shared-attribute per relation + collaborative), matching the
   // finder's templates.

@@ -21,6 +21,11 @@ struct McRecConfig {
   float l2 = 1e-5f;
   /// Path instances sampled per meta-path type (padded by repetition).
   size_t instances_per_type = 3;
+  /// Threads for the per-user path-context precompute in Fit(). Context
+  /// construction is RNG-free and FindPaths(ctx, item) is documented
+  /// bitwise-identical to FindPaths(user, item), so any value >= 1 gives
+  /// identical training — this is a pure speed knob.
+  size_t num_threads = 1;
 };
 
 /// MCRec (Hu et al., KDD'18): meta-path based context for top-N
@@ -58,6 +63,10 @@ class McRecRecommender : public Recommender {
 
   McRecConfig config_;
   std::unique_ptr<TemplatePathFinder> finder_;
+  /// Per-user path contexts precomputed once in Fit(), so training
+  /// enumerates paths against the index instead of re-probing the user's
+  /// history for every pair in every epoch.
+  std::vector<TemplatePathFinder::UserPathContext> user_ctx_;
   const UserItemGraph* graph_ = nullptr;
   /// Meta-path type signatures (relation-id sequences rendered to keys).
   std::vector<std::string> type_keys_;

@@ -61,6 +61,7 @@ void PgprRecommender::Fit(const RecContext& context) {
   KgeTrainConfig kge_config;
   kge_config.epochs = config_.kge_epochs;
   kge_config.seed = context.seed + 5;
+  kge_config.num_threads = config_.num_threads;
   TrainKge(*kge_, kg, kge_config);
 
   // Freeze KGE parameters for the RL stage (the paper's two-stage setup).
@@ -77,8 +78,8 @@ void PgprRecommender::Fit(const RecContext& context) {
                                 kg.OutEdges(static_cast<EntityId>(e)) +
                                     degree);
     } else {
-      pruned_actions_[e] = kg.SampleNeighbors(static_cast<EntityId>(e),
-                                              config_.max_actions, rng);
+      kg.SampleNeighbors(static_cast<EntityId>(e), config_.max_actions, rng,
+                         &pruned_actions_[e]);
     }
   }
 

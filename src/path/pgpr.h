@@ -28,6 +28,10 @@ struct PgprConfig {
   float l2 = 1e-5f;
   /// Beam width of the inference-time path search.
   size_t beam_width = 24;
+  /// Threads for the KGE pretraining stage
+  /// (KgeTrainConfig::num_threads): 0 = legacy serial loop, >= 1 =
+  /// deterministic sharded trainer.
+  size_t num_threads = 0;
 };
 
 /// PGPR (Xian et al., SIGIR'19): policy-guided path reasoning. The

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/check.h"
+#include "core/thread_pool.h"
 #include "nn/init.h"
 #include "nn/ops.h"
 #include "nn/optim.h"
@@ -12,7 +13,10 @@
 namespace kgrec {
 
 nn::Tensor RkgeRecommender::PairLogit(int32_t user, int32_t item) const {
-  const std::vector<PathInstance> paths = finder_->FindPaths(user, item);
+  const std::vector<PathInstance> paths =
+      static_cast<size_t>(user) < user_ctx_.size()
+          ? finder_->FindPaths(user_ctx_[user], item)
+          : finder_->FindPaths(user, item);
   if (paths.empty()) return no_path_bias_;
   // Encode all paths in one GRU batch: paths are padded to the longest
   // (<= 4 entities) by repeating the final entity (a no-op for the state
@@ -46,6 +50,20 @@ void RkgeRecommender::Fit(const RecContext& context) {
 
   finder_ = std::make_unique<TemplatePathFinder>(
       graph, train, config_.max_paths_per_template);
+  // Precompute every user's path context in parallel (BuildUserContext is
+  // const and RNG-free, so the contexts are identical at any thread
+  // count); PairLogit then probes the index instead of rebuilding the
+  // user's attribute map for every pair in every epoch.
+  user_ctx_.resize(train.num_users());
+  const Status ctx_status = ParallelFor(
+      train.num_users(), config_.num_threads,
+      [&](size_t begin, size_t end) {
+        for (size_t u = begin; u < end; ++u) {
+          user_ctx_[u] = finder_->BuildUserContext(static_cast<int32_t>(u));
+        }
+        return Status::OK();
+      });
+  KGREC_CHECK(ctx_status.ok());
   entity_emb_ =
       nn::NormalInit(graph.kg.num_entities(), config_.dim, 0.1f, rng);
   gru_ = nn::GruCell(config_.dim, config_.hidden_dim, rng);

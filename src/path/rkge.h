@@ -2,6 +2,7 @@
 #define KGREC_PATH_RKGE_H_
 
 #include <memory>
+#include <vector>
 
 #include "core/recommender.h"
 #include "nn/layers.h"
@@ -19,6 +20,11 @@ struct RkgeConfig {
   float learning_rate = 0.05f;
   float l2 = 1e-5f;
   size_t max_paths_per_template = 3;
+  /// Threads for the per-user path-context precompute in Fit(). Context
+  /// construction is RNG-free and FindPaths(ctx, item) is documented
+  /// bitwise-identical to FindPaths(user, item), so any value >= 1 gives
+  /// identical training — this is a pure speed knob.
+  size_t num_threads = 1;
 };
 
 /// RKGE (Sun et al., RecSys'18; survey Eq. 19-20): recurrent knowledge
@@ -49,6 +55,10 @@ class RkgeRecommender : public Recommender {
 
   RkgeConfig config_;
   std::unique_ptr<TemplatePathFinder> finder_;
+  /// Per-user path contexts precomputed once in Fit(), so training
+  /// enumerates paths against the index instead of re-probing the user's
+  /// history for every pair in every epoch.
+  std::vector<TemplatePathFinder::UserPathContext> user_ctx_;
   nn::Tensor entity_emb_;
   nn::GruCell gru_;
   nn::Linear output_;

@@ -9,6 +9,7 @@
 #endif
 
 #include "core/check.h"
+#include "core/thread_pool.h"
 #include "nn/init.h"
 #include "nn/ops.h"
 #include "nn/optim.h"
@@ -42,31 +43,61 @@ void KgatRecommender::Fit(const RecContext& context) {
     edge_tails.push_back(t.tail);
   }
 
+  // Group triple indices by head entity once (stable counting sort, so
+  // each head's triples keep their global scan order). The attention
+  // softmax never mixes heads: max, denominator, and normalization all
+  // stay within one head's contiguous index range.
+  std::vector<size_t> head_ptr(num_entities + 1, 0);
+  for (int32_t h : edge_heads) ++head_ptr[static_cast<size_t>(h) + 1];
+  for (size_t e = 0; e < num_entities; ++e) head_ptr[e + 1] += head_ptr[e];
+  std::vector<size_t> head_triples(triples.size());
+  {
+    std::vector<size_t> cursor(head_ptr.begin(), head_ptr.end() - 1);
+    for (size_t i = 0; i < triples.size(); ++i) {
+      head_triples[cursor[edge_heads[i]]++] = i;
+    }
+  }
+
   // Knowledge-aware attention, refreshed once per epoch from the current
   // level-0 embeddings (as KGAT alternates attention and embedding
   // updates): pi(h,r,t) = e_t . tanh(e_h + e_r), softmaxed per head.
+  // One pass per head entity, parallelized over entities: heads are
+  // independent and within-head accumulation follows ascending triple
+  // index, so the result is bitwise-identical at any thread count.
   std::vector<float> edge_attention(triples.size(), 0.0f);
   auto refresh_attention = [&] {
-    std::vector<float> max_per_head(num_entities,
-                                    -std::numeric_limits<float>::infinity());
-    std::vector<float> raw(triples.size());
-    for (size_t i = 0; i < triples.size(); ++i) {
-      const float* h = entity_emb.data() + edge_heads[i] * d;
-      const float* r = relation_emb.data() + edge_rels[i] * d;
-      const float* t = entity_emb.data() + edge_tails[i] * d;
-      float acc = 0.0f;
-      for (size_t c = 0; c < d; ++c) acc += t[c] * std::tanh(h[c] + r[c]);
-      raw[i] = acc;
-      max_per_head[edge_heads[i]] = std::max(max_per_head[edge_heads[i]], acc);
-    }
-    std::vector<float> denom(num_entities, 0.0f);
-    for (size_t i = 0; i < triples.size(); ++i) {
-      raw[i] = std::exp(raw[i] - max_per_head[edge_heads[i]]);
-      denom[edge_heads[i]] += raw[i];
-    }
-    for (size_t i = 0; i < triples.size(); ++i) {
-      edge_attention[i] = raw[i] / denom[edge_heads[i]];
-    }
+    const Status status = ParallelFor(
+        num_entities, config_.num_threads, [&](size_t begin, size_t end) {
+          for (size_t h = begin; h < end; ++h) {
+            const size_t lo = head_ptr[h];
+            const size_t hi = head_ptr[h + 1];
+            if (lo == hi) continue;
+            float max_v = -std::numeric_limits<float>::infinity();
+            for (size_t idx = lo; idx < hi; ++idx) {
+              const size_t i = head_triples[idx];
+              const float* he = entity_emb.data() + edge_heads[i] * d;
+              const float* re = relation_emb.data() + edge_rels[i] * d;
+              const float* te = entity_emb.data() + edge_tails[i] * d;
+              float acc = 0.0f;
+              for (size_t c = 0; c < d; ++c) {
+                acc += te[c] * std::tanh(he[c] + re[c]);
+              }
+              edge_attention[i] = acc;
+              max_v = std::max(max_v, acc);
+            }
+            float denom = 0.0f;
+            for (size_t idx = lo; idx < hi; ++idx) {
+              const size_t i = head_triples[idx];
+              edge_attention[i] = std::exp(edge_attention[i] - max_v);
+              denom += edge_attention[i];
+            }
+            for (size_t idx = lo; idx < hi; ++idx) {
+              edge_attention[head_triples[idx]] /= denom;
+            }
+          }
+          return Status::OK();
+        });
+    KGREC_CHECK(status.ok());
   };
 
   // Full-graph propagation producing the concatenated representation.

@@ -22,6 +22,11 @@ struct KgatConfig {
   /// Weight of the auxiliary TransR-style KG loss (trained jointly).
   float kg_weight = 0.5f;
   float margin = 1.0f;
+  /// Threads for the per-entity attention refresh. The pass is grouped
+  /// by head entity (softmax denominators never mix across heads), so
+  /// any value >= 1 produces bitwise-identical attention — this is a
+  /// pure speed knob, not a mode switch.
+  size_t num_threads = 1;
 };
 
 /// KGAT (Wang et al., KDD'19; survey Eq. 34): attentive embedding

@@ -120,8 +120,8 @@ void KgcnRecommender::Fit(const RecContext& context) {
   // static sample keeps runs deterministic and is a standard variant).
   sampled_neighbors_.assign(kg.num_entities(), {});
   for (size_t e = 0; e < kg.num_entities(); ++e) {
-    sampled_neighbors_[e] = kg.SampleNeighbors(
-        static_cast<EntityId>(e), config_.num_neighbors, rng);
+    kg.SampleNeighbors(static_cast<EntityId>(e), config_.num_neighbors, rng,
+                       &sampled_neighbors_[e]);
   }
 
   std::vector<nn::Tensor> params{user_emb_, entity_emb_, relation_emb_};

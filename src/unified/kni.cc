@@ -63,11 +63,12 @@ void KniRecommender::Fit(const RecContext& context) {
   // Item-side neighborhoods: the item entity + sampled KG neighbors
   // (attributes and co-consumers).
   item_neighbors_.assign(train.num_items(), {});
+  std::vector<Edge> sampled;  // reused across items
   for (int32_t j = 0; j < train.num_items(); ++j) {
     auto& neighbors = item_neighbors_[j];
     const EntityId entity = graph_->ItemEntity(j);
     neighbors.push_back(entity);
-    std::vector<Edge> sampled = kg.SampleNeighbors(entity, k - 1, rng);
+    kg.SampleNeighbors(entity, k - 1, rng, &sampled);
     for (const Edge& e : sampled) neighbors.push_back(e.target);
     while (neighbors.size() < k) neighbors.push_back(entity);
   }

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "core/thread_pool.h"
 #include "graph/ripple.h"
 #include "nn/init.h"
 #include "nn/ops.h"
@@ -107,13 +108,10 @@ void RippleNetRecommender::Fit(const RecContext& context) {
   PrepareAux(context, rng);
 
   // Precompute fixed-size ripple sets per user from training history.
-  user_ripples_.assign(train.num_users(), {});
-  for (int32_t u = 0; u < train.num_users(); ++u) {
-    const auto& seeds = train.UserItems(u);
-    if (seeds.empty()) continue;
-    std::vector<EntityId> seed_entities(seeds.begin(), seeds.end());
-    std::vector<RippleHop> hops = BuildRippleSets(
-        kg, seed_entities, config_.num_hops, config_.hop_size * 4, rng);
+  // Pads each hop to hop_size by resampling (self-loops for isolated
+  // seeds keep shapes fixed).
+  auto fill_user = [&](int32_t u, const std::vector<EntityId>& seed_entities,
+                       const std::vector<RippleHop>& hops, Rng& resample_rng) {
     UserRipples& ur = user_ripples_[u];
     ur.empty = false;
     ur.seeds.resize(config_.hop_size);
@@ -130,7 +128,6 @@ void RippleNetRecommender::Fit(const RecContext& context) {
       std::vector<int32_t> heads(config_.hop_size),
           rels(config_.hop_size), tails(config_.hop_size);
       if (hop.triples.empty()) {
-        // Isolated seeds: self-loops on the first seed keep shapes fixed.
         for (size_t k = 0; k < config_.hop_size; ++k) {
           heads[k] = seed_entities[0];
           rels[k] = 0;
@@ -138,7 +135,8 @@ void RippleNetRecommender::Fit(const RecContext& context) {
         }
       } else {
         for (size_t k = 0; k < config_.hop_size; ++k) {
-          const Triple& t = hop.triples[rng.UniformInt(hop.triples.size())];
+          const Triple& t =
+              hop.triples[resample_rng.UniformInt(hop.triples.size())];
           heads[k] = t.head;
           rels[k] = t.relation;
           tails[k] = t.tail;
@@ -148,6 +146,46 @@ void RippleNetRecommender::Fit(const RecContext& context) {
       ur.relations.push_back(std::move(rels));
       ur.tails.push_back(std::move(tails));
     }
+  };
+  user_ripples_.assign(train.num_users(), {});
+  if (config_.num_threads == 0) {
+    // Legacy serial build: one shared sequential stream for every user
+    // (the historical float/draw sequence, preserved exactly).
+    for (int32_t u = 0; u < train.num_users(); ++u) {
+      const auto& seeds = train.UserItems(u);
+      if (seeds.empty()) continue;
+      std::vector<EntityId> seed_entities(seeds.begin(), seeds.end());
+      std::vector<RippleHop> hops = BuildRippleSets(
+          kg, seed_entities, config_.num_hops, config_.hop_size * 4, rng);
+      fill_user(u, seed_entities, hops, rng);
+    }
+  } else {
+    // Deterministic parallel build: hop construction and hop padding
+    // each give user u its own counter-forked stream, so results are
+    // bitwise-identical at any thread count. Fork() is const, so the
+    // main stream is unaffected by how many draws the build makes.
+    const Rng hop_rng = rng.Fork(1);
+    const Rng pad_rng = rng.Fork(2);
+    std::vector<std::vector<EntityId>> seed_lists(train.num_users());
+    for (int32_t u = 0; u < train.num_users(); ++u) {
+      const auto& seeds = train.UserItems(u);
+      seed_lists[u].assign(seeds.begin(), seeds.end());
+    }
+    std::vector<std::vector<RippleHop>> all_hops = BuildRippleSetsParallel(
+        kg, seed_lists, config_.num_hops, config_.hop_size * 4, hop_rng,
+        config_.num_threads);
+    const Status status = ParallelFor(
+        train.num_users(), config_.num_threads,
+        [&](size_t begin, size_t end) {
+          for (size_t u = begin; u < end; ++u) {
+            if (seed_lists[u].empty()) continue;
+            Rng user_rng = pad_rng.Fork(u);
+            fill_user(static_cast<int32_t>(u), seed_lists[u], all_hops[u],
+                      user_rng);
+          }
+          return Status::OK();
+        });
+    KGREC_CHECK(status.ok());
   }
 
   nn::Adagrad optimizer({entity_emb_, relation_mats_},

@@ -22,6 +22,13 @@ struct RippleNetConfig {
   /// Weight of the KGE regularization term ||R - E^T E|| surrogate
   /// (we regularize hop triple plausibility h^T R t).
   float kge_weight = 0.01f;
+  /// Threads for per-user ripple-set construction. 0 (default) keeps the
+  /// legacy serial build, where every user draws from one sequential RNG
+  /// stream. >= 1 switches to the deterministic parallel build: user u
+  /// draws from its own counter-forked stream, so the ripple sets (and
+  /// everything trained on them) are bitwise-identical at any thread
+  /// count >= 1. SGD itself is unchanged in both modes.
+  size_t num_threads = 0;
 };
 
 /// RippleNet (Wang et al., CIKM'18; survey Eq. 24-26): the first

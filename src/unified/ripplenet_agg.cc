@@ -11,8 +11,9 @@ void RippleNetAggRecommender::PrepareAux(const RecContext& context,
   const KnowledgeGraph& kg = *context.item_kg;
   const int32_t num_items = context.train->num_items();
   item_neighbors_.assign(num_items, {});
+  std::vector<Edge> sampled;  // reused across items
   for (int32_t j = 0; j < num_items; ++j) {
-    std::vector<Edge> sampled = kg.SampleNeighbors(j, neighbor_count_, rng);
+    kg.SampleNeighbors(j, neighbor_count_, rng, &sampled);
     std::vector<EntityId>& neighbors = item_neighbors_[j];
     if (sampled.empty()) {
       neighbors.assign(neighbor_count_, j);  // isolated: self only

@@ -113,6 +113,69 @@ TEST(KnowledgeGraph, SampleNeighborsFixedSize) {
   EXPECT_TRUE(isolated.SampleNeighbors(0, 3, rng).empty());
 }
 
+TEST(KnowledgeGraph, SampleNeighborsOutParamMatchesByValue) {
+  // The buffer-reusing overload must draw the same RNG stream and produce
+  // the same edges as the by-value one, including the clear-on-entry
+  // semantics when the buffer already holds stale edges.
+  KnowledgeGraph kg = MovieGraph();
+  Rng by_value_rng(9);
+  Rng out_param_rng(9);
+  std::vector<Edge> buffer(3, Edge{99, 99});  // stale content
+  for (EntityId e = 0; e < static_cast<EntityId>(kg.num_entities()); ++e) {
+    for (size_t count : {1u, 2u, 5u}) {
+      const std::vector<Edge> expected =
+          kg.SampleNeighbors(e, count, by_value_rng);
+      kg.SampleNeighbors(e, count, out_param_rng, &buffer);
+      ASSERT_EQ(buffer.size(), expected.size());
+      for (size_t i = 0; i < buffer.size(); ++i) {
+        EXPECT_EQ(buffer[i].relation, expected[i].relation);
+        EXPECT_EQ(buffer[i].target, expected[i].target);
+      }
+    }
+  }
+  // Both RNGs consumed the exact same number of draws.
+  EXPECT_EQ(by_value_rng.NextUint64(), out_param_rng.NextUint64());
+}
+
+TEST(KnowledgeGraph, HasTripleMatchesLinearScan) {
+  // HasTriple binary-searches the per-head CSR range that Finalize()
+  // sorts by (relation, target); it must agree with a plain linear scan
+  // for every (head, relation, tail) probe, hits and misses alike.
+  KnowledgeGraph kg;
+  constexpr int kEntities = 12;
+  constexpr int kRelations = 3;
+  for (int i = 0; i < kEntities; ++i) {
+    kg.AddEntity("e" + std::to_string(i));
+  }
+  for (int r = 0; r < kRelations; ++r) {
+    kg.AddRelation("r" + std::to_string(r));
+  }
+  Rng rng(17);
+  for (int i = 0; i < 60; ++i) {
+    const EntityId head = static_cast<EntityId>(rng.UniformInt(kEntities));
+    const RelationId rel =
+        static_cast<RelationId>(rng.UniformInt(kRelations));
+    const EntityId tail = static_cast<EntityId>(rng.UniformInt(kEntities));
+    EXPECT_TRUE(kg.AddTriple(head, rel, tail).ok());
+  }
+  kg.Finalize();
+  for (EntityId h = 0; h < kEntities; ++h) {
+    for (RelationId r = 0; r < kRelations; ++r) {
+      for (EntityId t = 0; t < kEntities; ++t) {
+        bool expected = false;
+        const Edge* edges = kg.OutEdges(h);
+        for (size_t i = 0; i < kg.OutDegree(h); ++i) {
+          if (edges[i].relation == r && edges[i].target == t) {
+            expected = true;
+          }
+        }
+        EXPECT_EQ(kg.HasTriple(h, r, t), expected)
+            << "(" << h << ", " << r << ", " << t << ")";
+      }
+    }
+  }
+}
+
 TEST(Hin, TypedQueriesAndRelationMatrix) {
   KnowledgeGraph kg = MovieGraph();
   // types: 0 user, 1 movie, 2 genre
@@ -274,6 +337,51 @@ TEST(Ripple, HopSizeIsCapped) {
   std::vector<RippleHop> hops = BuildRippleSets(kg, {scifi}, 2, 1, rng);
   for (const RippleHop& hop : hops) {
     EXPECT_LE(hop.triples.size(), 1u);
+  }
+}
+
+void ExpectSameHops(const std::vector<RippleHop>& a,
+                    const std::vector<RippleHop>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t k = 0; k < a.size(); ++k) {
+    ASSERT_EQ(a[k].triples.size(), b[k].triples.size());
+    for (size_t i = 0; i < a[k].triples.size(); ++i) {
+      EXPECT_EQ(a[k].triples[i], b[k].triples[i]);
+    }
+  }
+}
+
+TEST(Ripple, ParallelBuildIdenticalAcrossThreadCounts) {
+  // Each unit draws from base_rng.Fork(i), so the result depends only on
+  // the seed lists — never on the thread count or work order — and unit i
+  // matches a direct BuildRippleSets call on the forked stream. Tight
+  // max_hop_size forces actual sampling, so the RNG streams matter.
+  KnowledgeGraph kg = MovieGraph();
+  const Rng base_rng(23);
+  std::vector<std::vector<EntityId>> seed_lists;
+  for (EntityId e = 0; e < static_cast<EntityId>(kg.num_entities()); ++e) {
+    seed_lists.push_back({e});
+  }
+  seed_lists.push_back({});  // empty seeds: num_hops empty hops
+  const auto ref =
+      BuildRippleSetsParallel(kg, seed_lists, 2, 1, base_rng, 1);
+  ASSERT_EQ(ref.size(), seed_lists.size());
+  for (size_t threads : {2u, 8u}) {
+    const auto other =
+        BuildRippleSetsParallel(kg, seed_lists, 2, 1, base_rng, threads);
+    ASSERT_EQ(other.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+      ExpectSameHops(other[i], ref[i]);
+    }
+  }
+  for (size_t i = 0; i < seed_lists.size(); ++i) {
+    Rng unit_rng = base_rng.Fork(i);
+    ExpectSameHops(ref[i],
+                   BuildRippleSets(kg, seed_lists[i], 2, 1, unit_rng));
+  }
+  ASSERT_EQ(ref.back().size(), 2u);
+  for (const RippleHop& hop : ref.back()) {
+    EXPECT_TRUE(hop.triples.empty());
   }
 }
 
