@@ -5,6 +5,7 @@
 
 #include "core/check.h"
 #include "math/dense.h"
+#include "math/kernels.h"
 #include "nn/init.h"
 #include "nn/ops.h"
 #include "nn/optim.h"
@@ -55,6 +56,19 @@ void MfRecommender::Fit(const RecContext& context) {
 float MfRecommender::Score(int32_t user, int32_t item) const {
   return dense::Dot(user_emb_.data() + user * config_.dim,
                     item_emb_.data() + item * config_.dim, config_.dim);
+}
+
+std::vector<float> MfRecommender::ScoreItems(
+    int32_t user, std::span<const int32_t> items) const {
+  const size_t d = config_.dim;
+  const float* u = user_emb_.data() + user * d;
+  std::vector<const float*> rows(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    rows[i] = item_emb_.data() + items[i] * d;
+  }
+  std::vector<float> out(items.size());
+  kernels::DotBatch(u, rows.data(), rows.size(), d, out.data());
+  return out;
 }
 
 void BprMfRecommender::Fit(const RecContext& context) {

@@ -28,6 +28,12 @@ class MfRecommender : public Recommender {
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
 
+  /// Batched fast path through kernels::DotBatch; bitwise equal to
+  /// Score() since both follow the shared fixed-block dot contract.
+  /// Inherited by BPR-MF, which shares the factor layout.
+  std::vector<float> ScoreItems(int32_t user,
+                                std::span<const int32_t> items) const override;
+
  protected:
   MfConfig config_;
   nn::Tensor user_emb_;

@@ -1,0 +1,60 @@
+#ifndef KGREC_CORE_ALIGNED_H_
+#define KGREC_CORE_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace kgrec {
+
+/// Minimal over-aligning allocator so dense buffers (Matrix, nn::Tensor
+/// data/grad, GradShadow shards) start on a cache-line boundary. The SIMD
+/// kernel layer (math/kernels.h) uses unaligned load/store instructions —
+/// row offsets inside a buffer need not be aligned — but on every x86
+/// since Nehalem those instructions are penalty-free when the address
+/// happens to be aligned, so aligning the buffer start makes whole-buffer
+/// kernels (MatMul, Axpy over a full matrix) run on aligned addresses and
+/// keeps rows cache-line aligned whenever the row stride is a multiple of
+/// 16 floats.
+template <typename T, size_t Alignment>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two >= alignof(T)");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+
+  void deallocate(T* p, size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// 64-byte (cache-line) aligned vector, the backing store of every dense
+/// buffer the kernel layer touches.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, 64>>;
+
+}  // namespace kgrec
+
+#endif  // KGREC_CORE_ALIGNED_H_

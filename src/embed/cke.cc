@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "math/kernels.h"
 #include "nn/init.h"
 #include "nn/ops.h"
 #include "nn/optim.h"
@@ -134,6 +135,19 @@ void CkeRecommender::Fit(const RecContext& context) {
 float CkeRecommender::Score(int32_t user, int32_t item) const {
   return dense::Dot(user_vecs_.Row(user), item_vecs_.Row(item),
                     user_vecs_.cols());
+}
+
+std::vector<float> CkeRecommender::ScoreItems(
+    int32_t user, std::span<const int32_t> items) const {
+  const float* u = user_vecs_.Row(user);
+  std::vector<const float*> rows(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    rows[i] = item_vecs_.Row(items[i]);
+  }
+  std::vector<float> out(items.size());
+  kernels::DotBatch(u, rows.data(), rows.size(), user_vecs_.cols(),
+                    out.data());
+  return out;
 }
 
 }  // namespace kgrec

@@ -40,6 +40,11 @@ class CkeRecommender : public Recommender {
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
 
+  /// Batched fast path through kernels::DotBatch; bitwise equal to
+  /// Score() since both follow the shared fixed-block dot contract.
+  std::vector<float> ScoreItems(int32_t user,
+                                std::span<const int32_t> items) const override;
+
  private:
   CkeConfig config_;
   Matrix user_vecs_;

@@ -1,64 +1,41 @@
 #include "math/dense.h"
 
 #include <cmath>
-#include <cstring>
+
+#include "math/kernels.h"
 
 namespace kgrec::dense {
 
 float Dot(const float* a, const float* b, size_t n) {
-  float acc = 0.0f;
-  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
-  return acc;
+  return kernels::Dot(a, b, n);
 }
 
 void Axpy(float alpha, const float* x, float* y, size_t n) {
-  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  kernels::Axpy(alpha, x, y, n);
 }
 
-void Scale(float* x, size_t n, float alpha) {
-  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
-}
+void Scale(float* x, size_t n, float alpha) { kernels::Scale(x, n, alpha); }
 
-float Norm2(const float* x, size_t n) { return std::sqrt(Dot(x, x, n)); }
+float Norm2(const float* x, size_t n) {
+  return std::sqrt(kernels::Dot(x, x, n));
+}
 
 float SquaredDistance(const float* a, const float* b, size_t n) {
-  float acc = 0.0f;
-  for (size_t i = 0; i < n; ++i) {
-    const float d = a[i] - b[i];
-    acc += d * d;
-  }
-  return acc;
+  return kernels::SquaredDistance(a, b, n);
 }
 
 void MatMul(const float* a, const float* b, float* c, size_t m, size_t k,
             size_t n) {
-  std::memset(c, 0, m * n * sizeof(float));
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (size_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  kernels::MatMul(a, b, c, m, k, n);
 }
 
 void MatMulTransposeB(const float* a, const float* b, float* c, size_t m,
                       size_t k, size_t n) {
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (size_t j = 0; j < n; ++j) crow[j] = Dot(arow, b + j * k, k);
-  }
+  kernels::MatMulTransposeB(a, b, c, m, k, n);
 }
 
 float CosineSimilarity(const float* a, const float* b, size_t n) {
-  const float na = Norm2(a, n);
-  const float nb = Norm2(b, n);
-  if (na == 0.0f || nb == 0.0f) return 0.0f;
-  return Dot(a, b, n) / (na * nb);
+  return kernels::CosineSimilarity(a, b, n);
 }
 
 }  // namespace kgrec::dense

@@ -2,13 +2,19 @@
 #define KGREC_MATH_DENSE_H_
 
 #include <cstddef>
-#include <vector>
+
+#include "core/aligned.h"
 
 namespace kgrec {
 
 /// Plain float vector/matrix kernels used by the non-autodiff parts of the
 /// library (PathSim, matrix factorization baselines, the data generator).
 /// Matrices are row-major, described by (data, rows, cols).
+///
+/// These are thin wrappers over the shared SIMD kernel layer
+/// (math/kernels.h) and inherit its fixed-block accumulation contract:
+/// reductions fold four lane accumulators as (l0+l2)+(l1+l3) with a
+/// scalar tail, identically in scalar and SIMD builds.
 namespace dense {
 
 /// Dot product of two equal-length vectors.
@@ -27,6 +33,8 @@ float Norm2(const float* x, size_t n);
 float SquaredDistance(const float* a, const float* b, size_t n);
 
 /// C = A * B with A (m x k), B (k x n), C (m x n). C is overwritten.
+/// Every C[i][j] accumulates its k products in ascending p — including
+/// exact-zero A entries, which earlier versions skipped.
 void MatMul(const float* a, const float* b, float* c, size_t m, size_t k,
             size_t n);
 
@@ -34,12 +42,15 @@ void MatMul(const float* a, const float* b, float* c, size_t m, size_t k,
 void MatMulTransposeB(const float* a, const float* b, float* c, size_t m,
                       size_t k, size_t n);
 
-/// Cosine similarity; returns 0 when either vector is all-zero.
+/// Cosine similarity; returns 0 when either vector is all-zero. Fused:
+/// one pass accumulates the dot and both squared norms.
 float CosineSimilarity(const float* a, const float* b, size_t n);
 
 }  // namespace dense
 
-/// Row-major owning matrix of floats.
+/// Row-major owning matrix of floats. The backing store is 64-byte
+/// aligned (core/aligned.h) so whole-matrix kernel sweeps start on a
+/// cache-line boundary.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
@@ -59,7 +70,7 @@ class Matrix {
  private:
   size_t rows_;
   size_t cols_;
-  std::vector<float> data_;
+  AlignedVector<float> data_;
 };
 
 }  // namespace kgrec

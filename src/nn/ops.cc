@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "math/kernels.h"
 
 namespace kgrec::nn {
 namespace {
@@ -98,6 +99,27 @@ Tensor UnaryOp(const Tensor& a, Fwd fwd, Bwd bwd) {
   return Tensor::Wrap(node);
 }
 
+/// UnaryOp whose forward pass is one of the shared elementwise map
+/// kernels (sigmoid/tanh/exp/softplus); the backward derivative stays a
+/// per-element lambda over (input, output).
+template <typename Bwd>
+Tensor MapOp(const Tensor& a, void (*map)(const float*, float*, size_t),
+             Bwd bwd) {
+  Node& an = *a.node();
+  auto node = MakeNode(an.rows, an.cols, {a.node()});
+  map(an.data.data(), node->data.data(), node->size());
+  if (node->requires_grad) {
+    node->backward = [bwd](Node& self) {
+      Node& pa = *self.parents[0];
+      float* ga = internal::GradBuf(pa);
+      for (size_t i = 0; i < self.size(); ++i) {
+        ga[i] += self.grad[i] * bwd(pa.data[i], self.data[i]);
+      }
+    };
+  }
+  return Tensor::Wrap(node);
+}
+
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
@@ -131,47 +153,22 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   KGREC_CHECK_EQ(an.cols, bn.rows);
   const size_t m = an.rows, k = an.cols, n = bn.cols;
   auto node = MakeNode(m, n, {a.node(), b.node()});
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = an.data.data() + i * k;
-    float* crow = node->data.data() + i * n;
-    std::fill(crow, crow + n, 0.0f);
-    for (size_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      const float* brow = bn.data.data() + p * n;
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  kernels::MatMul(an.data.data(), bn.data.data(), node->data.data(), m, k, n);
   if (node->requires_grad) {
     node->backward = [m, k, n](Node& self) {
       Node& pa = *self.parents[0];
       Node& pb = *self.parents[1];
       if (pa.requires_grad) {
-        // dA[i,p] += sum_j dC[i,j] * B[p,j]
-        float* ga = internal::GradBuf(pa);
-        for (size_t i = 0; i < m; ++i) {
-          const float* grow = self.grad.data() + i * n;
-          float* garow = ga + i * k;
-          for (size_t p = 0; p < k; ++p) {
-            const float* brow = pb.data.data() + p * n;
-            float acc = 0.0f;
-            for (size_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
-            garow[p] += acc;
-          }
-        }
+        // dA += dC * B^T: each dA[i,p] is a fixed-block dot of dC row i
+        // with B row p, accumulated into the (possibly shadowed) buffer.
+        kernels::MatMulTransposeB(self.grad.data(), pb.data.data(),
+                                  internal::GradBuf(pa), m, n, k,
+                                  /*accumulate=*/true);
       }
       if (pb.requires_grad) {
-        // dB[p,j] += sum_i A[i,p] * dC[i,j]
-        float* gb = internal::GradBuf(pb);
-        for (size_t i = 0; i < m; ++i) {
-          const float* arow = pa.data.data() + i * k;
-          const float* grow = self.grad.data() + i * n;
-          for (size_t p = 0; p < k; ++p) {
-            const float av = arow[p];
-            if (av == 0.0f) continue;
-            float* gbrow = gb + p * n;
-            for (size_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
-          }
-        }
+        // dB += A^T * dC, element-wise in ascending i.
+        kernels::MatMulTransposeAAcc(pa.data.data(), self.grad.data(),
+                                     internal::GradBuf(pb), m, k, n);
       }
     };
   }
@@ -213,19 +210,13 @@ Tensor AddConst(const Tensor& a, float c) {
 Tensor Neg(const Tensor& a) { return ScaleBy(a, -1.0f); }
 
 Tensor Sigmoid(const Tensor& a) {
-  return UnaryOp(
-      a,
-      [](float x) {
-        return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
-                         : std::exp(x) / (1.0f + std::exp(x));
-      },
-      [](float, float y) { return y * (1.0f - y); });
+  return MapOp(a, kernels::SigmoidMap,
+               [](float, float y) { return y * (1.0f - y); });
 }
 
 Tensor Tanh(const Tensor& a) {
-  return UnaryOp(
-      a, [](float x) { return std::tanh(x); },
-      [](float, float y) { return 1.0f - y * y; });
+  return MapOp(a, kernels::TanhMap,
+               [](float, float y) { return 1.0f - y * y; });
 }
 
 Tensor Relu(const Tensor& a) {
@@ -235,9 +226,7 @@ Tensor Relu(const Tensor& a) {
 }
 
 Tensor Exp(const Tensor& a) {
-  return UnaryOp(
-      a, [](float x) { return std::exp(x); },
-      [](float, float y) { return y; });
+  return MapOp(a, kernels::ExpMap, [](float, float y) { return y; });
 }
 
 Tensor Log(const Tensor& a, float eps) {
@@ -253,15 +242,10 @@ Tensor Square(const Tensor& a) {
 }
 
 Tensor Softplus(const Tensor& a) {
-  return UnaryOp(
-      a,
-      [](float x) {
-        return x > 20.0f ? x : std::log1p(std::exp(std::min(x, 20.0f)));
-      },
-      [](float x, float) {
-        return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
-                         : std::exp(x) / (1.0f + std::exp(x));
-      });
+  return MapOp(a, kernels::SoftplusMap, [](float x, float) {
+    return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                     : std::exp(x) / (1.0f + std::exp(x));
+  });
 }
 
 Tensor Sum(const Tensor& a) {
@@ -336,18 +320,7 @@ Tensor SumCols(const Tensor& a) {
 Tensor Softmax(const Tensor& a) {
   Node& an = *a.node();
   auto node = MakeNode(an.rows, an.cols, {a.node()});
-  for (size_t i = 0; i < an.rows; ++i) {
-    const float* row = an.data.data() + i * an.cols;
-    float* out = node->data.data() + i * an.cols;
-    float max_v = row[0];
-    for (size_t j = 1; j < an.cols; ++j) max_v = std::max(max_v, row[j]);
-    float total = 0.0f;
-    for (size_t j = 0; j < an.cols; ++j) {
-      out[j] = std::exp(row[j] - max_v);
-      total += out[j];
-    }
-    for (size_t j = 0; j < an.cols; ++j) out[j] /= total;
-  }
+  kernels::SoftmaxRows(an.data.data(), node->data.data(), an.rows, an.cols);
   if (node->requires_grad) {
     node->backward = [](Node& self) {
       Node& pa = *self.parents[0];
@@ -355,8 +328,7 @@ Tensor Softmax(const Tensor& a) {
       for (size_t i = 0; i < self.rows; ++i) {
         const float* y = self.data.data() + i * self.cols;
         const float* dy = self.grad.data() + i * self.cols;
-        float dot = 0.0f;
-        for (size_t j = 0; j < self.cols; ++j) dot += y[j] * dy[j];
+        const float dot = kernels::Dot(y, dy, self.cols);
         float* dx = ga + i * self.cols;
         for (size_t j = 0; j < self.cols; ++j) dx[j] += y[j] * (dy[j] - dot);
       }
@@ -410,9 +382,7 @@ Tensor Gather(const Tensor& table, const std::vector<int32_t>& indices) {
       Node& pt = *self.parents[0];
       float* gt = internal::GradBuf(pt);
       for (size_t i = 0; i < indices.size(); ++i) {
-        const float* grow = self.grad.data() + i * d;
-        float* trow = gt + indices[i] * d;
-        for (size_t j = 0; j < d; ++j) trow[j] += grow[j];
+        kernels::Axpy(1.0f, self.grad.data() + i * d, gt + indices[i] * d, d);
       }
     };
   }
@@ -420,7 +390,37 @@ Tensor Gather(const Tensor& table, const std::vector<int32_t>& indices) {
 }
 
 Tensor RowwiseDot(const Tensor& a, const Tensor& b) {
-  return SumRows(Mul(a, b));
+  // First-class fused op (previously SumRows(Mul(a, b))): one fixed-block
+  // dot per row forward, two rank-1 Axpy updates per row backward, and no
+  // intermediate [rows, cols] product node.
+  Node& an = *a.node();
+  Node& bn = *b.node();
+  KGREC_CHECK_EQ(an.rows, bn.rows);
+  KGREC_CHECK_EQ(an.cols, bn.cols);
+  const size_t d = an.cols;
+  auto node = MakeNode(an.rows, 1, {a.node(), b.node()});
+  for (size_t i = 0; i < an.rows; ++i) {
+    node->data[i] =
+        kernels::Dot(an.data.data() + i * d, bn.data.data() + i * d, d);
+  }
+  if (node->requires_grad) {
+    node->backward = [d](Node& self) {
+      Node& pa = *self.parents[0];
+      Node& pb = *self.parents[1];
+      float* ga = internal::GradBuf(pa);
+      float* gb = internal::GradBuf(pb);
+      for (size_t i = 0; i < self.rows; ++i) {
+        const float g = self.grad[i];
+        if (pa.requires_grad) {
+          kernels::Axpy(g, pb.data.data() + i * d, ga + i * d, d);
+        }
+        if (pb.requires_grad) {
+          kernels::Axpy(g, pa.data.data() + i * d, gb + i * d, d);
+        }
+      }
+    };
+  }
+  return Tensor::Wrap(node);
 }
 
 Tensor RowwiseVecMat(const Tensor& x, const Tensor& w) {
@@ -431,15 +431,9 @@ Tensor RowwiseVecMat(const Tensor& x, const Tensor& w) {
   KGREC_CHECK_EQ(wn.cols, d * d);
   auto node = MakeNode(batch, d, {x.node(), w.node()});
   for (size_t b = 0; b < batch; ++b) {
-    const float* xv = xn.data.data() + b * d;
-    const float* mat = wn.data.data() + b * d * d;
-    float* out = node->data.data() + b * d;
-    std::fill(out, out + d, 0.0f);
-    for (size_t i = 0; i < d; ++i) {
-      const float xvi = xv[i];
-      const float* mrow = mat + i * d;
-      for (size_t j = 0; j < d; ++j) out[j] += xvi * mrow[j];
-    }
+    // Row b: out = xv . mat, one (1 x d) x (d x d) product.
+    kernels::MatMul(xn.data.data() + b * d, wn.data.data() + b * d * d,
+                    node->data.data() + b * d, 1, d, d);
   }
   if (node->requires_grad) {
     node->backward = [batch, d](Node& self) {
@@ -451,17 +445,15 @@ Tensor RowwiseVecMat(const Tensor& x, const Tensor& w) {
         const float* dout = self.grad.data() + b * d;
         const float* xv = px.data.data() + b * d;
         const float* mat = pw.data.data() + b * d * d;
-        for (size_t i = 0; i < d; ++i) {
-          const float* mrow = mat + i * d;
-          if (px.requires_grad) {
-            float acc = 0.0f;
-            for (size_t j = 0; j < d; ++j) acc += dout[j] * mrow[j];
-            gx[b * d + i] += acc;
-          }
-          if (pw.requires_grad) {
-            float* gmrow = gw + b * d * d + i * d;
-            const float xvi = xv[i];
-            for (size_t j = 0; j < d; ++j) gmrow[j] += xvi * dout[j];
+        if (px.requires_grad) {
+          // dx = dout . mat^T, one fixed-block dot per coordinate.
+          kernels::MatMulTransposeB(dout, mat, gx + b * d, 1, d, d,
+                                    /*accumulate=*/true);
+        }
+        if (pw.requires_grad) {
+          // dmat[i,:] += xv[i] * dout (rank-1 update).
+          for (size_t i = 0; i < d; ++i) {
+            kernels::Axpy(xv[i], dout, gw + b * d * d + i * d, d);
           }
         }
       }

@@ -85,6 +85,9 @@ Tensor Concat(const Tensor& a, const Tensor& b);
 Tensor Gather(const Tensor& table, const std::vector<int32_t>& indices);
 
 /// Per-row dot product of equal-shaped tensors: [M,N] x [M,N] -> [M,1].
+/// A first-class fused op: one fixed-block kernel dot per row forward
+/// (math/kernels.h contract), rank-1 Axpy updates backward — no
+/// intermediate elementwise-product node.
 Tensor RowwiseDot(const Tensor& a, const Tensor& b);
 
 /// Batched vector-matrix product: for each row b of x [B,D] and the D x D

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "core/check.h"
+#include "math/kernels.h"
 
 namespace kgrec::nn {
 
@@ -46,9 +47,10 @@ void GradShadow::Clear() {
 
 void GradShadow::AddTo() {
   for (size_t i = 0; i < leaves_.size(); ++i) {
-    float* dst = leaves_[i]->grad.data();
-    const std::vector<float>& src = buffers_[i];
-    for (size_t j = 0; j < src.size(); ++j) dst[j] += src[j];
+    // dst[j] += 1.0f * src[j] is bitwise dst[j] += src[j], so the shard
+    // fold may use the shared Axpy kernel.
+    kernels::Axpy(1.0f, buffers_[i].data(), leaves_[i]->grad.data(),
+                  buffers_[i].size());
   }
 }
 
@@ -86,7 +88,9 @@ Tensor Tensor::FromData(size_t rows, size_t cols, std::vector<float> data,
   auto node = std::make_shared<internal::Node>();
   node->rows = rows;
   node->cols = cols;
-  node->data = std::move(data);
+  // Copy into the node's aligned store (the incoming vector's heap block
+  // has no alignment guarantee, so it cannot be adopted).
+  node->data.assign(data.begin(), data.end());
   node->requires_grad = requires_grad;
   if (requires_grad) node->grad.assign(rows * cols, 0.0f);
   return Wrap(std::move(node));

@@ -7,18 +7,22 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/aligned.h"
+
 namespace kgrec::nn {
 
 namespace internal {
 
 /// A node in the dynamically-built computation graph. Holds the forward
 /// value, the (lazily used) gradient buffer, the parent edges and the
-/// function that pushes this node's gradient into its parents.
+/// function that pushes this node's gradient into its parents. Both
+/// buffers are 64-byte aligned (core/aligned.h) so the kernel layer
+/// sweeps cache-line-aligned memory.
 struct Node {
   size_t rows = 0;
   size_t cols = 0;
-  std::vector<float> data;
-  std::vector<float> grad;
+  AlignedVector<float> data;
+  AlignedVector<float> grad;
   bool requires_grad = false;
   std::vector<std::shared_ptr<Node>> parents;
   std::function<void(Node&)> backward;
@@ -80,7 +84,7 @@ class GradShadow {
   friend float* GradBuf(Node& node);
 
   std::vector<std::shared_ptr<Node>> leaves_;
-  std::vector<std::vector<float>> buffers_;
+  std::vector<AlignedVector<float>> buffers_;
   std::unordered_map<const Node*, size_t> index_;
 };
 

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "math/kernels.h"
 #include "nn/init.h"
 #include "nn/ops.h"
 #include "nn/optim.h"
@@ -192,6 +193,32 @@ float HERecRecommender::Score(int32_t user, int32_t item) const {
     score += path_weights_[l] * features[l];
   }
   return score;
+}
+
+std::vector<float> HERecRecommender::ScoreItems(
+    int32_t user, std::span<const int32_t> items) const {
+  const size_t d = config_.dim;
+  const size_t count = items.size();
+  std::vector<const float*> rows(count);
+  // MF term.
+  const float* u = user_emb_.data() + user * d;
+  for (size_t i = 0; i < count; ++i) {
+    rows[i] = item_emb_.data() + items[i] * d;
+  }
+  std::vector<float> out(count);
+  kernels::DotBatch(u, rows.data(), count, d, out.data());
+  // Per-path affinity terms, folded in the same ascending path order as
+  // Score(): out[i] += w_l * f_l is exactly score += w_l * features[l].
+  std::vector<float> features(count);
+  for (size_t l = 0; l < path_item_emb_.size(); ++l) {
+    const float* profile = path_user_profile_[l].Row(user);
+    for (size_t i = 0; i < count; ++i) {
+      rows[i] = path_item_emb_[l].Row(items[i]);
+    }
+    kernels::DotBatch(profile, rows.data(), count, d, features.data());
+    kernels::Axpy(path_weights_[l], features.data(), out.data(), count);
+  }
+  return out;
 }
 
 }  // namespace kgrec

@@ -40,6 +40,12 @@ class HERecRecommender : public Recommender {
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
 
+  /// Batched fast path: the MF term and each meta-path affinity term run
+  /// through kernels::DotBatch, folded as score += w_l * f_l in the same
+  /// ascending path order as Score(), so outputs are bitwise equal.
+  std::vector<float> ScoreItems(int32_t user,
+                                std::span<const int32_t> items) const override;
+
  private:
   std::vector<float> PairFeatures(int32_t user, int32_t item) const;
 

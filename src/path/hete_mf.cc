@@ -5,6 +5,7 @@
 
 #include "core/check.h"
 #include "math/dense.h"
+#include "math/kernels.h"
 #include "nn/init.h"
 #include "nn/ops.h"
 #include "nn/optim.h"
@@ -93,6 +94,19 @@ float HeteMfRecommender::Score(int32_t user, int32_t item) const {
   const size_t d = user_emb_.cols();
   return dense::Dot(user_emb_.data() + user * d, item_emb_.data() + item * d,
                     d);
+}
+
+std::vector<float> HeteMfRecommender::ScoreItems(
+    int32_t user, std::span<const int32_t> items) const {
+  const size_t d = user_emb_.cols();
+  const float* u = user_emb_.data() + user * d;
+  std::vector<const float*> rows(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    rows[i] = item_emb_.data() + items[i] * d;
+  }
+  std::vector<float> out(items.size());
+  kernels::DotBatch(u, rows.data(), rows.size(), d, out.data());
+  return out;
 }
 
 }  // namespace kgrec

@@ -4,12 +4,9 @@
 #include <cmath>
 #include <numeric>
 
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
-
 #include "core/check.h"
 #include "core/thread_pool.h"
+#include "math/kernels.h"
 #include "nn/init.h"
 #include "nn/ops.h"
 #include "nn/optim.h"
@@ -190,66 +187,18 @@ float KgatRecommender::Score(int32_t user, int32_t item) const {
 
 std::vector<float> KgatRecommender::ScoreItems(
     int32_t user, std::span<const int32_t> items) const {
+  // The shared batched-dot kernel replaces the private SSE2 block this
+  // method used to carry: every output is a fixed-block Dot of the user
+  // row against one candidate row, so it stays bitwise equal to Score(),
+  // which routes through the same kernel via dense::Dot.
   const float* u = final_emb_.Row(graph_->UserEntity(user));
-  const size_t cols = final_emb_.cols();
+  std::vector<const float*> rows(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    rows[i] = final_emb_.Row(graph_->ItemEntity(items[i]));
+  }
   std::vector<float> out(items.size());
-#if defined(__SSE2__)
-  // Broadcast the user vector once per call; the candidate loop then
-  // reads u[c] lanes with plain aligned loads instead of set1 shuffles.
-  std::vector<__m128> ub(cols);
-  for (size_t c = 0; c < cols; ++c) ub[c] = _mm_set1_ps(u[c]);
-#endif
-  size_t i = 0;
-  // Four independent accumulator chains, one candidate per lane. Each
-  // lane accumulates left-to-right exactly like dense::Dot — SSE2
-  // addps/mulps are per-lane IEEE single ops with no contraction — so
-  // every lane is bitwise equal to Score(). The SIMD form retires four
-  // chains per mul+add pair instead of one.
-  for (; i + 4 <= items.size(); i += 4) {
-    const float* v0 = final_emb_.Row(graph_->ItemEntity(items[i]));
-    const float* v1 = final_emb_.Row(graph_->ItemEntity(items[i + 1]));
-    const float* v2 = final_emb_.Row(graph_->ItemEntity(items[i + 2]));
-    const float* v3 = final_emb_.Row(graph_->ItemEntity(items[i + 3]));
-#if defined(__SSE2__)
-    __m128 acc = _mm_setzero_ps();
-    size_t c = 0;
-    // Column blocks of four: one vector load per candidate row, an
-    // in-register 4x4 transpose, then one ordered mul+add per column.
-    for (; c + 4 <= cols; c += 4) {
-      __m128 r0 = _mm_loadu_ps(v0 + c);
-      __m128 r1 = _mm_loadu_ps(v1 + c);
-      __m128 r2 = _mm_loadu_ps(v2 + c);
-      __m128 r3 = _mm_loadu_ps(v3 + c);
-      _MM_TRANSPOSE4_PS(r0, r1, r2, r3);
-      acc = _mm_add_ps(acc, _mm_mul_ps(ub[c], r0));
-      acc = _mm_add_ps(acc, _mm_mul_ps(ub[c + 1], r1));
-      acc = _mm_add_ps(acc, _mm_mul_ps(ub[c + 2], r2));
-      acc = _mm_add_ps(acc, _mm_mul_ps(ub[c + 3], r3));
-    }
-    for (; c < cols; ++c) {
-      const __m128 vc = _mm_set_ps(v3[c], v2[c], v1[c], v0[c]);
-      acc = _mm_add_ps(acc, _mm_mul_ps(ub[c], vc));
-    }
-    _mm_storeu_ps(&out[i], acc);
-#else
-    float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
-    for (size_t c = 0; c < cols; ++c) {
-      const float uc = u[c];
-      a0 += uc * v0[c];
-      a1 += uc * v1[c];
-      a2 += uc * v2[c];
-      a3 += uc * v3[c];
-    }
-    out[i] = a0;
-    out[i + 1] = a1;
-    out[i + 2] = a2;
-    out[i + 3] = a3;
-#endif
-  }
-  for (; i < items.size(); ++i) {
-    out[i] =
-        dense::Dot(u, final_emb_.Row(graph_->ItemEntity(items[i])), cols);
-  }
+  kernels::DotBatch(u, rows.data(), rows.size(), final_emb_.cols(),
+                    out.data());
   return out;
 }
 

@@ -45,10 +45,10 @@ class KgatRecommender : public Recommender {
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
 
-  /// Batched fast path: hoists the user row lookup and runs four
-  /// candidate dot products at a time as independent accumulator chains
-  /// sharing each user-coordinate load. Each chain accumulates in the
-  /// same order as dense::Dot, so scores are bitwise equal to Score().
+  /// Batched fast path: hoists the user row lookup and scores candidates
+  /// four at a time through kernels::DotBatch. Every output follows the
+  /// shared fixed-block dot contract, so scores are bitwise equal to
+  /// Score().
   std::vector<float> ScoreItems(int32_t user,
                                 std::span<const int32_t> items) const override;
 
