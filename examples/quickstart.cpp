@@ -1,13 +1,16 @@
 // Quickstart: the 60-second tour of kgrec.
 //   1. generate a synthetic recommendation world (interactions + item KG),
 //   2. split it, 3. train a KG-based recommender (RippleNet),
-//   4. evaluate, 5. print top-5 recommendations for one user.
+//   4. evaluate, 5. print top-5 recommendations for one user,
+//   6. checkpoint the model and serve the same top-5 from a fresh load.
 //
 // Build & run:  ./build/examples/quickstart
 
 #include <cstdio>
+#include <memory>
 
 #include "core/recommender.h"
+#include "core/registry.h"
 #include "core/thread_pool.h"
 #include "data/synthetic.h"
 #include "eval/protocol.h"
@@ -63,10 +66,45 @@ int main() {
   for (int32_t j = 0; j < config.num_items; ++j) {
     if (split.train.Contains(user, j)) scores[j] = -1e30f;
   }
+  const std::vector<int32_t> top5 = TopKIndices(scores, 5);
   std::printf("top-5 for user %d:", user);
-  for (int32_t j : TopKIndices(scores, 5)) {
+  for (int32_t j : top5) {
     std::printf(" %s", world.item_kg.entity_name(j).c_str());
   }
   std::printf("\n");
-  return 0;
+
+  // 6. Checkpoint and serve from a fresh process-like restore. Save()
+  // writes only the learned parameters (atomically — a crashed save
+  // never clobbers a good checkpoint); Load() recomputes derived state
+  // (here: the ripple sets) from the same data and seed, so the restored
+  // model serves *bitwise* the scores the fitted one did. Loading into a
+  // mismatched model type or hyper-parameter set fails with a clear
+  // Status instead of garbage scores; kgrec::LoadModel() reconstructs
+  // the concrete type from the checkpoint header alone when the model
+  // was trained with registry-default hyper-parameters.
+  const std::string path = "/tmp/kgrec_quickstart.kgrc";
+  Status status = model.Save(path);
+  if (!status.ok()) {
+    std::printf("save failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  RippleNetRecommender served(model_config);
+  status = served.Load(ctx, path);
+  if (!status.ok()) {
+    std::printf("load failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::vector<float> served_scores = served.ScoreAll(user, config.num_items);
+  for (int32_t j = 0; j < config.num_items; ++j) {
+    if (split.train.Contains(user, j)) served_scores[j] = -1e30f;
+  }
+  const std::vector<int32_t> served_top5 = TopKIndices(served_scores, 5);
+  std::printf("top-5 after restore:");
+  for (int32_t j : served_top5) {
+    std::printf(" %s", world.item_kg.entity_name(j).c_str());
+  }
+  std::printf("  (%s)\n",
+              served_top5 == top5 ? "identical" : "DIVERGED — BUG");
+  std::remove(path.c_str());
+  return served_top5 == top5 ? 0 : 1;
 }

@@ -5,13 +5,13 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "core/model_state.h"
 
 namespace kgrec {
 
-void FmRecommender::Fit(const RecContext& context) {
+size_t FmRecommender::BuildFeatureSpace(const RecContext& context) {
   KGREC_CHECK(context.train != nullptr);
   const InteractionDataset& train = *context.train;
-  Rng rng(context.seed);
   num_users_ = train.num_users();
   num_items_ = train.num_items();
 
@@ -31,6 +31,13 @@ void FmRecommender::Fit(const RecContext& context) {
       }
     }
   }
+  return num_features;
+}
+
+void FmRecommender::Fit(const RecContext& context) {
+  const size_t num_features = BuildFeatureSpace(context);
+  const InteractionDataset& train = *context.train;
+  Rng rng(context.seed);
 
   bias_ = 0.0f;
   linear_.assign(num_features, 0.0f);
@@ -119,6 +126,27 @@ float FmRecommender::ScoreFeatures(
 
 float FmRecommender::Score(int32_t user, int32_t item) const {
   return ScoreFeatures(Features(user, item));
+}
+
+std::string FmRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("dim", static_cast<double>(config_.dim))
+      .Add("epochs", config_.epochs)
+      .Add("lr", config_.learning_rate)
+      .Add("l2", config_.l2)
+      .Add("negatives", config_.negatives_per_positive)
+      .str();
+}
+
+Status FmRecommender::VisitState(StateVisitor* visitor) {
+  KGREC_RETURN_IF_ERROR(visitor->Scalar("bias", &bias_));
+  KGREC_RETURN_IF_ERROR(visitor->Floats("linear", &linear_));
+  return visitor->Matrix("factors", &factors_);
+}
+
+Status FmRecommender::PrepareLoad(const RecContext& context) {
+  BuildFeatureSpace(context);
+  return Status::OK();
 }
 
 }  // namespace kgrec

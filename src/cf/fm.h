@@ -29,8 +29,18 @@ class FmRecommender : public Recommender {
   std::string name() const override { return "FM"; }
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
+  std::string HyperFingerprint() const override;
+
+ protected:
+  /// Stores bias/linear/factors; the feature map (item attribute lists)
+  /// is rebuilt from the context on load.
+  Status VisitState(StateVisitor* visitor) override;
+  Status PrepareLoad(const RecContext& context) override;
 
  private:
+  /// Derives num_users_/num_items_/item_attributes_ from the context and
+  /// returns the feature-space size. Shared by Fit and PrepareLoad.
+  size_t BuildFeatureSpace(const RecContext& context);
   /// Feature ids of (user, item): user -> user, item -> m + item,
   /// attribute entity a (>= num items in the item KG) -> m + a.
   std::vector<int32_t> Features(int32_t user, int32_t item) const;

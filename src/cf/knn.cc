@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "math/sparse.h"
 #include "math/topk.h"
 
@@ -57,6 +58,21 @@ float ItemKnnRecommender::Score(int32_t user, int32_t item) const {
   return score;
 }
 
+std::string ItemKnnRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("num_neighbors", static_cast<double>(num_neighbors_))
+      .str();
+}
+
+Status ItemKnnRecommender::VisitState(StateVisitor* /*visitor*/) {
+  return Status::OK();
+}
+
+Status ItemKnnRecommender::PrepareLoad(const RecContext& context) {
+  Fit(context);
+  return Status::OK();
+}
+
 void UserKnnRecommender::Fit(const RecContext& context) {
   KGREC_CHECK(context.train != nullptr);
   train_ = context.train;
@@ -98,6 +114,21 @@ float UserKnnRecommender::Score(int32_t user, int32_t item) const {
     if (train_->Contains(neighbor, item)) score += sim;
   }
   return score;
+}
+
+std::string UserKnnRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("num_neighbors", static_cast<double>(num_neighbors_))
+      .str();
+}
+
+Status UserKnnRecommender::VisitState(StateVisitor* /*visitor*/) {
+  return Status::OK();
+}
+
+Status UserKnnRecommender::PrepareLoad(const RecContext& context) {
+  Fit(context);
+  return Status::OK();
 }
 
 }  // namespace kgrec

@@ -20,6 +20,13 @@ class ItemKnnRecommender : public Recommender {
   std::string name() const override { return "ItemKNN"; }
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
+  std::string HyperFingerprint() const override;
+
+ protected:
+  /// The similarity lists are deterministic in the training set, so the
+  /// checkpoint stores nothing and Load recomputes them.
+  Status VisitState(StateVisitor* visitor) override;
+  Status PrepareLoad(const RecContext& context) override;
 
  private:
   size_t num_neighbors_;
@@ -38,6 +45,11 @@ class UserKnnRecommender : public Recommender {
   std::string name() const override { return "UserKNN"; }
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
+  std::string HyperFingerprint() const override;
+
+ protected:
+  Status VisitState(StateVisitor* visitor) override;
+  Status PrepareLoad(const RecContext& context) override;
 
  private:
   size_t num_neighbors_;

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "math/dense.h"
 #include "math/kernels.h"
 #include "nn/init.h"
@@ -69,6 +70,22 @@ std::vector<float> MfRecommender::ScoreItems(
   std::vector<float> out(items.size());
   kernels::DotBatch(u, rows.data(), rows.size(), d, out.data());
   return out;
+}
+
+std::string MfRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("dim", static_cast<double>(config_.dim))
+      .Add("epochs", config_.epochs)
+      .Add("batch_size", static_cast<double>(config_.batch_size))
+      .Add("lr", config_.learning_rate)
+      .Add("l2", config_.l2)
+      .Add("negatives", config_.negatives_per_positive)
+      .str();
+}
+
+Status MfRecommender::VisitState(StateVisitor* visitor) {
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("user_emb", &user_emb_));
+  return visitor->Tensor("item_emb", &item_emb_);
 }
 
 void BprMfRecommender::Fit(const RecContext& context) {

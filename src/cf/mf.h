@@ -34,7 +34,12 @@ class MfRecommender : public Recommender {
   std::vector<float> ScoreItems(int32_t user,
                                 std::span<const int32_t> items) const override;
 
+  std::string HyperFingerprint() const override;
+
  protected:
+  /// Both factor tensors are stored; BPR-MF inherits the same layout.
+  Status VisitState(StateVisitor* visitor) override;
+
   MfConfig config_;
   nn::Tensor user_emb_;
   nn::Tensor item_emb_;

@@ -1,6 +1,7 @@
 #include "cf/popularity.h"
 
 #include "core/check.h"
+#include "core/model_state.h"
 
 namespace kgrec {
 
@@ -14,6 +15,15 @@ void PopularityRecommender::Fit(const RecContext& context) {
 
 float PopularityRecommender::Score(int32_t /*user*/, int32_t item) const {
   return counts_[item];
+}
+
+Status PopularityRecommender::VisitState(StateVisitor* /*visitor*/) {
+  return Status::OK();
+}
+
+Status PopularityRecommender::PrepareLoad(const RecContext& context) {
+  Fit(context);
+  return Status::OK();
 }
 
 }  // namespace kgrec

@@ -15,6 +15,11 @@ class PopularityRecommender : public Recommender {
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
 
+ protected:
+  /// Nothing is stored: the counts are recomputed from the training set.
+  Status VisitState(StateVisitor* visitor) override;
+  Status PrepareLoad(const RecContext& context) override;
+
  private:
   std::vector<float> counts_;
 };

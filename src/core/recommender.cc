@@ -1,6 +1,10 @@
 #include "core/recommender.h"
 
 #include <numeric>
+#include <utility>
+
+#include "core/model_state.h"
+#include "core/serialize.h"
 
 namespace kgrec {
 
@@ -18,6 +22,53 @@ std::vector<float> Recommender::ScoreAll(int32_t user,
   std::vector<int32_t> items(num_items);
   std::iota(items.begin(), items.end(), 0);
   return ScoreItems(user, items);
+}
+
+Status Recommender::VisitState(StateVisitor* /*visitor*/) {
+  return Status::FailedPrecondition("model '" + name() +
+                                    "' does not support checkpointing");
+}
+
+Status Recommender::PrepareLoad(const RecContext& /*context*/) {
+  return Status::OK();
+}
+
+Status Recommender::FinishLoad(const RecContext& /*context*/) {
+  return Status::OK();
+}
+
+Status Recommender::Save(const std::string& path) const {
+  StatePacker packer;
+  // VisitState is shared between the pack and unpack directions, so it
+  // takes mutable pointers; the packing visitor only reads through them.
+  KGREC_RETURN_IF_ERROR(
+      const_cast<Recommender*>(this)->VisitState(&packer));
+  CheckpointHeader header;
+  header.model_name = name();
+  header.fingerprint = HyperFingerprint();
+  return SaveCheckpoint(path, header, packer.TakeTensors());
+}
+
+Status Recommender::Load(const RecContext& context, const std::string& path) {
+  CheckpointHeader header;
+  std::vector<NamedTensor> tensors;
+  KGREC_RETURN_IF_ERROR(LoadCheckpoint(path, &header, &tensors));
+  if (header.model_name != name()) {
+    return Status::FailedPrecondition(
+        "checkpoint was saved by model '" + header.model_name +
+        "' but is being loaded into '" + name() + "': " + path);
+  }
+  if (header.fingerprint != HyperFingerprint()) {
+    return Status::FailedPrecondition(
+        "hyper-parameter fingerprint mismatch for '" + name() +
+        "': checkpoint has [" + header.fingerprint + "], this instance has [" +
+        HyperFingerprint() + "]: " + path);
+  }
+  KGREC_RETURN_IF_ERROR(PrepareLoad(context));
+  StateUnpacker unpacker(std::move(tensors));
+  KGREC_RETURN_IF_ERROR(VisitState(&unpacker));
+  KGREC_RETURN_IF_ERROR(unpacker.CheckFullyConsumed());
+  return FinishLoad(context);
 }
 
 }  // namespace kgrec

@@ -6,11 +6,14 @@
 #include <string>
 #include <vector>
 
+#include "core/status.h"
 #include "data/interactions.h"
 #include "data/synthetic.h"
 #include "graph/knowledge_graph.h"
 
 namespace kgrec {
+
+class StateVisitor;
 
 /// Everything a model may consume at training time. Models use the
 /// subset they need: CF baselines read only `train`; embedding-based
@@ -64,6 +67,46 @@ class Recommender {
   /// Scores every item for the user. Routed through ScoreItems(), so a
   /// batched override accelerates full-catalog ranking too.
   virtual std::vector<float> ScoreAll(int32_t user, int32_t num_items) const;
+
+  /// Serializes the fitted model to a KGRC checkpoint at `path` (typed
+  /// header naming the model, format version and hyper-parameter
+  /// fingerprint, followed by the model's learned state as a KGRT tensor
+  /// section). The write is atomic — a failed save never clobbers an
+  /// existing good checkpoint. Must be called after Fit().
+  Status Save(const std::string& path) const;
+
+  /// Restores a model saved by Save() into this un-fitted instance. The
+  /// context must describe the same dataset the model was trained on:
+  /// derived state that is deterministically rebuildable (ripple sets,
+  /// path contexts, similarity lists, sampled neighborhoods) is
+  /// recomputed from it rather than stored, and the restored model's
+  /// ScoreItems() output is bitwise identical to the fitted one's
+  /// (enforced zoo-wide by bench/checkpoint_roundtrip and
+  /// registry_smoke_test). Refuses checkpoints whose model name, format
+  /// version or hyper-parameter fingerprint do not match.
+  Status Load(const RecContext& context, const std::string& path);
+
+  /// Deterministic "key=value;..." rendering of the hyper-parameters,
+  /// stored in the checkpoint header and compared on Load so a
+  /// checkpoint trained under one config cannot be silently served under
+  /// another.
+  virtual std::string HyperFingerprint() const { return ""; }
+
+ protected:
+  /// Names every piece of learned state for Save (pack) and Load
+  /// (unpack); see StateVisitor (core/model_state.h). State rebuildable
+  /// from the RecContext belongs in PrepareLoad/FinishLoad instead.
+  virtual Status VisitState(StateVisitor* visitor);
+
+  /// Load step 1, before the state is unpacked: rebuild derived
+  /// structures and construct parameter-holding modules (layers, KGE
+  /// backends) so VisitState can restore them in place. Deterministic
+  /// replays of the Fit() preamble belong here.
+  virtual Status PrepareLoad(const RecContext& context);
+
+  /// Load step 2, after the state is unpacked: recompute caches that
+  /// depend on the restored parameters (e.g. PGPR's beam search).
+  virtual Status FinishLoad(const RecContext& context);
 };
 
 }  // namespace kgrec

@@ -1,5 +1,7 @@
 #include "core/registry.h"
 
+#include "core/serialize.h"
+
 #include "cf/fm.h"
 #include "cf/knn.h"
 #include "cf/mf.h"
@@ -219,6 +221,20 @@ std::unique_ptr<Recommender> MakeRecommender(const std::string& name) {
   }
   if (name == "KGAT") return std::make_unique<KgatRecommender>();
   return nullptr;
+}
+
+Status LoadModel(const RecContext& context, const std::string& path,
+                 std::unique_ptr<Recommender>* out) {
+  CheckpointHeader header;
+  KGREC_RETURN_IF_ERROR(ReadCheckpointHeader(path, &header));
+  std::unique_ptr<Recommender> model = MakeRecommender(header.model_name);
+  if (model == nullptr) {
+    return Status::InvalidArgument(
+        "checkpoint names unknown model '" + header.model_name + "': " + path);
+  }
+  KGREC_RETURN_IF_ERROR(model->Load(context, path));
+  *out = std::move(model);
+  return Status::OK();
 }
 
 std::vector<std::string> ImplementedMethodNames() {

@@ -46,6 +46,16 @@ std::unique_ptr<Recommender> MakeRecommender(const std::string& name);
 /// Names of all implemented methods, in Table 3 order.
 std::vector<std::string> ImplementedMethodNames();
 
+/// Reconstructs a recommender from a KGRC checkpoint: peeks the typed
+/// header, builds the concrete type named there (with its registry
+/// default hyper-parameters) and restores it against `context`, which
+/// must describe the dataset the checkpoint was trained on. Fails with a
+/// descriptive Status — never a crash or a silently wrong model — when
+/// the file is missing/corrupt, names an unknown model, or carries a
+/// mismatched format version or hyper-parameter fingerprint.
+Status LoadModel(const RecContext& context, const std::string& path,
+                 std::unique_ptr<Recommender>* out);
+
 const char* UsageTypeName(UsageType usage);
 
 }  // namespace kgrec

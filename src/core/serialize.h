@@ -1,6 +1,7 @@
 #ifndef KGREC_CORE_SERIALIZE_H_
 #define KGREC_CORE_SERIALIZE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -24,7 +25,11 @@ struct NamedTensor {
   std::vector<float> data;
 };
 
-/// Writes the archive; overwrites any existing file.
+/// Writes the archive; overwrites any existing file. The write is
+/// atomic: bytes go to "<path>.tmp" and are renamed over `path` only
+/// after a verified flush + close, so a crash mid-write or a failed
+/// flush (disk full) can neither leave a torn archive at `path` nor
+/// clobber a previous good one.
 Status SaveTensorArchive(const std::string& path,
                          const std::vector<NamedTensor>& tensors);
 
@@ -32,6 +37,37 @@ Status SaveTensorArchive(const std::string& path,
 /// corrupt files.
 Status LoadTensorArchive(const std::string& path,
                          std::vector<NamedTensor>* tensors);
+
+/// Current version of the model-checkpoint container format ("KGRC").
+inline constexpr uint32_t kCheckpointFormatVersion = 1;
+
+/// Typed header of a model checkpoint: identifies the concrete model, the
+/// container format revision and the hyper-parameters the model was
+/// trained with, so restore can reconstruct the right type and refuse
+/// mismatched checkpoints with a clear Status instead of garbage scores.
+struct CheckpointHeader {
+  std::string model_name;
+  /// Hyper-parameter fingerprint (Recommender::HyperFingerprint()).
+  std::string fingerprint;
+  uint32_t format_version = kCheckpointFormatVersion;
+};
+
+/// Model checkpoint ("KGRC" format): the typed header followed by a KGRT
+/// tensor section. Layout: magic "KGRC", uint32 format version, uint32
+/// name length + bytes, uint32 fingerprint length + bytes, then the same
+/// count + entry sequence as a KGRT archive. Writes are atomic like
+/// SaveTensorArchive.
+Status SaveCheckpoint(const std::string& path, const CheckpointHeader& header,
+                      const std::vector<NamedTensor>& tensors);
+
+/// Reads a full checkpoint (header + tensors). Fails with IoError /
+/// InvalidArgument on missing, truncated, corrupt or wrong-version files.
+Status LoadCheckpoint(const std::string& path, CheckpointHeader* header,
+                      std::vector<NamedTensor>* tensors);
+
+/// Reads only the typed header (cheap peek used by LoadModel to decide
+/// which concrete type to construct before restoring).
+Status ReadCheckpointHeader(const std::string& path, CheckpointHeader* header);
 
 /// Convenience: snapshots a list of parameters (e.g. KgeModel::Params())
 /// with names "param_0", "param_1", ...

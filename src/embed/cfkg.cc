@@ -1,6 +1,7 @@
 #include "embed/cfkg.h"
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "kge/kge_trainer.h"
 
 namespace kgrec {
@@ -21,6 +22,36 @@ void CfkgRecommender::Fit(const RecContext& context) {
   train_config.seed = context.seed + 1;
   train_config.num_threads = config_.num_threads;
   TrainKge(*model_, kg, train_config);
+}
+
+std::string CfkgRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("dim", static_cast<double>(config_.dim))
+      .Add("epochs", config_.epochs)
+      .Add("batch_size", static_cast<double>(config_.batch_size))
+      .Add("lr", config_.learning_rate)
+      .Add("margin", config_.margin)
+      .Add("l2", config_.l2)
+      .Add("kge", config_.kge)
+      .str();
+}
+
+Status CfkgRecommender::VisitState(StateVisitor* visitor) {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("CFKG has no KGE backend (not fitted)");
+  }
+  return visitor->Params("kge", model_->Params());
+}
+
+Status CfkgRecommender::PrepareLoad(const RecContext& context) {
+  KGREC_CHECK(context.user_item_graph != nullptr);
+  graph_ = context.user_item_graph;
+  // Any seed works here: the backend only needs its parameter tensors
+  // allocated at the right shapes before the in-place restore.
+  Rng rng(context.seed);
+  model_ = MakeKgeModel(config_.kge, graph_->kg.num_entities(),
+                        graph_->kg.num_relations(), config_.dim, rng);
+  return Status::OK();
 }
 
 float CfkgRecommender::Score(int32_t user, int32_t item) const {

@@ -36,8 +36,14 @@ class CfkgRecommender : public Recommender {
   std::string name() const override { return "CFKG"; }
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
+  std::string HyperFingerprint() const override;
 
  protected:
+  /// The KGE backend is reconstructed by PrepareLoad and its parameters
+  /// restored in place; ECFKG layers its path finder on top.
+  Status VisitState(StateVisitor* visitor) override;
+  Status PrepareLoad(const RecContext& context) override;
+
   CfkgConfig config_;
   std::unique_ptr<KgeModel> model_;
   const UserItemGraph* graph_ = nullptr;

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "math/kernels.h"
 #include "nn/init.h"
 #include "nn/ops.h"
@@ -130,6 +131,23 @@ void CkeRecommender::Fit(const RecContext& context) {
       }
     }
   }
+}
+
+std::string CkeRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("dim", static_cast<double>(config_.dim))
+      .Add("epochs", config_.epochs)
+      .Add("batch_size", static_cast<double>(config_.batch_size))
+      .Add("lr", config_.learning_rate)
+      .Add("l2", config_.l2)
+      .Add("kg_weight", config_.kg_weight)
+      .Add("margin", config_.margin)
+      .str();
+}
+
+Status CkeRecommender::VisitState(StateVisitor* visitor) {
+  KGREC_RETURN_IF_ERROR(visitor->Matrix("user_vecs", &user_vecs_));
+  return visitor->Matrix("item_vecs", &item_vecs_);
 }
 
 float CkeRecommender::Score(int32_t user, int32_t item) const {

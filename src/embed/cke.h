@@ -45,6 +45,12 @@ class CkeRecommender : public Recommender {
   std::vector<float> ScoreItems(int32_t user,
                                 std::span<const int32_t> items) const override;
 
+  std::string HyperFingerprint() const override;
+
+ protected:
+  /// The cached final user/item vectors are the whole serving state.
+  Status VisitState(StateVisitor* visitor) override;
+
  private:
   CkeConfig config_;
   Matrix user_vecs_;

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "kge/kge_model.h"
 #include "kge/kge_trainer.h"
 #include "nn/init.h"
@@ -82,6 +83,33 @@ void DkfmRecommender::Fit(const RecContext& context) {
       optimizer.Step();
     }
   }
+}
+
+std::string DkfmRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("dim", static_cast<double>(config_.dim))
+      .Add("epochs", config_.epochs)
+      .Add("batch_size", static_cast<double>(config_.batch_size))
+      .Add("lr", config_.learning_rate)
+      .Add("l2", config_.l2)
+      .Add("kge_epochs", config_.kge_epochs)
+      .str();
+}
+
+Status DkfmRecommender::VisitState(StateVisitor* visitor) {
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("user_emb", &user_emb_));
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("item_emb", &item_emb_));
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("entity_emb", &entity_emb_));
+  KGREC_RETURN_IF_ERROR(visitor->Params("deep_hidden", deep_hidden_.Params()));
+  return visitor->Params("deep_out", deep_out_.Params());
+}
+
+Status DkfmRecommender::PrepareLoad(const RecContext& context) {
+  const size_t d = config_.dim;
+  Rng rng(context.seed);
+  deep_hidden_ = nn::Linear(3 * d, d, rng);
+  deep_out_ = nn::Linear(d, 1, rng);
+  return Status::OK();
 }
 
 float DkfmRecommender::Score(int32_t user, int32_t item) const {

@@ -34,6 +34,13 @@ class DkfmRecommender : public Recommender {
   std::string name() const override { return "DKFM"; }
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
+  std::string HyperFingerprint() const override;
+
+ protected:
+  /// All three embedding tables (including the frozen TransE entities)
+  /// plus the deep-tower layers are stored.
+  Status VisitState(StateVisitor* visitor) override;
+  Status PrepareLoad(const RecContext& context) override;
 
  private:
   nn::Tensor Logits(const std::vector<int32_t>& users,

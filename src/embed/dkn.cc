@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "kge/kge_model.h"
 #include "kge/kge_trainer.h"
 #include "nn/init.h"
@@ -50,19 +51,16 @@ nn::Tensor DknRecommender::ItemVectors(
   return nn::Concat(knowledge, text);  // [B, 2d]
 }
 
-void DknRecommender::Fit(const RecContext& context) {
+void DknRecommender::BuildContent(const RecContext& context) {
   KGREC_CHECK(context.train != nullptr);
   KGREC_CHECK(context.item_kg != nullptr);
   const InteractionDataset& train = *context.train;
   const KnowledgeGraph& kg = *context.item_kg;
   const int32_t n = train.num_items();
-  const size_t d = config_.dim;
-  Rng rng(context.seed);
 
   // Item "content": KG entities mentioned by the item (itself + its
   // attribute targets) and pseudo title words (attribute mentions + noise
   // words hashed from the item id).
-  const size_t vocab = kg.num_entities() + 97;
   item_entities_.assign(n, {});
   item_words_.assign(n, {});
   for (int32_t j = 0; j < n; ++j) {
@@ -81,6 +79,23 @@ void DknRecommender::Fit(const RecContext& context) {
           kg.num_entities() + (j * 31 + w * 17) % 97));
     }
   }
+
+  // Clip histories to the most recent max_history items.
+  histories_.assign(train.num_users(), {});
+  for (int32_t u = 0; u < train.num_users(); ++u) {
+    const auto& items = train.UserItems(u);
+    const size_t take = std::min(items.size(), config_.max_history);
+    histories_[u].assign(items.end() - take, items.end());
+  }
+}
+
+void DknRecommender::Fit(const RecContext& context) {
+  BuildContent(context);
+  const InteractionDataset& train = *context.train;
+  const KnowledgeGraph& kg = *context.item_kg;
+  const size_t d = config_.dim;
+  const size_t vocab = kg.num_entities() + 97;
+  Rng rng(context.seed);
 
   // Pretrain the knowledge channel with TransD (as the paper does).
   std::unique_ptr<KgeModel> transd =
@@ -102,14 +117,6 @@ void DknRecommender::Fit(const RecContext& context) {
   attention_out_ = nn::Linear(d, 1, rng);
   score_hidden_ = nn::Linear(4 * d, d, rng);
   score_out_ = nn::Linear(d, 1, rng);
-
-  // Clip histories to the most recent max_history items.
-  histories_.assign(train.num_users(), {});
-  for (int32_t u = 0; u < train.num_users(); ++u) {
-    const auto& items = train.UserItems(u);
-    const size_t take = std::min(items.size(), config_.max_history);
-    histories_[u].assign(items.end() - take, items.end());
-  }
 
   std::vector<nn::Tensor> params{entity_emb_, word_emb_};
   for (const nn::Linear* l :
@@ -174,6 +181,42 @@ void DknRecommender::Fit(const RecContext& context) {
       optimizer.Step();
     }
   }
+}
+
+std::string DknRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("dim", static_cast<double>(config_.dim))
+      .Add("epochs", config_.epochs)
+      .Add("batch_size", static_cast<double>(config_.batch_size))
+      .Add("lr", config_.learning_rate)
+      .Add("l2", config_.l2)
+      .Add("max_history", static_cast<double>(config_.max_history))
+      .Add("noise_words_per_item",
+           static_cast<double>(config_.noise_words_per_item))
+      .str();
+}
+
+Status DknRecommender::VisitState(StateVisitor* visitor) {
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("entity_emb", &entity_emb_));
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("word_emb", &word_emb_));
+  KGREC_RETURN_IF_ERROR(
+      visitor->Params("attention_hidden", attention_hidden_.Params()));
+  KGREC_RETURN_IF_ERROR(
+      visitor->Params("attention_out", attention_out_.Params()));
+  KGREC_RETURN_IF_ERROR(
+      visitor->Params("score_hidden", score_hidden_.Params()));
+  return visitor->Params("score_out", score_out_.Params());
+}
+
+Status DknRecommender::PrepareLoad(const RecContext& context) {
+  BuildContent(context);
+  const size_t d = config_.dim;
+  Rng rng(context.seed);
+  attention_hidden_ = nn::Linear(4 * d, d, rng);
+  attention_out_ = nn::Linear(d, 1, rng);
+  score_hidden_ = nn::Linear(4 * d, d, rng);
+  score_out_ = nn::Linear(d, 1, rng);
+  return Status::OK();
 }
 
 float DknRecommender::Score(int32_t user, int32_t item) const {

@@ -41,8 +41,19 @@ class DknRecommender : public Recommender {
   std::string name() const override { return "DKN"; }
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
+  std::string HyperFingerprint() const override;
+
+ protected:
+  /// Stores both embedding tables and the four layers; item content
+  /// lists and clipped histories are RNG-free functions of the data and
+  /// are rebuilt on load.
+  Status VisitState(StateVisitor* visitor) override;
+  Status PrepareLoad(const RecContext& context) override;
 
  private:
+  /// Rebuilds item_entities_/item_words_/histories_ from the context.
+  void BuildContent(const RecContext& context);
+
   /// Item channel vectors [B, 2*dim] for the given items (differentiable).
   nn::Tensor ItemVectors(const std::vector<int32_t>& items) const;
 

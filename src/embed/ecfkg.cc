@@ -13,6 +13,14 @@ void EcfkgRecommender::Fit(const RecContext& context) {
                                                  /*max_paths_per_template=*/4);
 }
 
+Status EcfkgRecommender::PrepareLoad(const RecContext& context) {
+  KGREC_RETURN_IF_ERROR(CfkgRecommender::PrepareLoad(context));
+  KGREC_CHECK(context.train != nullptr);
+  finder_ = std::make_unique<TemplatePathFinder>(*graph_, *context.train,
+                                                 /*max_paths_per_template=*/4);
+  return Status::OK();
+}
+
 std::string EcfkgRecommender::Explain(int32_t user, int32_t item) const {
   const std::vector<PathInstance> paths = finder_->FindPaths(user, item);
   if (paths.empty()) return "";

@@ -27,6 +27,10 @@ class EcfkgRecommender : public CfkgRecommender {
   /// text, with its average edge plausibility; "" when no path exists.
   std::string Explain(int32_t user, int32_t item) const;
 
+ protected:
+  /// CFKG state plus a rebuilt path finder (pure function of the data).
+  Status PrepareLoad(const RecContext& context) override;
+
  private:
   std::unique_ptr<TemplatePathFinder> finder_;
 };

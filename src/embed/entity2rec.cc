@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "core/model_state.h"
 
 namespace kgrec {
 
@@ -78,6 +79,28 @@ float Entity2RecRecommender::Score(int32_t user, int32_t item) const {
   return dense::CosineSimilarity(in_emb_.Row(graph_->UserEntity(user)),
                                  in_emb_.Row(graph_->ItemEntity(item)),
                                  in_emb_.cols());
+}
+
+std::string Entity2RecRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("dim", static_cast<double>(config_.dim))
+      .Add("walks_per_node", static_cast<double>(config_.walks_per_node))
+      .Add("walk_length", static_cast<double>(config_.walk_length))
+      .Add("window", static_cast<double>(config_.window))
+      .Add("negatives", config_.negatives)
+      .Add("epochs", config_.epochs)
+      .Add("lr", config_.learning_rate)
+      .str();
+}
+
+Status Entity2RecRecommender::VisitState(StateVisitor* visitor) {
+  return visitor->Matrix("in_emb", &in_emb_);
+}
+
+Status Entity2RecRecommender::PrepareLoad(const RecContext& context) {
+  KGREC_CHECK(context.user_item_graph != nullptr);
+  graph_ = context.user_item_graph;
+  return Status::OK();
 }
 
 }  // namespace kgrec

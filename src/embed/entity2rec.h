@@ -31,6 +31,13 @@ class Entity2RecRecommender : public Recommender {
   std::string name() const override { return "entity2rec"; }
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
+  std::string HyperFingerprint() const override;
+
+ protected:
+  /// Stores the input embeddings (out_emb_ is SGNS training state that
+  /// scoring never reads); the graph pointer is rebound on load.
+  Status VisitState(StateVisitor* visitor) override;
+  Status PrepareLoad(const RecContext& context) override;
 
  private:
   Entity2RecConfig config_;

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "kge/kge_trainer.h"
 #include "nn/init.h"
 #include "nn/ops.h"
@@ -176,6 +177,25 @@ void KsrRecommender::Fit(const RecContext& context) {
     nn::Tensor rep = user_reps({u}, {sequences_[u].size()});
     std::copy_n(rep.data(), 2 * d, user_reps_.Row(u));
   }
+}
+
+std::string KsrRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("dim", static_cast<double>(config_.dim))
+      .Add("hidden_dim", static_cast<double>(config_.hidden_dim))
+      .Add("epochs", config_.epochs)
+      .Add("batch_size", static_cast<double>(config_.batch_size))
+      .Add("lr", config_.learning_rate)
+      .Add("l2", config_.l2)
+      .Add("max_sequence", static_cast<double>(config_.max_sequence))
+      .Add("kge_epochs", config_.kge_epochs)
+      .str();
+}
+
+Status KsrRecommender::VisitState(StateVisitor* visitor) {
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("item_emb", &item_emb_));
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("entity_emb", &entity_emb_));
+  return visitor->Matrix("user_reps", &user_reps_);
 }
 
 float KsrRecommender::Score(int32_t user, int32_t item) const {

@@ -44,6 +44,13 @@ class KsrRecommender : public Recommender {
   std::string name() const override { return "KSR"; }
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
+  std::string HyperFingerprint() const override;
+
+ protected:
+  /// Serving reads only the cached user reps and the item/entity tables;
+  /// the GRU, memory and projection are training-time modules whose
+  /// effect is baked into user_reps_, so they are not stored.
+  Status VisitState(StateVisitor* visitor) override;
 
  private:
   /// Attribute-level memory readout for a batch of users conditioned on

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "data/synthetic.h"
 #include "nn/init.h"
 #include "nn/ops.h"
@@ -200,6 +201,27 @@ void KtganRecommender::Fit(const RecContext& context) {
       }
     }
   }
+}
+
+std::string KtganRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("dim", static_cast<double>(config_.dim))
+      .Add("epochs", config_.epochs)
+      .Add("samples_per_user", static_cast<double>(config_.samples_per_user))
+      .Add("g_lr", config_.g_learning_rate)
+      .Add("d_lr", config_.d_learning_rate)
+      .Add("l2", config_.l2)
+      .Add("init_walks_per_node",
+           static_cast<double>(config_.init_walks_per_node))
+      .Add("init_walk_length", static_cast<double>(config_.init_walk_length))
+      .str();
+}
+
+Status KtganRecommender::VisitState(StateVisitor* visitor) {
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("g_user_emb", &g_user_emb_));
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("g_item_emb", &g_item_emb_));
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("d_user_emb", &d_user_emb_));
+  return visitor->Tensor("d_item_emb", &d_item_emb_);
 }
 
 float KtganRecommender::Score(int32_t user, int32_t item) const {

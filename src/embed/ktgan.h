@@ -36,6 +36,10 @@ class KtganRecommender : public Recommender {
   std::string name() const override { return "KTGAN"; }
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
+  std::string HyperFingerprint() const override;
+
+ protected:
+  Status VisitState(StateVisitor* visitor) override;
 
  private:
   KtganConfig config_;

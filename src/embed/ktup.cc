@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "kge/kge_model.h"
 #include "nn/init.h"
 #include "nn/ops.h"
@@ -121,6 +122,25 @@ void KtupRecommender::Fit(const RecContext& context) {
   preference_vecs_ = Matrix(config_.num_preferences, d);
   std::copy_n(pref_emb.data(), preference_vecs_.size(),
               preference_vecs_.data());
+}
+
+std::string KtupRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("dim", static_cast<double>(config_.dim))
+      .Add("num_preferences", static_cast<double>(config_.num_preferences))
+      .Add("epochs", config_.epochs)
+      .Add("batch_size", static_cast<double>(config_.batch_size))
+      .Add("lr", config_.learning_rate)
+      .Add("l2", config_.l2)
+      .Add("kg_weight", config_.kg_weight)
+      .Add("margin", config_.margin)
+      .str();
+}
+
+Status KtupRecommender::VisitState(StateVisitor* visitor) {
+  KGREC_RETURN_IF_ERROR(visitor->Matrix("user_vecs", &user_vecs_));
+  KGREC_RETURN_IF_ERROR(visitor->Matrix("item_vecs", &item_vecs_));
+  return visitor->Matrix("preference_vecs", &preference_vecs_);
 }
 
 float KtupRecommender::Score(int32_t user, int32_t item) const {

@@ -34,6 +34,10 @@ class KtupRecommender : public Recommender {
   std::string name() const override { return "KTUP"; }
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
+  std::string HyperFingerprint() const override;
+
+ protected:
+  Status VisitState(StateVisitor* visitor) override;
 
  private:
   KtupConfig config_;

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "math/dense.h"
 #include "nn/init.h"
 #include "nn/ops.h"
@@ -143,6 +144,50 @@ void MkrRecommender::Fit(const RecContext& context) {
       optimizer.Step();
     }
   }
+}
+
+std::string MkrRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("dim", static_cast<double>(config_.dim))
+      .Add("epochs", config_.epochs)
+      .Add("batch_size", static_cast<double>(config_.batch_size))
+      .Add("lr", config_.learning_rate)
+      .Add("l2", config_.l2)
+      .Add("kg_weight", config_.kg_weight)
+      .Add("num_cross_layers", config_.num_cross_layers)
+      .str();
+}
+
+Status MkrRecommender::VisitState(StateVisitor* visitor) {
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("user_emb", &user_emb_));
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("item_emb", &item_emb_));
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("entity_emb", &entity_emb_));
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("relation_emb", &relation_emb_));
+  for (size_t l = 0; l < cross_units_.size(); ++l) {
+    KGREC_RETURN_IF_ERROR(visitor->Params(
+        "cross." + std::to_string(l), cross_units_[l].Params()));
+  }
+  return visitor->Params("kge_hidden", kge_hidden_.Params());
+}
+
+Status MkrRecommender::PrepareLoad(const RecContext& context) {
+  KGREC_CHECK(context.train != nullptr);
+  num_items_ = context.train->num_items();
+  const size_t d = config_.dim;
+  Rng rng(context.seed);
+  cross_units_.clear();
+  for (int l = 0; l < config_.num_cross_layers; ++l) {
+    CrossUnit unit;
+    unit.w_vv = nn::UniformInit(1, d, -0.5f, 0.5f, rng);
+    unit.w_ev = nn::UniformInit(1, d, -0.5f, 0.5f, rng);
+    unit.w_ve = nn::UniformInit(1, d, -0.5f, 0.5f, rng);
+    unit.w_ee = nn::UniformInit(1, d, -0.5f, 0.5f, rng);
+    unit.b_v = nn::Tensor::Zeros(1, d, /*requires_grad=*/true);
+    unit.b_e = nn::Tensor::Zeros(1, d, /*requires_grad=*/true);
+    cross_units_.push_back(unit);
+  }
+  kge_hidden_ = nn::Linear(2 * d, d, rng);
+  return Status::OK();
 }
 
 float MkrRecommender::Score(int32_t user, int32_t item) const {

@@ -37,6 +37,11 @@ class MkrRecommender : public Recommender {
   std::string name() const override { return "MKR"; }
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
+  std::string HyperFingerprint() const override;
+
+ protected:
+  Status VisitState(StateVisitor* visitor) override;
+  Status PrepareLoad(const RecContext& context) override;
 
  private:
   struct CrossUnit {

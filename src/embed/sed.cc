@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "graph/bfs.h"
 
 namespace kgrec {
@@ -26,6 +27,22 @@ void SedRecommender::Fit(const RecContext& context) {
       }
     }
   }
+}
+
+std::string SedRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("max_depth", config_.max_depth)
+      .Add("max_history", static_cast<double>(config_.max_history))
+      .str();
+}
+
+Status SedRecommender::VisitState(StateVisitor* /*visitor*/) {
+  return Status::OK();
+}
+
+Status SedRecommender::PrepareLoad(const RecContext& context) {
+  Fit(context);
+  return Status::OK();
 }
 
 float SedRecommender::Score(int32_t user, int32_t item) const {

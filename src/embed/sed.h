@@ -27,6 +27,12 @@ class SedRecommender : public Recommender {
   std::string name() const override { return "SED"; }
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
+  std::string HyperFingerprint() const override;
+
+ protected:
+  /// Training-free model: the BFS distance table is recomputed on load.
+  Status VisitState(StateVisitor* visitor) override;
+  Status PrepareLoad(const RecContext& context) override;
 
  private:
   SedConfig config_;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "nn/init.h"
 #include "nn/ops.h"
 #include "nn/optim.h"
@@ -26,15 +27,13 @@ nn::Tensor ShineRecommender::ItemCodes(
   return nn::Tanh(item_enc_.Forward(nn::Gather(item_rows_, items)));
 }
 
-void ShineRecommender::Fit(const RecContext& context) {
+void ShineRecommender::BuildInputs(const RecContext& context) {
   KGREC_CHECK(context.train != nullptr);
   KGREC_CHECK(context.item_kg != nullptr);
   const InteractionDataset& train = *context.train;
   const KnowledgeGraph& kg = *context.item_kg;
   num_users_ = train.num_users();
   num_items_ = train.num_items();
-  const size_t d = config_.dim;
-  Rng rng(context.seed);
 
   // --- Build the three dense networks ----------------------------------
   // Sentiment: the user-item interaction matrix (and its transpose for
@@ -99,7 +98,10 @@ void ShineRecommender::Fit(const RecContext& context) {
   }
   profile_rows_ =
       nn::Tensor::FromData(num_users_, num_attributes_, std::move(profile));
+}
 
+void ShineRecommender::InitLayers(Rng& rng) {
+  const size_t d = config_.dim;
   // --- Autoencoders + scoring head -------------------------------------
   sent_enc_ = nn::Linear(num_items_, d, rng);
   sent_dec_ = nn::Linear(d, num_items_, rng);
@@ -110,6 +112,13 @@ void ShineRecommender::Fit(const RecContext& context) {
   item_enc_ = nn::Linear(num_users_, d, rng);
   item_dec_ = nn::Linear(d, num_users_, rng);
   score_layer_ = nn::Linear(4 * d, 1, rng);
+}
+
+void ShineRecommender::Fit(const RecContext& context) {
+  BuildInputs(context);
+  const InteractionDataset& train = *context.train;
+  Rng rng(context.seed);
+  InitLayers(rng);
 
   std::vector<nn::Tensor> params;
   for (const nn::Linear* l :
@@ -169,6 +178,37 @@ void ShineRecommender::Fit(const RecContext& context) {
       optimizer.Step();
     }
   }
+}
+
+std::string ShineRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("dim", static_cast<double>(config_.dim))
+      .Add("epochs", config_.epochs)
+      .Add("batch_size", static_cast<double>(config_.batch_size))
+      .Add("lr", config_.learning_rate)
+      .Add("l2", config_.l2)
+      .Add("reconstruction_weight", config_.reconstruction_weight)
+      .str();
+}
+
+Status ShineRecommender::VisitState(StateVisitor* visitor) {
+  const std::pair<const char*, nn::Linear*> layers[] = {
+      {"sent_enc", &sent_enc_},       {"sent_dec", &sent_dec_},
+      {"social_enc", &social_enc_},   {"social_dec", &social_dec_},
+      {"profile_enc", &profile_enc_}, {"profile_dec", &profile_dec_},
+      {"item_enc", &item_enc_},       {"item_dec", &item_dec_},
+      {"score_layer", &score_layer_}};
+  for (const auto& [prefix, layer] : layers) {
+    KGREC_RETURN_IF_ERROR(visitor->Params(prefix, layer->Params()));
+  }
+  return Status::OK();
+}
+
+Status ShineRecommender::PrepareLoad(const RecContext& context) {
+  BuildInputs(context);
+  Rng rng(context.seed);
+  InitLayers(rng);
+  return Status::OK();
 }
 
 float ShineRecommender::Score(int32_t user, int32_t item) const {

@@ -32,8 +32,20 @@ class ShineRecommender : public Recommender {
   std::string name() const override { return "SHINE"; }
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
+  std::string HyperFingerprint() const override;
+
+ protected:
+  /// Stores the nine layers; the dense network rows are pure functions
+  /// of the training data and are rebuilt on load.
+  Status VisitState(StateVisitor* visitor) override;
+  Status PrepareLoad(const RecContext& context) override;
 
  private:
+  /// Builds the sentiment/social/profile/item input rows from the data.
+  void BuildInputs(const RecContext& context);
+  /// Allocates the autoencoder + scoring layers at the right shapes.
+  void InitLayers(Rng& rng);
+
   /// Fused user code [B, 3*dim] (differentiable).
   nn::Tensor UserCodes(const std::vector<int32_t>& users) const;
   /// Item code [B, dim] from the sentiment-network item side.

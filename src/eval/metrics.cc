@@ -6,6 +6,23 @@
 #include "core/check.h"
 
 namespace kgrec {
+namespace {
+
+/// Classification threshold for Accuracy/F1: the (lower) median score of
+/// the batch. Raw model scores are uncalibrated — dot products, path
+/// counts, beam values — so a fixed cut at 0 collapses to the majority
+/// class whenever a model's scores live on one side of zero (popularity
+/// counts are all positive, hinge losses push everything negative). The
+/// median splits the batch in half regardless of the score scale, which
+/// makes the thresholded metrics comparable across the zoo. Auc is
+/// unaffected: it is threshold-free by construction.
+float MedianThreshold(std::vector<float> scores) {
+  const size_t mid = (scores.size() - 1) / 2;
+  std::nth_element(scores.begin(), scores.begin() + mid, scores.end());
+  return scores[mid];
+}
+
+}  // namespace
 
 double Auc(const std::vector<float>& scores, const std::vector<int>& labels) {
   KGREC_CHECK_EQ(scores.size(), labels.size());
@@ -44,9 +61,10 @@ double Accuracy(const std::vector<float>& scores,
                 const std::vector<int>& labels) {
   KGREC_CHECK_EQ(scores.size(), labels.size());
   if (scores.empty()) return 0.0;
+  const float threshold = MedianThreshold(scores);
   size_t correct = 0;
   for (size_t i = 0; i < scores.size(); ++i) {
-    const int pred = scores[i] > 0.0f ? 1 : 0;
+    const int pred = scores[i] > threshold ? 1 : 0;
     if (pred == labels[i]) ++correct;
   }
   return static_cast<double>(correct) / scores.size();
@@ -55,9 +73,11 @@ double Accuracy(const std::vector<float>& scores,
 double F1Score(const std::vector<float>& scores,
                const std::vector<int>& labels) {
   KGREC_CHECK_EQ(scores.size(), labels.size());
+  if (scores.empty()) return 0.0;
+  const float threshold = MedianThreshold(scores);
   size_t tp = 0, fp = 0, fn = 0;
   for (size_t i = 0; i < scores.size(); ++i) {
-    const int pred = scores[i] > 0.0f ? 1 : 0;
+    const int pred = scores[i] > threshold ? 1 : 0;
     if (pred == 1 && labels[i] == 1) ++tp;
     if (pred == 1 && labels[i] == 0) ++fp;
     if (pred == 0 && labels[i] == 1) ++fn;
@@ -70,12 +90,16 @@ double F1Score(const std::vector<float>& scores,
 
 double PrecisionAtK(const std::vector<int32_t>& ranked,
                     const std::unordered_set<int32_t>& relevant, size_t k) {
-  if (k == 0) return 0.0;
+  if (k == 0 || ranked.empty()) return 0.0;
+  // Divide by the number of items actually ranked when fewer than k
+  // exist: a 3-item pool with 3 hits is perfect precision, not 3/k. This
+  // matters for sampled-candidate protocols with small pools.
+  const size_t depth = std::min(k, ranked.size());
   size_t hits = 0;
-  for (size_t i = 0; i < std::min(k, ranked.size()); ++i) {
+  for (size_t i = 0; i < depth; ++i) {
     if (relevant.count(ranked[i]) > 0) ++hits;
   }
-  return static_cast<double>(hits) / k;
+  return static_cast<double>(hits) / depth;
 }
 
 double RecallAtK(const std::vector<int32_t>& ranked,

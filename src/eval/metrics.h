@@ -13,15 +13,22 @@ namespace kgrec {
 /// class is empty.
 double Auc(const std::vector<float>& scores, const std::vector<int>& labels);
 
-/// Accuracy of thresholding sigmoid(score) at 0.5 (i.e. score at 0).
+/// Accuracy of thresholding each score at the batch's (lower) median.
+/// Model scores are uncalibrated, so a fixed cut at 0 degenerates to the
+/// majority class for models whose scores are all-positive (popularity
+/// counts) or all-negative (hinge losses); the median split is
+/// scale-invariant and comparable across models.
 double Accuracy(const std::vector<float>& scores,
                 const std::vector<int>& labels);
 
-/// F1 of the positive class at threshold 0.
+/// F1 of the positive class at the batch-median threshold (see Accuracy).
 double F1Score(const std::vector<float>& scores,
                const std::vector<int>& labels);
 
-/// Precision@K for one ranked list: |top-K ∩ relevant| / K.
+/// Precision@K for one ranked list:
+/// |top-K ∩ relevant| / min(K, |ranked|). The denominator counts items
+/// actually ranked, so short candidate pools are not penalized for slots
+/// that never existed.
 double PrecisionAtK(const std::vector<int32_t>& ranked,
                     const std::unordered_set<int32_t>& relevant, size_t k);
 

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "math/nmf.h"
 #include "nn/init.h"
 #include "nn/ops.h"
@@ -115,6 +116,27 @@ std::vector<float> FmgRecommender::PairFeatures(int32_t user,
     out.insert(out.end(), v, v + config_.rank);
   }
   return out;
+}
+
+std::string FmgRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("rank", static_cast<double>(config_.rank))
+      .Add("nmf_iterations", config_.nmf_iterations)
+      .Add("fm_dim", static_cast<double>(config_.fm_dim))
+      .Add("epochs", config_.epochs)
+      .Add("batch_size", static_cast<double>(config_.batch_size))
+      .Add("lr", config_.learning_rate)
+      .Add("l2", config_.l2)
+      .Add("top_k", static_cast<double>(config_.top_k))
+      .str();
+}
+
+Status FmgRecommender::VisitState(StateVisitor* visitor) {
+  KGREC_RETURN_IF_ERROR(visitor->MatrixList("user_factors", &user_factors_));
+  KGREC_RETURN_IF_ERROR(visitor->MatrixList("item_factors", &item_factors_));
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("fm_linear", &fm_linear_));
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("fm_factors", &fm_factors_));
+  return visitor->Scalar("bias", &bias_);
 }
 
 float FmgRecommender::Score(int32_t user, int32_t item) const {

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "math/kernels.h"
 #include "nn/init.h"
 #include "nn/ops.h"
@@ -182,6 +183,36 @@ std::vector<float> HERecRecommender::PairFeatures(int32_t user,
                         path_item_emb_[l].Row(item), config_.dim);
   }
   return out;
+}
+
+std::string HERecRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("dim", static_cast<double>(config_.dim))
+      .Add("walks_per_item", static_cast<double>(config_.walks_per_item))
+      .Add("walk_length", static_cast<double>(config_.walk_length))
+      .Add("window", static_cast<double>(config_.window))
+      .Add("negatives", config_.negatives)
+      .Add("sgns_epochs", config_.sgns_epochs)
+      .Add("epochs", config_.epochs)
+      .Add("batch_size", static_cast<double>(config_.batch_size))
+      .Add("lr", config_.learning_rate)
+      .Add("l2", config_.l2)
+      .str();
+}
+
+Status HERecRecommender::VisitState(StateVisitor* visitor) {
+  KGREC_RETURN_IF_ERROR(visitor->MatrixList("path_item_emb", &path_item_emb_));
+  KGREC_RETURN_IF_ERROR(
+      visitor->MatrixList("path_user_profile", &path_user_profile_));
+  KGREC_RETURN_IF_ERROR(visitor->Floats("path_weights", &path_weights_));
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("user_emb", &user_emb_));
+  return visitor->Tensor("item_emb", &item_emb_);
+}
+
+Status HERecRecommender::PrepareLoad(const RecContext& context) {
+  KGREC_CHECK(context.train != nullptr);
+  train_ = context.train;
+  return Status::OK();
 }
 
 float HERecRecommender::Score(int32_t user, int32_t item) const {

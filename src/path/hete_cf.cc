@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "graph/pathsim.h"
 #include "math/dense.h"
 #include "math/kernels.h"
@@ -145,6 +146,25 @@ void HeteCfRecommender::Fit(const RecContext& context) {
       optimizer.Step();
     }
   }
+}
+
+std::string HeteCfRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("dim", static_cast<double>(config_.dim))
+      .Add("epochs", config_.epochs)
+      .Add("batch_size", static_cast<double>(config_.batch_size))
+      .Add("lr", config_.learning_rate)
+      .Add("l2", config_.l2)
+      .Add("user_user_weight", config_.user_user_weight)
+      .Add("item_item_weight", config_.item_item_weight)
+      .Add("user_item_weight", config_.user_item_weight)
+      .Add("top_k", static_cast<double>(config_.top_k))
+      .str();
+}
+
+Status HeteCfRecommender::VisitState(StateVisitor* visitor) {
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("user_emb", &user_emb_));
+  return visitor->Tensor("item_emb", &item_emb_);
 }
 
 float HeteCfRecommender::Score(int32_t user, int32_t item) const {

@@ -38,6 +38,11 @@ class HeteCfRecommender : public Recommender {
   std::vector<float> ScoreItems(int32_t user,
                                 std::span<const int32_t> items) const override;
 
+  std::string HyperFingerprint() const override;
+
+ protected:
+  Status VisitState(StateVisitor* visitor) override;
+
  private:
   HeteCfConfig config_;
   nn::Tensor user_emb_;

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "math/dense.h"
 #include "math/kernels.h"
 #include "nn/init.h"
@@ -88,6 +89,23 @@ void HeteMfRecommender::Fit(const RecContext& context) {
       optimizer.Step();
     }
   }
+}
+
+std::string HeteMfRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("dim", static_cast<double>(config_.dim))
+      .Add("epochs", config_.epochs)
+      .Add("batch_size", static_cast<double>(config_.batch_size))
+      .Add("lr", config_.learning_rate)
+      .Add("l2", config_.l2)
+      .Add("similarity_weight", config_.similarity_weight)
+      .Add("top_k", static_cast<double>(config_.top_k))
+      .str();
+}
+
+Status HeteMfRecommender::VisitState(StateVisitor* visitor) {
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("user_emb", &user_emb_));
+  return visitor->Tensor("item_emb", &item_emb_);
 }
 
 float HeteMfRecommender::Score(int32_t user, int32_t item) const {

@@ -36,6 +36,11 @@ class HeteMfRecommender : public Recommender {
   std::vector<float> ScoreItems(int32_t user,
                                 std::span<const int32_t> items) const override;
 
+  std::string HyperFingerprint() const override;
+
+ protected:
+  Status VisitState(StateVisitor* visitor) override;
+
  private:
   HeteMfConfig config_;
   nn::Tensor user_emb_;

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "math/kmeans.h"
 #include "math/nmf.h"
 #include "path/metapaths.h"
@@ -109,6 +110,24 @@ std::vector<float> HeteRecRecommender::PairFeatures(int32_t user,
                         item_factors_[l].Row(item), config_.rank);
   }
   return out;
+}
+
+std::string HeteRecRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("rank", static_cast<double>(config_.rank))
+      .Add("nmf_iterations", config_.nmf_iterations)
+      .Add("weight_epochs", config_.weight_epochs)
+      .Add("weight_lr", config_.weight_learning_rate)
+      .Add("top_k", static_cast<double>(config_.top_k))
+      .Add("num_user_clusters", static_cast<double>(config_.num_user_clusters))
+      .str();
+}
+
+Status HeteRecRecommender::VisitState(StateVisitor* visitor) {
+  KGREC_RETURN_IF_ERROR(visitor->MatrixList("user_factors", &user_factors_));
+  KGREC_RETURN_IF_ERROR(visitor->MatrixList("item_factors", &item_factors_));
+  KGREC_RETURN_IF_ERROR(visitor->RaggedFloats("theta", &theta_));
+  return visitor->RaggedFloats("membership", &membership_);
 }
 
 float HeteRecRecommender::Score(int32_t user, int32_t item) const {

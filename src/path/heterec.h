@@ -41,6 +41,12 @@ class HeteRecRecommender : public Recommender {
   }
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
+  std::string HyperFingerprint() const override;
+
+ protected:
+  /// NMF factors, path weights and cluster memberships are all learned
+  /// (RNG-dependent) state, so the checkpoint stores everything.
+  Status VisitState(StateVisitor* visitor) override;
 
  private:
   /// Per-path latent dot product features for a (user, item) pair.

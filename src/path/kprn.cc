@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "core/thread_pool.h"
 #include "nn/init.h"
 #include "nn/ops.h"
@@ -52,15 +53,12 @@ nn::Tensor KprnRecommender::PairLogit(int32_t user, int32_t item) const {
   return pooled;
 }
 
-void KprnRecommender::Fit(const RecContext& context) {
+void KprnRecommender::BuildPathIndex(const RecContext& context) {
   KGREC_CHECK(context.train != nullptr);
   KGREC_CHECK(context.user_item_graph != nullptr);
   const InteractionDataset& train = *context.train;
-  const UserItemGraph& graph = *context.user_item_graph;
-  Rng rng(context.seed);
-
   finder_ = std::make_unique<TemplatePathFinder>(
-      graph, train, config_.max_paths_per_template);
+      *context.user_item_graph, train, config_.max_paths_per_template);
   // Precompute every user's path context in parallel (BuildUserContext is
   // const and RNG-free, so the contexts are identical at any thread
   // count); PairLogit then probes the index instead of rebuilding the
@@ -75,6 +73,14 @@ void KprnRecommender::Fit(const RecContext& context) {
         return Status::OK();
       });
   KGREC_CHECK(ctx_status.ok());
+}
+
+void KprnRecommender::Fit(const RecContext& context) {
+  BuildPathIndex(context);
+  const InteractionDataset& train = *context.train;
+  const UserItemGraph& graph = *context.user_item_graph;
+  Rng rng(context.seed);
+
   entity_emb_ =
       nn::NormalInit(graph.kg.num_entities(), config_.dim, 0.1f, rng);
   end_relation_ = static_cast<int32_t>(graph.kg.num_relations());
@@ -116,6 +122,41 @@ void KprnRecommender::Fit(const RecContext& context) {
       optimizer.Step();
     }
   }
+}
+
+std::string KprnRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("dim", static_cast<double>(config_.dim))
+      .Add("hidden_dim", static_cast<double>(config_.hidden_dim))
+      .Add("epochs", config_.epochs)
+      .Add("batch_size", static_cast<double>(config_.batch_size))
+      .Add("lr", config_.learning_rate)
+      .Add("l2", config_.l2)
+      .Add("max_paths", static_cast<double>(config_.max_paths_per_template))
+      .Add("gamma", config_.pooling_gamma)
+      .str();
+}
+
+Status KprnRecommender::VisitState(StateVisitor* visitor) {
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("entity_emb", &entity_emb_));
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("relation_emb", &relation_emb_));
+  KGREC_RETURN_IF_ERROR(visitor->Params("lstm", lstm_.Params()));
+  KGREC_RETURN_IF_ERROR(visitor->Params("score_hidden", score_hidden_.Params()));
+  KGREC_RETURN_IF_ERROR(visitor->Params("score_out", score_out_.Params()));
+  return visitor->Tensor("no_path_bias", &no_path_bias_);
+}
+
+Status KprnRecommender::PrepareLoad(const RecContext& context) {
+  BuildPathIndex(context);
+  end_relation_ =
+      static_cast<int32_t>(context.user_item_graph->kg.num_relations());
+  // Layers only need their parameter tensors allocated at the right
+  // shapes before the in-place restore; any seed works.
+  Rng rng(context.seed);
+  lstm_ = nn::LstmCell(2 * config_.dim, config_.hidden_dim, rng);
+  score_hidden_ = nn::Linear(config_.hidden_dim, config_.hidden_dim, rng);
+  score_out_ = nn::Linear(config_.hidden_dim, 1, rng);
+  return Status::OK();
 }
 
 float KprnRecommender::Score(int32_t user, int32_t item) const {

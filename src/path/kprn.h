@@ -57,7 +57,19 @@ class KprnRecommender : public Recommender {
   /// no path connects them. This is the model's explanation (Figure 1).
   std::string ExplainBestPath(int32_t user, int32_t item) const;
 
+  std::string HyperFingerprint() const override;
+
+ protected:
+  /// Stores the entity/relation embeddings, LSTM and scorer parameters
+  /// and the no-path bias; the path finder and per-user contexts are
+  /// rebuilt on load.
+  Status VisitState(StateVisitor* visitor) override;
+  Status PrepareLoad(const RecContext& context) override;
+
  private:
+  /// Rebuilds the path finder and per-user path contexts (RNG-free).
+  void BuildPathIndex(const RecContext& context);
+
   /// Per-path scores [P, 1] for the pair's paths (differentiable);
   /// undefined tensor when there are no paths.
   nn::Tensor PathScores(const std::vector<PathInstance>& paths) const;

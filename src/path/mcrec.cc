@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "core/thread_pool.h"
 #include "nn/init.h"
 #include "nn/ops.h"
@@ -128,13 +129,11 @@ nn::Tensor McRecRecommender::ForwardImpl(
   return score_out_.Forward(nn::Relu(score_hidden_.Forward(features)));
 }
 
-void McRecRecommender::Fit(const RecContext& context) {
+void McRecRecommender::BuildPathIndex(const RecContext& context) {
   KGREC_CHECK(context.train != nullptr);
   KGREC_CHECK(context.user_item_graph != nullptr);
   const InteractionDataset& train = *context.train;
   graph_ = context.user_item_graph;
-  const size_t d = config_.dim;
-  Rng rng(context.seed);
 
   finder_ = std::make_unique<TemplatePathFinder>(
       *graph_, train, config_.instances_per_type);
@@ -161,6 +160,13 @@ void McRecRecommender::Fit(const RecContext& context) {
     type_keys_.push_back(SignatureKey(meta.relations));
   }
   KGREC_CHECK(!type_keys_.empty());
+}
+
+void McRecRecommender::Fit(const RecContext& context) {
+  BuildPathIndex(context);
+  const InteractionDataset& train = *context.train;
+  const size_t d = config_.dim;
+  Rng rng(context.seed);
 
   user_emb_ = nn::NormalInit(train.num_users(), d, 0.1f, rng);
   item_emb_ = nn::NormalInit(train.num_items(), d, 0.1f, rng);
@@ -202,6 +208,42 @@ void McRecRecommender::Fit(const RecContext& context) {
       optimizer.Step();
     }
   }
+}
+
+std::string McRecRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("dim", static_cast<double>(config_.dim))
+      .Add("epochs", config_.epochs)
+      .Add("batch_size", static_cast<double>(config_.batch_size))
+      .Add("lr", config_.learning_rate)
+      .Add("l2", config_.l2)
+      .Add("instances", static_cast<double>(config_.instances_per_type))
+      .str();
+}
+
+Status McRecRecommender::VisitState(StateVisitor* visitor) {
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("user_emb", &user_emb_));
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("item_emb", &item_emb_));
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("entity_emb", &entity_emb_));
+  KGREC_RETURN_IF_ERROR(visitor->Params("conv", conv_.Params()));
+  KGREC_RETURN_IF_ERROR(visitor->Params("att_hidden", att_hidden_.Params()));
+  KGREC_RETURN_IF_ERROR(visitor->Params("att_out", att_out_.Params()));
+  KGREC_RETURN_IF_ERROR(visitor->Params("score_hidden", score_hidden_.Params()));
+  return visitor->Params("score_out", score_out_.Params());
+}
+
+Status McRecRecommender::PrepareLoad(const RecContext& context) {
+  BuildPathIndex(context);
+  // Layers only need their parameter tensors allocated at the right
+  // shapes before the in-place restore; any seed works.
+  const size_t d = config_.dim;
+  Rng rng(context.seed);
+  conv_ = nn::Linear(2 * d, d, rng);
+  att_hidden_ = nn::Linear(2 * d, d, rng);
+  att_out_ = nn::Linear(d, 1, rng);
+  score_hidden_ = nn::Linear(3 * d, d, rng);
+  score_out_ = nn::Linear(d, 1, rng);
+  return Status::OK();
 }
 
 float McRecRecommender::Score(int32_t user, int32_t item) const {

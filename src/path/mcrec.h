@@ -50,7 +50,19 @@ class McRecRecommender : public Recommender {
   std::vector<float> ScoreItems(int32_t user,
                                 std::span<const int32_t> items) const override;
 
+  std::string HyperFingerprint() const override;
+
+ protected:
+  /// Stores all embedding tables and layer parameters; the path finder,
+  /// per-user contexts and meta-path type keys are rebuilt on load.
+  Status VisitState(StateVisitor* visitor) override;
+  Status PrepareLoad(const RecContext& context) override;
+
  private:
+  /// Rebuilds the path finder, per-user path contexts and meta-path type
+  /// keys (RNG-free).
+  void BuildPathIndex(const RecContext& context);
+
   /// Logits [B,1] for user-item pairs (differentiable).
   nn::Tensor Forward(const std::vector<int32_t>& users,
                      const std::vector<int32_t>& items) const;

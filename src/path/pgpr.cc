@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "kge/kge_trainer.h"
 #include "nn/init.h"
 #include "nn/ops.h"
@@ -188,6 +189,70 @@ void PgprRecommender::RunBeamSearch() {
       }
     }
   }
+}
+
+std::string PgprRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("dim", static_cast<double>(config_.dim))
+      .Add("kge_epochs", config_.kge_epochs)
+      .Add("rl_epochs", config_.rl_epochs)
+      .Add("episodes", static_cast<double>(config_.episodes_per_user))
+      .Add("max_len", static_cast<double>(config_.max_path_length))
+      .Add("max_actions", static_cast<double>(config_.max_actions))
+      .Add("lr", config_.learning_rate)
+      .Add("l2", config_.l2)
+      .Add("beam", static_cast<double>(config_.beam_width))
+      .str();
+}
+
+Status PgprRecommender::VisitState(StateVisitor* visitor) {
+  if (!visitor->loading() && kge_ == nullptr) {
+    return Status::FailedPrecondition("PGPR: Save() before Fit()/Load()");
+  }
+  KGREC_RETURN_IF_ERROR(visitor->Params("kge", kge_->Params()));
+  KGREC_RETURN_IF_ERROR(
+      visitor->Params("policy_hidden", policy_hidden_.Params()));
+  return visitor->Params("policy_out", policy_out_.Params());
+}
+
+Status PgprRecommender::PrepareLoad(const RecContext& context) {
+  KGREC_CHECK(context.train != nullptr);
+  KGREC_CHECK(context.user_item_graph != nullptr);
+  graph_ = context.user_item_graph;
+  train_ = context.train;
+  const KnowledgeGraph& kg = graph_->kg;
+
+  // Replay Fit's exact constructor/Rng prefix: the KGE backend and the
+  // policy layers draw from `rng` first (their values are overwritten by
+  // the restore), and only then does the action-pruning sampler draw —
+  // so the pruned action sets match training bitwise.
+  Rng rng(context.seed);
+  kge_ = MakeKgeModel("transe", kg.num_entities(), kg.num_relations(),
+                      config_.dim, rng);
+  policy_hidden_ = nn::Linear(4 * config_.dim, config_.dim, rng);
+  policy_out_ = nn::Linear(config_.dim, 1, rng);
+  pruned_actions_.assign(kg.num_entities(), {});
+  for (size_t e = 0; e < kg.num_entities(); ++e) {
+    const size_t degree = kg.OutDegree(static_cast<EntityId>(e));
+    if (degree <= config_.max_actions) {
+      pruned_actions_[e].assign(kg.OutEdges(static_cast<EntityId>(e)),
+                                kg.OutEdges(static_cast<EntityId>(e)) +
+                                    degree);
+    } else {
+      kg.SampleNeighbors(static_cast<EntityId>(e), config_.max_actions, rng,
+                         &pruned_actions_[e]);
+    }
+  }
+  return Status::OK();
+}
+
+Status PgprRecommender::FinishLoad(const RecContext& context) {
+  (void)context;
+  // The beam search only reads the (restored) policy and KGE parameters
+  // plus the deterministic pruned action sets, so re-running it
+  // reproduces reached_ exactly.
+  RunBeamSearch();
+  return Status::OK();
 }
 
 float PgprRecommender::Score(int32_t user, int32_t item) const {

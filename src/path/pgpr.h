@@ -60,7 +60,18 @@ class PgprRecommender : public Recommender {
   /// rendered as text ("" if the item was not reached).
   std::string ExplainPath(int32_t user, int32_t item) const;
 
+  std::string HyperFingerprint() const override;
+
  protected:
+  /// Stores the KGE backend and policy-network parameters. PrepareLoad
+  /// replays Fit's exact constructor/Rng prefix so the pruned action sets
+  /// come out identical, and FinishLoad re-runs the (deterministic) beam
+  /// search against the restored parameters. Ekar inherits all of this:
+  /// only name() and Reward() differ, both config-free.
+  Status VisitState(StateVisitor* visitor) override;
+  Status PrepareLoad(const RecContext& context) override;
+  Status FinishLoad(const RecContext& context) override;
+
   struct ReachedItem {
     float value = 0.0f;
     PathInstance path;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "data/synthetic.h"
 
 namespace kgrec {
@@ -50,6 +51,22 @@ void ProPprRecommender::Fit(const RecContext& context) {
 
 float ProPprRecommender::Score(int32_t user, int32_t item) const {
   return ppr_.At(user, item);
+}
+
+std::string ProPprRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("restart", config_.restart)
+      .Add("iterations", config_.iterations)
+      .str();
+}
+
+Status ProPprRecommender::VisitState(StateVisitor* /*visitor*/) {
+  return Status::OK();
+}
+
+Status ProPprRecommender::PrepareLoad(const RecContext& context) {
+  Fit(context);
+  return Status::OK();
 }
 
 }  // namespace kgrec

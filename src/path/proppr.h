@@ -28,6 +28,13 @@ class ProPprRecommender : public Recommender {
   std::string name() const override { return "ProPPR"; }
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
+  std::string HyperFingerprint() const override;
+
+ protected:
+  /// The PPR table is a deterministic fixed-point iteration over the
+  /// graph, so Load recomputes it instead of storing m x n floats.
+  Status VisitState(StateVisitor* visitor) override;
+  Status PrepareLoad(const RecContext& context) override;
 
  private:
   ProPprConfig config_;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "core/thread_pool.h"
 #include "nn/init.h"
 #include "nn/ops.h"
@@ -41,15 +42,12 @@ nn::Tensor RkgeRecommender::PairLogit(int32_t user, int32_t item) const {
   return output_.Forward(pooled);  // [1,1]
 }
 
-void RkgeRecommender::Fit(const RecContext& context) {
+void RkgeRecommender::BuildPathIndex(const RecContext& context) {
   KGREC_CHECK(context.train != nullptr);
   KGREC_CHECK(context.user_item_graph != nullptr);
   const InteractionDataset& train = *context.train;
-  const UserItemGraph& graph = *context.user_item_graph;
-  Rng rng(context.seed);
-
   finder_ = std::make_unique<TemplatePathFinder>(
-      graph, train, config_.max_paths_per_template);
+      *context.user_item_graph, train, config_.max_paths_per_template);
   // Precompute every user's path context in parallel (BuildUserContext is
   // const and RNG-free, so the contexts are identical at any thread
   // count); PairLogit then probes the index instead of rebuilding the
@@ -64,6 +62,14 @@ void RkgeRecommender::Fit(const RecContext& context) {
         return Status::OK();
       });
   KGREC_CHECK(ctx_status.ok());
+}
+
+void RkgeRecommender::Fit(const RecContext& context) {
+  BuildPathIndex(context);
+  const InteractionDataset& train = *context.train;
+  const UserItemGraph& graph = *context.user_item_graph;
+  Rng rng(context.seed);
+
   entity_emb_ =
       nn::NormalInit(graph.kg.num_entities(), config_.dim, 0.1f, rng);
   gru_ = nn::GruCell(config_.dim, config_.hidden_dim, rng);
@@ -100,6 +106,35 @@ void RkgeRecommender::Fit(const RecContext& context) {
       optimizer.Step();
     }
   }
+}
+
+std::string RkgeRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("dim", static_cast<double>(config_.dim))
+      .Add("hidden_dim", static_cast<double>(config_.hidden_dim))
+      .Add("epochs", config_.epochs)
+      .Add("batch_size", static_cast<double>(config_.batch_size))
+      .Add("lr", config_.learning_rate)
+      .Add("l2", config_.l2)
+      .Add("max_paths", static_cast<double>(config_.max_paths_per_template))
+      .str();
+}
+
+Status RkgeRecommender::VisitState(StateVisitor* visitor) {
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("entity_emb", &entity_emb_));
+  KGREC_RETURN_IF_ERROR(visitor->Params("gru", gru_.Params()));
+  KGREC_RETURN_IF_ERROR(visitor->Params("output", output_.Params()));
+  return visitor->Tensor("no_path_bias", &no_path_bias_);
+}
+
+Status RkgeRecommender::PrepareLoad(const RecContext& context) {
+  BuildPathIndex(context);
+  // The GRU and output layer only need their parameter tensors allocated
+  // at the right shapes before the in-place restore; any seed works.
+  Rng rng(context.seed);
+  gru_ = nn::GruCell(config_.dim, config_.hidden_dim, rng);
+  output_ = nn::Linear(config_.hidden_dim, 1, rng);
+  return Status::OK();
 }
 
 float RkgeRecommender::Score(int32_t user, int32_t item) const {

@@ -49,7 +49,18 @@ class RkgeRecommender : public Recommender {
   std::vector<float> ScoreItems(int32_t user,
                                 std::span<const int32_t> items) const override;
 
+  std::string HyperFingerprint() const override;
+
+ protected:
+  /// Stores the entity embeddings, GRU/output parameters and the no-path
+  /// bias; the path finder and per-user contexts are rebuilt on load.
+  Status VisitState(StateVisitor* visitor) override;
+  Status PrepareLoad(const RecContext& context) override;
+
  private:
+  /// Rebuilds the path finder and per-user path contexts (RNG-free).
+  void BuildPathIndex(const RecContext& context);
+
   /// Scalar logit [1,1] for one pair (differentiable).
   nn::Tensor PairLogit(int32_t user, int32_t item) const;
 

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "path/metapaths.h"
 
 namespace kgrec {
@@ -21,13 +22,12 @@ float RuleActivation(const CsrMatrix& rule, const std::vector<int32_t>& history,
 
 }  // namespace
 
-void RuleRecRecommender::Fit(const RecContext& context) {
+void RuleRecRecommender::MineRules(const RecContext& context) {
   KGREC_CHECK(context.train != nullptr);
   KGREC_CHECK(context.item_kg != nullptr);
   const InteractionDataset& train = *context.train;
   train_ = &train;
   kg_ = context.item_kg;
-  Rng rng(context.seed);
 
   // Rule mining: candidate rules are the item-association meta-paths of
   // the external KG (shared attribute per relation).
@@ -38,7 +38,6 @@ void RuleRecRecommender::Fit(const RecContext& context) {
     rule_names_.push_back(sim.name);
     rule_matrices_.push_back(std::move(sim.matrix));
   }
-  rule_weights_.assign(rule_matrices_.size(), 0.1f);
 
   popularity_.assign(train.num_items(), 0.0f);
   for (const Interaction& x : train.interactions()) {
@@ -48,6 +47,13 @@ void RuleRecRecommender::Fit(const RecContext& context) {
       std::max(1.0f, *std::max_element(popularity_.begin(),
                                        popularity_.end()));
   for (float& p : popularity_) p /= max_pop;
+}
+
+void RuleRecRecommender::Fit(const RecContext& context) {
+  MineRules(context);
+  const InteractionDataset& train = *context.train;
+  Rng rng(context.seed);
+  rule_weights_.assign(rule_matrices_.size(), 0.1f);
   popularity_weight_ = 0.1f;
 
   // Learn rule weights with BPR over (history -> pos vs neg) activations.
@@ -79,6 +85,25 @@ void RuleRecRecommender::Fit(const RecContext& context) {
                             (sig * pop_diff - config_.l2 * popularity_weight_);
     }
   }
+}
+
+std::string RuleRecRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("epochs", config_.epochs)
+      .Add("lr", config_.learning_rate)
+      .Add("l2", config_.l2)
+      .Add("top_k", static_cast<double>(config_.top_k))
+      .str();
+}
+
+Status RuleRecRecommender::VisitState(StateVisitor* visitor) {
+  KGREC_RETURN_IF_ERROR(visitor->Floats("rule_weights", &rule_weights_));
+  return visitor->Scalar("popularity_weight", &popularity_weight_);
+}
+
+Status RuleRecRecommender::PrepareLoad(const RecContext& context) {
+  MineRules(context);
+  return Status::OK();
 }
 
 float RuleRecRecommender::Score(int32_t user, int32_t item) const {

@@ -40,7 +40,18 @@ class RuleRecRecommender : public Recommender {
   /// item_12 which shares <genre> with it").
   std::string Explain(int32_t user, int32_t item) const;
 
+  std::string HyperFingerprint() const override;
+
+ protected:
+  /// Stores the learned rule weights; the mined rule matrices and
+  /// popularity table are deterministic and rebuilt on load.
+  Status VisitState(StateVisitor* visitor) override;
+  Status PrepareLoad(const RecContext& context) override;
+
  private:
+  /// Mines the rule matrices and popularity priors from the context.
+  void MineRules(const RecContext& context);
+
   RuleRecConfig config_;
   const InteractionDataset* train_ = nullptr;
   const KnowledgeGraph* kg_ = nullptr;

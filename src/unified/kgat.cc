@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "core/thread_pool.h"
 #include "math/kernels.h"
 #include "nn/init.h"
@@ -177,6 +178,29 @@ void KgatRecommender::Fit(const RecContext& context) {
   nn::Tensor rep = propagate();
   final_emb_ = Matrix(rep.rows(), rep.cols());
   std::copy_n(rep.data(), rep.size(), final_emb_.data());
+}
+
+std::string KgatRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("dim", static_cast<double>(config_.dim))
+      .Add("layers", static_cast<double>(config_.num_layers))
+      .Add("epochs", config_.epochs)
+      .Add("batch_size", static_cast<double>(config_.batch_size))
+      .Add("lr", config_.learning_rate)
+      .Add("l2", config_.l2)
+      .Add("kg_weight", config_.kg_weight)
+      .Add("margin", config_.margin)
+      .str();
+}
+
+Status KgatRecommender::VisitState(StateVisitor* visitor) {
+  return visitor->Matrix("final_emb", &final_emb_);
+}
+
+Status KgatRecommender::PrepareLoad(const RecContext& context) {
+  KGREC_CHECK(context.user_item_graph != nullptr);
+  graph_ = context.user_item_graph;
+  return Status::OK();
 }
 
 float KgatRecommender::Score(int32_t user, int32_t item) const {

@@ -52,6 +52,16 @@ class KgatRecommender : public Recommender {
   std::vector<float> ScoreItems(int32_t user,
                                 std::span<const int32_t> items) const override;
 
+  std::string HyperFingerprint() const override;
+
+ protected:
+  /// Serving only reads the final concatenated embeddings (the training
+  /// graph's embeddings, relations and aggregators are all baked into
+  /// final_emb_), so that matrix is the whole checkpoint; PrepareLoad
+  /// just re-binds the graph used for entity-id lookups.
+  Status VisitState(StateVisitor* visitor) override;
+  Status PrepareLoad(const RecContext& context) override;
+
  private:
   KgatConfig config_;
   const UserItemGraph* graph_ = nullptr;

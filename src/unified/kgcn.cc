@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "nn/init.h"
 #include "nn/ops.h"
 #include "nn/optim.h"
@@ -98,7 +99,7 @@ nn::Tensor KgcnRecommender::Forward(const std::vector<int32_t>& users,
   return nn::SumRows(nn::Mul(u, vecs[0]));
 }
 
-void KgcnRecommender::Fit(const RecContext& context) {
+void KgcnRecommender::BuildModel(const RecContext& context, Rng& rng) {
   KGREC_CHECK(context.train != nullptr);
   KGREC_CHECK(context.item_kg != nullptr);
   const InteractionDataset& train = *context.train;
@@ -106,7 +107,6 @@ void KgcnRecommender::Fit(const RecContext& context) {
   train_ = &train;
   num_items_ = train.num_items();
   const size_t d = config_.dim;
-  Rng rng(context.seed);
 
   user_emb_ = nn::NormalInit(train.num_users(), d, 0.1f, rng);
   entity_emb_ = nn::NormalInit(kg.num_entities(), d, 0.1f, rng);
@@ -123,6 +123,47 @@ void KgcnRecommender::Fit(const RecContext& context) {
     kg.SampleNeighbors(static_cast<EntityId>(e), config_.num_neighbors, rng,
                        &sampled_neighbors_[e]);
   }
+}
+
+std::string KgcnRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("dim", static_cast<double>(config_.dim))
+      .Add("layers", static_cast<double>(config_.num_layers))
+      .Add("neighbors", static_cast<double>(config_.num_neighbors))
+      .Add("agg", static_cast<double>(config_.aggregator))
+      .Add("epochs", config_.epochs)
+      .Add("batch_size", static_cast<double>(config_.batch_size))
+      .Add("lr", config_.learning_rate)
+      .Add("l2", config_.l2)
+      .Add("ls_weight", config_.ls_weight)
+      .str();
+}
+
+Status KgcnRecommender::VisitState(StateVisitor* visitor) {
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("user_emb", &user_emb_));
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("entity_emb", &entity_emb_));
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("relation_emb", &relation_emb_));
+  for (size_t l = 0; l < aggregators_.size(); ++l) {
+    KGREC_RETURN_IF_ERROR(visitor->Params("agg." + std::to_string(l),
+                                          aggregators_[l].Params()));
+  }
+  return Status::OK();
+}
+
+Status KgcnRecommender::PrepareLoad(const RecContext& context) {
+  // Replays Fit's preamble with Fit's seed: the embedding and aggregator
+  // inits consume the same draws before the neighbor sampler, so the
+  // static receptive field matches training bitwise; the parameter
+  // values themselves are overwritten by the restore.
+  Rng rng(context.seed);
+  BuildModel(context, rng);
+  return Status::OK();
+}
+
+void KgcnRecommender::Fit(const RecContext& context) {
+  Rng rng(context.seed);
+  BuildModel(context, rng);
+  const InteractionDataset& train = *context.train;
 
   std::vector<nn::Tensor> params{user_emb_, entity_emb_, relation_emb_};
   for (const Aggregator& agg : aggregators_) {

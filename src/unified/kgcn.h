@@ -50,7 +50,22 @@ class KgcnRecommender : public Recommender {
   std::vector<float> ScoreItems(int32_t user,
                                 std::span<const int32_t> items) const override;
 
+  std::string HyperFingerprint() const override;
+
+ protected:
+  /// Stores the user/entity/relation embeddings and per-layer aggregator
+  /// parameters; the static receptive field is rebuilt by PrepareLoad
+  /// replaying Fit's exact Rng prefix.
+  Status VisitState(StateVisitor* visitor) override;
+  Status PrepareLoad(const RecContext& context) override;
+
  private:
+  /// Fit's preamble, shared with PrepareLoad: allocates the parameter
+  /// tensors and aggregators, then samples the static receptive field.
+  /// All draws come from `rng` in a fixed order, so calling this with
+  /// Rng(context.seed) reproduces the neighbor sample exactly.
+  void BuildModel(const RecContext& context, Rng& rng);
+
   /// Differentiable forward: logits [B,1] for (users, items). When
   /// `ls_logits` is non-null also emits label-smoothness logits (the
   /// attention-propagated interaction labels of the 1-hop neighborhood).

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "nn/init.h"
 #include "nn/ops.h"
 #include "nn/optim.h"
@@ -34,14 +35,13 @@ nn::Tensor KniRecommender::Forward(const std::vector<int32_t>& users,
   return nn::SumRows(nn::Mul(att, s_rows));         // [B, 1]
 }
 
-void KniRecommender::Fit(const RecContext& context) {
+void KniRecommender::BuildNeighborhoods(const RecContext& context, Rng& rng) {
   KGREC_CHECK(context.train != nullptr);
   KGREC_CHECK(context.user_item_graph != nullptr);
   graph_ = context.user_item_graph;
   const InteractionDataset& train = *context.train;
   const KnowledgeGraph& kg = graph_->kg;
   const size_t k = config_.num_neighbors;
-  Rng rng(context.seed);
 
   entity_emb_ = nn::NormalInit(kg.num_entities(), config_.dim, 0.1f, rng);
 
@@ -72,6 +72,37 @@ void KniRecommender::Fit(const RecContext& context) {
     for (const Edge& e : sampled) neighbors.push_back(e.target);
     while (neighbors.size() < k) neighbors.push_back(entity);
   }
+}
+
+std::string KniRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("dim", static_cast<double>(config_.dim))
+      .Add("neighbors", static_cast<double>(config_.num_neighbors))
+      .Add("epochs", config_.epochs)
+      .Add("batch_size", static_cast<double>(config_.batch_size))
+      .Add("lr", config_.learning_rate)
+      .Add("l2", config_.l2)
+      .str();
+}
+
+Status KniRecommender::VisitState(StateVisitor* visitor) {
+  return visitor->Tensor("entity_emb", &entity_emb_);
+}
+
+Status KniRecommender::PrepareLoad(const RecContext& context) {
+  // Replays Fit's preamble with Fit's seed: the embedding init consumes
+  // the same draws before the neighborhood samplers, so both sampled
+  // neighborhoods match training bitwise; the embedding values are
+  // overwritten by the restore.
+  Rng rng(context.seed);
+  BuildNeighborhoods(context, rng);
+  return Status::OK();
+}
+
+void KniRecommender::Fit(const RecContext& context) {
+  Rng rng(context.seed);
+  BuildNeighborhoods(context, rng);
+  const InteractionDataset& train = *context.train;
 
   nn::Adagrad optimizer({entity_emb_}, config_.learning_rate, config_.l2);
   NegativeSampler sampler(train);

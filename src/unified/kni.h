@@ -41,7 +41,20 @@ class KniRecommender : public Recommender {
   std::vector<float> ScoreItems(int32_t user,
                                 std::span<const int32_t> items) const override;
 
+  std::string HyperFingerprint() const override;
+
+ protected:
+  /// Stores the entity embeddings — the only learned parameter. The
+  /// sampled neighborhoods are rebuilt by PrepareLoad replaying Fit's
+  /// exact Rng prefix, so they match training bitwise.
+  Status VisitState(StateVisitor* visitor) override;
+  Status PrepareLoad(const RecContext& context) override;
+
  private:
+  /// Fit's preamble, shared with PrepareLoad: allocates the embedding
+  /// table and samples both neighborhoods from `rng` in a fixed order.
+  void BuildNeighborhoods(const RecContext& context, Rng& rng);
+
   nn::Tensor Forward(const std::vector<int32_t>& users,
                      const std::vector<int32_t>& items) const;
 

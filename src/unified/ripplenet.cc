@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "core/model_state.h"
 #include "core/thread_pool.h"
 #include "graph/ripple.h"
 #include "nn/init.h"
@@ -88,13 +89,13 @@ nn::Tensor RippleNetRecommender::CombineResponses(
   return u;
 }
 
-void RippleNetRecommender::Fit(const RecContext& context) {
+void RippleNetRecommender::BuildPropagationState(const RecContext& context,
+                                                 Rng& rng) {
   KGREC_CHECK(context.train != nullptr);
   KGREC_CHECK(context.item_kg != nullptr);
   const InteractionDataset& train = *context.train;
   const KnowledgeGraph& kg = *context.item_kg;
   const size_t d = config_.dim;
-  Rng rng(context.seed);
 
   entity_emb_ = nn::NormalInit(kg.num_entities(), d, 0.1f, rng);
   relation_mats_ = nn::NormalInit(kg.num_relations(), d * d, 0.1f, rng);
@@ -187,6 +188,45 @@ void RippleNetRecommender::Fit(const RecContext& context) {
         });
     KGREC_CHECK(status.ok());
   }
+}
+
+std::string RippleNetRecommender::HyperFingerprint() const {
+  return FingerprintBuilder()
+      .Add("dim", static_cast<double>(config_.dim))
+      .Add("hops", static_cast<double>(config_.num_hops))
+      .Add("hop_size", static_cast<double>(config_.hop_size))
+      .Add("epochs", config_.epochs)
+      .Add("batch_size", static_cast<double>(config_.batch_size))
+      .Add("lr", config_.learning_rate)
+      .Add("l2", config_.l2)
+      .Add("kge_weight", config_.kge_weight)
+      // The serial (num_threads == 0) and forked (>= 1) ripple builds
+      // draw different RNG sequences, so checkpoints are only portable
+      // within one mode; any thread count >= 1 is bitwise-identical.
+      .Add("ripple_rng", config_.num_threads == 0 ? 0.0 : 1.0)
+      .str();
+}
+
+Status RippleNetRecommender::VisitState(StateVisitor* visitor) {
+  KGREC_RETURN_IF_ERROR(visitor->Tensor("entity_emb", &entity_emb_));
+  return visitor->Tensor("relation_mats", &relation_mats_);
+}
+
+Status RippleNetRecommender::PrepareLoad(const RecContext& context) {
+  // Replays Fit's preamble with Fit's seed: the parameter inits consume
+  // the same draws before PrepareAux and the ripple build, so the ripple
+  // sets (and RippleNet-agg's item neighborhoods) match training bitwise;
+  // the parameter values themselves are overwritten by the restore.
+  Rng rng(context.seed);
+  BuildPropagationState(context, rng);
+  return Status::OK();
+}
+
+void RippleNetRecommender::Fit(const RecContext& context) {
+  Rng rng(context.seed);
+  BuildPropagationState(context, rng);
+  const InteractionDataset& train = *context.train;
+  const KnowledgeGraph& kg = *context.item_kg;
 
   nn::Adagrad optimizer({entity_emb_, relation_mats_},
                         config_.learning_rate, config_.l2);

@@ -56,7 +56,23 @@ class RippleNetRecommender : public Recommender {
   std::vector<float> ScoreItems(int32_t user,
                                 std::span<const int32_t> items) const override;
 
+  std::string HyperFingerprint() const override;
+
  protected:
+  /// Stores the entity embeddings and relation matrices — the only
+  /// learned parameters. The ripple sets (and any subclass aux built by
+  /// PrepareAux) are rebuilt by PrepareLoad replaying Fit's exact Rng
+  /// prefix, so they match training bitwise. Subclasses (RippleNet-agg,
+  /// AKUPM) add no parameters of their own and inherit these hooks.
+  Status VisitState(StateVisitor* visitor) override;
+  Status PrepareLoad(const RecContext& context) override;
+
+  /// Fit's preamble, shared with PrepareLoad: allocates the parameter
+  /// tensors, runs PrepareAux and builds every user's ripple sets. All
+  /// draws come from `rng` in a fixed order, so calling this with
+  /// Rng(context.seed) reproduces Fit's derived state exactly.
+  void BuildPropagationState(const RecContext& context, Rng& rng);
+
   /// Fixed-size padded ripple arrays for one user.
   struct UserRipples {
     /// Per hop: heads/relations/tails, each of length hop_size.

@@ -34,13 +34,31 @@ TEST(Auc, DegenerateClassesReturnHalf) {
   EXPECT_DOUBLE_EQ(Auc({1.0f, 2.0f}, {0, 0}), 0.5);
 }
 
-TEST(AccuracyF1, ThresholdAtZero) {
+TEST(AccuracyF1, ThresholdAtBatchMedian) {
+  // Lower median of {-1, -0.5, 0.5, 2} is -0.5; predictions are
+  // score > -0.5, i.e. {1, 0, 1, 0} against labels {1, 0, 0, 1}.
   std::vector<float> scores{2.0f, -1.0f, 0.5f, -0.5f};
   std::vector<int> labels{1, 0, 0, 1};
   EXPECT_DOUBLE_EQ(Accuracy(scores, labels), 0.5);
   // tp=1 (score 2), fp=1 (0.5), fn=1 (-0.5): P=0.5, R=0.5, F1=0.5.
   EXPECT_DOUBLE_EQ(F1Score(scores, labels), 0.5);
   EXPECT_DOUBLE_EQ(F1Score({-1.0f}, {1}), 0.0);
+}
+
+TEST(AccuracyF1, UncalibratedScoresAreNotMajorityCollapsed) {
+  // Regression: all-positive scores (e.g. popularity counts) used to be
+  // thresholded at 0, predicting 1 for everything — accuracy pinned at
+  // the positive rate no matter how well the model ranked. The median
+  // threshold (2 here) recovers the perfect split.
+  std::vector<float> scores{5.0f, 1.0f, 3.0f, 2.0f};
+  std::vector<int> labels{1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(Accuracy(scores, labels), 1.0);
+  EXPECT_DOUBLE_EQ(F1Score(scores, labels), 1.0);
+  // Same ranking shifted all-negative (hinge-style scores) — identical
+  // metrics, since the median moves with the batch.
+  std::vector<float> shifted{-1.0f, -5.0f, -3.0f, -4.0f};
+  EXPECT_DOUBLE_EQ(Accuracy(shifted, labels), 1.0);
+  EXPECT_DOUBLE_EQ(F1Score(shifted, labels), 1.0);
 }
 
 TEST(TopKMetricsTest, HandComputed) {
@@ -65,6 +83,17 @@ TEST(TopKMetricsTest, EdgeCases) {
   EXPECT_DOUBLE_EQ(NdcgAtK(ranked, empty, 3), 0.0);
   EXPECT_DOUBLE_EQ(ReciprocalRank(ranked, empty), 0.0);
   EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, {1}, 0), 0.0);
+}
+
+TEST(TopKMetricsTest, PrecisionShortPoolDividesByRankedSize) {
+  // Regression: a 3-item pool scored at k=10 used to divide by 10,
+  // capping precision at 0.3 for a flawless ranking.
+  std::vector<int32_t> ranked{1, 2, 3};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, {1, 2, 3}, 10), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, {1, 2}, 10), 2.0 / 3.0);
+  // k shorter than the pool still divides by k.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, {1, 2}, 2), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, {1}, 5), 0.0);
 }
 
 class NdcgMonotoneTest : public ::testing::TestWithParam<size_t> {};

@@ -8,15 +8,19 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "cf/mf.h"
 #include "core/recommender.h"
 #include "core/registry.h"
+#include "core/serialize.h"
 #include "data/synthetic.h"
 #include "eval/protocol.h"
 #include "math/topk.h"
+#include "unistd.h"
 
 namespace kgrec {
 namespace {
@@ -134,6 +138,130 @@ TEST_P(RegistrySmoke, FitScoreRecommendEvaluate) {
     EXPECT_GE(m, 0.0) << GetParam();
     EXPECT_LE(m, 1.0) << GetParam();
   }
+}
+
+// ---- Checkpoint/restore across the whole zoo --------------------------
+
+std::string CheckpointPath(const std::string& model_name) {
+  std::string file = model_name;
+  for (char& c : file) {
+    if (c == '-' || c == ' ') c = '_';
+  }
+  return std::string(::testing::TempDir()) + "/" + file + ".kgrc";
+}
+
+TEST_P(RegistrySmoke, SaveLoadRoundtripIsBitwise) {
+  TinyWorld& w = SharedWorld();
+  std::unique_ptr<Recommender> fitted = MakeRecommender(GetParam());
+  ASSERT_NE(fitted, nullptr);
+  fitted->Fit(w.Context());
+
+  const std::string path = CheckpointPath(GetParam());
+  ASSERT_TRUE(fitted->Save(path).ok()) << GetParam();
+
+  // LoadModel reconstructs the concrete type from the typed header alone.
+  std::unique_ptr<Recommender> restored;
+  const Status load = LoadModel(w.Context(), path, &restored);
+  ASSERT_TRUE(load.ok()) << GetParam() << ": " << load.message();
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->name(), fitted->name());
+
+  // The serve path must be bitwise identical to the fitted model's —
+  // derived state (ripple sets, path contexts, sampled neighborhoods,
+  // beam caches) is recomputed on load, and any divergence there shows
+  // up as a float mismatch here.
+  const std::vector<int32_t> candidates{0, 31, 59, 31, 1, 58, 0};
+  for (int32_t user : {0, 7, 39}) {
+    const std::vector<float> before = fitted->ScoreItems(user, candidates);
+    const std::vector<float> after = restored->ScoreItems(user, candidates);
+    ASSERT_EQ(before.size(), after.size());
+    for (size_t i = 0; i < before.size(); ++i) {
+      EXPECT_EQ(before[i], after[i])
+          << GetParam() << " diverges after restore at user " << user
+          << " candidate " << candidates[i];
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointNegative, UnknownModelNameIsInvalidArgument) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/unknown_model.kgrc";
+  CheckpointHeader header;
+  header.model_name = "NotARealModel";
+  ASSERT_TRUE(SaveCheckpoint(path, header, {}).ok());
+  std::unique_ptr<Recommender> out;
+  const Status status = LoadModel(SharedWorld().Context(), path, &out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("NotARealModel"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointNegative, WrongModelClassIsFailedPrecondition) {
+  TinyWorld& w = SharedWorld();
+  std::unique_ptr<Recommender> pop = MakeRecommender("Popularity");
+  pop->Fit(w.Context());
+  const std::string path =
+      std::string(::testing::TempDir()) + "/wrong_class.kgrc";
+  ASSERT_TRUE(pop->Save(path).ok());
+  std::unique_ptr<Recommender> mf = MakeRecommender("MF");
+  EXPECT_EQ(mf->Load(w.Context(), path).code(),
+            StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointNegative, StaleHyperFingerprintIsFailedPrecondition) {
+  // A checkpoint trained under a non-default config must not restore
+  // into the registry's default-config instance.
+  TinyWorld& w = SharedWorld();
+  MfConfig config;
+  config.dim = 8;  // registry default is 16
+  MfRecommender custom(config);
+  custom.Fit(w.Context());
+  const std::string path =
+      std::string(::testing::TempDir()) + "/stale_fingerprint.kgrc";
+  ASSERT_TRUE(custom.Save(path).ok());
+  std::unique_ptr<Recommender> out;
+  const Status status = LoadModel(w.Context(), path, &out);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("fingerprint"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointNegative, TruncatedCheckpointFailsCleanly) {
+  TinyWorld& w = SharedWorld();
+  std::unique_ptr<Recommender> model = MakeRecommender("MF");
+  model->Fit(w.Context());
+  const std::string path =
+      std::string(::testing::TempDir()) + "/truncated.kgrc";
+  ASSERT_TRUE(model->Save(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  std::unique_ptr<Recommender> out;
+  EXPECT_FALSE(LoadModel(w.Context(), path, &out).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointNegative, StaleFormatVersionIsInvalidArgument) {
+  // A checkpoint from a hypothetical future format revision must be
+  // refused up front, not misparsed.
+  const std::string path =
+      std::string(::testing::TempDir()) + "/stale_version.kgrc";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const uint32_t version = kCheckpointFormatVersion + 1;
+  ASSERT_EQ(std::fwrite("KGRC", 1, 4, f), 4u);
+  ASSERT_EQ(std::fwrite(&version, sizeof(version), 1, f), 1u);
+  std::fclose(f);
+  std::unique_ptr<Recommender> out;
+  const Status status = LoadModel(SharedWorld().Context(), path, &out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("version"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllImplemented, RegistrySmoke,

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "core/serialize.h"
@@ -90,6 +91,26 @@ TEST(Serialize, OverflowingShapeHeaderIsRejected) {
   std::vector<NamedTensor> loaded;
   EXPECT_EQ(LoadTensorArchive(path, &loaded).code(),
             StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, FailedSaveNeverClobbersExistingArchive) {
+  // Saves write to <path>.tmp and rename into place only on success, so
+  // a failed save must leave an existing good archive untouched. Force
+  // the failure by squatting on the temp path with a directory.
+  const std::string path = TempPath("atomic.kgrt");
+  std::vector<NamedTensor> good{{"x", 1, 2, {3.0f, 4.0f}}};
+  ASSERT_TRUE(SaveTensorArchive(path, good).ok());
+  const std::string tmp = path + ".tmp";
+  ASSERT_EQ(mkdir(tmp.c_str(), 0755), 0);
+  std::vector<NamedTensor> other{{"y", 1, 1, {9.0f}}};
+  EXPECT_EQ(SaveTensorArchive(path, other).code(), StatusCode::kIoError);
+  std::vector<NamedTensor> loaded;
+  ASSERT_TRUE(LoadTensorArchive(path, &loaded).ok());
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].name, "x");
+  EXPECT_EQ(loaded[0].data, good[0].data);
+  ASSERT_EQ(rmdir(tmp.c_str()), 0);
   std::remove(path.c_str());
 }
 
