@@ -34,6 +34,15 @@ struct RecContext {
 /// Base interface of every recommender in the zoo (survey Section 2.2):
 /// learn representations, expose a scoring function f(u, v) -> y_hat, and
 /// rank items by descending preference score.
+///
+/// Serve-path contract: after Fit() (or Load()), the const methods —
+/// Score, ScoreItems, ScoreAll — are **mutation-free and thread-safe**:
+/// any number of threads may score concurrently with no locking. No model
+/// may hide writes behind `mutable` members or const_cast on this path;
+/// per-call scratch lives on the stack of the call. The serving layer
+/// (serve/serve_handle.h) holds models as `const Recommender` so the
+/// compiler enforces the const half, and the TSan-gated serve concurrency
+/// suite enforces the no-hidden-writes half across the zoo.
 class Recommender {
  public:
   virtual ~Recommender() = default;

@@ -16,6 +16,10 @@ enum class StatusCode {
   kFailedPrecondition = 4,
   kInternal = 5,
   kIoError = 6,
+  /// The operation was refused by an overloaded or shutting-down
+  /// component (e.g. the serving router's admission queue); the request
+  /// was never executed and may be retried.
+  kUnavailable = 7,
 };
 
 /// Lightweight status object modeled after the common database-library
@@ -45,6 +49,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

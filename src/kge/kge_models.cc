@@ -51,7 +51,7 @@ class TransE : public KgeModel {
   void PostEpoch() override { NormalizeRows(entities_); }
 
  private:
-  mutable nn::Tensor entities_;
+  nn::Tensor entities_;
   nn::Tensor relations_;
 };
 
@@ -93,9 +93,9 @@ class TransH : public KgeModel {
   }
 
  private:
-  mutable nn::Tensor entities_;
+  nn::Tensor entities_;
   nn::Tensor relations_;
-  mutable nn::Tensor normals_;
+  nn::Tensor normals_;
 };
 
 /// TransR (Lin et al.): a per-relation d x d projection matrix maps
@@ -139,7 +139,7 @@ class TransR : public KgeModel {
   void PostEpoch() override { NormalizeRows(entities_); }
 
  private:
-  mutable nn::Tensor entities_;
+  nn::Tensor entities_;
   nn::Tensor relations_;
   nn::Tensor projections_;
 };
@@ -182,7 +182,7 @@ class TransD : public KgeModel {
   void PostEpoch() override { NormalizeRows(entities_); }
 
  private:
-  mutable nn::Tensor entities_;
+  nn::Tensor entities_;
   nn::Tensor relations_;
   nn::Tensor entity_proj_;
   nn::Tensor relation_proj_;

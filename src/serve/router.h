@@ -1,0 +1,173 @@
+#ifndef KGREC_SERVE_ROUTER_H_
+#define KGREC_SERVE_ROUTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+#include "core/thread_pool.h"
+#include "serve/serve_handle.h"
+
+namespace kgrec::serve {
+
+/// Router knobs. The defaults serve a test-sized deployment; production
+/// callers size the admission queue to their latency budget (a full queue
+/// rejects with Unavailable instead of growing an unbounded backlog).
+struct RouterConfig {
+  /// Worker threads of the router's ThreadPool (the existing core pool;
+  /// clamped to at least 1).
+  size_t num_threads = ThreadPool::HardwareThreads();
+  /// Admission bound: requests beyond this many *queued* (not yet
+  /// dispatched) are rejected immediately with StatusCode::kUnavailable.
+  size_t max_queue = 1024;
+};
+
+/// One scoring request: rank these candidate items for this user.
+struct ScoreRequest {
+  int32_t user = 0;
+  std::vector<int32_t> items;
+};
+
+/// The response to one ScoreRequest. `scores[i]` corresponds to
+/// `items[i]` and is **bitwise** what `ScoreItems(user, items)[i]` on the
+/// serving model returns — batching and per-user coalescing never change
+/// a float (the ScoreItems contract makes concatenation exact).
+struct ScoreResponse {
+  Status status;
+  std::vector<float> scores;
+  /// Generation tag of the ServeHandle that produced the scores; all
+  /// scores of one response come from exactly one handle.
+  uint64_t generation = 0;
+  /// steady-clock nanoseconds at admission and at fulfilment, for
+  /// latency accounting in benches (0 when rejected at admission).
+  uint64_t submitted_ns = 0;
+  uint64_t completed_ns = 0;
+};
+
+/// Counters exposed for tests and benches; a snapshot, not a sync point.
+struct RouterStats {
+  uint64_t accepted = 0;   ///< requests admitted to the queue
+  uint64_t rejected = 0;   ///< requests refused (queue full / stopping)
+  uint64_t responses = 0;  ///< promises fulfilled by worker tasks
+  uint64_t batches = 0;    ///< per-user ScoreItems dispatches
+  uint64_t coalesced = 0;  ///< requests merged into another request's batch
+  uint64_t swaps = 0;      ///< successful hot swaps
+};
+
+/// A long-lived serving front-end over an atomically swappable
+/// ServeHandle.
+///
+/// Requests enter a bounded admission queue; a drain task on the router's
+/// ThreadPool periodically steals the whole queue, groups the stolen
+/// requests *by user* (concatenating their candidate lists, so one
+/// ScoreItems call amortizes the per-user state hoisting that PR 2 built
+/// into every model), and dispatches one pool task per user group. Each
+/// group captures one `shared_ptr<const ServeHandle>` at steal time, so
+/// every response is served by — and stamped with — exactly one model
+/// generation even while a swap is in flight.
+///
+/// Hot swap protocol (Swap / SwapFromCheckpoint):
+///   1. build the new handle (for SwapFromCheckpoint, load the checkpoint
+///      on the calling thread — traffic keeps flowing on the old handle);
+///   2. atomically flip the current-handle pointer under the router lock;
+///   3. drain: block until every already-dispatched batch on the *old*
+///      handle has delivered its responses, then release the old handle.
+/// When Swap returns, no request is executing against the old model and
+/// every response it served has been delivered; requests still queued at
+/// flip time are served by the new generation. A failed checkpoint load
+/// leaves the old handle serving untouched.
+///
+/// Thread-safety: Submit and current() may be called from any thread;
+/// swaps are serialized among themselves and must not be called from a
+/// router pool task (the drain wait would starve the pool).
+class Router {
+ public:
+  Router(const RouterConfig& config,
+         std::shared_ptr<const ServeHandle> initial);
+
+  /// Rejects queued work, waits for dispatched work to deliver, then
+  /// joins the pool. Safe while clients still hold futures.
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Admits a request (or rejects it with an immediately-ready
+  /// Unavailable response when the queue is full or the router is
+  /// stopping). Every returned future is eventually fulfilled exactly
+  /// once — responses are never lost or duplicated.
+  std::future<ScoreResponse> Submit(ScoreRequest request);
+
+  /// Convenience: Submit + wait.
+  ScoreResponse ScoreSync(ScoreRequest request);
+
+  /// Installs `fresh` as the serving handle and drains the old one (see
+  /// the class comment for the protocol). The caller gives distinct
+  /// handles distinct generation tags; SwapFromCheckpoint does this
+  /// automatically.
+  Status Swap(std::shared_ptr<const ServeHandle> fresh);
+
+  /// Loads the checkpoint at `path` (current generation + 1), then
+  /// Swap()s it in. On load failure the old handle keeps serving and the
+  /// load Status is returned.
+  Status SwapFromCheckpoint(const RecContext& context,
+                            const std::string& path);
+
+  /// The handle serving newly admitted requests right now.
+  std::shared_ptr<const ServeHandle> current() const;
+
+  RouterStats Stats() const;
+
+ private:
+  struct Pending {
+    int32_t user = 0;
+    std::vector<int32_t> items;
+    std::promise<ScoreResponse> promise;
+    uint64_t submitted_ns = 0;
+  };
+
+  /// Swap body, assuming swap_mutex_ is already held by the caller.
+  Status SwapLocked(std::shared_ptr<const ServeHandle> fresh);
+
+  /// Pool task: repeatedly steal the queue and dispatch user groups
+  /// until the queue is empty.
+  void DrainLoop();
+
+  /// Serves one user group on `handle` and fulfils its promises.
+  void ServeGroup(const std::shared_ptr<const ServeHandle>& handle,
+                  std::vector<Pending> group);
+
+  static std::future<ScoreResponse> Rejected(std::string why);
+
+  const RouterConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable drained_cv_;
+  std::deque<Pending> pending_;
+  std::shared_ptr<const ServeHandle> current_;
+  /// Dispatched-but-undelivered batch count per handle; Swap's drain
+  /// waits for the old handle's count to reach zero. Keyed by raw
+  /// pointer — entries are erased when the count drops to zero, so the
+  /// map stays as small as the number of generations in flight.
+  std::unordered_map<const ServeHandle*, size_t> inflight_;
+  bool drain_scheduled_ = false;
+  bool stopping_ = false;
+  RouterStats stats_;
+
+  /// Serializes swaps against each other (never held by pool tasks).
+  std::mutex swap_mutex_;
+
+  /// Last member: destroyed (and therefore joined) first.
+  ThreadPool pool_;
+};
+
+}  // namespace kgrec::serve
+
+#endif  // KGREC_SERVE_ROUTER_H_

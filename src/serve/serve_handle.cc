@@ -1,0 +1,74 @@
+#include "serve/serve_handle.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+#include "core/registry.h"
+#include "math/topk.h"
+
+namespace kgrec::serve {
+
+ServeHandle::ServeHandle(std::unique_ptr<const Recommender> model,
+                         const RecContext& context, uint64_t generation)
+    : model_(std::move(model)),
+      model_name_(model_->name()),
+      num_items_(context.train != nullptr ? context.train->num_items() : 0),
+      generation_(generation) {}
+
+Status ServeHandle::Open(const RecContext& context, const std::string& path,
+                         uint64_t generation,
+                         std::shared_ptr<const ServeHandle>* out) {
+  std::unique_ptr<Recommender> model;
+  KGREC_RETURN_IF_ERROR(LoadModel(context, path, &model));
+  // std::shared_ptr cannot reach the private constructor through
+  // make_shared; the extra allocation is once per checkpoint load.
+  out->reset(new ServeHandle(std::move(model), context, generation));
+  return Status::OK();
+}
+
+Status ServeHandle::Open(const RecContext& context, const std::string& path,
+                         std::unique_ptr<Recommender> prototype,
+                         uint64_t generation,
+                         std::shared_ptr<const ServeHandle>* out) {
+  KGREC_CHECK(prototype != nullptr);
+  KGREC_RETURN_IF_ERROR(prototype->Load(context, path));
+  out->reset(new ServeHandle(std::move(prototype), context, generation));
+  return Status::OK();
+}
+
+std::shared_ptr<const ServeHandle> ServeHandle::Adopt(
+    std::unique_ptr<const Recommender> model, const RecContext& context,
+    uint64_t generation) {
+  KGREC_CHECK(model != nullptr);
+  return std::shared_ptr<const ServeHandle>(
+      new ServeHandle(std::move(model), context, generation));
+}
+
+float ServeHandle::Score(int32_t user, int32_t item) const {
+  return model_->Score(user, item);
+}
+
+std::vector<float> ServeHandle::ScoreItems(
+    int32_t user, std::span<const int32_t> items) const {
+  return model_->ScoreItems(user, items);
+}
+
+std::vector<std::pair<int32_t, float>> ServeHandle::Recommend(
+    int32_t user, size_t k, std::span<const int32_t> exclude) const {
+  std::vector<float> scores = model_->ScoreAll(user, num_items_);
+  for (int32_t item : exclude) {
+    if (item >= 0 && static_cast<size_t>(item) < scores.size()) {
+      scores[item] = -std::numeric_limits<float>::infinity();
+    }
+  }
+  std::vector<std::pair<int32_t, float>> top = TopKScored(scores, k);
+  // Drop excluded sentinels that survived a short catalog.
+  while (!top.empty() && std::isinf(top.back().second) &&
+         top.back().second < 0) {
+    top.pop_back();
+  }
+  return top;
+}
+
+}  // namespace kgrec::serve

@@ -1,0 +1,94 @@
+#ifndef KGREC_SERVE_SERVE_HANDLE_H_
+#define KGREC_SERVE_SERVE_HANDLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/recommender.h"
+#include "core/status.h"
+
+namespace kgrec::serve {
+
+/// An immutable, thread-safe serving view of one fitted model.
+///
+/// A ServeHandle owns its model through a `const Recommender` pointer, so
+/// the whole serve path — Score / ScoreItems / Recommend — is const by
+/// construction: a model whose scoring needs to mutate state (a lazy
+/// cache, a scratch buffer) does not compile behind a handle. Combined
+/// with the zoo-wide audit that no Score path writes through `mutable`
+/// members or const_cast (see DESIGN §9), any number of threads may call
+/// into one handle concurrently with no locking.
+///
+/// Handles are created once (from a checkpoint via Open(), or by adopting
+/// an already-fitted model via Adopt()) and never modified; "updating" a
+/// serving process means building a *new* handle and atomically swapping
+/// it in (see Router). They are therefore always held as
+/// `std::shared_ptr<const ServeHandle>`: an in-flight request keeps its
+/// generation of the model alive however quickly the router moves on.
+class ServeHandle {
+ public:
+  /// Loads the checkpoint at `path` via LoadModel() and wraps it.
+  /// `generation` is an opaque tag stamped into every response served from
+  /// this handle (the Router assigns consecutive generations; standalone
+  /// users may pass anything). Fails with the LoadModel() Status — missing
+  /// file, unknown model, fingerprint mismatch, truncation — without
+  /// touching `*out`.
+  static Status Open(const RecContext& context, const std::string& path,
+                     uint64_t generation,
+                     std::shared_ptr<const ServeHandle>* out);
+
+  /// Same, but restores into a caller-constructed un-fitted `prototype` —
+  /// the path for models trained under non-registry hyper-parameters,
+  /// whose checkpoints LoadModel() (correctly) refuses to restore into a
+  /// default-config instance. The usual Load() guards still apply: a
+  /// wrong model class or stale fingerprint fails with Status.
+  static Status Open(const RecContext& context, const std::string& path,
+                     std::unique_ptr<Recommender> prototype,
+                     uint64_t generation,
+                     std::shared_ptr<const ServeHandle>* out);
+
+  /// Wraps a model that was fitted (or loaded) in-process. The context
+  /// supplies the catalog size; the handle takes ownership of the model.
+  static std::shared_ptr<const ServeHandle> Adopt(
+      std::unique_ptr<const Recommender> model, const RecContext& context,
+      uint64_t generation);
+
+  const std::string& model_name() const { return model_name_; }
+  uint64_t generation() const { return generation_; }
+  int32_t num_items() const { return num_items_; }
+
+  /// f(u, v) — forwards to the model's const Score().
+  float Score(int32_t user, int32_t item) const;
+
+  /// Batched candidate scoring — forwards to the model's const
+  /// ScoreItems(), inheriting its bitwise-equality contract with Score().
+  std::vector<float> ScoreItems(int32_t user,
+                                std::span<const int32_t> items) const;
+
+  /// Full-catalog top-k: (item, score) pairs, best-first, ties toward the
+  /// smaller item id. Items in `exclude` (e.g. the user's training
+  /// history) are removed from the ranking before the cut.
+  std::vector<std::pair<int32_t, float>> Recommend(
+      int32_t user, size_t k, std::span<const int32_t> exclude = {}) const;
+
+  /// The wrapped model, const-only — the compiler enforces that callers
+  /// cannot reach a mutating member function from a serving context.
+  const Recommender& model() const { return *model_; }
+
+ private:
+  ServeHandle(std::unique_ptr<const Recommender> model,
+              const RecContext& context, uint64_t generation);
+
+  std::unique_ptr<const Recommender> model_;
+  std::string model_name_;
+  int32_t num_items_ = 0;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace kgrec::serve
+
+#endif  // KGREC_SERVE_SERVE_HANDLE_H_

@@ -58,6 +58,18 @@ TinyWorld& SharedWorld() {
   return *world;
 }
 
+/// The serving layer holds models as `const Recommender&` (see
+/// serve/serve_handle.h): this helper is the compile-time audit that the
+/// whole serve path — Score, ScoreItems, ScoreAll — is reachable through
+/// a const reference. A model that needs a non-const scoring method (a
+/// lazy cache, a scratch buffer) breaks this file's build, not a serving
+/// process at 3am.
+std::vector<float> ScoreItemsViaConstRef(const Recommender& model,
+                                         int32_t user,
+                                         std::span<const int32_t> items) {
+  return model.ScoreItems(user, items);
+}
+
 TEST(RegistrySmoke, EveryImplementedMethodHasAFactory) {
   size_t implemented = 0;
   for (const MethodInfo& info : AllMethods()) {
@@ -106,6 +118,19 @@ TEST_P(RegistrySmoke, FitScoreRecommendEvaluate) {
     }
   }
   EXPECT_TRUE(model->ScoreItems(0, {}).empty()) << GetParam();
+
+  // Const serve-path audit: the same call through a const reference (the
+  // type every ServeHandle holds) must compile and match bitwise.
+  {
+    const std::vector<int32_t> candidates{0, 31, 59};
+    const std::vector<float> via_const =
+        ScoreItemsViaConstRef(*model, 7, candidates);
+    const std::vector<float> direct = model->ScoreItems(7, candidates);
+    ASSERT_EQ(via_const.size(), direct.size()) << GetParam();
+    for (size_t i = 0; i < via_const.size(); ++i) {
+      EXPECT_EQ(via_const[i], direct[i]) << GetParam();
+    }
+  }
 
   // Recommend: ScoreAll + top-k selection yields a full, finite ranking.
   const std::vector<float> all = model->ScoreAll(3, w.world.config.num_items);

@@ -1,0 +1,479 @@
+// Functional coverage of the serving layer (serve/serve_handle.h,
+// serve/router.h): handle construction from checkpoints and from fitted
+// models, request/response round-trips through the router, bitwise
+// equality of batched/coalesced serving against direct ScoreItems calls
+// across model families, hot-swap generation accounting, admission
+// control, and the error paths (missing/mismatched checkpoints must
+// surface as Status, never as a crash or a silently wrong model).
+//
+// Synchronization in these tests follows the DESIGN §9 rule: never a
+// sleep — a blocked request is modelled by a GateRecommender that parks
+// inside ScoreItems on a std::latch the test releases.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <future>
+#include <latch>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cf/mf.h"
+#include "core/recommender.h"
+#include "core/registry.h"
+#include "data/synthetic.h"
+#include "math/topk.h"
+#include "serve/router.h"
+#include "serve/serve_handle.h"
+
+namespace kgrec {
+namespace {
+
+using serve::Router;
+using serve::RouterConfig;
+using serve::RouterStats;
+using serve::ScoreRequest;
+using serve::ScoreResponse;
+using serve::ServeHandle;
+
+struct ServeWorld {
+  SyntheticWorld world;
+  DataSplit split;
+  UserItemGraph ui_graph;
+
+  ServeWorld() {
+    WorldConfig config;
+    config.num_users = 30;
+    config.num_items = 40;
+    config.avg_interactions_per_user = 8.0;
+    config.item_relations = {{"genre", 5, 1, 0.9f}, {"studio", 8, 1, 0.7f}};
+    config.seed = 414;
+    world = GenerateWorld(config);
+    Rng rng(11);
+    split = RatioSplit(world.interactions, 0.25, rng);
+    ui_graph = BuildUserItemGraph(world, split.train);
+  }
+
+  RecContext Context(uint64_t seed = 23) const {
+    RecContext ctx;
+    ctx.train = &split.train;
+    ctx.item_kg = &world.item_kg;
+    ctx.user_item_graph = &ui_graph;
+    ctx.seed = seed;
+    return ctx;
+  }
+};
+
+ServeWorld& SharedWorld() {
+  static ServeWorld* world = new ServeWorld();
+  return *world;
+}
+
+std::string TempCheckpoint(const std::string& tag) {
+  std::string file = tag;
+  for (char& c : file) {
+    if (c == '-' || c == ' ') c = '_';
+  }
+  return std::string(::testing::TempDir()) + "/serve_" + file + ".kgrc";
+}
+
+/// Fits `name` on the shared world, checkpoints it, and opens a handle
+/// from the checkpoint. Returns the still-live fitted model through
+/// `fitted` for bitwise comparisons.
+std::shared_ptr<const ServeHandle> FitSaveOpen(
+    const std::string& name, uint64_t generation,
+    std::unique_ptr<Recommender>* fitted) {
+  ServeWorld& w = SharedWorld();
+  std::unique_ptr<Recommender> model = MakeRecommender(name);
+  EXPECT_NE(model, nullptr) << name;
+  model->Fit(w.Context());
+  const std::string path = TempCheckpoint(name);
+  EXPECT_TRUE(model->Save(path).ok()) << name;
+  std::shared_ptr<const ServeHandle> handle;
+  const Status opened =
+      ServeHandle::Open(w.Context(), path, generation, &handle);
+  EXPECT_TRUE(opened.ok()) << name << ": " << opened.ToString();
+  std::remove(path.c_str());
+  if (fitted != nullptr) *fitted = std::move(model);
+  return handle;
+}
+
+// ---- ServeHandle ------------------------------------------------------
+
+TEST(ServeHandle, OpenFromCheckpointServesBitwise) {
+  std::unique_ptr<Recommender> fitted;
+  std::shared_ptr<const ServeHandle> handle = FitSaveOpen("MF", 5, &fitted);
+  ASSERT_NE(handle, nullptr);
+  EXPECT_EQ(handle->model_name(), "MF");
+  EXPECT_EQ(handle->generation(), 5u);
+  EXPECT_EQ(handle->num_items(), 40);
+
+  const std::vector<int32_t> items{0, 17, 39, 17, 3};
+  for (int32_t user : {0, 12, 29}) {
+    const std::vector<float> direct = fitted->ScoreItems(user, items);
+    const std::vector<float> served = handle->ScoreItems(user, items);
+    ASSERT_EQ(direct.size(), served.size());
+    for (size_t i = 0; i < direct.size(); ++i) {
+      EXPECT_EQ(served[i], direct[i]) << "user " << user << " slot " << i;
+    }
+    EXPECT_EQ(handle->Score(user, items[0]), fitted->Score(user, items[0]));
+  }
+}
+
+TEST(ServeHandle, OpenMissingCheckpointReturnsStatus) {
+  std::shared_ptr<const ServeHandle> handle;
+  const Status status = ServeHandle::Open(
+      SharedWorld().Context(), "/nonexistent/dir/model.kgrc", 1, &handle);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(handle, nullptr);
+}
+
+TEST(ServeHandle, OpenWrongHyperparametersReturnsStatus) {
+  // A checkpoint written under non-registry hyper-parameters must be
+  // refused by the serve path with FailedPrecondition, exactly like a
+  // direct LoadModel — never served with garbage weights.
+  ServeWorld& w = SharedWorld();
+  MfConfig config;
+  config.dim = 8;  // registry default is 16
+  MfRecommender custom(config);
+  custom.Fit(w.Context());
+  const std::string path = TempCheckpoint("wrong_hypers");
+  ASSERT_TRUE(custom.Save(path).ok());
+  std::shared_ptr<const ServeHandle> handle;
+  const Status status = ServeHandle::Open(w.Context(), path, 1, &handle);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(handle, nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(ServeHandle, OpenWithPrototypeServesCustomHyperparameters) {
+  // The escape hatch for the test above: a caller-constructed prototype
+  // with the matching config restores and serves the same checkpoint.
+  ServeWorld& w = SharedWorld();
+  MfConfig config;
+  config.dim = 8;
+  MfRecommender custom(config);
+  custom.Fit(w.Context());
+  const std::string path = TempCheckpoint("prototype");
+  ASSERT_TRUE(custom.Save(path).ok());
+  std::shared_ptr<const ServeHandle> handle;
+  const Status status = ServeHandle::Open(
+      w.Context(), path, std::make_unique<MfRecommender>(config), 3, &handle);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(handle->generation(), 3u);
+  const std::vector<int32_t> items{0, 20, 39};
+  EXPECT_EQ(handle->ScoreItems(8, items), custom.ScoreItems(8, items));
+  std::remove(path.c_str());
+}
+
+TEST(ServeHandle, AdoptServesFittedModel) {
+  ServeWorld& w = SharedWorld();
+  std::unique_ptr<Recommender> model = MakeRecommender("BPR-MF");
+  ASSERT_NE(model, nullptr);
+  model->Fit(w.Context());
+  const float expected = model->Score(4, 21);
+  std::shared_ptr<const ServeHandle> handle =
+      ServeHandle::Adopt(std::move(model), w.Context(), 1);
+  EXPECT_EQ(handle->model_name(), "BPR-MF");
+  EXPECT_EQ(handle->Score(4, 21), expected);
+}
+
+TEST(ServeHandle, RecommendMatchesScoreAllTopK) {
+  std::unique_ptr<Recommender> fitted;
+  std::shared_ptr<const ServeHandle> handle = FitSaveOpen("MF", 1, &fitted);
+  const std::vector<float> all = fitted->ScoreAll(6, handle->num_items());
+  const auto expected = TopKScored(all, 5);
+  const auto got = handle->Recommend(6, 5);
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].first, expected[i].first) << "rank " << i;
+    EXPECT_EQ(got[i].second, expected[i].second) << "rank " << i;
+  }
+
+  // Exclusion: the excluded items never appear, the rest keep their
+  // relative order.
+  const std::vector<int32_t> exclude{expected[0].first, expected[2].first};
+  const auto filtered = handle->Recommend(6, 5, exclude);
+  for (const auto& [item, score] : filtered) {
+    EXPECT_NE(item, exclude[0]);
+    EXPECT_NE(item, exclude[1]);
+  }
+  ASSERT_GE(filtered.size(), 2u);
+  EXPECT_EQ(filtered[0].first, expected[1].first);
+}
+
+// ---- Router: round-trip and bitwise equality --------------------------
+
+TEST(ServeRouter, RoundTripBitwise) {
+  std::unique_ptr<Recommender> fitted;
+  std::shared_ptr<const ServeHandle> handle =
+      FitSaveOpen("RippleNet", 1, &fitted);
+  RouterConfig config;
+  config.num_threads = 2;
+  Router router(config, handle);
+  EXPECT_EQ(router.current()->generation(), 1u);
+
+  const std::vector<int32_t> items{0, 9, 39, 9, 2};
+  std::vector<std::future<ScoreResponse>> futures;
+  const std::vector<int32_t> users{0, 7, 29, 7};
+  futures.reserve(users.size());
+  for (int32_t user : users) {
+    futures.push_back(router.Submit({user, items}));
+  }
+  for (size_t r = 0; r < users.size(); ++r) {
+    ScoreResponse response = futures[r].get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_EQ(response.generation, 1u);
+    EXPECT_GE(response.completed_ns, response.submitted_ns);
+    const std::vector<float> direct = fitted->ScoreItems(users[r], items);
+    ASSERT_EQ(response.scores.size(), direct.size());
+    for (size_t i = 0; i < direct.size(); ++i) {
+      EXPECT_EQ(response.scores[i], direct[i])
+          << "request " << r << " slot " << i;
+    }
+  }
+  const RouterStats stats = router.Stats();
+  EXPECT_EQ(stats.accepted, users.size());
+  EXPECT_EQ(stats.responses, users.size());
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(ServeRouter, BatchedVsDirectAcrossFamilies) {
+  // One family per KG-usage column of the survey plus a CF baseline:
+  // routed responses (including same-user coalescing) must be bitwise
+  // what a direct ScoreItems call on the fitted model returns.
+  const std::vector<std::string> families{"MF", "CKE", "KGCN", "KPRN",
+                                          "RippleNet"};
+  for (const std::string& name : families) {
+    std::unique_ptr<Recommender> fitted;
+    std::shared_ptr<const ServeHandle> handle = FitSaveOpen(name, 1, &fitted);
+    RouterConfig config;
+    config.num_threads = 2;
+    Router router(config, handle);
+
+    std::vector<std::vector<int32_t>> item_lists{
+        {0, 5, 39}, {17, 17, 2, 30}, {8}, {3, 1, 4, 1, 5}};
+    std::vector<int32_t> users{3, 3, 11, 28};  // two same-user requests
+    std::vector<std::future<ScoreResponse>> futures;
+    for (size_t r = 0; r < users.size(); ++r) {
+      futures.push_back(router.Submit({users[r], item_lists[r]}));
+    }
+    for (size_t r = 0; r < users.size(); ++r) {
+      ScoreResponse response = futures[r].get();
+      ASSERT_TRUE(response.status.ok())
+          << name << ": " << response.status.ToString();
+      const std::vector<float> direct =
+          fitted->ScoreItems(users[r], item_lists[r]);
+      ASSERT_EQ(response.scores.size(), direct.size()) << name;
+      for (size_t i = 0; i < direct.size(); ++i) {
+        EXPECT_EQ(response.scores[i], direct[i])
+            << name << " request " << r << " slot " << i;
+      }
+    }
+  }
+}
+
+// ---- Router: hot swap -------------------------------------------------
+
+TEST(ServeRouter, SwapFlipsGenerationAndModel) {
+  ServeWorld& w = SharedWorld();
+  // Two MF fits under different training seeds: genuinely different
+  // parameters, same hyper-fingerprint.
+  std::unique_ptr<Recommender> model_a = MakeRecommender("MF");
+  model_a->Fit(w.Context(23));
+  std::unique_ptr<Recommender> model_b = MakeRecommender("MF");
+  model_b->Fit(w.Context(57));
+  const std::vector<int32_t> items{1, 13, 37};
+  const std::vector<float> expect_a = model_a->ScoreItems(9, items);
+  const std::vector<float> expect_b = model_b->ScoreItems(9, items);
+  ASSERT_NE(expect_a, expect_b) << "seeds should differentiate the fits";
+
+  const std::string path_b = TempCheckpoint("swap_b");
+  ASSERT_TRUE(model_b->Save(path_b).ok());
+
+  Router router({}, ServeHandle::Adopt(std::move(model_a), w.Context(), 1));
+  ScoreResponse before = router.ScoreSync({9, items});
+  ASSERT_TRUE(before.status.ok());
+  EXPECT_EQ(before.generation, 1u);
+  EXPECT_EQ(before.scores, expect_a);
+
+  const Status swapped = router.SwapFromCheckpoint(w.Context(57), path_b);
+  ASSERT_TRUE(swapped.ok()) << swapped.ToString();
+  EXPECT_EQ(router.current()->generation(), 2u);
+
+  ScoreResponse after = router.ScoreSync({9, items});
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_EQ(after.generation, 2u);
+  EXPECT_EQ(after.scores, expect_b);
+  EXPECT_EQ(router.Stats().swaps, 1u);
+  std::remove(path_b.c_str());
+}
+
+TEST(ServeRouter, FailedSwapKeepsOldHandleServing) {
+  std::unique_ptr<Recommender> fitted;
+  std::shared_ptr<const ServeHandle> handle = FitSaveOpen("MF", 1, &fitted);
+  Router router({}, handle);
+
+  const Status bad = router.SwapFromCheckpoint(SharedWorld().Context(),
+                                               "/nonexistent/model.kgrc");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(router.current()->generation(), 1u);
+  EXPECT_EQ(router.Stats().swaps, 0u);
+
+  const std::vector<int32_t> items{2, 4, 6};
+  ScoreResponse response = router.ScoreSync({1, items});
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(response.generation, 1u);
+  EXPECT_EQ(response.scores, fitted->ScoreItems(1, items));
+}
+
+// ---- Router: admission control and lifecycle --------------------------
+
+/// A stub whose first ScoreItems call parks on `release` after signalling
+/// `entered`, turning "the pool is busy serving" into a deterministic
+/// test state (DESIGN §9: latches, not sleeps).
+class GateRecommender : public Recommender {
+ public:
+  GateRecommender(std::latch* entered, std::latch* release)
+      : entered_(entered), release_(release) {}
+
+  std::string name() const override { return "Gate"; }
+  void Fit(const RecContext&) override {}
+  float Score(int32_t user, int32_t item) const override {
+    return static_cast<float>(user * 1000 + item);
+  }
+  std::vector<float> ScoreItems(
+      int32_t user, std::span<const int32_t> items) const override {
+    entered_->count_down();
+    release_->wait();  // no-op once the latch has been opened
+    return Recommender::ScoreItems(user, items);
+  }
+
+ private:
+  std::latch* entered_;
+  std::latch* release_;
+};
+
+TEST(ServeRouter, AdmissionQueueRejectsWhenFull) {
+  ServeWorld& w = SharedWorld();
+  std::latch entered(1);
+  std::latch release(1);
+  auto gate = std::make_unique<GateRecommender>(&entered, &release);
+  RouterConfig config;
+  config.num_threads = 1;  // single worker: the gate blocks the pool
+  config.max_queue = 3;
+  Router router(config, ServeHandle::Adopt(std::move(gate), w.Context(), 1));
+
+  // First request: drained immediately, then parks inside ScoreItems.
+  std::vector<std::future<ScoreResponse>> futures;
+  futures.push_back(router.Submit({0, {1, 2}}));
+  entered.wait();
+
+  // The worker is parked, so these stack up in the admission queue...
+  for (int32_t r = 0; r < 3; ++r) {
+    futures.push_back(router.Submit({r + 1, {3}}));
+  }
+  // ...and the queue is now full: the next request is refused instantly.
+  ScoreResponse rejected = router.Submit({9, {4}}).get();
+  EXPECT_EQ(rejected.status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(rejected.scores.empty());
+
+  release.count_down();
+  for (size_t r = 0; r < futures.size(); ++r) {
+    ScoreResponse response = futures[r].get();
+    EXPECT_TRUE(response.status.ok()) << "request " << r;
+  }
+  const RouterStats stats = router.Stats();
+  EXPECT_EQ(stats.accepted, 4u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.responses, 4u);
+}
+
+TEST(ServeRouter, CoalescesSameUserRequests) {
+  ServeWorld& w = SharedWorld();
+  std::latch entered(1);
+  std::latch release(1);
+  auto gate = std::make_unique<GateRecommender>(&entered, &release);
+  RouterConfig config;
+  config.num_threads = 1;
+  Router router(config, ServeHandle::Adopt(std::move(gate), w.Context(), 1));
+
+  // Park the worker, then queue three same-user requests plus one other:
+  // the next drain must steal all four at once and coalesce user 7's
+  // three requests into a single ScoreItems dispatch.
+  std::vector<std::future<ScoreResponse>> futures;
+  futures.push_back(router.Submit({0, {1}}));
+  entered.wait();
+  futures.push_back(router.Submit({7, {10, 11}}));
+  futures.push_back(router.Submit({7, {12}}));
+  futures.push_back(router.Submit({7, {13, 14, 15}}));
+  futures.push_back(router.Submit({5, {20}}));
+  release.count_down();
+
+  for (auto& future : futures) {
+    ScoreResponse response = future.get();
+    ASSERT_TRUE(response.status.ok());
+    // The gate scores user*1000 + item: coalescing must not leak one
+    // request's items into another's response.
+    EXPECT_FALSE(response.scores.empty());
+  }
+  const RouterStats stats = router.Stats();
+  EXPECT_EQ(stats.accepted, 5u);
+  EXPECT_EQ(stats.responses, 5u);
+  // Batches: gate request (1) + user 7 (1, coalescing 3 requests) +
+  // user 5 (1) = 3; two of user 7's requests were merged away.
+  EXPECT_EQ(stats.batches, 3u);
+  EXPECT_EQ(stats.coalesced, 2u);
+}
+
+TEST(ServeRouter, SplitsCoalescedResponsesCorrectly) {
+  // Same shape as above, but against a real model so the split points of
+  // the concatenated ScoreItems result are checked bitwise.
+  std::unique_ptr<Recommender> fitted;
+  std::shared_ptr<const ServeHandle> handle = FitSaveOpen("CKE", 1, &fitted);
+  RouterConfig config;
+  config.num_threads = 1;
+  Router router(config, handle);
+
+  const std::vector<std::vector<int32_t>> lists{{10, 11}, {12}, {13, 14, 15}};
+  std::vector<std::future<ScoreResponse>> futures;
+  futures.reserve(lists.size());
+  for (const auto& list : lists) {
+    futures.push_back(router.Submit({7, list}));
+  }
+  for (size_t r = 0; r < lists.size(); ++r) {
+    ScoreResponse response = futures[r].get();
+    ASSERT_TRUE(response.status.ok());
+    const std::vector<float> direct = fitted->ScoreItems(7, lists[r]);
+    ASSERT_EQ(response.scores.size(), direct.size());
+    for (size_t i = 0; i < direct.size(); ++i) {
+      EXPECT_EQ(response.scores[i], direct[i])
+          << "request " << r << " slot " << i;
+    }
+  }
+}
+
+TEST(ServeRouter, DestructorDeliversEveryAdmittedRequest) {
+  std::unique_ptr<Recommender> fitted;
+  std::shared_ptr<const ServeHandle> handle = FitSaveOpen("MF", 1, &fitted);
+  std::vector<std::future<ScoreResponse>> futures;
+  {
+    RouterConfig config;
+    config.num_threads = 2;
+    Router router(config, handle);
+    futures.reserve(16);
+    for (int32_t r = 0; r < 16; ++r) {
+      futures.push_back(router.Submit({r % 30, {0, 1, 2}}));
+    }
+    // Router destroyed with requests possibly still in flight.
+  }
+  for (auto& future : futures) {
+    ASSERT_TRUE(future.valid());
+    ScoreResponse response = future.get();  // must not hang or throw
+    EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace kgrec

@@ -23,6 +23,9 @@ TEST(StatusTest, FactoriesCarryCodeAndMessage) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Unavailable("queue full").ToString(),
+            "Unavailable: queue full");
   Status s = Status::InvalidArgument("bad triple");
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.message(), "bad triple");
