@@ -1,6 +1,8 @@
 #include "serve/router.h"
 
 #include <chrono>
+
+#include "core/check.h"
 #include <exception>
 #include <unordered_map>
 #include <utility>
@@ -95,7 +97,14 @@ void Router::DrainLoop() {
       }
       stolen.swap(pending_);
       handle = current_;
+      // Provisional lease: the stolen batch must hold Swap's drain open
+      // while the lock is released for grouping — otherwise a swap in
+      // that window could observe zero inflight work and return before
+      // the batch is served on the old generation. Converted to
+      // one-lease-per-group below.
+      ++inflight_[handle.get()];
     }
+    if (post_steal_hook_) post_steal_hook_();
 
     // Group the stolen requests by user, preserving arrival order both
     // across groups (first-arrival) and within each group, so the
@@ -110,9 +119,18 @@ void Router::DrainLoop() {
 
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      // One lease per group on the handle that will serve it; Swap's
-      // drain waits for these to return to zero.
-      inflight_[handle.get()] += groups.size();
+      // Convert the provisional lease into one lease per group on the
+      // handle that will serve it; Swap's drain waits for these to
+      // return to zero. `groups` is non-empty (stolen was non-empty),
+      // but handle the general case: a zero-group batch releases the
+      // provisional lease and wakes the drain.
+      auto it = inflight_.find(handle.get());
+      KGREC_CHECK(it != inflight_.end());
+      it->second += groups.size();
+      if (--it->second == 0) {
+        inflight_.erase(it);
+        drained_cv_.notify_all();
+      }
       stats_.batches += groups.size();
       for (const std::vector<Pending>& group : groups) {
         stats_.coalesced += group.size() - 1;
@@ -151,6 +169,13 @@ void Router::ServeGroup(const std::shared_ptr<const ServeHandle>& handle,
   } catch (...) {
     status = Status::Internal("serve failure");
   }
+  // A model violating the ScoreItems contract (one score per item) must
+  // surface as a clean Internal status, not an out-of-bounds slice below.
+  if (status.ok() && scores.size() != merged.size()) {
+    status = Status::Internal("serve failure: model returned " +
+                              std::to_string(scores.size()) + " scores for " +
+                              std::to_string(merged.size()) + " items");
+  }
   const uint64_t completed_ns = NowNs();
 
   // Account the deliveries first: a client that has already collected
@@ -180,6 +205,7 @@ void Router::ServeGroup(const std::shared_ptr<const ServeHandle>& handle,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = inflight_.find(handle.get());
+    KGREC_CHECK(it != inflight_.end());  // leasing invariant
     if (--it->second == 0) inflight_.erase(it);
   }
   drained_cv_.notify_all();
@@ -232,6 +258,16 @@ std::shared_ptr<const ServeHandle> Router::current() const {
 RouterStats Router::Stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+void Router::SetPostStealHookForTest(std::function<void()> hook) {
+  post_steal_hook_ = std::move(hook);
+}
+
+size_t Router::InflightForTest(const ServeHandle* handle) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = inflight_.find(handle);
+  return it == inflight_.end() ? 0 : it->second;
 }
 
 }  // namespace kgrec::serve

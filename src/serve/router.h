@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -125,6 +126,15 @@ class Router {
 
   RouterStats Stats() const;
 
+  /// Test-only: `hook` runs on the drain task, outside the router lock,
+  /// right after a batch is stolen — i.e. inside the unlocked grouping
+  /// window that the provisional drain lease protects. Set it before any
+  /// traffic is submitted; it is not synchronized against running drains.
+  void SetPostStealHookForTest(std::function<void()> hook);
+
+  /// Test-only: current drain-lease count for `handle` (0 when absent).
+  size_t InflightForTest(const ServeHandle* handle) const;
+
  private:
   struct Pending {
     int32_t user = 0;
@@ -160,6 +170,7 @@ class Router {
   bool drain_scheduled_ = false;
   bool stopping_ = false;
   RouterStats stats_;
+  std::function<void()> post_steal_hook_;
 
   /// Serializes swaps against each other (never held by pool tasks).
   std::mutex swap_mutex_;

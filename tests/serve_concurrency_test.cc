@@ -318,6 +318,38 @@ TEST(ServeConcurrency, SwapDrainsInFlightResponsesBeforeReturning) {
   EXPECT_EQ(after.generation, 2u);
 }
 
+TEST(ServeConcurrency, StolenBatchHoldsDrainLeaseThroughGroupingWindow) {
+  // Regression for a drain race: DrainLoop steals the queue under the
+  // router lock, releases the lock to group requests by user, and only
+  // then re-locks to register per-group leases. A swap landing in that
+  // unlocked window must still observe the stolen batch as in-flight on
+  // the old generation — the provisional lease registered at steal time
+  // — or Swap() could return before the batch is served (and delivered)
+  // on the old handle, violating the drain contract.
+  ServeWorld& w = SharedWorld();
+  std::unique_ptr<Recommender> model = MakeRecommender("Popularity");
+  model->Fit(w.Context());
+  RouterConfig config;
+  config.num_threads = 1;
+  Router router(config, ServeHandle::Adopt(std::move(model), w.Context(), 1));
+  const ServeHandle* generation1 = router.current().get();
+
+  std::atomic<int> window_hits{0};
+  std::atomic<size_t> lease_in_window{0};
+  router.SetPostStealHookForTest([&] {
+    if (window_hits.fetch_add(1) == 0) {
+      lease_in_window.store(router.InflightForTest(generation1));
+    }
+  });
+
+  const ScoreResponse response = router.ScoreSync({3, {1, 2}});
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.generation, 1u);
+  EXPECT_GE(window_hits.load(), 1);
+  EXPECT_EQ(lease_in_window.load(), 1u)
+      << "grouping window left the old generation drainable";
+}
+
 // ---- Accounting under overload -----------------------------------------
 
 TEST(ServeConcurrency, NoLostOrDuplicatedResponsesUnderOverload) {
