@@ -103,6 +103,93 @@ inline void PrintRule(int width) {
   std::putchar('\n');
 }
 
+/// Minimal JSON emitter for the machine-readable bench artifacts
+/// (BENCH_*.json): flat objects and arrays built as strings, no external
+/// dependency. Numbers print with enough digits to round-trip a double;
+/// strings are escaped per RFC 8259.
+class JsonWriter {
+ public:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  JsonWriter& Field(const std::string& name, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return Raw(name, buf);
+  }
+  JsonWriter& Field(const std::string& name, size_t value) {
+    return Raw(name, std::to_string(value));
+  }
+  JsonWriter& Field(const std::string& name, int value) {
+    return Raw(name, std::to_string(value));
+  }
+  JsonWriter& Field(const std::string& name, bool value) {
+    return Raw(name, value ? "true" : "false");
+  }
+  JsonWriter& Field(const std::string& name, const std::string& value) {
+    return Raw(name, "\"" + Escape(value) + "\"");
+  }
+  JsonWriter& Field(const std::string& name, const char* value) {
+    return Field(name, std::string(value));
+  }
+  /// Nested object/array: `json` is already-serialized JSON.
+  JsonWriter& Raw(const std::string& name, const std::string& json) {
+    if (!fields_.empty()) fields_ += ",";
+    fields_ += "\"" + Escape(name) + "\":" + json;
+    return *this;
+  }
+
+  /// This object as a JSON value.
+  std::string str() const { return "{" + fields_ + "}"; }
+
+  /// Serializes a list of already-serialized values.
+  static std::string Array(const std::vector<std::string>& values) {
+    std::string out = "[";
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out += ",";
+      out += values[i];
+    }
+    return out + "]";
+  }
+
+  /// Writes `json` to `path` (with a trailing newline); returns false and
+  /// prints to stderr on I/O failure.
+  static bool WriteFile(const std::string& path, const std::string& json) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    const bool ok = std::fputs(json.c_str(), f) >= 0 && std::fputc('\n', f) != EOF;
+    std::fclose(f);
+    if (!ok) std::fprintf(stderr, "short write to %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  std::string fields_;
+};
+
 }  // namespace kgrec::bench
 
 #endif  // KGREC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,358 @@
+// Retrieval-layer scaling bench and CI gate.
+//
+//   ./retrieval_scaling          full sweep: catalog size × probe count,
+//                                recall@10 vs speedup over the exact scan
+//   ./retrieval_scaling --smoke  CI gate (tier1): tiny sweep, asserts
+//                                (a) BruteForceIndex top-K is bitwise
+//                                    ScoreAll + TopKScored for every
+//                                    factorizable registry model,
+//                                (b) IvfIndex recall@10 >= 0.95 at the
+//                                    default probe setting,
+//                                (c) probes == clusters is bitwise the
+//                                    brute-force result.
+//
+// Two parts. Part 1 fits every factorizable model on a small world and
+// checks its exact index against the exhaustive reference — the
+// export-contract gate (DESIGN §10). Part 2 sweeps synthetic Gaussian
+// embeddings (retrieval cost depends only on catalog geometry, not on
+// how the factors were trained) and reports exact-scan vs IVF QPS,
+// latency percentiles and measured recall.
+//
+// Emits machine-readable BENCH_retrieval.json next to the binary.
+// Exits non-zero on any gate failure.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/recommender.h"
+#include "core/registry.h"
+#include "data/presets.h"
+#include "math/rng.h"
+#include "math/topk.h"
+#include "retrieval/factors.h"
+#include "retrieval/index.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using kgrec::retrieval::BruteForceIndex;
+using kgrec::retrieval::ItemFactors;
+using kgrec::retrieval::IvfConfig;
+using kgrec::retrieval::IvfIndex;
+using kgrec::retrieval::ScoreKernel;
+
+constexpr size_t kK = 10;
+
+bool SameRanking(const std::vector<std::pair<int32_t, float>>& a,
+                 const std::vector<std::pair<int32_t, float>>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Bitwise: NaN == NaN must pass, +0 vs -0 must fail.
+    if (a[i].first != b[i].first ||
+        std::memcmp(&a[i].second, &b[i].second, sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double RecallAt(const std::vector<std::pair<int32_t, float>>& exact,
+                const std::vector<std::pair<int32_t, float>>& approx) {
+  if (exact.empty()) return 1.0;
+  size_t hit = 0;
+  for (const auto& [item, score] : approx) {
+    for (const auto& [ref_item, ref_score] : exact) {
+      if (item == ref_item) {
+        ++hit;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hit) / static_cast<double>(exact.size());
+}
+
+double Percentile(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(index, sorted_us.size() - 1)];
+}
+
+struct QueryTiming {
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Runs every query through `index` and times each Query() call.
+QueryTiming TimeQueries(const kgrec::retrieval::ItemIndex& index,
+                        const kgrec::Matrix& queries, size_t k,
+                        std::vector<std::vector<std::pair<int32_t, float>>>*
+                            results) {
+  results->clear();
+  results->reserve(queries.rows());
+  std::vector<double> lat_us;
+  lat_us.reserve(queries.rows());
+  const auto start = Clock::now();
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const auto t0 = Clock::now();
+    results->push_back(index.Query(
+        std::span<const float>(queries.Row(q), queries.cols()), k));
+    const auto t1 = Clock::now();
+    lat_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  QueryTiming timing;
+  timing.qps = wall > 0 ? static_cast<double>(queries.rows()) / wall : 0.0;
+  std::sort(lat_us.begin(), lat_us.end());
+  timing.p50_us = Percentile(lat_us, 0.50);
+  timing.p99_us = Percentile(lat_us, 0.99);
+  return timing;
+}
+
+/// Part 1: for each factorizable registry model, fit on the shared world
+/// and require BruteForceIndex::Query == ScoreAll + TopKScored bitwise.
+bool RunModelGate(const kgrec::bench::Workbench& bench,
+                  std::vector<std::string>* json_rows) {
+  const kgrec::RecContext ctx = bench.Context(17);
+  const int32_t num_items = ctx.train->num_items();
+  const int32_t num_users = ctx.train->num_users();
+  bool all_ok = true;
+
+  std::printf("%-10s %-14s %-8s %10s\n", "model", "kernel", "bitwise",
+              "scan QPS");
+  kgrec::bench::PrintRule(46);
+  for (const std::string& name : kgrec::FactorizableMethodNames()) {
+    std::unique_ptr<kgrec::Recommender> model = kgrec::MakeRecommender(name);
+    model->Fit(ctx);
+    const kgrec::DotProductFactors* factors = kgrec::AsFactorizable(*model);
+    BruteForceIndex index(factors->ExportItemFactors());
+
+    bool bitwise = index.num_items() == static_cast<size_t>(num_items);
+    const int32_t probe_users = std::min<int32_t>(num_users, 32);
+    std::vector<float> query(factors->factor_dim());
+    const auto start = Clock::now();
+    for (int32_t user = 0; user < probe_users; ++user) {
+      const std::vector<float> scores = model->ScoreAll(user, num_items);
+      const auto reference = kgrec::TopKScored(scores, kK);
+      factors->FillUserQuery(user, query);
+      const auto got = index.Query(query, kK);
+      if (!SameRanking(reference, got)) {
+        bitwise = false;
+        std::fprintf(stderr,
+                     "FAIL %s user %d: exact index != ScoreAll+TopKScored\n",
+                     name.c_str(), user);
+        break;
+      }
+    }
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    const double qps =
+        wall > 0 ? static_cast<double>(probe_users) / wall : 0.0;
+    const char* kernel =
+        kgrec::retrieval::ScoreKernelName(factors->factor_kernel());
+    std::printf("%-10s %-14s %-8s %10.0f\n", name.c_str(), kernel,
+                bitwise ? "yes" : "NO", qps);
+    all_ok = all_ok && bitwise;
+
+    json_rows->push_back(kgrec::bench::JsonWriter()
+                             .Field("model", name)
+                             .Field("kernel", kernel)
+                             .Field("bitwise", bitwise)
+                             .str());
+  }
+  return all_ok;
+}
+
+struct SweepGate {
+  bool ok = true;
+  double default_probe_recall = 1.0;
+};
+
+/// Part 2: synthetic-embedding sweep, catalog size × probe count.
+SweepGate RunSweep(const std::vector<size_t>& catalog_sizes,
+                   size_t num_queries, bool smoke,
+                   std::vector<std::string>* json_rows) {
+  constexpr size_t kDim = 32;
+  SweepGate gate;
+
+  std::printf("\n%-9s %-9s %-8s %-7s %10s %9s %9s %9s\n", "catalog",
+              "clusters", "probes", "recall", "QPS", "p50 us", "p99 us",
+              "speedup");
+  kgrec::bench::PrintRule(78);
+  for (size_t n : catalog_sizes) {
+    kgrec::Rng rng(kgrec::Rng(99).Fork(n).NextUint64());
+    // Trained item embeddings cluster (the synthetic worlds build items
+    // from latent attribute clusters; real catalogs from genres/brands),
+    // so the sweep geometry is a Gaussian mixture, not i.i.d. noise —
+    // i.i.d. Gaussian is the adversarial no-structure case where *no*
+    // cluster-pruned index can work.
+    const size_t gen_clusters = std::max<size_t>(8, n / 40);
+    kgrec::Matrix centers(gen_clusters, kDim);
+    for (size_t i = 0; i < centers.size(); ++i) {
+      centers.data()[i] = static_cast<float>(rng.Normal());
+    }
+    ItemFactors factors;
+    factors.kernel = ScoreKernel::kDot;
+    factors.items = kgrec::Matrix(n, kDim);
+    for (size_t i = 0; i < n; ++i) {
+      const float* center = centers.Row(rng.UniformInt(gen_clusters));
+      float* row = factors.items.Row(i);
+      for (size_t c = 0; c < kDim; ++c) {
+        row[c] = center[c] + 0.15f * static_cast<float>(rng.Normal());
+      }
+    }
+    kgrec::Matrix queries(num_queries, kDim);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      queries.data()[i] = static_cast<float>(rng.Normal());
+    }
+
+    ItemFactors exact_copy;
+    exact_copy.kernel = factors.kernel;
+    exact_copy.items = factors.items;
+    BruteForceIndex exact(std::move(exact_copy));
+    std::vector<std::vector<std::pair<int32_t, float>>> exact_results;
+    const QueryTiming exact_timing =
+        TimeQueries(exact, queries, kK, &exact_results);
+    std::printf("%-9zu %-9s %-8s %-7s %10.0f %9.1f %9.1f %9s\n", n, "-",
+                "exact", "1.000", exact_timing.qps, exact_timing.p50_us,
+                exact_timing.p99_us, "1.0x");
+    json_rows->push_back(kgrec::bench::JsonWriter()
+                             .Field("catalog", n)
+                             .Field("index", "brute-force")
+                             .Field("recall_at_10", 1.0)
+                             .Field("qps", exact_timing.qps)
+                             .Field("p50_us", exact_timing.p50_us)
+                             .Field("p99_us", exact_timing.p99_us)
+                             .Field("bitwise", true)
+                             .str());
+
+    IvfConfig base;  // num_clusters = 0 -> ceil(sqrt(n))
+    IvfIndex probe_of_default(
+        [&] {
+          ItemFactors copy;
+          copy.kernel = factors.kernel;
+          copy.items = factors.items;
+          return copy;
+        }(),
+        base);
+    const size_t num_clusters = probe_of_default.num_clusters();
+
+    std::vector<size_t> probe_counts =
+        smoke ? std::vector<size_t>{2, base.num_probes, num_clusters}
+              : std::vector<size_t>{1, 2, 4, base.num_probes, 16,
+                                    num_clusters};
+    for (size_t probes : probe_counts) {
+      if (probes > num_clusters) continue;
+      IvfConfig config = base;
+      config.num_probes = probes;
+      ItemFactors copy;
+      copy.kernel = factors.kernel;
+      copy.items = factors.items;
+      IvfIndex ivf(std::move(copy), config);
+
+      std::vector<std::vector<std::pair<int32_t, float>>> ivf_results;
+      const QueryTiming timing = TimeQueries(ivf, queries, kK, &ivf_results);
+      double recall = 0.0;
+      bool bitwise = true;
+      for (size_t q = 0; q < exact_results.size(); ++q) {
+        recall += RecallAt(exact_results[q], ivf_results[q]);
+        bitwise = bitwise && SameRanking(exact_results[q], ivf_results[q]);
+      }
+      recall /= exact_results.empty()
+                    ? 1.0
+                    : static_cast<double>(exact_results.size());
+
+      if (probes == base.num_probes) {
+        gate.default_probe_recall =
+            std::min(gate.default_probe_recall, recall);
+      }
+      if (probes == num_clusters && !bitwise) {
+        std::fprintf(stderr,
+                     "FAIL catalog %zu: probes==clusters is not bitwise "
+                     "the brute-force result\n",
+                     n);
+        gate.ok = false;
+      }
+
+      const double speedup =
+          exact_timing.qps > 0 ? timing.qps / exact_timing.qps : 0.0;
+      std::printf("%-9zu %-9zu %-8zu %-7.3f %10.0f %9.1f %9.1f %8.1fx\n", n,
+                  num_clusters, probes, recall, timing.qps, timing.p50_us,
+                  timing.p99_us, speedup);
+      json_rows->push_back(kgrec::bench::JsonWriter()
+                               .Field("catalog", n)
+                               .Field("index", "ivf")
+                               .Field("clusters", num_clusters)
+                               .Field("probes", probes)
+                               .Field("recall_at_10", recall)
+                               .Field("qps", timing.qps)
+                               .Field("p50_us", timing.p50_us)
+                               .Field("p99_us", timing.p99_us)
+                               .Field("bitwise", bitwise)
+                               .str());
+    }
+  }
+  return gate;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  // Part 1: export-contract gate over the factorizable zoo.
+  kgrec::WorldConfig config = kgrec::GetPreset("movielens-100k").config;
+  if (smoke) {
+    config.num_users = 80;
+    config.num_items = 150;
+    config.avg_interactions_per_user = 12.0;
+  }
+  const kgrec::bench::Workbench bench = kgrec::bench::MakeWorkbench(config);
+  std::vector<std::string> model_rows;
+  const bool models_ok = RunModelGate(bench, &model_rows);
+
+  // Part 2: catalog × probes sweep on synthetic embeddings.
+  const std::vector<size_t> catalog_sizes =
+      smoke ? std::vector<size_t>{2000}
+            : std::vector<size_t>{10000, 50000, 200000};
+  std::vector<std::string> sweep_rows;
+  const SweepGate gate =
+      RunSweep(catalog_sizes, smoke ? 50 : 200, smoke, &sweep_rows);
+
+  const bool recall_ok = gate.default_probe_recall >= 0.95;
+  if (!recall_ok) {
+    std::fprintf(stderr,
+                 "FAIL recall@10 at default probes = %.3f < 0.95\n",
+                 gate.default_probe_recall);
+  }
+
+  const bool ok = models_ok && gate.ok && recall_ok;
+  const std::string json =
+      kgrec::bench::JsonWriter()
+          .Field("bench", "retrieval_scaling")
+          .Field("mode", smoke ? "smoke" : "full")
+          .Field("k", kK)
+          .Field("exact_bitwise", models_ok)
+          .Field("default_probe_recall_at_10", gate.default_probe_recall)
+          .Field("pass", ok)
+          .Raw("models", kgrec::bench::JsonWriter::Array(model_rows))
+          .Raw("sweep", kgrec::bench::JsonWriter::Array(sweep_rows))
+          .str();
+  kgrec::bench::JsonWriter::WriteFile("BENCH_retrieval.json", json);
+
+  std::printf("\n%s\n", ok ? "PASS: exact index bitwise, recall gate met"
+                           : "FAIL: see messages above");
+  return ok ? 0 : 1;
+}

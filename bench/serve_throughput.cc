@@ -262,16 +262,17 @@ int main(int argc, char** argv) {
   kgrec::bench::PrintRule(76);
 
   bool all_ok = true;
+  std::vector<std::string> json_rows;
   for (const std::string& name : families) {
     const LoadResult row =
         DriveFamily(name, bench, !smoke, num_clients, requests_per_client,
                     candidates, target_qps);
     const bool ok = row.error.empty() && row.bitwise &&
                     row.delivered == row.requests;
+    const double qps =
+        row.wall_s > 0.0 ? static_cast<double>(row.delivered) / row.wall_s
+                         : 0.0;
     if (ok) {
-      const double qps =
-          row.wall_s > 0.0 ? static_cast<double>(row.delivered) / row.wall_s
-                           : 0.0;
       std::printf("%-12s %9zu %9.0f %11.1f %11.1f %9.2f %9s\n", name.c_str(),
                   row.delivered, qps, row.p50_us, row.p99_us, row.swap_ms,
                   "yes");
@@ -280,8 +281,26 @@ int main(int argc, char** argv) {
                   row.delivered, "-", "-", "-", "-", row.error.c_str());
       all_ok = false;
     }
+    json_rows.push_back(kgrec::bench::JsonWriter()
+                            .Field("model", name)
+                            .Field("delivered", row.delivered)
+                            .Field("qps", qps)
+                            .Field("p50_us", row.p50_us)
+                            .Field("p99_us", row.p99_us)
+                            .Field("swap_ms", row.swap_ms)
+                            .Field("bitwise", row.bitwise)
+                            .Field("error", row.error)
+                            .str());
   }
   kgrec::bench::PrintRule(76);
+  kgrec::bench::JsonWriter::WriteFile(
+      "BENCH_serve.json", kgrec::bench::JsonWriter()
+                              .Field("bench", "serve_throughput")
+                              .Field("mode", smoke ? "smoke" : "full")
+                              .Field("pass", all_ok)
+                              .Raw("rows", kgrec::bench::JsonWriter::Array(
+                                               json_rows))
+                              .str());
   std::printf(
       "\nContract: every routed response — across per-user coalescing and a\n"
       "mid-traffic hot swap — is bitwise what a direct ScoreItems call on\n"

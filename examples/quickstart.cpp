@@ -4,13 +4,18 @@
 //   4. evaluate, 5. print top-5 recommendations for one user,
 //   6. checkpoint the model and serve the same top-5 from a fresh load,
 //   7. stand up the serving layer (ServeHandle + Router) over the
-//      checkpoint and hot-swap a new generation under live requests.
+//      checkpoint and hot-swap a new generation under live requests,
+//   8. serve catalog top-K through the retrieval layer: a factorizable
+//      model answers through an exact index (bitwise the exhaustive
+//      scan, O(K) memory), and the non-factorizable RippleNet ranker
+//      serves through the two-stage retrieve-then-rerank path.
 //
 // Build & run:  ./build/examples/quickstart
 
 #include <cstdio>
 #include <memory>
 
+#include "cf/mf.h"
 #include "core/recommender.h"
 #include "core/registry.h"
 #include "core/thread_pool.h"
@@ -149,6 +154,63 @@ int main() {
       static_cast<unsigned long long>(before_swap.generation),
       static_cast<unsigned long long>(after_swap.generation),
       swap_ok ? "scores bitwise identical" : "DIVERGED — BUG");
+  if (!swap_ok) {
+    std::remove(path.c_str());
+    return 1;
+  }
+
+  // 8. Catalog top-K through the retrieval layer. A factorizable model
+  // (MF: score = u . v) adopted with the default RetrievalSpec serves
+  // Recommend() through an exact index over its exported item factors —
+  // bitwise identical to scoring the whole catalog, but O(K) memory per
+  // request. Exclusion (here: the user's training history) is a
+  // selection filter, never a score overwrite, so it composes with any
+  // score a model can emit (including -inf).
+  std::vector<int32_t> history;
+  for (int32_t j = 0; j < config.num_items; ++j) {
+    if (split.train.Contains(user, j)) history.push_back(j);
+  }
+  auto mf = std::make_unique<MfRecommender>();
+  mf->Fit(ctx);
+  const auto indexed =
+      serve::ServeHandle::Adopt(std::move(mf), ctx, /*generation=*/3);
+  const auto via_index = indexed->Recommend(user, 5, history);
+  std::printf("MF top-5 via %s:", indexed->retrieval_mode().c_str());
+  for (const auto& [item, score] : via_index) {
+    std::printf(" %s", world.item_kg.entity_name(item).c_str());
+  }
+  std::printf("\n");
+
+  // Non-factorizable rankers (RippleNet's score has no (q_u, x_v)
+  // form) use the two-stage architecture: a factorizable candidate
+  // model's index retrieves C candidates, the ranker re-ranks exactly
+  // those with one batched ScoreItems call. Returned scores are the
+  // ranker's own — here the checkpoint-restored RippleNet's.
+  auto candidate = std::make_shared<MfRecommender>();
+  candidate->Fit(ctx);
+  auto ranker = std::make_unique<RippleNetRecommender>(model_config);
+  status = ranker->Load(ctx, path);
   std::remove(path.c_str());
-  return swap_ok ? 0 : 1;
+  if (!status.ok()) {
+    std::printf("ranker load failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  serve::RetrievalSpec spec;
+  spec.mode = serve::RetrievalSpec::Mode::kTwoStage;
+  spec.candidate_model = candidate;
+  std::shared_ptr<const serve::ServeHandle> two_stage;
+  status = serve::ServeHandle::Adopt(std::move(ranker), ctx,
+                                     /*generation=*/4, spec, &two_stage);
+  if (!status.ok()) {
+    std::printf("two-stage adopt failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const auto reranked = two_stage->Recommend(user, 5, history);
+  std::printf("%s top-5 via %s (MF candidates):", two_stage->model_name().c_str(),
+              two_stage->retrieval_mode().c_str());
+  for (const auto& [item, score] : reranked) {
+    std::printf(" %s", world.item_kg.entity_name(item).c_str());
+  }
+  std::printf("\n");
+  return reranked.size() == 5 ? 0 : 1;
 }

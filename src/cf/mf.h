@@ -3,6 +3,7 @@
 
 #include "core/recommender.h"
 #include "nn/tensor.h"
+#include "retrieval/factors.h"
 
 namespace kgrec {
 
@@ -20,7 +21,7 @@ struct MfConfig {
 /// Pointwise matrix factorization (the model-based CF latent factor model
 /// of survey Section 2.2): y_hat = u . v, trained with binary
 /// cross-entropy on observed pairs vs sampled negatives.
-class MfRecommender : public Recommender {
+class MfRecommender : public Recommender, public DotProductFactors {
  public:
   explicit MfRecommender(MfConfig config = {}) : config_(config) {}
 
@@ -35,6 +36,15 @@ class MfRecommender : public Recommender {
                                 std::span<const int32_t> items) const override;
 
   std::string HyperFingerprint() const override;
+
+  // DotProductFactors: the score *is* the factor dot, so the export is
+  // the raw factor tables (inherited by BPR-MF).
+  size_t factor_dim() const override { return config_.dim; }
+  retrieval::ScoreKernel factor_kernel() const override {
+    return retrieval::ScoreKernel::kDot;
+  }
+  retrieval::ItemFactors ExportItemFactors() const override;
+  void FillUserQuery(int32_t user, std::span<float> out) const override;
 
  protected:
   /// Both factor tensors are stored; BPR-MF inherits the same layout.

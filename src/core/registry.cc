@@ -1,6 +1,7 @@
 #include "core/registry.h"
 
 #include "core/serialize.h"
+#include "retrieval/factors.h"
 
 #include "cf/fm.h"
 #include "cf/knn.h"
@@ -241,6 +242,23 @@ std::vector<std::string> ImplementedMethodNames() {
   std::vector<std::string> out;
   for (const MethodInfo& info : AllMethods()) {
     if (info.implemented) out.push_back(info.name);
+  }
+  return out;
+}
+
+const DotProductFactors* AsFactorizable(const Recommender& model) {
+  return dynamic_cast<const DotProductFactors*>(&model);
+}
+
+bool IsFactorizable(const Recommender& model) {
+  return AsFactorizable(model) != nullptr;
+}
+
+std::vector<std::string> FactorizableMethodNames() {
+  std::vector<std::string> out;
+  for (const std::string& name : ImplementedMethodNames()) {
+    const std::unique_ptr<Recommender> model = MakeRecommender(name);
+    if (model != nullptr && IsFactorizable(*model)) out.push_back(name);
   }
   return out;
 }

@@ -9,6 +9,8 @@
 
 namespace kgrec {
 
+class DotProductFactors;  // retrieval/factors.h
+
 /// How a method uses the KG (survey Table 3 columns).
 enum class UsageType { kNone, kEmbedding, kPath, kUnified };
 
@@ -57,6 +59,20 @@ Status LoadModel(const RecContext& context, const std::string& path,
                  std::unique_ptr<Recommender>* out);
 
 const char* UsageTypeName(UsageType usage);
+
+/// The model's embedding-export surface if it has one, else nullptr.
+/// A factorizable model scores as a fixed kernel between a per-user
+/// query vector and a per-item factor row (see retrieval/factors.h),
+/// which is what lets an ItemIndex serve its exact top-K sublinearly.
+const DotProductFactors* AsFactorizable(const Recommender& model);
+
+/// True when AsFactorizable(model) != nullptr.
+bool IsFactorizable(const Recommender& model);
+
+/// Names of implemented methods whose default-constructed model exposes
+/// DotProductFactors (no Fit needed — factorizability is a property of
+/// the type). Subset of ImplementedMethodNames(), same order.
+std::vector<std::string> FactorizableMethodNames();
 
 }  // namespace kgrec
 

@@ -22,6 +22,7 @@ void CfkgRecommender::Fit(const RecContext& context) {
   train_config.seed = context.seed + 1;
   train_config.num_threads = config_.num_threads;
   TrainKge(*model_, kg, train_config);
+  BuildItemFactors();
 }
 
 std::string CfkgRecommender::HyperFingerprint() const {
@@ -54,13 +55,65 @@ Status CfkgRecommender::PrepareLoad(const RecContext& context) {
   return Status::OK();
 }
 
+Status CfkgRecommender::FinishLoad(const RecContext& /*context*/) {
+  // Derived, not stored: the projected item matrix is a pure function of
+  // the restored backend parameters, so the rebuild is bitwise the
+  // fitted one.
+  BuildItemFactors();
+  return Status::OK();
+}
+
+void CfkgRecommender::BuildItemFactors() {
+  KGREC_CHECK(graph_ != nullptr);
+  item_factors_ = Matrix(graph_->num_items, config_.dim);
+  for (int32_t item = 0; item < graph_->num_items; ++item) {
+    model_->FillTailFactor(graph_->ItemEntity(item),
+                           graph_->interact_relation,
+                           item_factors_.Row(item));
+  }
+}
+
+retrieval::ScoreKernel CfkgRecommender::factor_kernel() const {
+  KGREC_CHECK(model_ != nullptr);
+  return model_->retrieval_kernel();
+}
+
+retrieval::ItemFactors CfkgRecommender::ExportItemFactors() const {
+  retrieval::ItemFactors factors;
+  factors.kernel = factor_kernel();
+  factors.items = item_factors_;
+  return factors;
+}
+
+void CfkgRecommender::FillUserQuery(int32_t user,
+                                    std::span<float> out) const {
+  KGREC_CHECK_EQ(out.size(), config_.dim);
+  model_->FillHeadQuery(graph_->UserEntity(user), graph_->interact_relation,
+                        out.data());
+}
+
 float CfkgRecommender::Score(int32_t user, int32_t item) const {
-  // KGE plausibility of <user, interact, item>; higher = preferred
-  // (equivalently: ascending distance order, survey Eq. 7).
-  std::vector<int32_t> h{graph_->UserEntity(user)};
-  std::vector<int32_t> r{graph_->interact_relation};
-  std::vector<int32_t> t{graph_->ItemEntity(item)};
-  return model_->ScoreBatch(h, r, t).value();
+  // KGE plausibility of <user, interact, item> (higher = preferred,
+  // survey Eq. 7), computed through the fixed-relation factorization so
+  // Score, ScoreItems and index scans share one float sequence.
+  std::vector<float> query(config_.dim);
+  FillUserQuery(user, query);
+  return retrieval::KernelScore(factor_kernel(), query.data(),
+                                item_factors_.Row(item), config_.dim);
+}
+
+std::vector<float> CfkgRecommender::ScoreItems(
+    int32_t user, std::span<const int32_t> items) const {
+  std::vector<float> query(config_.dim);
+  FillUserQuery(user, query);
+  std::vector<const float*> rows(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    rows[i] = item_factors_.Row(items[i]);
+  }
+  std::vector<float> out(items.size());
+  retrieval::KernelScoreBatch(factor_kernel(), query.data(), rows.data(),
+                              rows.size(), config_.dim, out.data());
+  return out;
 }
 
 }  // namespace kgrec

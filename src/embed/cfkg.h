@@ -5,6 +5,8 @@
 
 #include "core/recommender.h"
 #include "kge/kge_model.h"
+#include "math/dense.h"
+#include "retrieval/factors.h"
 
 namespace kgrec {
 
@@ -29,24 +31,56 @@ struct CfkgConfig {
 /// over all its triples, and candidates are ranked by ascending
 /// d(u + r_interact, v) — i.e. the KGE plausibility of the "interact"
 /// fact itself.
-class CfkgRecommender : public Recommender {
+///
+/// Serving computes that plausibility through the backend's
+/// fixed-relation factorization (KgeModel::FillHeadQuery /
+/// FillTailFactor, DESIGN §10): the "interact"-projected item vectors are
+/// materialized once after Fit/Load, a per-user query vector is built per
+/// call, and the score is the backend's retrieval kernel over the two —
+/// which makes CFKG a DotProductFactors exporter whose index scans are
+/// bitwise Score().
+class CfkgRecommender : public Recommender, public DotProductFactors {
  public:
   explicit CfkgRecommender(CfkgConfig config = {}) : config_(config) {}
 
   std::string name() const override { return "CFKG"; }
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
+
+  /// Batched fast path: hoists the per-user query vector out of the
+  /// candidate loop and evaluates the retrieval kernel over the
+  /// materialized item factors; bitwise equal to Score().
+  std::vector<float> ScoreItems(int32_t user,
+                                std::span<const int32_t> items) const override;
+
   std::string HyperFingerprint() const override;
+
+  // DotProductFactors (retrieval/factors.h).
+  size_t factor_dim() const override { return config_.dim; }
+  retrieval::ScoreKernel factor_kernel() const override;
+  retrieval::ItemFactors ExportItemFactors() const override;
+  void FillUserQuery(int32_t user, std::span<float> out) const override;
 
  protected:
   /// The KGE backend is reconstructed by PrepareLoad and its parameters
-  /// restored in place; ECFKG layers its path finder on top.
+  /// restored in place; ECFKG layers its path finder on top. The
+  /// materialized item factors are derived state — rebuilt by
+  /// FinishLoad, never stored.
   Status VisitState(StateVisitor* visitor) override;
   Status PrepareLoad(const RecContext& context) override;
+  Status FinishLoad(const RecContext& context) override;
 
   CfkgConfig config_;
   std::unique_ptr<KgeModel> model_;
   const UserItemGraph* graph_ = nullptr;
+
+ private:
+  /// Projects every item entity through the fixed "interact" relation.
+  void BuildItemFactors();
+
+  /// [num_items, dim]: FillTailFactor of each item entity under the
+  /// interact relation.
+  Matrix item_factors_;
 };
 
 }  // namespace kgrec

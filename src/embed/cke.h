@@ -8,6 +8,7 @@
 #include "kge/kge_model.h"
 #include "math/dense.h"
 #include "nn/tensor.h"
+#include "retrieval/factors.h"
 
 namespace kgrec {
 
@@ -32,7 +33,7 @@ struct CkeConfig {
 /// the mean of the item's attribute-entity content vectors, standing in
 /// for the paper's autoencoder text/image codes (see DESIGN.md
 /// substitutions). Trained jointly: BPR pairwise loss + TransR hinge loss.
-class CkeRecommender : public Recommender {
+class CkeRecommender : public Recommender, public DotProductFactors {
  public:
   explicit CkeRecommender(CkeConfig config = {}) : config_(config) {}
 
@@ -46,6 +47,15 @@ class CkeRecommender : public Recommender {
                                 std::span<const int32_t> items) const override;
 
   std::string HyperFingerprint() const override;
+
+  // DotProductFactors: the cached final user/item vectors are already
+  // the factorization Score() dots.
+  size_t factor_dim() const override { return config_.dim; }
+  retrieval::ScoreKernel factor_kernel() const override {
+    return retrieval::ScoreKernel::kDot;
+  }
+  retrieval::ItemFactors ExportItemFactors() const override;
+  void FillUserQuery(int32_t user, std::span<float> out) const override;
 
  protected:
   /// The cached final user/item vectors are the whole serving state.

@@ -9,6 +9,7 @@
 #include "math/rng.h"
 #include "nn/ops.h"
 #include "nn/tensor.h"
+#include "retrieval/factors.h"
 
 namespace kgrec {
 
@@ -44,6 +45,27 @@ class KgeModel {
   /// Hook after each training epoch (e.g. TransE-family entity-norm
   /// projection). Default does nothing.
   virtual void PostEpoch() {}
+
+  /// Fixed-relation factorization for the retrieval layer (DESIGN §10).
+  /// For a *fixed* relation r, every backend's plausibility collapses to
+  /// a kernel over two d-vectors:
+  ///
+  ///   g(h, r, t) ==
+  ///     KernelScore(retrieval_kernel(), HeadQuery(h, r), TailFactor(t, r))
+  ///
+  /// because the relation-dependent projections (TransH's hyperplane,
+  /// TransR's matrix, TransD's dynamic mapping, DistMult's elementwise
+  /// product) apply to head and tail *independently* once r is pinned.
+  /// FillHeadQuery writes the projected-and-translated head vector,
+  /// FillTailFactor the projected tail vector, each of dim() floats.
+  /// This is what lets CFKG-style rankers materialize an item matrix
+  /// once and serve top-K through an index; CFKG's Score() is *defined*
+  /// through this path, so index scans are bitwise exact.
+  virtual retrieval::ScoreKernel retrieval_kernel() const = 0;
+  virtual void FillHeadQuery(int32_t head, int32_t relation,
+                             float* out) const = 0;
+  virtual void FillTailFactor(int32_t tail, int32_t relation,
+                              float* out) const = 0;
 
   size_t dim() const { return dim_; }
 

@@ -2,6 +2,7 @@
 
 #include "core/check.h"
 #include "kge/kge_model.h"
+#include "math/kernels.h"
 #include "nn/init.h"
 
 namespace kgrec {
@@ -50,6 +51,21 @@ class TransE : public KgeModel {
   }
   void PostEpoch() override { NormalizeRows(entities_); }
 
+  retrieval::ScoreKernel retrieval_kernel() const override {
+    return retrieval::ScoreKernel::kNegSquaredL2;
+  }
+  void FillHeadQuery(int32_t head, int32_t relation,
+                     float* out) const override {
+    const float* h = entities_.data() + head * dim_;
+    const float* r = relations_.data() + relation * dim_;
+    for (size_t c = 0; c < dim_; ++c) out[c] = h[c] + r[c];
+  }
+  void FillTailFactor(int32_t tail, int32_t /*relation*/,
+                      float* out) const override {
+    const float* t = entities_.data() + tail * dim_;
+    for (size_t c = 0; c < dim_; ++c) out[c] = t[c];
+  }
+
  private:
   nn::Tensor entities_;
   nn::Tensor relations_;
@@ -90,6 +106,25 @@ class TransH : public KgeModel {
   void PostEpoch() override {
     NormalizeRows(entities_);
     NormalizeRows(normals_);
+  }
+
+  retrieval::ScoreKernel retrieval_kernel() const override {
+    return retrieval::ScoreKernel::kNegSquaredL2;
+  }
+  void FillHeadQuery(int32_t head, int32_t relation,
+                     float* out) const override {
+    const float* h = entities_.data() + head * dim_;
+    const float* r = relations_.data() + relation * dim_;
+    const float* w = normals_.data() + relation * dim_;
+    const float wh = kernels::Dot(w, h, dim_);
+    for (size_t c = 0; c < dim_; ++c) out[c] = (h[c] - w[c] * wh) + r[c];
+  }
+  void FillTailFactor(int32_t tail, int32_t relation,
+                      float* out) const override {
+    const float* t = entities_.data() + tail * dim_;
+    const float* w = normals_.data() + relation * dim_;
+    const float wt = kernels::Dot(w, t, dim_);
+    for (size_t c = 0; c < dim_; ++c) out[c] = t[c] - w[c] * wt;
   }
 
  private:
@@ -138,7 +173,30 @@ class TransR : public KgeModel {
   }
   void PostEpoch() override { NormalizeRows(entities_); }
 
+  retrieval::ScoreKernel retrieval_kernel() const override {
+    return retrieval::ScoreKernel::kNegSquaredL2;
+  }
+  void FillHeadQuery(int32_t head, int32_t relation,
+                     float* out) const override {
+    const float* r = relations_.data() + relation * dim_;
+    Project(entities_.data() + head * dim_, relation, out);
+    for (size_t c = 0; c < dim_; ++c) out[c] += r[c];
+  }
+  void FillTailFactor(int32_t tail, int32_t relation,
+                      float* out) const override {
+    Project(entities_.data() + tail * dim_, relation, out);
+  }
+
  private:
+  /// out = e * M_r (vector-matrix, ascending-i accumulation).
+  void Project(const float* e, int32_t relation, float* out) const {
+    const float* m = projections_.data() + relation * dim_ * dim_;
+    for (size_t j = 0; j < dim_; ++j) out[j] = 0.0f;
+    for (size_t i = 0; i < dim_; ++i) {
+      kernels::Axpy(e[i], m + i * dim_, out, dim_);
+    }
+  }
+
   nn::Tensor entities_;
   nn::Tensor relations_;
   nn::Tensor projections_;
@@ -181,6 +239,29 @@ class TransD : public KgeModel {
   }
   void PostEpoch() override { NormalizeRows(entities_); }
 
+  retrieval::ScoreKernel retrieval_kernel() const override {
+    return retrieval::ScoreKernel::kNegSquaredL2;
+  }
+  void FillHeadQuery(int32_t head, int32_t relation,
+                     float* out) const override {
+    const float* h = entities_.data() + head * dim_;
+    const float* hp = entity_proj_.data() + head * dim_;
+    const float* r = relations_.data() + relation * dim_;
+    const float* rp = relation_proj_.data() + relation * dim_;
+    const float hph = kernels::Dot(hp, h, dim_);
+    for (size_t c = 0; c < dim_; ++c) {
+      out[c] = (h[c] + rp[c] * hph) + r[c];
+    }
+  }
+  void FillTailFactor(int32_t tail, int32_t relation,
+                      float* out) const override {
+    const float* t = entities_.data() + tail * dim_;
+    const float* tp = entity_proj_.data() + tail * dim_;
+    const float* rp = relation_proj_.data() + relation * dim_;
+    const float tpt = kernels::Dot(tp, t, dim_);
+    for (size_t c = 0; c < dim_; ++c) out[c] = t[c] + rp[c] * tpt;
+  }
+
  private:
   nn::Tensor entities_;
   nn::Tensor relations_;
@@ -214,6 +295,21 @@ class DistMult : public KgeModel {
   const nn::Tensor& entity_embeddings() const override { return entities_; }
   const nn::Tensor& relation_embeddings() const override {
     return relations_;
+  }
+
+  retrieval::ScoreKernel retrieval_kernel() const override {
+    return retrieval::ScoreKernel::kDot;
+  }
+  void FillHeadQuery(int32_t head, int32_t relation,
+                     float* out) const override {
+    const float* h = entities_.data() + head * dim_;
+    const float* r = relations_.data() + relation * dim_;
+    for (size_t c = 0; c < dim_; ++c) out[c] = h[c] * r[c];
+  }
+  void FillTailFactor(int32_t tail, int32_t /*relation*/,
+                      float* out) const override {
+    const float* t = entities_.data() + tail * dim_;
+    for (size_t c = 0; c < dim_; ++c) out[c] = t[c];
   }
 
  private:

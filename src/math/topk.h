@@ -2,22 +2,45 @@
 #define KGREC_MATH_TOPK_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
 namespace kgrec {
 
-/// Returns the indices of the k largest scores, ordered best-first.
-/// Ties are broken toward the smaller index so results are deterministic.
+/// The library-wide ranking order for (score, index) pairs — a *total*
+/// order, so every top-K selection (full-vector partial_sort, streaming
+/// heap, index scan) produces the same unique result:
+///
+///   1. any non-NaN score ranks before any NaN score;
+///   2. among non-NaN scores, higher ranks first;
+///   3. ties — including NaN vs NaN and +inf/-inf vs themselves — break
+///      toward the smaller index.
+///
+/// NaN handling is the point: `scores[a] > scores[b]` alone is not a
+/// strict weak ordering when NaN is present (NaN compares "equivalent" to
+/// every value while real values stay ordered among themselves, breaking
+/// transitivity of equivalence), which is undefined behaviour inside
+/// std::partial_sort. Ranking NaN last restores a strict total order and
+/// gives NaN-emitting models a defined, deterministic serving behaviour.
+inline bool RankBetter(float score_a, int32_t a, float score_b, int32_t b) {
+  const bool nan_a = std::isnan(score_a);
+  const bool nan_b = std::isnan(score_b);
+  if (nan_a != nan_b) return nan_b;  // the non-NaN side wins
+  if (!nan_a && score_a != score_b) return score_a > score_b;
+  return a < b;
+}
+
+/// Returns the indices of the k largest scores, ordered best-first under
+/// RankBetter (NaN last, ties toward the smaller index).
 inline std::vector<int32_t> TopKIndices(const std::vector<float>& scores,
                                         size_t k) {
   std::vector<int32_t> idx(scores.size());
   for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int32_t>(i);
   k = std::min(k, scores.size());
   auto better = [&scores](int32_t a, int32_t b) {
-    if (scores[a] != scores[b]) return scores[a] > scores[b];
-    return a < b;
+    return RankBetter(scores[a], a, scores[b], b);
   };
   std::partial_sort(idx.begin(), idx.begin() + k, idx.end(), better);
   idx.resize(k);
@@ -31,6 +54,71 @@ inline std::vector<std::pair<int32_t, float>> TopKScored(
   for (int32_t i : TopKIndices(scores, k)) out.emplace_back(i, scores[i]);
   return out;
 }
+
+/// A bounded streaming top-K accumulator: feed any number of (index,
+/// score) pairs, keep only the K best under RankBetter, in O(K) memory.
+/// Because RankBetter is a total order, the result is *identical* to
+/// materializing every score and running TopKScored over the full vector
+/// — this is what lets the retrieval layer scan a million-item catalog
+/// without ever allocating a million-float score buffer.
+class BoundedTopK {
+ public:
+  explicit BoundedTopK(size_t k) : k_(k) { heap_.reserve(k); }
+
+  size_t k() const { return k_; }
+  size_t size() const { return heap_.size(); }
+
+  /// The current worst kept entry; only meaningful when size() == k > 0.
+  const std::pair<int32_t, float>& worst() const { return heap_.front(); }
+
+  /// True when a candidate with this (index, score) would be kept.
+  bool WouldAccept(int32_t index, float score) const {
+    if (k_ == 0) return false;
+    if (heap_.size() < k_) return true;
+    return RankBetter(score, index, heap_.front().second, heap_.front().first);
+  }
+
+  void Push(int32_t index, float score) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.emplace_back(index, score);
+      std::push_heap(heap_.begin(), heap_.end(), WorseFirst);
+      return;
+    }
+    if (!RankBetter(score, index, heap_.front().second, heap_.front().first)) {
+      return;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), WorseFirst);
+    heap_.back() = {index, score};
+    std::push_heap(heap_.begin(), heap_.end(), WorseFirst);
+  }
+
+  /// Extracts the kept entries, best-first. Leaves the accumulator empty.
+  std::vector<std::pair<int32_t, float>> TakeSorted() {
+    std::vector<std::pair<int32_t, float>> out = std::move(heap_);
+    heap_.clear();
+    std::sort(out.begin(), out.end(),
+              [](const std::pair<int32_t, float>& x,
+                 const std::pair<int32_t, float>& y) {
+                return RankBetter(x.second, x.first, y.second, y.first);
+              });
+    return out;
+  }
+
+ private:
+  /// Heap comparator. std::push_heap keeps the *maximum under comp* at
+  /// the front; with comp(x, y) = "x ranks better than y", the maximum
+  /// is the entry every other entry ranks better than — the worst — so
+  /// the front is exactly the entry to evict when a better candidate
+  /// arrives.
+  static bool WorseFirst(const std::pair<int32_t, float>& x,
+                         const std::pair<int32_t, float>& y) {
+    return RankBetter(x.second, x.first, y.second, y.first);
+  }
+
+  size_t k_;
+  std::vector<std::pair<int32_t, float>> heap_;
+};
 
 }  // namespace kgrec
 

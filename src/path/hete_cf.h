@@ -3,6 +3,7 @@
 
 #include "core/recommender.h"
 #include "nn/tensor.h"
+#include "retrieval/factors.h"
 
 namespace kgrec {
 
@@ -25,7 +26,7 @@ struct HeteCfConfig {
 /// (co-interaction PathSim), item-item (shared-attribute PathSim) and
 /// user-item (diffused preference) — which is why it outperforms Hete-MF
 /// (item-item only) in the survey's account.
-class HeteCfRecommender : public Recommender {
+class HeteCfRecommender : public Recommender, public DotProductFactors {
  public:
   explicit HeteCfRecommender(HeteCfConfig config = {}) : config_(config) {}
 
@@ -39,6 +40,15 @@ class HeteCfRecommender : public Recommender {
                                 std::span<const int32_t> items) const override;
 
   std::string HyperFingerprint() const override;
+
+  // DotProductFactors: the score *is* the factor dot, so the export is
+  // the raw factor tables.
+  size_t factor_dim() const override { return config_.dim; }
+  retrieval::ScoreKernel factor_kernel() const override {
+    return retrieval::ScoreKernel::kDot;
+  }
+  retrieval::ItemFactors ExportItemFactors() const override;
+  void FillUserQuery(int32_t user, std::span<float> out) const override;
 
  protected:
   Status VisitState(StateVisitor* visitor) override;

@@ -3,6 +3,7 @@
 
 #include "core/recommender.h"
 #include "nn/tensor.h"
+#include "retrieval/factors.h"
 
 namespace kgrec {
 
@@ -23,7 +24,7 @@ struct HeteMfConfig {
 /// factorization whose item factors are regularized to be close for items
 /// with high meta-path (PathSim) similarity:
 ///   min L_mf + w * sum_l sum_{i,j} s^l_ij ||v_i - v_j||^2.
-class HeteMfRecommender : public Recommender {
+class HeteMfRecommender : public Recommender, public DotProductFactors {
  public:
   explicit HeteMfRecommender(HeteMfConfig config = {}) : config_(config) {}
 
@@ -37,6 +38,15 @@ class HeteMfRecommender : public Recommender {
                                 std::span<const int32_t> items) const override;
 
   std::string HyperFingerprint() const override;
+
+  // DotProductFactors: the score *is* the factor dot, so the export is
+  // the raw factor tables.
+  size_t factor_dim() const override { return config_.dim; }
+  retrieval::ScoreKernel factor_kernel() const override {
+    return retrieval::ScoreKernel::kDot;
+  }
+  retrieval::ItemFactors ExportItemFactors() const override;
+  void FillUserQuery(int32_t user, std::span<float> out) const override;
 
  protected:
   Status VisitState(StateVisitor* visitor) override;

@@ -1,0 +1,135 @@
+#include "retrieval/index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "math/kmeans.h"
+
+namespace kgrec::retrieval {
+namespace {
+
+/// Items scored per KernelScoreBatch call: large enough to amortize the
+/// batched kernel's 4-row SIMD lanes, small enough that the scratch
+/// (row pointers + kept ids + scores) stays in L1.
+constexpr size_t kScanBlock = 256;
+
+struct ScanScratch {
+  const float* rows[kScanBlock];
+  int32_t ids[kScanBlock];
+  float scores[kScanBlock];
+};
+
+void Flush(ScoreKernel kernel, const float* query, size_t dim,
+           ScanScratch& scratch, size_t filled, BoundedTopK& top) {
+  KernelScoreBatch(kernel, query, scratch.rows, filled, dim, scratch.scores);
+  for (size_t i = 0; i < filled; ++i) {
+    top.Push(scratch.ids[i], scratch.scores[i]);
+  }
+}
+
+}  // namespace
+
+void ItemIndex::ScanRange(int32_t begin, int32_t end, const float* query,
+                          std::span<const int32_t> sorted_exclude,
+                          BoundedTopK& top) const {
+  ScanScratch scratch;
+  size_t filled = 0;
+  // Merge walk: `next_excluded` always points at the first exclusion
+  // >= the current id, so each id costs O(1).
+  const int32_t* next_excluded = std::lower_bound(
+      sorted_exclude.data(), sorted_exclude.data() + sorted_exclude.size(),
+      begin);
+  const int32_t* excluded_end =
+      sorted_exclude.data() + sorted_exclude.size();
+  for (int32_t id = begin; id < end; ++id) {
+    if (next_excluded != excluded_end && *next_excluded == id) {
+      ++next_excluded;
+      continue;
+    }
+    scratch.ids[filled] = id;
+    scratch.rows[filled] = factors_.items.Row(id);
+    if (++filled == kScanBlock) {
+      Flush(factors_.kernel, query, dim(), scratch, filled, top);
+      filled = 0;
+    }
+  }
+  if (filled > 0) Flush(factors_.kernel, query, dim(), scratch, filled, top);
+}
+
+void ItemIndex::ScanList(std::span<const int32_t> ids, const float* query,
+                         std::span<const int32_t> sorted_exclude,
+                         BoundedTopK& top) const {
+  ScanScratch scratch;
+  size_t filled = 0;
+  for (int32_t id : ids) {
+    if (std::binary_search(sorted_exclude.begin(), sorted_exclude.end(),
+                           id)) {
+      continue;
+    }
+    scratch.ids[filled] = id;
+    scratch.rows[filled] = factors_.items.Row(id);
+    if (++filled == kScanBlock) {
+      Flush(factors_.kernel, query, dim(), scratch, filled, top);
+      filled = 0;
+    }
+  }
+  if (filled > 0) Flush(factors_.kernel, query, dim(), scratch, filled, top);
+}
+
+std::vector<std::pair<int32_t, float>> BruteForceIndex::Query(
+    std::span<const float> query, size_t k,
+    std::span<const int32_t> sorted_exclude) const {
+  KGREC_CHECK_EQ(query.size(), dim());
+  BoundedTopK top(k);
+  ScanRange(0, static_cast<int32_t>(num_items()), query.data(),
+            sorted_exclude, top);
+  return top.TakeSorted();
+}
+
+IvfIndex::IvfIndex(ItemFactors factors, const IvfConfig& config)
+    : ItemIndex(std::move(factors)), config_(config) {
+  const size_t n = num_items();
+  KGREC_CHECK_GT(n, 0u);
+  size_t clusters = config_.num_clusters;
+  if (clusters == 0) {
+    clusters = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(n))));
+  }
+  clusters = std::max<size_t>(1, std::min(clusters, n));
+  const KMeansResult kmeans =
+      KMeansDeterministic(factors_.items, clusters, config_.kmeans_iters,
+                          config_.seed, config_.num_threads);
+  centroids_ = kmeans.centroids;
+  lists_.assign(clusters, {});
+  // Ascending id order within each cell (the scan feeds ids in list
+  // order, and RankBetter's tie rule expects no particular order — but
+  // ascending keeps the scan cache-friendly and the layout canonical).
+  for (size_t i = 0; i < n; ++i) {
+    lists_[kmeans.assignment[i]].push_back(static_cast<int32_t>(i));
+  }
+}
+
+std::vector<std::pair<int32_t, float>> IvfIndex::Query(
+    std::span<const float> query, size_t k,
+    std::span<const int32_t> sorted_exclude) const {
+  KGREC_CHECK_EQ(query.size(), dim());
+  const size_t clusters = lists_.size();
+  const size_t probes = std::max<size_t>(
+      1, std::min(config_.num_probes, clusters));
+  // Rank cells by the same kernel that ranks items: for kNegSquaredL2
+  // that is nearest-centroid, for kDot highest centroid inner product.
+  BoundedTopK best_cells(probes);
+  for (size_t c = 0; c < clusters; ++c) {
+    best_cells.Push(static_cast<int32_t>(c),
+                    KernelScore(factors_.kernel, query.data(),
+                                centroids_.Row(c), dim()));
+  }
+  BoundedTopK top(k);
+  for (const auto& [cell, cell_score] : best_cells.TakeSorted()) {
+    ScanList(lists_[cell], query.data(), sorted_exclude, top);
+  }
+  return top.TakeSorted();
+}
+
+}  // namespace kgrec::retrieval

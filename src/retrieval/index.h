@@ -1,0 +1,124 @@
+#ifndef KGREC_RETRIEVAL_INDEX_H_
+#define KGREC_RETRIEVAL_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "math/topk.h"
+#include "retrieval/factors.h"
+
+namespace kgrec::retrieval {
+
+/// A top-K retrieval structure over one ItemFactors export. Queries are
+/// user query vectors (DotProductFactors::FillUserQuery); results are
+/// (item, score) pairs, best-first under the library ranking order
+/// (math/topk.h RankBetter: NaN last, ties toward the smaller item id).
+///
+/// Thread-safety mirrors the serve path: indexes are immutable after
+/// construction, Query() is const and touches no shared mutable state, so
+/// any number of threads may query one index concurrently.
+class ItemIndex {
+ public:
+  explicit ItemIndex(ItemFactors factors) : factors_(std::move(factors)) {}
+  virtual ~ItemIndex() = default;
+
+  ItemIndex(const ItemIndex&) = delete;
+  ItemIndex& operator=(const ItemIndex&) = delete;
+
+  virtual std::string name() const = 0;
+
+  size_t num_items() const { return factors_.items.rows(); }
+  size_t dim() const { return factors_.items.cols(); }
+  ScoreKernel kernel() const { return factors_.kernel; }
+  const ItemFactors& factors() const { return factors_; }
+
+  /// Top-k for the query. `sorted_exclude` must be sorted, deduplicated
+  /// and in-range (retrieval::SanitizeExclude); excluded items never
+  /// appear in the result. Returns fewer than k pairs only when fewer
+  /// than k non-excluded items exist (or, for approximate indexes, were
+  /// probed).
+  virtual std::vector<std::pair<int32_t, float>> Query(
+      std::span<const float> query, size_t k,
+      std::span<const int32_t> sorted_exclude = {}) const = 0;
+
+ protected:
+  /// Scores the contiguous id range [begin, end) in fixed-size blocks
+  /// through KernelScoreBatch and streams the results into `top`,
+  /// skipping excluded ids with a merge walk. O(block) scratch — no
+  /// full-range score vector.
+  void ScanRange(int32_t begin, int32_t end, const float* query,
+                 std::span<const int32_t> sorted_exclude,
+                 BoundedTopK& top) const;
+
+  /// Same for an explicit ascending id list (an IVF posting list);
+  /// exclusion via binary search.
+  void ScanList(std::span<const int32_t> ids, const float* query,
+                std::span<const int32_t> sorted_exclude,
+                BoundedTopK& top) const;
+
+  ItemFactors factors_;
+};
+
+/// The exact baseline: a blocked full-catalog scan feeding a bounded
+/// streaming heap. Because the export contract makes every block score
+/// bitwise equal to the model's Score() and RankBetter is a total order,
+/// Query() is **bitwise identical** to materializing ScoreAll() and
+/// running TopKScored() — with O(K + block) memory instead of O(catalog).
+class BruteForceIndex : public ItemIndex {
+ public:
+  explicit BruteForceIndex(ItemFactors factors)
+      : ItemIndex(std::move(factors)) {}
+
+  std::string name() const override { return "brute-force"; }
+
+  std::vector<std::pair<int32_t, float>> Query(
+      std::span<const float> query, size_t k,
+      std::span<const int32_t> sorted_exclude = {}) const override;
+};
+
+/// IVF (inverted-file) build knobs.
+struct IvfConfig {
+  /// Number of k-means cells; 0 → ceil(sqrt(num_items)), min 1.
+  size_t num_clusters = 0;
+  /// Cells probed per query (clamped to num_clusters). The default is
+  /// tuned so recall@10 >= 0.95 on the trained-embedding worlds of
+  /// bench/retrieval_scaling --smoke.
+  size_t num_probes = 8;
+  int kmeans_iters = 10;
+  uint64_t seed = 13;
+  /// Build-time threads; the build is bitwise identical at any count
+  /// (math/kmeans.h KMeansDeterministic).
+  size_t num_threads = 1;
+};
+
+/// Approximate cluster-pruned index: deterministic k-means over the item
+/// factor rows partitions the catalog into cells; a query ranks the cell
+/// centroids under the same kernel, scans only the best `num_probes`
+/// cells exactly, and returns their top-k. Recall@K versus the exact
+/// baseline is measured (not assumed) by bench/retrieval_scaling; with
+/// num_probes == num_clusters the result is bitwise the brute-force one.
+class IvfIndex : public ItemIndex {
+ public:
+  IvfIndex(ItemFactors factors, const IvfConfig& config);
+
+  std::string name() const override { return "ivf"; }
+
+  size_t num_clusters() const { return lists_.size(); }
+  const IvfConfig& config() const { return config_; }
+
+  std::vector<std::pair<int32_t, float>> Query(
+      std::span<const float> query, size_t k,
+      std::span<const int32_t> sorted_exclude = {}) const override;
+
+ private:
+  IvfConfig config_;
+  Matrix centroids_;                        // [num_clusters, dim]
+  std::vector<std::vector<int32_t>> lists_; // ascending item ids per cell
+};
+
+}  // namespace kgrec::retrieval
+
+#endif  // KGREC_RETRIEVAL_INDEX_H_

@@ -40,16 +40,31 @@ Router::~Router() {
     leftovers.swap(pending_);
   }
   for (Pending& p : leftovers) {
-    ScoreResponse response;
-    response.status = Status::Unavailable("router destroyed");
-    response.submitted_ns = p.submitted_ns;
-    p.promise.set_value(std::move(response));
+    if (p.kind == Pending::Kind::kRecommend) {
+      RecommendResponse response;
+      response.status = Status::Unavailable("router destroyed");
+      response.submitted_ns = p.submitted_ns;
+      p.rec_promise.set_value(std::move(response));
+    } else {
+      ScoreResponse response;
+      response.status = Status::Unavailable("router destroyed");
+      response.submitted_ns = p.submitted_ns;
+      p.promise.set_value(std::move(response));
+    }
   }
 }
 
 std::future<ScoreResponse> Router::Rejected(std::string why) {
   std::promise<ScoreResponse> promise;
   ScoreResponse response;
+  response.status = Status::Unavailable(std::move(why));
+  promise.set_value(std::move(response));
+  return promise.get_future();
+}
+
+std::future<RecommendResponse> Router::RejectedRecommend(std::string why) {
+  std::promise<RecommendResponse> promise;
+  RecommendResponse response;
   response.status = Status::Unavailable(std::move(why));
   promise.set_value(std::move(response));
   return promise.get_future();
@@ -83,6 +98,37 @@ ScoreResponse Router::ScoreSync(ScoreRequest request) {
   return Submit(std::move(request)).get();
 }
 
+std::future<RecommendResponse> Router::SubmitRecommend(
+    RecommendRequest request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) {
+    ++stats_.rejected;
+    return RejectedRecommend("router is stopping");
+  }
+  if (pending_.size() >= config_.max_queue) {
+    ++stats_.rejected;
+    return RejectedRecommend("admission queue full");
+  }
+  Pending pending;
+  pending.kind = Pending::Kind::kRecommend;
+  pending.user = request.user;
+  pending.items = std::move(request.exclude);
+  pending.k = request.k;
+  pending.submitted_ns = NowNs();
+  std::future<RecommendResponse> future = pending.rec_promise.get_future();
+  pending_.push_back(std::move(pending));
+  ++stats_.accepted;
+  if (!drain_scheduled_) {
+    drain_scheduled_ = true;
+    pool_.Submit([this] { DrainLoop(); });
+  }
+  return future;
+}
+
+RecommendResponse Router::RecommendSync(RecommendRequest request) {
+  return SubmitRecommend(std::move(request)).get();
+}
+
 void Router::DrainLoop() {
   for (;;) {
     std::deque<Pending> stolen;
@@ -108,10 +154,17 @@ void Router::DrainLoop() {
 
     // Group the stolen requests by user, preserving arrival order both
     // across groups (first-arrival) and within each group, so the
-    // dispatch is deterministic given the admission order.
+    // dispatch is deterministic given the admission order. Recommend
+    // requests are never coalesced — each carries its own k and
+    // exclusion list — so each becomes a singleton group.
     std::vector<std::vector<Pending>> groups;
     std::unordered_map<int32_t, size_t> group_of_user;
     for (Pending& p : stolen) {
+      if (p.kind == Pending::Kind::kRecommend) {
+        groups.emplace_back();
+        groups.back().push_back(std::move(p));
+        continue;
+      }
       auto [it, inserted] = group_of_user.try_emplace(p.user, groups.size());
       if (inserted) groups.emplace_back();
       groups[it->second].push_back(std::move(p));
@@ -141,7 +194,11 @@ void Router::DrainLoop() {
       // callable and Pending holds a move-only promise.
       auto boxed = std::make_shared<std::vector<Pending>>(std::move(group));
       pool_.Submit([this, handle, boxed] {
-        ServeGroup(handle, std::move(*boxed));
+        if (boxed->front().kind == Pending::Kind::kRecommend) {
+          ServeRecommend(handle, std::move(boxed->front()));
+        } else {
+          ServeGroup(handle, std::move(*boxed));
+        }
       });
     }
   }
@@ -202,9 +259,44 @@ void Router::ServeGroup(const std::shared_ptr<const ServeHandle>& handle,
     p.promise.set_value(std::move(response));
   }
 
+  ReleaseLease(handle.get());
+}
+
+void Router::ServeRecommend(const std::shared_ptr<const ServeHandle>& handle,
+                            Pending pending) {
+  Status status = Status::OK();
+  std::vector<std::pair<int32_t, float>> items;
+  try {
+    items = handle->Recommend(pending.user, pending.k, pending.items);
+  } catch (const std::exception& e) {
+    status = Status::Internal(std::string("serve failure: ") + e.what());
+  } catch (...) {
+    status = Status::Internal("serve failure");
+  }
+  const uint64_t completed_ns = NowNs();
+
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto it = inflight_.find(handle.get());
+    ++stats_.responses;
+  }
+
+  // Deliver before releasing the lease (same invariant as ServeGroup):
+  // when Swap's drain returns, this response has been set.
+  RecommendResponse response;
+  response.status = status;
+  response.generation = handle->generation();
+  response.submitted_ns = pending.submitted_ns;
+  response.completed_ns = completed_ns;
+  if (status.ok()) response.items = std::move(items);
+  pending.rec_promise.set_value(std::move(response));
+
+  ReleaseLease(handle.get());
+}
+
+void Router::ReleaseLease(const ServeHandle* handle) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = inflight_.find(handle);
     KGREC_CHECK(it != inflight_.end());  // leasing invariant
     if (--it->second == 0) inflight_.erase(it);
   }

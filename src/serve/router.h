@@ -36,6 +36,15 @@ struct ScoreRequest {
   std::vector<int32_t> items;
 };
 
+/// One top-k request: the user's catalog top-k minus `exclude`
+/// (ServeHandle::Recommend semantics — any order, duplicates and
+/// out-of-range ids tolerated).
+struct RecommendRequest {
+  int32_t user = 0;
+  size_t k = 0;
+  std::vector<int32_t> exclude;
+};
+
 /// The response to one ScoreRequest. `scores[i]` corresponds to
 /// `items[i]` and is **bitwise** what `ScoreItems(user, items)[i]` on the
 /// serving model returns — batching and per-user coalescing never change
@@ -52,12 +61,28 @@ struct ScoreResponse {
   uint64_t completed_ns = 0;
 };
 
+/// The response to one RecommendRequest: (item, score) pairs best-first
+/// under the library ranking order, exactly what
+/// `handle->Recommend(user, k, exclude)` returns on the serving handle —
+/// admission-queue batching never changes a result.
+struct RecommendResponse {
+  Status status;
+  std::vector<std::pair<int32_t, float>> items;
+  /// Generation tag of the ServeHandle that produced the ranking.
+  uint64_t generation = 0;
+  /// steady-clock nanoseconds at admission and at fulfilment, for
+  /// latency accounting in benches (0 when rejected at admission).
+  uint64_t submitted_ns = 0;
+  uint64_t completed_ns = 0;
+};
+
 /// Counters exposed for tests and benches; a snapshot, not a sync point.
 struct RouterStats {
   uint64_t accepted = 0;   ///< requests admitted to the queue
   uint64_t rejected = 0;   ///< requests refused (queue full / stopping)
   uint64_t responses = 0;  ///< promises fulfilled by worker tasks
-  uint64_t batches = 0;    ///< per-user ScoreItems dispatches
+  uint64_t batches = 0;    ///< dispatched groups (per-user score batches
+                           ///< plus singleton recommend dispatches)
   uint64_t coalesced = 0;  ///< requests merged into another request's batch
   uint64_t swaps = 0;      ///< successful hot swaps
 };
@@ -109,6 +134,15 @@ class Router {
   /// Convenience: Submit + wait.
   ScoreResponse ScoreSync(ScoreRequest request);
 
+  /// Admits a top-k request through the same bounded queue, drain leases
+  /// and generation stamping as Submit(). Recommend requests ride the
+  /// drain but are never coalesced — each carries its own k and
+  /// exclusion list, so each dispatches as its own pool task.
+  std::future<RecommendResponse> SubmitRecommend(RecommendRequest request);
+
+  /// Convenience: SubmitRecommend + wait.
+  RecommendResponse RecommendSync(RecommendRequest request);
+
   /// Installs `fresh` as the serving handle and drains the old one (see
   /// the class comment for the protocol). The caller gives distinct
   /// handles distinct generation tags; SwapFromCheckpoint does this
@@ -137,9 +171,15 @@ class Router {
 
  private:
   struct Pending {
+    enum class Kind { kScore, kRecommend };
+    Kind kind = Kind::kScore;
     int32_t user = 0;
+    /// kScore: candidate items. kRecommend: exclusion list.
     std::vector<int32_t> items;
-    std::promise<ScoreResponse> promise;
+    /// kRecommend only.
+    size_t k = 0;
+    std::promise<ScoreResponse> promise;          // kScore
+    std::promise<RecommendResponse> rec_promise;  // kRecommend
     uint64_t submitted_ns = 0;
   };
 
@@ -154,7 +194,15 @@ class Router {
   void ServeGroup(const std::shared_ptr<const ServeHandle>& handle,
                   std::vector<Pending> group);
 
+  /// Serves one recommend request on `handle` and fulfils its promise.
+  void ServeRecommend(const std::shared_ptr<const ServeHandle>& handle,
+                      Pending pending);
+
+  /// Releases one drain lease on `handle` and wakes Swap's drain wait.
+  void ReleaseLease(const ServeHandle* handle);
+
   static std::future<ScoreResponse> Rejected(std::string why);
+  static std::future<RecommendResponse> RejectedRecommend(std::string why);
 
   const RouterConfig config_;
 

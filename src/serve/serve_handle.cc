@@ -1,11 +1,9 @@
 #include "serve/serve_handle.h"
 
-#include <cmath>
-#include <limits>
-
 #include "core/check.h"
 #include "core/registry.h"
 #include "math/topk.h"
+#include "retrieval/factors.h"
 
 namespace kgrec::serve {
 
@@ -16,14 +14,81 @@ ServeHandle::ServeHandle(std::unique_ptr<const Recommender> model,
       num_items_(context.train != nullptr ? context.train->num_items() : 0),
       generation_(generation) {}
 
+Status ServeHandle::BuildRetrieval(const RetrievalSpec& spec) {
+  factors_ = AsFactorizable(*model_);
+  switch (spec.mode) {
+    case RetrievalSpec::Mode::kExhaustive:
+      retrieval_mode_ = "exhaustive";
+      return Status::OK();
+    case RetrievalSpec::Mode::kAuto:
+      if (factors_ == nullptr) {
+        retrieval_mode_ = "exhaustive";
+        return Status::OK();
+      }
+      [[fallthrough]];
+    case RetrievalSpec::Mode::kExact: {
+      if (factors_ == nullptr) {
+        return Status::FailedPrecondition(
+            "RetrievalSpec::kExact: model '" + model_name_ +
+            "' does not export DotProductFactors");
+      }
+      auto index = std::make_unique<retrieval::BruteForceIndex>(
+          factors_->ExportItemFactors());
+      if (num_items_ > 0) {
+        KGREC_CHECK_EQ(index->num_items(), static_cast<size_t>(num_items_));
+      }
+      index_ = std::move(index);
+      retrieval_mode_ = "exact-index";
+      return Status::OK();
+    }
+    case RetrievalSpec::Mode::kIvf: {
+      if (factors_ == nullptr) {
+        return Status::FailedPrecondition(
+            "RetrievalSpec::kIvf: model '" + model_name_ +
+            "' does not export DotProductFactors");
+      }
+      auto index = std::make_unique<retrieval::IvfIndex>(
+          factors_->ExportItemFactors(), spec.ivf);
+      if (num_items_ > 0) {
+        KGREC_CHECK_EQ(index->num_items(), static_cast<size_t>(num_items_));
+      }
+      index_ = std::move(index);
+      retrieval_mode_ = "ivf-index";
+      return Status::OK();
+    }
+    case RetrievalSpec::Mode::kTwoStage: {
+      if (spec.candidate_model == nullptr) {
+        return Status::InvalidArgument(
+            "RetrievalSpec::kTwoStage: no candidate model");
+      }
+      std::unique_ptr<const retrieval::TwoStageRetriever> two_stage;
+      KGREC_RETURN_IF_ERROR(retrieval::TwoStageRetriever::Create(
+          spec.candidate_model, spec.two_stage, &two_stage));
+      two_stage_ = std::move(two_stage);
+      retrieval_mode_ = "two-stage";
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("RetrievalSpec: unknown mode");
+}
+
 Status ServeHandle::Open(const RecContext& context, const std::string& path,
                          uint64_t generation,
+                         std::shared_ptr<const ServeHandle>* out) {
+  return Open(context, path, generation, RetrievalSpec{}, out);
+}
+
+Status ServeHandle::Open(const RecContext& context, const std::string& path,
+                         uint64_t generation, const RetrievalSpec& spec,
                          std::shared_ptr<const ServeHandle>* out) {
   std::unique_ptr<Recommender> model;
   KGREC_RETURN_IF_ERROR(LoadModel(context, path, &model));
   // std::shared_ptr cannot reach the private constructor through
   // make_shared; the extra allocation is once per checkpoint load.
-  out->reset(new ServeHandle(std::move(model), context, generation));
+  std::shared_ptr<ServeHandle> handle(
+      new ServeHandle(std::move(model), context, generation));
+  KGREC_RETURN_IF_ERROR(handle->BuildRetrieval(spec));
+  *out = std::move(handle);
   return Status::OK();
 }
 
@@ -33,7 +98,10 @@ Status ServeHandle::Open(const RecContext& context, const std::string& path,
                          std::shared_ptr<const ServeHandle>* out) {
   KGREC_CHECK(prototype != nullptr);
   KGREC_RETURN_IF_ERROR(prototype->Load(context, path));
-  out->reset(new ServeHandle(std::move(prototype), context, generation));
+  std::shared_ptr<ServeHandle> handle(
+      new ServeHandle(std::move(prototype), context, generation));
+  KGREC_RETURN_IF_ERROR(handle->BuildRetrieval(RetrievalSpec{}));
+  *out = std::move(handle);
   return Status::OK();
 }
 
@@ -41,8 +109,24 @@ std::shared_ptr<const ServeHandle> ServeHandle::Adopt(
     std::unique_ptr<const Recommender> model, const RecContext& context,
     uint64_t generation) {
   KGREC_CHECK(model != nullptr);
-  return std::shared_ptr<const ServeHandle>(
+  std::shared_ptr<ServeHandle> handle(
       new ServeHandle(std::move(model), context, generation));
+  // kAuto cannot fail: it only indexes models that export factors.
+  const Status status = handle->BuildRetrieval(RetrievalSpec{});
+  KGREC_CHECK(status.ok());
+  return handle;
+}
+
+Status ServeHandle::Adopt(std::unique_ptr<const Recommender> model,
+                          const RecContext& context, uint64_t generation,
+                          const RetrievalSpec& spec,
+                          std::shared_ptr<const ServeHandle>* out) {
+  KGREC_CHECK(model != nullptr);
+  std::shared_ptr<ServeHandle> handle(
+      new ServeHandle(std::move(model), context, generation));
+  KGREC_RETURN_IF_ERROR(handle->BuildRetrieval(spec));
+  *out = std::move(handle);
+  return Status::OK();
 }
 
 float ServeHandle::Score(int32_t user, int32_t item) const {
@@ -56,19 +140,33 @@ std::vector<float> ServeHandle::ScoreItems(
 
 std::vector<std::pair<int32_t, float>> ServeHandle::Recommend(
     int32_t user, size_t k, std::span<const int32_t> exclude) const {
-  std::vector<float> scores = model_->ScoreAll(user, num_items_);
-  for (int32_t item : exclude) {
-    if (item >= 0 && static_cast<size_t>(item) < scores.size()) {
-      scores[item] = -std::numeric_limits<float>::infinity();
-    }
+  const std::vector<int32_t> sorted_exclude =
+      retrieval::SanitizeExclude(exclude, num_items_);
+
+  if (two_stage_ != nullptr) {
+    return two_stage_->Recommend(*model_, user, k, sorted_exclude);
   }
-  std::vector<std::pair<int32_t, float>> top = TopKScored(scores, k);
-  // Drop excluded sentinels that survived a short catalog.
-  while (!top.empty() && std::isinf(top.back().second) &&
-         top.back().second < 0) {
-    top.pop_back();
+  if (index_ != nullptr) {
+    std::vector<float> query(factors_->factor_dim());
+    factors_->FillUserQuery(user, query);
+    return index_->Query(query, k, sorted_exclude);
   }
-  return top;
+
+  // Exhaustive fallback for non-factorizable models: one ScoreAll, then
+  // a streaming bounded top-K that *skips* excluded ids. The old -inf
+  // sentinel overwrite is gone — it conflated "excluded" with "scored
+  // -inf", returning excluded items whenever a model legitimately
+  // produced -inf and dropping legitimate -inf items near a short
+  // catalog's tail.
+  const std::vector<float> scores = model_->ScoreAll(user, num_items_);
+  BoundedTopK top(k);
+  size_t e = 0;
+  for (int32_t item = 0; item < num_items_; ++item) {
+    while (e < sorted_exclude.size() && sorted_exclude[e] < item) ++e;
+    if (e < sorted_exclude.size() && sorted_exclude[e] == item) continue;
+    top.Push(item, scores[item]);
+  }
+  return top.TakeSorted();
 }
 
 }  // namespace kgrec::serve

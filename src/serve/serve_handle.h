@@ -10,8 +10,39 @@
 
 #include "core/recommender.h"
 #include "core/status.h"
+#include "retrieval/index.h"
+#include "retrieval/two_stage.h"
 
 namespace kgrec::serve {
+
+/// How a handle answers Recommend() (DESIGN §10). Everything except kIvf
+/// returns the model's *exact* top-k; the default kAuto never fails and
+/// never changes a result — it only swaps the O(catalog)-memory scan for
+/// the O(K)-memory index scan when the model's factorization allows it.
+struct RetrievalSpec {
+  enum class Mode {
+    /// Exact index when the model is factorizable, else exhaustive.
+    kAuto,
+    /// ScoreAll + streaming bounded top-K (any model).
+    kExhaustive,
+    /// BruteForceIndex over the model's factor export — bitwise the
+    /// exhaustive result; requires DotProductFactors.
+    kExact,
+    /// IvfIndex (approximate, sublinear); requires DotProductFactors.
+    kIvf,
+    /// `candidate_model`'s index retrieves C candidates, the served
+    /// model re-ranks them exactly — the path for non-factorizable
+    /// rankers (RippleNet, path RNNs, KTUP).
+    kTwoStage,
+  };
+  Mode mode = Mode::kAuto;
+  /// IVF build knobs (kIvf).
+  retrieval::IvfConfig ivf;
+  /// Stage-1 model (kTwoStage); must implement DotProductFactors.
+  std::shared_ptr<const Recommender> candidate_model;
+  /// Candidate-generation knobs (kTwoStage).
+  retrieval::TwoStageConfig two_stage;
+};
 
 /// An immutable, thread-safe serving view of one fitted model.
 ///
@@ -51,11 +82,27 @@ class ServeHandle {
                      uint64_t generation,
                      std::shared_ptr<const ServeHandle>* out);
 
+  /// Loads the checkpoint and builds the requested retrieval structure
+  /// (index / two-stage) before the handle is published. Fails with the
+  /// LoadModel() Status or with FailedPrecondition when the spec demands
+  /// a factorization the model does not export.
+  static Status Open(const RecContext& context, const std::string& path,
+                     uint64_t generation, const RetrievalSpec& spec,
+                     std::shared_ptr<const ServeHandle>* out);
+
   /// Wraps a model that was fitted (or loaded) in-process. The context
   /// supplies the catalog size; the handle takes ownership of the model.
   static std::shared_ptr<const ServeHandle> Adopt(
       std::unique_ptr<const Recommender> model, const RecContext& context,
       uint64_t generation);
+
+  /// Adopt with an explicit retrieval spec. Unlike the kAuto overload
+  /// above this can fail (kExact/kIvf on a non-factorizable model,
+  /// kTwoStage with a non-factorizable candidate), so it returns Status.
+  static Status Adopt(std::unique_ptr<const Recommender> model,
+                      const RecContext& context, uint64_t generation,
+                      const RetrievalSpec& spec,
+                      std::shared_ptr<const ServeHandle>* out);
 
   const std::string& model_name() const { return model_name_; }
   uint64_t generation() const { return generation_; }
@@ -69,9 +116,18 @@ class ServeHandle {
   std::vector<float> ScoreItems(int32_t user,
                                 std::span<const int32_t> items) const;
 
-  /// Full-catalog top-k: (item, score) pairs, best-first, ties toward the
-  /// smaller item id. Items in `exclude` (e.g. the user's training
-  /// history) are removed from the ranking before the cut.
+  /// Catalog top-k: (item, score) pairs, best-first under the library
+  /// ranking order (math/topk.h RankBetter: higher score first, NaN last,
+  /// ties toward the smaller item id). `exclude` (e.g. the user's
+  /// training history; any order, duplicates and out-of-range ids
+  /// tolerated) never appears in the result — exclusion is a selection
+  /// filter, not a score overwrite, so items whose *real* score is -inf
+  /// are still ranked and excluded items are never returned.
+  ///
+  /// Which machinery answers is fixed at construction (RetrievalSpec);
+  /// every mode except kIvf returns the model's exact top-k, and the
+  /// index modes return it without materializing a catalog-sized score
+  /// vector per request.
   std::vector<std::pair<int32_t, float>> Recommend(
       int32_t user, size_t k, std::span<const int32_t> exclude = {}) const;
 
@@ -79,14 +135,34 @@ class ServeHandle {
   /// cannot reach a mutating member function from a serving context.
   const Recommender& model() const { return *model_; }
 
+  /// "exhaustive", "exact-index", "ivf-index" or "two-stage".
+  const std::string& retrieval_mode() const { return retrieval_mode_; }
+
+  /// The index answering Recommend(), or nullptr on the exhaustive path
+  /// (for two-stage, the candidate index).
+  const retrieval::ItemIndex* index() const {
+    return two_stage_ != nullptr ? &two_stage_->index() : index_.get();
+  }
+
  private:
   ServeHandle(std::unique_ptr<const Recommender> model,
               const RecContext& context, uint64_t generation);
+
+  /// Builds index_/two_stage_ per `spec`; called once before publishing.
+  Status BuildRetrieval(const RetrievalSpec& spec);
 
   std::unique_ptr<const Recommender> model_;
   std::string model_name_;
   int32_t num_items_ = 0;
   uint64_t generation_ = 0;
+
+  /// The model's factor surface when it has one (a view into *model_).
+  const DotProductFactors* factors_ = nullptr;
+  /// Exactly one of these is set for the index modes; both empty on the
+  /// exhaustive path.
+  std::unique_ptr<const retrieval::ItemIndex> index_;
+  std::unique_ptr<const retrieval::TwoStageRetriever> two_stage_;
+  std::string retrieval_mode_ = "exhaustive";
 };
 
 }  // namespace kgrec::serve

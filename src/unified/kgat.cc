@@ -226,4 +226,22 @@ std::vector<float> KgatRecommender::ScoreItems(
   return out;
 }
 
+retrieval::ItemFactors KgatRecommender::ExportItemFactors() const {
+  KGREC_CHECK(graph_ != nullptr);
+  retrieval::ItemFactors factors;
+  factors.kernel = factor_kernel();
+  factors.items = Matrix(graph_->num_items, final_emb_.cols());
+  for (int32_t item = 0; item < graph_->num_items; ++item) {
+    std::copy_n(final_emb_.Row(graph_->ItemEntity(item)), final_emb_.cols(),
+                factors.items.Row(item));
+  }
+  return factors;
+}
+
+void KgatRecommender::FillUserQuery(int32_t user, std::span<float> out) const {
+  KGREC_CHECK_EQ(out.size(), final_emb_.cols());
+  std::copy_n(final_emb_.Row(graph_->UserEntity(user)), final_emb_.cols(),
+              out.data());
+}
+
 }  // namespace kgrec

@@ -7,6 +7,7 @@
 #include "graph/aggregators.h"
 #include "math/dense.h"
 #include "nn/tensor.h"
+#include "retrieval/factors.h"
 
 namespace kgrec {
 
@@ -37,7 +38,7 @@ struct KgatConfig {
 /// representation concatenates all layer embeddings, and preference is
 /// their inner product. A translation hinge loss on the KG triples is
 /// trained jointly.
-class KgatRecommender : public Recommender {
+class KgatRecommender : public Recommender, public DotProductFactors {
  public:
   explicit KgatRecommender(KgatConfig config = {}) : config_(config) {}
 
@@ -53,6 +54,16 @@ class KgatRecommender : public Recommender {
                                 std::span<const int32_t> items) const override;
 
   std::string HyperFingerprint() const override;
+
+  // DotProductFactors: preference is the inner product of final
+  // concatenated embeddings, so the export slices the item-entity rows
+  // out of final_emb_ and the query is the user-entity row.
+  size_t factor_dim() const override { return final_emb_.cols(); }
+  retrieval::ScoreKernel factor_kernel() const override {
+    return retrieval::ScoreKernel::kDot;
+  }
+  retrieval::ItemFactors ExportItemFactors() const override;
+  void FillUserQuery(int32_t user, std::span<float> out) const override;
 
  protected:
   /// Serving only reads the final concatenated embeddings (the training

@@ -1,0 +1,730 @@
+// Lockdown of the retrieval layer (src/retrieval/) and the top-K
+// correctness fixes that came with it:
+//
+//  * math/topk.h — RankBetter is a total order (NaN last, ties toward
+//    the smaller index), so TopKIndices/TopKScored are well-defined on
+//    NaN-laced inputs (the old comparator was UB inside partial_sort)
+//    and BoundedTopK's streaming selection is scan-order independent.
+//  * the DotProductFactors export contract: for every factorizable
+//    registry model and every KGE backend, an exact index scan over the
+//    export is bitwise ScoreAll + TopKScored.
+//  * IvfIndex: bitwise-deterministic build at any thread count, exact
+//    when probes == clusters, candidate-complete under exclusions.
+//  * the serve path: Recommend()'s exclusion handling (the old -inf
+//    sentinel dropped legitimate -inf scores and could return excluded
+//    items), edge cases (k=0, k > catalog, everything excluded,
+//    duplicate/out-of-range ids, NaN scores) against a brute-force
+//    reference, and the router's recommend traffic.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <future>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cf/mf.h"
+#include "core/recommender.h"
+#include "core/registry.h"
+#include "data/synthetic.h"
+#include "embed/cfkg.h"
+#include "math/rng.h"
+#include "math/topk.h"
+#include "retrieval/factors.h"
+#include "retrieval/index.h"
+#include "retrieval/two_stage.h"
+#include "serve/router.h"
+#include "serve/serve_handle.h"
+
+namespace kgrec {
+namespace {
+
+using retrieval::BruteForceIndex;
+using retrieval::ItemFactors;
+using retrieval::IvfConfig;
+using retrieval::IvfIndex;
+using retrieval::ScoreKernel;
+using retrieval::TwoStageConfig;
+using retrieval::TwoStageRetriever;
+using serve::RetrievalSpec;
+using serve::ServeHandle;
+
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+// ---------------------------------------------------------------------
+// Shared fitted world (one Fit per model class across all tests).
+
+struct RetrievalWorld {
+  SyntheticWorld world;
+  DataSplit split;
+  UserItemGraph ui_graph;
+
+  RetrievalWorld() {
+    WorldConfig config;
+    config.num_users = 30;
+    config.num_items = 40;
+    config.avg_interactions_per_user = 8.0;
+    config.item_relations = {{"genre", 5, 1, 0.9f}, {"studio", 8, 1, 0.7f}};
+    config.seed = 515;
+    world = GenerateWorld(config);
+    Rng rng(12);
+    split = RatioSplit(world.interactions, 0.25, rng);
+    ui_graph = BuildUserItemGraph(world, split.train);
+  }
+
+  RecContext Context(uint64_t seed = 29) const {
+    RecContext ctx;
+    ctx.train = &split.train;
+    ctx.item_kg = &world.item_kg;
+    ctx.user_item_graph = &ui_graph;
+    ctx.seed = seed;
+    return ctx;
+  }
+};
+
+RetrievalWorld& SharedWorld() {
+  static RetrievalWorld* world = new RetrievalWorld();
+  return *world;
+}
+
+void ExpectSameRanking(const std::vector<std::pair<int32_t, float>>& want,
+                       const std::vector<std::pair<int32_t, float>>& got,
+                       const std::string& what) {
+  ASSERT_EQ(want.size(), got.size()) << what;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].first, got[i].first) << what << " rank " << i;
+    // Bitwise: NaN == NaN must pass.
+    EXPECT_EQ(std::memcmp(&want[i].second, &got[i].second, sizeof(float)), 0)
+        << what << " rank " << i << ": " << want[i].second << " vs "
+        << got[i].second;
+  }
+}
+
+/// The reference selection: rank every non-excluded (item, score) pair
+/// with a full sort under RankBetter and cut at k. Deliberately naive.
+std::vector<std::pair<int32_t, float>> BruteReference(
+    const std::vector<float>& scores, size_t k,
+    std::vector<int32_t> exclude = {}) {
+  std::sort(exclude.begin(), exclude.end());
+  std::vector<std::pair<int32_t, float>> pairs;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (std::binary_search(exclude.begin(), exclude.end(),
+                           static_cast<int32_t>(i))) {
+      continue;
+    }
+    pairs.emplace_back(static_cast<int32_t>(i), scores[i]);
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const auto& x, const auto& y) {
+              return RankBetter(x.second, x.first, y.second, y.first);
+            });
+  if (pairs.size() > k) pairs.resize(k);
+  return pairs;
+}
+
+// ---------------------------------------------------------------------
+// RetrievalTopK: the NaN/tie ordering fix and the streaming heap.
+
+TEST(RetrievalTopK, NanRanksLastAndTiesBreakTowardSmallerIndex) {
+  // Regression for the strict-weak-ordering violation: NaN interleaved
+  // with real scores used to be UB inside std::partial_sort. Under the
+  // fixed total order the result is fully determined.
+  const std::vector<float> scores{kNan, 2.0f, kNan, 2.0f, -kInf, 3.0f};
+  const std::vector<int32_t> want_order{5, 1, 3, 4, 0, 2};
+  EXPECT_EQ(TopKIndices(scores, scores.size()), want_order);
+
+  const auto top3 = TopKScored(scores, 3);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3[0], (std::pair<int32_t, float>{5, 3.0f}));
+  EXPECT_EQ(top3[1], (std::pair<int32_t, float>{1, 2.0f}));
+  EXPECT_EQ(top3[2], (std::pair<int32_t, float>{3, 2.0f}));
+
+  // All-NaN input: pure index order, k respected.
+  const std::vector<float> all_nan{kNan, kNan, kNan};
+  EXPECT_EQ(TopKIndices(all_nan, 2), (std::vector<int32_t>{0, 1}));
+}
+
+TEST(RetrievalTopK, NanLacedVectorsAreDeterministic) {
+  // Many NaN patterns, many k: the selection must never depend on
+  // partial_sort's whims. Compare against the naive full-sort reference.
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<float> scores(37);
+    for (float& s : scores) {
+      const double u = rng.Uniform();
+      if (u < 0.2) {
+        s = kNan;
+      } else if (u < 0.3) {
+        s = (u < 0.25) ? kInf : -kInf;
+      } else {
+        // Coarse grid so duplicate scores (ties) are common.
+        s = static_cast<float>(static_cast<int>(rng.Uniform(-5, 5)));
+      }
+    }
+    for (size_t k : {size_t{0}, size_t{1}, size_t{7}, scores.size(),
+                     scores.size() + 10}) {
+      const auto got = TopKScored(scores, k);
+      const auto want = BruteReference(scores, k);
+      ExpectSameRanking(want, got, "trial " + std::to_string(trial));
+    }
+  }
+}
+
+TEST(RetrievalTopK, BoundedTopKMatchesTopKScoredAnyScanOrder) {
+  // The streaming bounded heap must select the same unique top-K as the
+  // full-vector sort, whatever order the items are fed in — the property
+  // that makes blocked index scans exact.
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<float> scores(64);
+    for (float& s : scores) {
+      const double u = rng.Uniform();
+      s = u < 0.15 ? kNan
+                   : static_cast<float>(static_cast<int>(rng.Uniform(-4, 4)));
+    }
+    std::vector<int32_t> order(scores.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<int32_t>(i);
+    }
+    rng.Shuffle(order);
+    for (size_t k : {size_t{0}, size_t{1}, size_t{10}, scores.size() + 3}) {
+      BoundedTopK top(k);
+      for (int32_t id : order) top.Push(id, scores[id]);
+      ExpectSameRanking(TopKScored(scores, k), top.TakeSorted(),
+                        "k=" + std::to_string(k));
+    }
+  }
+}
+
+TEST(RetrievalTopK, BoundedTopKWouldAcceptAgreesWithPush) {
+  BoundedTopK top(2);
+  EXPECT_TRUE(top.WouldAccept(0, 1.0f));
+  top.Push(0, 1.0f);
+  top.Push(1, 2.0f);
+  // Full at {2.0 @1, 1.0 @0}: a worse score is refused, a better kept.
+  EXPECT_FALSE(top.WouldAccept(5, 0.5f));
+  EXPECT_TRUE(top.WouldAccept(5, 1.5f));
+  // Equal score, larger index than the current worst: refused (ties
+  // break toward the smaller index).
+  EXPECT_FALSE(top.WouldAccept(5, 1.0f));
+  top.Push(5, 1.5f);
+  const auto out = top.TakeSorted();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].first, 1);
+  EXPECT_EQ(out[1].first, 5);
+}
+
+// ---------------------------------------------------------------------
+// RetrievalExport: the factor-export contract, zoo-wide.
+
+TEST(RetrievalExport, RegistryQueryNamesTheFactorizableZoo) {
+  const std::vector<std::string> names = FactorizableMethodNames();
+  for (const char* expected :
+       {"MF", "BPR-MF", "CKE", "CFKG", "ECFKG", "Hete-MF", "Hete-CF",
+        "KGAT"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected << " should be factorizable";
+  }
+  // Spot-check the negative side: scores that are not one fixed kernel
+  // over static vectors must not claim the export surface.
+  for (const char* expected : {"KTUP", "HERec", "RippleNet", "Popularity"}) {
+    EXPECT_EQ(std::find(names.begin(), names.end(), expected), names.end())
+        << expected << " must not be factorizable";
+  }
+  std::unique_ptr<Recommender> mf = MakeRecommender("MF");
+  EXPECT_TRUE(IsFactorizable(*mf));
+  std::unique_ptr<Recommender> pop = MakeRecommender("Popularity");
+  EXPECT_FALSE(IsFactorizable(*pop));
+}
+
+void ExpectExportContract(Recommender& model, const std::string& name) {
+  const RetrievalWorld& world = SharedWorld();
+  const int32_t num_items = world.split.train.num_items();
+  const int32_t num_users = world.split.train.num_users();
+  const DotProductFactors* factors = AsFactorizable(model);
+  ASSERT_NE(factors, nullptr) << name;
+
+  const ItemFactors exported = factors->ExportItemFactors();
+  ASSERT_EQ(exported.items.rows(), static_cast<size_t>(num_items)) << name;
+  ASSERT_EQ(exported.items.cols(), factors->factor_dim()) << name;
+
+  // Pointwise: kernel(query, row) must be bitwise Score().
+  std::vector<float> query(factors->factor_dim());
+  for (int32_t user = 0; user < num_users; ++user) {
+    factors->FillUserQuery(user, query);
+    for (int32_t item = 0; item < num_items; ++item) {
+      const float via_export =
+          retrieval::KernelScore(exported.kernel, query.data(),
+                                 exported.items.Row(item),
+                                 factors->factor_dim());
+      const float direct = model.Score(user, item);
+      ASSERT_EQ(std::memcmp(&via_export, &direct, sizeof(float)), 0)
+          << name << " user " << user << " item " << item;
+    }
+  }
+
+  // Selection: the exact index must be bitwise ScoreAll + TopKScored,
+  // with and without exclusions.
+  BruteForceIndex index(factors->ExportItemFactors());
+  const std::vector<int32_t> exclude_raw{3, 3, 1, num_items + 7, -2, 0};
+  const std::vector<int32_t> exclude =
+      retrieval::SanitizeExclude(exclude_raw, num_items);
+  for (int32_t user = 0; user < std::min<int32_t>(num_users, 8); ++user) {
+    const std::vector<float> scores = model.ScoreAll(user, num_items);
+    factors->FillUserQuery(user, query);
+    ExpectSameRanking(TopKScored(scores, 10), index.Query(query, 10),
+                      name + " plain");
+    ExpectSameRanking(BruteReference(scores, 10, exclude_raw),
+                      index.Query(query, 10, exclude),
+                      name + " excluded");
+  }
+}
+
+TEST(RetrievalExport, EveryFactorizableModelScansBitwise) {
+  for (const std::string& name : FactorizableMethodNames()) {
+    std::unique_ptr<Recommender> model = MakeRecommender(name);
+    model->Fit(SharedWorld().Context());
+    ExpectExportContract(*model, name);
+  }
+}
+
+TEST(RetrievalExport, EveryKgeBackendFactorizes) {
+  // CFKG over each of the five KGE backends: the fixed-relation
+  // factorization (FillHeadQuery / FillTailFactor) must reproduce the
+  // backend's triple score bitwise, translation-distance and bilinear
+  // alike.
+  for (const char* backend :
+       {"transe", "transh", "transr", "transd", "distmult"}) {
+    CfkgConfig config;
+    config.kge = backend;
+    config.epochs = 4;
+    CfkgRecommender model(config);
+    model.Fit(SharedWorld().Context());
+    ExpectExportContract(model, std::string("CFKG/") + backend);
+  }
+}
+
+// ---------------------------------------------------------------------
+// RetrievalIvf: determinism, exactness at full probe, exclusion.
+
+ItemFactors MixtureFactors(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  const size_t clusters = 8;
+  Matrix centers(clusters, dim);
+  for (size_t i = 0; i < centers.size(); ++i) {
+    centers.data()[i] = static_cast<float>(rng.Normal());
+  }
+  ItemFactors factors;
+  factors.kernel = ScoreKernel::kDot;
+  factors.items = Matrix(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    const float* center = centers.Row(rng.UniformInt(clusters));
+    float* row = factors.items.Row(i);
+    for (size_t c = 0; c < dim; ++c) {
+      row[c] = center[c] + 0.2f * static_cast<float>(rng.Normal());
+    }
+  }
+  return factors;
+}
+
+ItemFactors CopyFactors(const ItemFactors& factors) {
+  ItemFactors copy;
+  copy.kernel = factors.kernel;
+  copy.items = factors.items;
+  return copy;
+}
+
+TEST(RetrievalIvf, BuildIsBitwiseIdenticalAtAnyThreadCount) {
+  const ItemFactors factors = MixtureFactors(300, 8, 41);
+  IvfConfig config;
+  config.num_clusters = 12;
+  config.num_probes = 3;
+
+  IvfConfig threaded = config;
+  threaded.num_threads = 4;
+  const IvfIndex serial(CopyFactors(factors), config);
+  const IvfIndex parallel(CopyFactors(factors), threaded);
+
+  Rng rng(7);
+  std::vector<float> query(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    for (float& q : query) q = static_cast<float>(rng.Normal());
+    ExpectSameRanking(serial.Query(query, 10), parallel.Query(query, 10),
+                      "threaded build trial " + std::to_string(trial));
+  }
+}
+
+TEST(RetrievalIvf, FullProbeIsBitwiseBruteForce) {
+  const ItemFactors factors = MixtureFactors(250, 8, 42);
+  const BruteForceIndex exact(CopyFactors(factors));
+  IvfConfig config;
+  config.num_clusters = 10;
+  config.num_probes = 10;  // probes == clusters: nothing pruned
+  const IvfIndex ivf(CopyFactors(factors), config);
+
+  const std::vector<int32_t> exclude =
+      retrieval::SanitizeExclude(std::vector<int32_t>{5, 17, 101}, 250);
+  Rng rng(8);
+  std::vector<float> query(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    for (float& q : query) q = static_cast<float>(rng.Normal());
+    ExpectSameRanking(exact.Query(query, 10), ivf.Query(query, 10),
+                      "full probe");
+    ExpectSameRanking(exact.Query(query, 10, exclude),
+                      ivf.Query(query, 10, exclude), "full probe excluded");
+  }
+}
+
+TEST(RetrievalIvf, ReasonableRecallAtDefaultProbes) {
+  // Not the CI gate (bench/retrieval_scaling --smoke gates 0.95); this
+  // is a sanity floor that catches a broken probe ranking outright.
+  const ItemFactors factors = MixtureFactors(400, 8, 43);
+  const BruteForceIndex exact(CopyFactors(factors));
+  const IvfIndex ivf(CopyFactors(factors), IvfConfig{});
+
+  Rng rng(9);
+  std::vector<float> query(8);
+  double recall = 0.0;
+  const int trials = 30;
+  for (int trial = 0; trial < trials; ++trial) {
+    for (float& q : query) q = static_cast<float>(rng.Normal());
+    const auto want = exact.Query(query, 10);
+    const auto got = ivf.Query(query, 10);
+    size_t hits = 0;
+    for (const auto& [item, score] : got) {
+      for (const auto& entry : want) {
+        if (item == entry.first) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    recall += static_cast<double>(hits) / static_cast<double>(want.size());
+  }
+  EXPECT_GE(recall / trials, 0.7);
+}
+
+// ---------------------------------------------------------------------
+// RetrievalTwoStage: candidate generation + exact re-rank.
+
+/// A deliberately non-factorizable ranker: score is a fixed function of
+/// (user, item) with no inner-product structure.
+class QuirkyRanker : public Recommender {
+ public:
+  std::string name() const override { return "QuirkyRanker"; }
+  void Fit(const RecContext&) override {}
+  float Score(int32_t user, int32_t item) const override {
+    return static_cast<float>(((user * 31 + item * 17) % 23) -
+                              (item % 5) * 0.25f);
+  }
+};
+
+TEST(RetrievalTwoStage, RequiresFactorizableCandidateModel) {
+  std::shared_ptr<const Recommender> bad =
+      std::shared_ptr<Recommender>(MakeRecommender("Popularity"));
+  std::unique_ptr<const TwoStageRetriever> retriever;
+  const Status status =
+      TwoStageRetriever::Create(bad, TwoStageConfig{}, &retriever);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RetrievalTwoStage, RanksCandidatesWithTheRankerScores) {
+  const RetrievalWorld& world = SharedWorld();
+  const int32_t num_items = world.split.train.num_items();
+
+  auto candidate = std::make_shared<MfRecommender>();
+  candidate->Fit(world.Context());
+  std::unique_ptr<const TwoStageRetriever> retriever;
+  TwoStageConfig config;
+  // Candidate pool covers the entire catalog: stage 2 then re-ranks
+  // everything, so the result must equal the ranker's exhaustive top-k.
+  config.min_candidates = static_cast<size_t>(num_items);
+  ASSERT_TRUE(
+      TwoStageRetriever::Create(candidate, config, &retriever).ok());
+
+  const QuirkyRanker ranker;
+  for (int32_t user = 0; user < 6; ++user) {
+    const std::vector<float> scores = ranker.ScoreAll(user, num_items);
+    ExpectSameRanking(BruteReference(scores, 10),
+                      retriever->Recommend(ranker, user, 10),
+                      "user " + std::to_string(user));
+  }
+
+  // With a narrow pool the results are the ranker's scores over the
+  // candidate model's shortlist — every returned item must carry its
+  // exact ranker score.
+  TwoStageConfig narrow;
+  narrow.candidates_per_k = 2;
+  narrow.min_candidates = 8;
+  std::unique_ptr<const TwoStageRetriever> shortlist;
+  ASSERT_TRUE(
+      TwoStageRetriever::Create(candidate, narrow, &shortlist).ok());
+  const auto out = shortlist->Recommend(ranker, 1, 4);
+  ASSERT_EQ(out.size(), 4u);
+  for (const auto& [item, score] : out) {
+    const float direct = ranker.Score(1, item);
+    EXPECT_EQ(std::memcmp(&score, &direct, sizeof(float)), 0);
+  }
+}
+
+// ---------------------------------------------------------------------
+// RetrievalServe: ServeHandle::Recommend edge cases and the -inf fix.
+
+/// Scores straight out of a table — lets tests plant NaN and -inf.
+class TableModel : public Recommender {
+ public:
+  explicit TableModel(Matrix scores) : scores_(std::move(scores)) {}
+  std::string name() const override { return "TableModel"; }
+  void Fit(const RecContext&) override {}
+  float Score(int32_t user, int32_t item) const override {
+    return scores_.At(user, item);
+  }
+
+ private:
+  Matrix scores_;
+};
+
+std::shared_ptr<const ServeHandle> TableHandle(const Matrix& scores) {
+  const RetrievalWorld& world = SharedWorld();
+  // The handle takes the catalog size from the context; the shared
+  // world's 40 items must match the table width.
+  EXPECT_EQ(scores.cols(), static_cast<size_t>(40));
+  return ServeHandle::Adopt(std::make_unique<TableModel>(scores),
+                            world.Context(), 1);
+}
+
+Matrix FiniteScores(uint64_t seed) {
+  Matrix scores(30, 40);
+  Rng rng(seed);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores.data()[i] = static_cast<float>(rng.Normal());
+  }
+  return scores;
+}
+
+TEST(RetrievalServe, RecommendHandlesEdgeCasesAgainstReference) {
+  const Matrix scores = FiniteScores(4242);
+  const auto handle = TableHandle(scores);
+  const int32_t n = 40;
+
+  std::vector<float> row(scores.Row(2), scores.Row(2) + n);
+  // k = 0 and k > catalog.
+  EXPECT_TRUE(handle->Recommend(2, 0).empty());
+  ExpectSameRanking(BruteReference(row, n + 25),
+                    handle->Recommend(2, static_cast<size_t>(n) + 25),
+                    "k > catalog");
+
+  // All items excluded.
+  std::vector<int32_t> all(n);
+  for (int32_t i = 0; i < n; ++i) all[i] = i;
+  EXPECT_TRUE(handle->Recommend(2, 10, all).empty());
+
+  // Duplicate and out-of-range exclude ids are tolerated and the listed
+  // items never come back.
+  const std::vector<int32_t> messy{7, 7, -3, n + 100, 0, 7};
+  const auto got = handle->Recommend(2, 10, messy);
+  ExpectSameRanking(BruteReference(row, 10, messy), got, "messy excludes");
+  for (const auto& [item, score] : got) {
+    EXPECT_NE(item, 7);
+    EXPECT_NE(item, 0);
+  }
+}
+
+TEST(RetrievalServe, RecommendRanksNanLastDeterministically) {
+  Matrix scores = FiniteScores(777);
+  for (int32_t item = 0; item < 40; item += 3) {
+    scores.At(4, item) = kNan;
+  }
+  const auto handle = TableHandle(scores);
+  std::vector<float> row(scores.Row(4), scores.Row(4) + 40);
+  ExpectSameRanking(BruteReference(row, 40), handle->Recommend(4, 40),
+                    "NaN row");
+}
+
+TEST(RetrievalServe, NegativeInfinityScoresAreNotConfusedWithExclusion) {
+  // Regression for the -inf sentinel scheme. A model that legitimately
+  // scores items -inf must still have them ranked (last among non-NaN),
+  // and excluded items must never resurface.
+  Matrix scores = FiniteScores(31337);
+  for (int32_t item = 0; item < 40; ++item) {
+    scores.At(6, item) = -kInf;  // user 6 hates everything
+  }
+  scores.At(6, 13) = 1.0f;
+  const auto handle = TableHandle(scores);
+
+  // k = catalog with no exclusions: every item comes back, the -inf ones
+  // in index order after item 13 — none silently dropped (the old code
+  // popped every trailing -inf).
+  const auto full = handle->Recommend(6, 40);
+  ASSERT_EQ(full.size(), 40u);
+  EXPECT_EQ(full[0].first, 13);
+  EXPECT_EQ(full[1].first, 0);
+  EXPECT_EQ(full[1].second, -kInf);
+
+  // Excluding the only finite item: the result is 10 genuine -inf items,
+  // 13 absent (the old code could return the excluded item here since
+  // its sentinel score tied with the real -inf scores).
+  const std::vector<int32_t> exclude{13};
+  const auto got = handle->Recommend(6, 10, exclude);
+  ASSERT_EQ(got.size(), 10u);
+  for (const auto& [item, score] : got) {
+    EXPECT_NE(item, 13);
+    EXPECT_EQ(score, -kInf);
+  }
+  std::vector<float> row(scores.Row(6), scores.Row(6) + 40);
+  ExpectSameRanking(BruteReference(row, 10, exclude), got, "-inf exclusion");
+}
+
+TEST(RetrievalServe, IndexedHandleIsBitwiseExhaustive) {
+  // A factorizable model behind kAuto serves through the exact index;
+  // kExhaustive forces the ScoreAll path. Both must agree bitwise.
+  const RetrievalWorld& world = SharedWorld();
+  auto fitted = std::make_unique<MfRecommender>();
+  fitted->Fit(world.Context());
+  auto fitted_copy = std::make_unique<MfRecommender>();
+  fitted_copy->Fit(world.Context());
+
+  const auto indexed =
+      ServeHandle::Adopt(std::move(fitted), world.Context(), 1);
+  EXPECT_EQ(indexed->retrieval_mode(), "exact-index");
+  ASSERT_NE(indexed->index(), nullptr);
+
+  RetrievalSpec exhaustive;
+  exhaustive.mode = RetrievalSpec::Mode::kExhaustive;
+  std::shared_ptr<const ServeHandle> scan;
+  ASSERT_TRUE(ServeHandle::Adopt(std::move(fitted_copy), world.Context(), 1,
+                                 exhaustive, &scan)
+                  .ok());
+  EXPECT_EQ(scan->retrieval_mode(), "exhaustive");
+
+  const std::vector<int32_t> exclude{1, 5, 5, 200};
+  for (int32_t user = 0; user < 8; ++user) {
+    ExpectSameRanking(scan->Recommend(user, 10), indexed->Recommend(user, 10),
+                      "indexed vs exhaustive");
+    ExpectSameRanking(scan->Recommend(user, 10, exclude),
+                      indexed->Recommend(user, 10, exclude),
+                      "indexed vs exhaustive excluded");
+  }
+}
+
+TEST(RetrievalServe, SpecFailsCleanlyOnNonFactorizableModels) {
+  const RetrievalWorld& world = SharedWorld();
+  RetrievalSpec exact;
+  exact.mode = RetrievalSpec::Mode::kExact;
+  std::shared_ptr<const ServeHandle> handle;
+  const Status status =
+      ServeHandle::Adopt(std::make_unique<TableModel>(FiniteScores(1)),
+                         world.Context(), 1, exact, &handle);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(handle, nullptr);
+
+  // kAuto on the same model falls back to the exhaustive path instead.
+  const auto served = ServeHandle::Adopt(
+      std::make_unique<TableModel>(FiniteScores(1)), world.Context(), 1);
+  EXPECT_EQ(served->retrieval_mode(), "exhaustive");
+}
+
+TEST(RetrievalServe, TwoStageHandleServesRankerScores) {
+  const RetrievalWorld& world = SharedWorld();
+  const int32_t num_items = world.split.train.num_items();
+  auto candidate = std::make_shared<MfRecommender>();
+  candidate->Fit(world.Context());
+
+  RetrievalSpec spec;
+  spec.mode = RetrievalSpec::Mode::kTwoStage;
+  spec.candidate_model = candidate;
+  spec.two_stage.min_candidates = static_cast<size_t>(num_items);
+  std::shared_ptr<const ServeHandle> handle;
+  ASSERT_TRUE(ServeHandle::Adopt(std::make_unique<QuirkyRanker>(),
+                                 world.Context(), 1, spec, &handle)
+                  .ok());
+  EXPECT_EQ(handle->retrieval_mode(), "two-stage");
+
+  const QuirkyRanker reference;
+  for (int32_t user = 0; user < 6; ++user) {
+    const std::vector<float> scores = reference.ScoreAll(user, num_items);
+    ExpectSameRanking(BruteReference(scores, 10), handle->Recommend(user, 10),
+                      "two-stage user " + std::to_string(user));
+  }
+}
+
+// ---------------------------------------------------------------------
+// RetrievalRouter: recommend traffic through the admission machinery.
+
+TEST(RetrievalRouter, RecommendSyncMatchesDirectHandleCall) {
+  const RetrievalWorld& world = SharedWorld();
+  auto fitted = std::make_unique<MfRecommender>();
+  fitted->Fit(world.Context());
+  const auto handle = ServeHandle::Adopt(std::move(fitted), world.Context(), 7);
+
+  serve::RouterConfig config;
+  config.num_threads = 2;
+  serve::Router router(config, handle);
+
+  for (int32_t user = 0; user < 8; ++user) {
+    serve::RecommendRequest request;
+    request.user = user;
+    request.k = 5;
+    request.exclude = {2, 2, -1, 999};
+    const serve::RecommendResponse response =
+        router.RecommendSync(std::move(request));
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_EQ(response.generation, 7u);
+    EXPECT_GT(response.completed_ns, 0u);
+    const std::vector<int32_t> exclude{2, 2, -1, 999};
+    ExpectSameRanking(handle->Recommend(user, 5, exclude), response.items,
+                      "router user " + std::to_string(user));
+  }
+}
+
+TEST(RetrievalRouter, MixedScoreAndRecommendTrafficBothDeliver) {
+  const RetrievalWorld& world = SharedWorld();
+  auto fitted = std::make_unique<MfRecommender>();
+  fitted->Fit(world.Context());
+  const auto handle = ServeHandle::Adopt(std::move(fitted), world.Context(), 3);
+
+  serve::RouterConfig config;
+  config.num_threads = 3;
+  serve::Router router(config, handle);
+
+  std::vector<std::future<serve::ScoreResponse>> score_futures;
+  std::vector<std::future<serve::RecommendResponse>> rec_futures;
+  std::vector<int32_t> items{0, 1, 2, 3, 4};
+  for (int round = 0; round < 20; ++round) {
+    const int32_t user = round % 6;
+    serve::ScoreRequest score_request;
+    score_request.user = user;
+    score_request.items = items;
+    score_futures.push_back(router.Submit(std::move(score_request)));
+    serve::RecommendRequest rec_request;
+    rec_request.user = user;
+    rec_request.k = 4;
+    rec_futures.push_back(router.SubmitRecommend(std::move(rec_request)));
+  }
+  for (size_t i = 0; i < score_futures.size(); ++i) {
+    const int32_t user = static_cast<int32_t>(i) % 6;
+    const serve::ScoreResponse response = score_futures[i].get();
+    ASSERT_TRUE(response.status.ok());
+    const std::vector<float> want = handle->ScoreItems(user, items);
+    ASSERT_EQ(response.scores.size(), want.size());
+    for (size_t j = 0; j < want.size(); ++j) {
+      EXPECT_EQ(std::memcmp(&response.scores[j], &want[j], sizeof(float)), 0);
+    }
+    const serve::RecommendResponse rec = rec_futures[i].get();
+    ASSERT_TRUE(rec.status.ok());
+    ExpectSameRanking(handle->Recommend(user, 4), rec.items,
+                      "mixed round " + std::to_string(i));
+  }
+  const serve::RouterStats stats = router.Stats();
+  EXPECT_EQ(stats.accepted, 40u);
+  EXPECT_EQ(stats.responses, 40u);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+}  // namespace
+}  // namespace kgrec
