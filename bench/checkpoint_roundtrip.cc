@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/mem_stats.h"
 #include "core/recommender.h"
 #include "core/registry.h"
 #include "data/presets.h"
@@ -123,6 +124,7 @@ int main(int argc, char** argv) {
   kgrec::bench::PrintRule(64);
 
   bool all_ok = true;
+  std::vector<std::string> json_rows;
   for (const std::string& name : kgrec::ImplementedMethodNames()) {
     std::unique_ptr<kgrec::Recommender> model = kgrec::MakeRecommender(name);
     if (model == nullptr) {
@@ -146,6 +148,15 @@ int main(int argc, char** argv) {
                   "-", row.error.c_str());
       all_ok = false;
     }
+    json_rows.push_back(kgrec::bench::JsonWriter()
+                            .Field("model", name)
+                            .Field("checkpoint_bytes",
+                                   static_cast<size_t>(
+                                       row.bytes > 0 ? row.bytes : 0))
+                            .Field("save_seconds", row.save_s)
+                            .Field("load_seconds", row.load_s)
+                            .Field("bitwise", row.ok)
+                            .str());
     std::remove(path.c_str());
   }
   rmdir(dir.c_str());
@@ -155,5 +166,15 @@ int main(int argc, char** argv) {
       "exactly the scores the fitted model did. Checkpoints store learned\n"
       "parameters only; derived state is recomputed on load from the same\n"
       "data and seed, which is what this harness locks down.\n");
+  kgrec::bench::JsonWriter::WriteFile(
+      "BENCH_checkpoint_roundtrip.json",
+      kgrec::bench::JsonWriter()
+          .Field("bench", "checkpoint_roundtrip")
+          .Field("mode", smoke ? "smoke" : "full")
+          .Field("bitwise", all_ok)
+          .Field("peak_rss_bytes", kgrec::PeakRssBytes())
+          .Field("pass", all_ok)
+          .Raw("rows", kgrec::bench::JsonWriter::Array(json_rows))
+          .str());
   return all_ok ? 0 : 1;
 }

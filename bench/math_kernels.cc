@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/mem_stats.h"
 #include "math/kernels.h"
 #include "math/rng.h"
 
@@ -232,12 +233,33 @@ int main(int argc, char** argv) {
 
   kgrec::bench::PrintRule(70);
   bool all_bitwise = true;
-  for (const Row& row : rows) all_bitwise = all_bitwise && row.bitwise;
+  std::vector<std::string> json_rows;
+  for (const Row& row : rows) {
+    all_bitwise = all_bitwise && row.bitwise;
+    json_rows.push_back(kgrec::bench::JsonWriter()
+                            .Field("kernel", row.name)
+                            .Field("dispatched_ns", row.dispatched_s * 1e9)
+                            .Field("reference_ns", row.ref_s * 1e9)
+                            .Field("speedup", row.ref_s / row.dispatched_s)
+                            .Field("bitwise", row.bitwise)
+                            .str());
+  }
   std::printf(
       "\nContract: every bitwise column must read 'yes' — the dispatched\n"
       "kernels and the scalar reference perform the identical IEEE op\n"
       "sequence per output (the fixed-block accumulation contract), so\n"
       "KGREC_SIMD=auto and KGREC_SIMD=off builds produce identical models.\n");
+  kgrec::bench::JsonWriter::WriteFile(
+      "BENCH_math_kernels.json",
+      kgrec::bench::JsonWriter()
+          .Field("bench", "math_kernels")
+          .Field("mode", smoke ? "smoke" : "full")
+          .Field("simd_mode", kgrec::kernels::Mode())
+          .Field("bitwise", all_bitwise)
+          .Field("peak_rss_bytes", kgrec::PeakRssBytes())
+          .Field("pass", all_bitwise)
+          .Raw("rows", kgrec::bench::JsonWriter::Array(json_rows))
+          .str());
   if (!all_bitwise) return 1;
   return 0;
 }

@@ -1,0 +1,409 @@
+// Million-scale world build + peak-RSS trajectory bench and CI gate.
+//
+//   ./mega_scale          full tier: MegaPreset() (10^6 users, 2x10^5
+//                         items, 10^7 facts) streamed into the compacted
+//                         substrate, KG finalize + triple release, MF
+//                         fit, brute-force + IVF index build and
+//                         queries. Gates on the documented peak-RSS
+//                         budget for the tier.
+//   ./mega_scale --smoke  CI gate (tier1): MegaLitePreset(); asserts
+//                         (a) the streamed drop-names world is
+//                             structurally identical to the
+//                             materializing named reference path
+//                             (triples, interactions, CSR adjacency),
+//                         (b) MF Fit / ScoreItems / index top-K on the
+//                             compacted substrate are bitwise equal to
+//                             the reference path,
+//                         (c) peak RSS stays within the smoke budget.
+//
+// Every stage appends a row (wall seconds, current/peak RSS, logical
+// substrate bytes) to BENCH_mega.json — the memory trajectory the
+// compaction work is judged by. Compare runs with tools/bench_diff.py.
+// Exits non-zero on any gate failure.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cf/mf.h"
+#include "core/mem_stats.h"
+#include "data/mega.h"
+#include "retrieval/factors.h"
+#include "retrieval/index.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using kgrec::EntityId;
+using kgrec::InteractionDataset;
+using kgrec::KnowledgeGraph;
+using kgrec::MegaWorld;
+using kgrec::MegaWorldConfig;
+using kgrec::MemoryVisitor;
+using kgrec::MfConfig;
+using kgrec::MfRecommender;
+using kgrec::RecContext;
+using kgrec::retrieval::BruteForceIndex;
+using kgrec::retrieval::IvfConfig;
+using kgrec::retrieval::IvfIndex;
+
+// Peak-RSS budgets (bytes). These are deliberate regression tripwires,
+// not aspirations: the measured peak of the compacted substrate plus
+// generous headroom for allocator noise and toolchain drift. Raising
+// one is a reviewed decision — see DESIGN.md "Memory model" for the
+// measured baselines behind each number (full tier: ~629 MiB peak,
+// reached during the MF fit; smoke: ~6 MiB).
+constexpr size_t kMiB = size_t{1} << 20;
+constexpr size_t kPeakRssBudgetFull = size_t{1024} * kMiB;
+constexpr size_t kPeakRssBudgetSmoke = size_t{64} * kMiB;
+
+constexpr size_t kTopK = 10;
+
+/// One row of the memory trajectory.
+struct StageRow {
+  std::string stage;
+  double seconds = 0.0;
+  size_t current_rss = 0;
+  size_t peak_rss = 0;
+  size_t logical_bytes = 0;  // substrate logical bytes after the stage
+};
+
+/// Logical bytes of the data substrate (KG + interaction log + indices).
+size_t SubstrateBytes(const KnowledgeGraph& kg,
+                      const InteractionDataset& interactions) {
+  MemoryVisitor visitor;
+  kg.MemoryUse(visitor);
+  interactions.MemoryUse(visitor);
+  return visitor.total();
+}
+
+class Trajectory {
+ public:
+  /// Runs `body`, then records wall time and the RSS trajectory point.
+  template <typename Body>
+  void Stage(const std::string& name, size_t logical_bytes, Body&& body) {
+    const auto start = Clock::now();
+    body();
+    const auto end = Clock::now();
+    StageRow row;
+    row.stage = name;
+    row.seconds = std::chrono::duration<double>(end - start).count();
+    row.current_rss = kgrec::CurrentRssBytes();
+    row.peak_rss = kgrec::PeakRssBytes();
+    row.logical_bytes = logical_bytes;
+    rows_.push_back(row);
+    std::printf("%-24s %8.2fs  rss %7.1f MiB  peak %7.1f MiB  logical %7.1f MiB\n",
+                name.c_str(), row.seconds,
+                static_cast<double>(row.current_rss) / kMiB,
+                static_cast<double>(row.peak_rss) / kMiB,
+                static_cast<double>(row.logical_bytes) / kMiB);
+  }
+
+  std::vector<std::string> JsonRows() const {
+    std::vector<std::string> out;
+    for (const StageRow& r : rows_) {
+      out.push_back(kgrec::bench::JsonWriter()
+                        .Field("stage", r.stage)
+                        .Field("seconds", r.seconds)
+                        .Field("current_rss_bytes", r.current_rss)
+                        .Field("peak_rss_bytes", r.peak_rss)
+                        .Field("logical_bytes", r.logical_bytes)
+                        .str());
+    }
+    return out;
+  }
+
+ private:
+  std::vector<StageRow> rows_;
+};
+
+bool BitwiseEqual(std::span<const float> a, std::span<const float> b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+/// Structural equality of two worlds: entity/relation counts, the raw
+/// triple list, the interaction log, and every CSR adjacency row. Both
+/// graphs must already be finalized.
+bool SameWorld(const MegaWorld& a, const MegaWorld& b) {
+  if (a.kg.num_entities() != b.kg.num_entities() ||
+      a.kg.num_relations() != b.kg.num_relations() ||
+      a.kg.num_triples() != b.kg.num_triples()) {
+    std::fprintf(stderr, "FAIL world: KG shape differs\n");
+    return false;
+  }
+  if (!(a.kg.triples() == b.kg.triples())) {
+    std::fprintf(stderr, "FAIL world: triple lists differ\n");
+    return false;
+  }
+  const auto& xa = a.interactions.interactions();
+  const auto& xb = b.interactions.interactions();
+  if (xa.size() != xb.size()) {
+    std::fprintf(stderr, "FAIL world: interaction counts differ\n");
+    return false;
+  }
+  for (size_t i = 0; i < xa.size(); ++i) {
+    if (xa[i].user != xb[i].user || xa[i].item != xb[i].item) {
+      std::fprintf(stderr, "FAIL world: interaction %zu differs\n", i);
+      return false;
+    }
+  }
+  for (size_t e = 0; e < a.kg.num_entities(); ++e) {
+    const EntityId id = static_cast<EntityId>(e);
+    const size_t degree = a.kg.OutDegree(id);
+    if (degree != b.kg.OutDegree(id) ||
+        (degree > 0 &&
+         std::memcmp(a.kg.OutEdges(id), b.kg.OutEdges(id),
+                     degree * sizeof(kgrec::Edge)) != 0)) {
+      std::fprintf(stderr, "FAIL world: CSR row %zu differs\n", e);
+      return false;
+    }
+  }
+  return true;
+}
+
+MfConfig SmokeMfConfig() {
+  MfConfig config;
+  config.dim = 16;
+  config.epochs = 5;
+  return config;
+}
+
+/// Fits MF on one world and returns the trained model.
+MfRecommender FitMf(const MegaWorld& world, const MfConfig& config) {
+  MfRecommender model(config);
+  RecContext context;
+  context.train = &world.interactions;
+  context.item_kg = &world.kg;
+  context.seed = 17;
+  model.Fit(context);
+  return model;
+}
+
+/// The compacted-vs-reference bitwise gate (smoke mode): same factors,
+/// same per-user scores, same exact and approximate top-K.
+bool SameModel(const MfRecommender& a, const MfRecommender& b,
+               int32_t num_users, int32_t num_items) {
+  const kgrec::retrieval::ItemFactors fa = a.ExportItemFactors();
+  const kgrec::retrieval::ItemFactors fb = b.ExportItemFactors();
+  if (!BitwiseEqual({fa.items.data(), fa.items.size()},
+                    {fb.items.data(), fb.items.size()})) {
+    std::fprintf(stderr, "FAIL model: item factors diverge\n");
+    return false;
+  }
+  std::vector<int32_t> all_items(num_items);
+  for (int32_t j = 0; j < num_items; ++j) all_items[j] = j;
+  const int32_t user_step = std::max(1, num_users / 64);
+  BruteForceIndex index_a(a.ExportItemFactors());
+  BruteForceIndex index_b(b.ExportItemFactors());
+  IvfConfig ivf_config;
+  IvfIndex ivf_a(a.ExportItemFactors(), ivf_config);
+  IvfIndex ivf_b(b.ExportItemFactors(), ivf_config);
+  std::vector<float> qa(a.factor_dim()), qb(b.factor_dim());
+  for (int32_t u = 0; u < num_users; u += user_step) {
+    if (!BitwiseEqual(a.ScoreItems(u, all_items),
+                      b.ScoreItems(u, all_items))) {
+      std::fprintf(stderr, "FAIL model: ScoreItems(%d) diverges\n", u);
+      return false;
+    }
+    a.FillUserQuery(u, qa);
+    b.FillUserQuery(u, qb);
+    if (!BitwiseEqual(qa, qb)) {
+      std::fprintf(stderr, "FAIL model: user query %d diverges\n", u);
+      return false;
+    }
+    const auto top_a = index_a.Query(qa, kTopK);
+    const auto top_b = index_b.Query(qb, kTopK);
+    const auto ivf_top_a = ivf_a.Query(qa, kTopK);
+    const auto ivf_top_b = ivf_b.Query(qb, kTopK);
+    const auto same = [](const std::vector<std::pair<int32_t, float>>& x,
+                         const std::vector<std::pair<int32_t, float>>& y) {
+      if (x.size() != y.size()) return false;
+      for (size_t i = 0; i < x.size(); ++i) {
+        if (x[i].first != y[i].first ||
+            std::memcmp(&x[i].second, &y[i].second, sizeof(float)) != 0) {
+          return false;
+        }
+      }
+      return true;
+    };
+    if (!same(top_a, top_b) || !same(ivf_top_a, ivf_top_b)) {
+      std::fprintf(stderr, "FAIL model: top-%zu for user %d diverges\n",
+                   kTopK, u);
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunSmoke() {
+  Trajectory traj;
+  MegaWorld streamed;
+  MegaWorld reference;
+  traj.Stage("generate_streamed", 0, [&] {
+    streamed = kgrec::GenerateMegaWorld(kgrec::MegaLitePreset());
+  });
+  traj.Stage("generate_reference", 0, [&] {
+    MegaWorldConfig named = kgrec::MegaLitePreset();
+    named.drop_names = false;  // fully uncompacted: named + materialized
+    reference = kgrec::GenerateMegaWorldReference(named);
+  });
+  bool world_ok = false;
+  traj.Stage("finalize_compare",
+             SubstrateBytes(streamed.kg, streamed.interactions), [&] {
+               streamed.kg.Finalize();
+               reference.kg.Finalize();
+               world_ok = SameWorld(streamed, reference);
+             });
+  bool model_ok = false;
+  traj.Stage("mf_fit_compare",
+             SubstrateBytes(streamed.kg, streamed.interactions), [&] {
+               const MfRecommender a = FitMf(streamed, SmokeMfConfig());
+               const MfRecommender b = FitMf(reference, SmokeMfConfig());
+               model_ok = SameModel(a, b, streamed.config.num_users,
+                                    streamed.config.num_items);
+             });
+
+  const size_t peak = kgrec::PeakRssBytes();
+  const bool rss_ok = peak <= kPeakRssBudgetSmoke;
+  if (!rss_ok) {
+    std::fprintf(stderr, "FAIL peak RSS %.1f MiB > budget %.1f MiB\n",
+                 static_cast<double>(peak) / kMiB,
+                 static_cast<double>(kPeakRssBudgetSmoke) / kMiB);
+  }
+  const bool ok = world_ok && model_ok && rss_ok;
+  const std::string json =
+      kgrec::bench::JsonWriter()
+          .Field("bench", "mega_scale")
+          .Field("mode", "smoke")
+          .Field("world_bitwise", world_ok)
+          .Field("model_bitwise", model_ok)
+          .Field("peak_rss_bytes", peak)
+          .Field("rss_budget_bytes", kPeakRssBudgetSmoke)
+          .Field("pass", ok)
+          .Raw("stages", kgrec::bench::JsonWriter::Array(traj.JsonRows()))
+          .str();
+  kgrec::bench::JsonWriter::WriteFile("BENCH_mega.json", json);
+  std::printf("\n%s\n",
+              ok ? "PASS: streamed world bitwise-matches reference, "
+                   "RSS within budget"
+                 : "FAIL: see messages above");
+  return ok ? 0 : 1;
+}
+
+int RunFull() {
+  Trajectory traj;
+  MegaWorld world;
+  traj.Stage("generate_streamed", 0, [&] {
+    world = kgrec::GenerateMegaWorld(kgrec::MegaPreset());
+  });
+  traj.Stage("kg_finalize", SubstrateBytes(world.kg, world.interactions),
+             [&] { world.kg.Finalize(); });
+  traj.Stage("kg_release_triples",
+             SubstrateBytes(world.kg, world.interactions),
+             [&] { world.kg.ReleaseTriples(); });
+  MfConfig mf_config;
+  mf_config.dim = 16;
+  mf_config.epochs = 2;
+  // The dense Adagrad step walks every parameter (19.2M floats here) per
+  // batch; at the default batch_size=256 that is ~78k full-table sweeps
+  // — hours on one core. Large batches amortize the dense step to a
+  // tractable count without changing what the stage measures (the
+  // substrate's memory trajectory, not MF quality).
+  mf_config.batch_size = 1 << 16;
+  MfRecommender model(mf_config);
+  traj.Stage("mf_fit", SubstrateBytes(world.kg, world.interactions), [&] {
+    RecContext context;
+    context.train = &world.interactions;
+    context.item_kg = &world.kg;
+    context.seed = 17;
+    model.Fit(context);
+  });
+  std::unique_ptr<BruteForceIndex> brute;
+  traj.Stage("brute_index_build",
+             SubstrateBytes(world.kg, world.interactions), [&] {
+               brute = std::make_unique<BruteForceIndex>(
+                   model.ExportItemFactors());
+             });
+  std::unique_ptr<IvfIndex> ivf;
+  traj.Stage("ivf_index_build",
+             SubstrateBytes(world.kg, world.interactions), [&] {
+               ivf = std::make_unique<IvfIndex>(model.ExportItemFactors(),
+                                                IvfConfig{});
+             });
+  constexpr int32_t kQueryUsers = 512;
+  double brute_qps = 0.0, ivf_qps = 0.0;
+  traj.Stage("queries", SubstrateBytes(world.kg, world.interactions), [&] {
+    std::vector<float> query(model.factor_dim());
+    const int32_t step =
+        std::max(1, world.config.num_users / kQueryUsers);
+    auto time_index = [&](const kgrec::retrieval::ItemIndex& index) {
+      const auto start = Clock::now();
+      size_t queries = 0;
+      for (int32_t u = 0; u < world.config.num_users; u += step) {
+        model.FillUserQuery(u, query);
+        index.Query(query, kTopK);
+        ++queries;
+      }
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      return seconds > 0.0 ? queries / seconds : 0.0;
+    };
+    brute_qps = time_index(*brute);
+    ivf_qps = time_index(*ivf);
+  });
+
+  // Per-structure logical-byte breakdown for the JSON artifact.
+  MemoryVisitor visitor;
+  world.kg.MemoryUse(visitor);
+  world.interactions.MemoryUse(visitor);
+  std::vector<std::string> structure_rows;
+  for (const auto& [name, bytes] : visitor.entries()) {
+    structure_rows.push_back(kgrec::bench::JsonWriter()
+                                 .Field("structure", name)
+                                 .Field("bytes", bytes)
+                                 .str());
+  }
+
+  const size_t peak = kgrec::PeakRssBytes();
+  const bool rss_ok = peak <= kPeakRssBudgetFull;
+  if (!rss_ok) {
+    std::fprintf(stderr, "FAIL peak RSS %.1f MiB > budget %.1f MiB\n",
+                 static_cast<double>(peak) / kMiB,
+                 static_cast<double>(kPeakRssBudgetFull) / kMiB);
+  }
+  const std::string json =
+      kgrec::bench::JsonWriter()
+          .Field("bench", "mega_scale")
+          .Field("mode", "full")
+          .Field("num_users", static_cast<size_t>(world.config.num_users))
+          .Field("num_items", static_cast<size_t>(world.config.num_items))
+          .Field("num_facts", world.kg.num_triples())
+          .Field("num_interactions",
+                 world.interactions.num_interactions())
+          .Field("brute_qps", brute_qps)
+          .Field("ivf_qps", ivf_qps)
+          .Field("peak_rss_bytes", peak)
+          .Field("rss_budget_bytes", kPeakRssBudgetFull)
+          .Field("pass", rss_ok)
+          .Raw("stages", kgrec::bench::JsonWriter::Array(traj.JsonRows()))
+          .Raw("structures",
+               kgrec::bench::JsonWriter::Array(structure_rows))
+          .str();
+  kgrec::bench::JsonWriter::WriteFile("BENCH_mega.json", json);
+  std::printf("\nbrute %.0f q/s  ivf %.0f q/s\n%s\n", brute_qps, ivf_qps,
+              rss_ok ? "PASS: peak RSS within budget"
+                     : "FAIL: see messages above");
+  return rss_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  return smoke ? RunSmoke() : RunFull();
+}

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/mem_stats.h"
 #include "core/recommender.h"
 #include "core/registry.h"
 #include "data/presets.h"
@@ -346,6 +347,7 @@ int main(int argc, char** argv) {
           .Field("k", kK)
           .Field("exact_bitwise", models_ok)
           .Field("default_probe_recall_at_10", gate.default_probe_recall)
+          .Field("peak_rss_bytes", kgrec::PeakRssBytes())
           .Field("pass", ok)
           .Raw("models", kgrec::bench::JsonWriter::Array(model_rows))
           .Raw("sweep", kgrec::bench::JsonWriter::Array(sweep_rows))

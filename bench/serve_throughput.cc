@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/mem_stats.h"
 #include "core/recommender.h"
 #include "core/registry.h"
 #include "data/presets.h"
@@ -297,6 +298,8 @@ int main(int argc, char** argv) {
       "BENCH_serve.json", kgrec::bench::JsonWriter()
                               .Field("bench", "serve_throughput")
                               .Field("mode", smoke ? "smoke" : "full")
+                              .Field("peak_rss_bytes",
+                                     kgrec::PeakRssBytes())
                               .Field("pass", all_ok)
                               .Raw("rows", kgrec::bench::JsonWriter::Array(
                                                json_rows))

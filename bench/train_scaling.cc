@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/mem_stats.h"
 #include "core/serialize.h"
 #include "core/thread_pool.h"
 #include "data/presets.h"
@@ -163,6 +164,7 @@ int main(int argc, char** argv) {
               "speedup", "bitwise");
 
   bool all_bitwise = true;
+  std::vector<std::string> json_rows;
   for (const Family& family : families) {
     double serial_seconds = 0.0;
     std::vector<float> reference;
@@ -179,11 +181,29 @@ int main(int argc, char** argv) {
       std::printf("%12s %8zu %10.3f %8.2fx %10s\n", family.name.c_str(),
                   threads, run.seconds, serial_seconds / run.seconds,
                   bitwise ? "yes" : "NO — BUG");
+      json_rows.push_back(kgrec::bench::JsonWriter()
+                              .Field("family", family.name)
+                              .Field("threads", threads)
+                              .Field("fit_seconds", run.seconds)
+                              .Field("speedup",
+                                     serial_seconds / run.seconds)
+                              .Field("bitwise", bitwise)
+                              .str());
     }
   }
 
   std::printf(
       "\nContract: the bitwise column must read 'yes' on every row; the\n"
       "speedup column tracks the machine's core count (~1.0x on 1 core).\n");
+  kgrec::bench::JsonWriter::WriteFile(
+      "BENCH_train_scaling.json",
+      kgrec::bench::JsonWriter()
+          .Field("bench", "train_scaling")
+          .Field("mode", smoke ? "smoke" : "full")
+          .Field("bitwise", all_bitwise)
+          .Field("peak_rss_bytes", kgrec::PeakRssBytes())
+          .Field("pass", all_bitwise)
+          .Raw("rows", kgrec::bench::JsonWriter::Array(json_rows))
+          .str());
   return all_bitwise ? 0 : 1;
 }

@@ -1,0 +1,53 @@
+#include "core/mem_stats.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace kgrec {
+namespace {
+
+/// Reads one "VmXXX:  <kB> kB" line from /proc/self/status; 0 if absent.
+size_t ProcStatusBytes(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const size_t key_len = std::strlen(key);
+  char line[256];
+  size_t bytes = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) != 0) continue;
+    unsigned long long kb = 0;
+    if (std::sscanf(line + key_len, ": %llu", &kb) == 1) {
+      bytes = static_cast<size_t>(kb) * 1024;
+    }
+    break;
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+}  // namespace
+
+size_t PeakRssBytes() {
+  const size_t vm_hwm = ProcStatusBytes("VmHWM");
+  if (vm_hwm > 0) return vm_hwm;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    // ru_maxrss is kilobytes on Linux, bytes on macOS.
+#if defined(__APPLE__)
+    return static_cast<size_t>(usage.ru_maxrss);
+#else
+    return static_cast<size_t>(usage.ru_maxrss) * 1024;
+#endif
+  }
+#endif
+  return 0;
+}
+
+size_t CurrentRssBytes() { return ProcStatusBytes("VmRSS"); }
+
+}  // namespace kgrec

@@ -1,0 +1,52 @@
+#ifndef KGREC_CORE_MEM_STATS_H_
+#define KGREC_CORE_MEM_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kgrec {
+
+/// Peak resident set size of this process in bytes (Linux VmHWM, with a
+/// getrusage fallback). 0 when the platform exposes neither. This is the
+/// high-water mark the mega-scale RSS budgets gate on: it only grows, so
+/// reading it after a phase bounds everything the phase allocated.
+size_t PeakRssBytes();
+
+/// Current resident set size in bytes (Linux VmRSS); 0 when unavailable.
+size_t CurrentRssBytes();
+
+/// Collects the *logical* bytes of a data structure, category by
+/// category, via the structures' `MemoryUse(visitor)` methods. Logical
+/// means payload actually reachable through the structure (element count
+/// x element size, including vector capacity slack), not allocator or
+/// page overhead — so `total()` is comparable across layouts while peak
+/// RSS captures what the OS really charged.
+class MemoryVisitor {
+ public:
+  void Add(const std::string& name, size_t bytes) {
+    entries_.emplace_back(name, bytes);
+    total_ += bytes;
+  }
+
+  const std::vector<std::pair<std::string, size_t>>& entries() const {
+    return entries_;
+  }
+  size_t total() const { return total_; }
+
+ private:
+  std::vector<std::pair<std::string, size_t>> entries_;
+  size_t total_ = 0;
+};
+
+/// Logical bytes held by a vector: capacity (not size), so growth slack
+/// is visible in the accounting.
+template <typename T>
+size_t VectorBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+}  // namespace kgrec
+
+#endif  // KGREC_CORE_MEM_STATS_H_

@@ -1,0 +1,92 @@
+#ifndef KGREC_CORE_STRING_POOL_H_
+#define KGREC_CORE_STRING_POOL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/mem_stats.h"
+
+namespace kgrec {
+
+/// An append-only interning arena for short strings (entity / relation
+/// names). Characters live in chunked blocks that are never reallocated,
+/// so the `std::string_view`s handed out stay valid for the pool's
+/// lifetime — which lets a lookup map key on views *into* the pool
+/// instead of owning a second copy of every name (the KnowledgeGraph
+/// stored each entity name twice before this existed).
+///
+/// Logical cost per string: length bytes in a block + one 16-byte view,
+/// versus 32+ bytes of std::string header plus its own heap block.
+class StringPool {
+ public:
+  StringPool() = default;
+
+  /// Pools cannot be copied cheaply (views would need rebasing); they
+  /// move fine because block storage is pointer-stable.
+  StringPool(StringPool&&) = default;
+  StringPool& operator=(StringPool&&) = default;
+  StringPool(const StringPool& other) { CopyFrom(other); }
+  StringPool& operator=(const StringPool& other) {
+    if (this != &other) {
+      blocks_.clear();
+      views_.clear();
+      block_used_ = 0;
+      block_cap_ = 0;
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  /// Appends a copy of `s` and returns its index. Does NOT deduplicate —
+  /// callers that intern keep their own name -> index map (keyed on the
+  /// returned view to avoid the second copy).
+  uint32_t Append(std::string_view s) {
+    if (s.size() > block_cap_ - block_used_) NewBlock(s.size());
+    char* dst = blocks_.back().get() + block_used_;
+    std::memcpy(dst, s.data(), s.size());
+    block_used_ += s.size();
+    views_.emplace_back(dst, s.size());
+    return static_cast<uint32_t>(views_.size() - 1);
+  }
+
+  std::string_view Get(uint32_t index) const { return views_[index]; }
+
+  size_t size() const { return views_.size(); }
+  bool empty() const { return views_.empty(); }
+
+  void MemoryUse(MemoryVisitor& visitor, const std::string& name) const {
+    size_t chars = 0;
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+      chars += (i + 1 == blocks_.size()) ? block_cap_ : kBlockSize;
+    }
+    visitor.Add(name + ".chars", chars);
+    visitor.Add(name + ".views", VectorBytes(views_));
+  }
+
+ private:
+  static constexpr size_t kBlockSize = size_t{1} << 16;
+
+  void NewBlock(size_t min_size) {
+    const size_t cap = min_size > kBlockSize ? min_size : kBlockSize;
+    blocks_.push_back(std::make_unique<char[]>(cap));
+    block_used_ = 0;
+    block_cap_ = cap;
+  }
+
+  void CopyFrom(const StringPool& other) {
+    views_.reserve(other.views_.size());
+    for (std::string_view v : other.views_) Append(v);
+  }
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  size_t block_used_ = 0;
+  size_t block_cap_ = 0;
+  std::vector<std::string_view> views_;
+};
+
+}  // namespace kgrec
+
+#endif  // KGREC_CORE_STRING_POOL_H_

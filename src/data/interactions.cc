@@ -7,15 +7,61 @@
 
 namespace kgrec {
 
+void InteractionDataset::CopyFrom(const InteractionDataset& other) {
+  num_users_ = other.num_users_;
+  num_items_ = other.num_items_;
+  interactions_ = other.interactions_;
+  user_ptr_.clear();
+  user_item_flat_.clear();
+  index_clean_.store(false, std::memory_order_release);
+}
+
+void InteractionDataset::MoveFrom(InteractionDataset&& other) noexcept {
+  num_users_ = other.num_users_;
+  num_items_ = other.num_items_;
+  interactions_ = std::move(other.interactions_);
+  user_ptr_ = std::move(other.user_ptr_);
+  user_item_flat_ = std::move(other.user_item_flat_);
+  index_clean_.store(other.index_clean_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+  other.index_clean_.store(false, std::memory_order_release);
+}
+
 void InteractionDataset::Add(int32_t user, int32_t item) {
   KGREC_CHECK(user >= 0 && user < num_users_);
   KGREC_CHECK(item >= 0 && item < num_items_);
+  KGREC_CHECK(interactions_.size() < UINT32_MAX);  // 32-bit index offsets
   interactions_.push_back({user, item});
-  user_items_[user].push_back(item);
+  index_clean_.store(false, std::memory_order_release);
+}
+
+void InteractionDataset::EnsureIndex() const {
+  if (index_clean_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  if (index_clean_.load(std::memory_order_relaxed)) return;
+  // Stable counting sort by user: per-user insertion order preserved,
+  // exactly the order the old per-user vectors accumulated.
+  const size_t n = static_cast<size_t>(num_users_);
+  user_ptr_.assign(n + 1, 0);
+  for (const Interaction& x : interactions_) ++user_ptr_[x.user + 1];
+  for (size_t u = 0; u < n; ++u) user_ptr_[u + 1] += user_ptr_[u];
+  user_item_flat_.resize(interactions_.size());
+  std::vector<uint32_t> cursor(user_ptr_.begin(), user_ptr_.end() - 1);
+  for (const Interaction& x : interactions_) {
+    user_item_flat_[cursor[x.user]++] = x.item;
+  }
+  index_clean_.store(true, std::memory_order_release);
+}
+
+std::span<const int32_t> InteractionDataset::UserItems(int32_t user) const {
+  KGREC_CHECK(user >= 0 && user < num_users_);
+  EnsureIndex();
+  return {user_item_flat_.data() + user_ptr_[user],
+          user_ptr_[user + 1] - user_ptr_[user]};
 }
 
 bool InteractionDataset::Contains(int32_t user, int32_t item) const {
-  const auto& items = user_items_[user];
+  const std::span<const int32_t> items = UserItems(user);
   return std::find(items.begin(), items.end(), item) != items.end();
 }
 
@@ -44,6 +90,12 @@ std::vector<int32_t> InteractionDataset::ItemsWithInteractions() const {
   return out;
 }
 
+void InteractionDataset::MemoryUse(MemoryVisitor& visitor) const {
+  visitor.Add("interactions.log", VectorBytes(interactions_));
+  visitor.Add("interactions.user_ptr", VectorBytes(user_ptr_));
+  visitor.Add("interactions.user_items", VectorBytes(user_item_flat_));
+}
+
 DataSplit RatioSplit(const InteractionDataset& data, double test_fraction,
                      Rng& rng) {
   KGREC_CHECK(test_fraction >= 0.0 && test_fraction < 1.0);
@@ -51,7 +103,8 @@ DataSplit RatioSplit(const InteractionDataset& data, double test_fraction,
   split.train = InteractionDataset(data.num_users(), data.num_items());
   split.test = InteractionDataset(data.num_users(), data.num_items());
   for (int32_t u = 0; u < data.num_users(); ++u) {
-    std::vector<int32_t> items = data.UserItems(u);
+    const std::span<const int32_t> history = data.UserItems(u);
+    std::vector<int32_t> items(history.begin(), history.end());
     rng.Shuffle(items);
     size_t num_test = static_cast<size_t>(items.size() * test_fraction);
     if (num_test >= items.size() && !items.empty()) num_test = items.size() - 1;

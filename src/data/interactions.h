@@ -1,9 +1,13 @@
 #ifndef KGREC_DATA_INTERACTIONS_H_
 #define KGREC_DATA_INTERACTIONS_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <span>
 #include <vector>
 
+#include "core/mem_stats.h"
 #include "math/rng.h"
 #include "math/sparse.h"
 
@@ -17,18 +21,42 @@ struct Interaction {
 
 /// An implicit-feedback dataset: m users, n items, and the observed
 /// (user, item) pairs of the binary interaction matrix R.
+///
+/// Memory model: the only always-on storage is the flat interaction log
+/// (8 bytes per event). The per-user history view (UserItems) is served
+/// from a flat CSR index — one offset array plus one item array — built
+/// lazily by a stable counting sort, so per-user insertion order is
+/// preserved without a heap-allocated vector per user (the old
+/// vector<vector> layout cost ~56+ bytes of header/allocator overhead
+/// per user at 10^6 users before the first item was stored).
 class InteractionDataset {
  public:
   InteractionDataset() : num_users_(0), num_items_(0) {}
   InteractionDataset(int32_t num_users, int32_t num_items)
-      : num_users_(num_users), num_items_(num_items),
-        user_items_(num_users) {}
+      : num_users_(num_users), num_items_(num_items) {}
+
+  /// The CSR index cache is rebuilt lazily in the destination; copies and
+  /// moves are cheap in the sense that they never carry a stale index.
+  InteractionDataset(const InteractionDataset& other) { CopyFrom(other); }
+  InteractionDataset& operator=(const InteractionDataset& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  InteractionDataset(InteractionDataset&& other) noexcept {
+    MoveFrom(std::move(other));
+  }
+  InteractionDataset& operator=(InteractionDataset&& other) noexcept {
+    if (this != &other) MoveFrom(std::move(other));
+    return *this;
+  }
 
   int32_t num_users() const { return num_users_; }
   int32_t num_items() const { return num_items_; }
   size_t num_interactions() const { return interactions_.size(); }
 
   /// Appends an interaction (deduplicated per user lazily by callers).
+  /// Invalidates the user index; the next UserItems() call rebuilds it.
+  /// Must not race with concurrent readers (same contract as before).
   void Add(int32_t user, int32_t item);
 
   /// True if (user, item) is observed.
@@ -39,10 +67,11 @@ class InteractionDataset {
   }
 
   /// The items the user interacted with, in insertion order (the user's
-  /// history E_u^0).
-  const std::vector<int32_t>& UserItems(int32_t user) const {
-    return user_items_[user];
-  }
+  /// history E_u^0). A view into the flat index: valid until the next
+  /// Add(). Safe to call concurrently from many threads — the first
+  /// caller builds the index under a lock, later callers take the
+  /// lock-free fast path.
+  std::span<const int32_t> UserItems(int32_t user) const;
 
   /// Density |R| / (m * n).
   double Density() const;
@@ -53,11 +82,26 @@ class InteractionDataset {
   /// Items with at least one interaction.
   std::vector<int32_t> ItemsWithInteractions() const;
 
+  /// Reports logical bytes of the interaction log and the CSR user index
+  /// into the visitor.
+  void MemoryUse(MemoryVisitor& visitor) const;
+
  private:
+  void CopyFrom(const InteractionDataset& other);
+  void MoveFrom(InteractionDataset&& other) noexcept;
+  void EnsureIndex() const;
+
   int32_t num_users_;
   int32_t num_items_;
   std::vector<Interaction> interactions_;
-  std::vector<std::vector<int32_t>> user_items_;
+
+  /// Flat CSR user->items index, derived from interactions_ on demand.
+  /// 32-bit offsets: the interaction count is checked against the
+  /// AdjOffset-style cap on Add.
+  mutable std::vector<uint32_t> user_ptr_;
+  mutable std::vector<int32_t> user_item_flat_;
+  mutable std::atomic<bool> index_clean_{false};
+  mutable std::mutex index_mutex_;
 };
 
 /// A train/test partition of an InteractionDataset.

@@ -1,0 +1,157 @@
+#include "data/mega.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+
+namespace kgrec {
+namespace {
+
+/// Single source of truth for the draw sequence: both generators walk
+/// this exact loop, so they consume identical RNG streams regardless of
+/// where the sinks put the data. Any change to the draw order here
+/// changes both paths together and the bitwise gate stays meaningful.
+template <typename FactSink, typename InteractionSink>
+void StreamWorld(const MegaWorldConfig& c, Rng& rng, FactSink&& fact,
+                 InteractionSink&& interaction) {
+  const uint64_t num_items = static_cast<uint64_t>(c.num_items);
+  const uint64_t num_attrs = static_cast<uint64_t>(c.num_attr_values);
+  const uint64_t clusters = static_cast<uint64_t>(c.num_clusters);
+  // Each (cluster, relation) pair owns a deterministic slice of the
+  // attribute space; `locality` of the facts land in it.
+  const uint64_t slice = num_attrs / clusters + 1;
+  for (size_t f = 0; f < c.num_facts; ++f) {
+    const int32_t item = static_cast<int32_t>(rng.UniformInt(num_items));
+    const int32_t rel = static_cast<int32_t>(
+        rng.UniformInt(static_cast<uint64_t>(c.num_relations)));
+    int32_t attr;
+    if (rng.Uniform() < c.locality) {
+      const uint64_t cluster = static_cast<uint64_t>(item) % clusters;
+      const uint64_t base =
+          (cluster * 7919 + static_cast<uint64_t>(rel) * 104729) % num_attrs;
+      attr = static_cast<int32_t>((base + rng.UniformInt(slice)) % num_attrs);
+    } else {
+      attr = static_cast<int32_t>(rng.UniformInt(num_attrs));
+    }
+    fact(item, rel, attr);
+  }
+  const uint64_t count_span = std::max<uint64_t>(
+      1, static_cast<uint64_t>(2.0 * c.avg_interactions_per_user));
+  for (int32_t u = 0; u < c.num_users; ++u) {
+    const uint64_t cluster = rng.UniformInt(clusters);
+    // Cluster k owns the items congruent to k mod num_clusters.
+    const uint64_t cluster_items =
+        (num_items - cluster + clusters - 1) / clusters;
+    const size_t count = 1 + rng.UniformInt(count_span);
+    for (size_t i = 0; i < count; ++i) {
+      int32_t item;
+      if (rng.Uniform() < c.locality && cluster_items > 0) {
+        item = static_cast<int32_t>(cluster +
+                                    clusters * rng.UniformInt(cluster_items));
+      } else {
+        item = static_cast<int32_t>(rng.UniformInt(num_items));
+      }
+      interaction(u, item);
+    }
+  }
+}
+
+void Validate(const MegaWorldConfig& c) {
+  KGREC_CHECK_GT(c.num_users, 0);
+  KGREC_CHECK_GT(c.num_items, 0);
+  KGREC_CHECK_GT(c.num_attr_values, 0);
+  KGREC_CHECK_GT(c.num_relations, 0);
+  KGREC_CHECK_GT(c.num_clusters, 0);
+  KGREC_CHECK(c.num_clusters <= c.num_items);
+  KGREC_CHECK(c.locality >= 0.0 && c.locality <= 1.0);
+}
+
+/// Entity/relation registration draws nothing from the RNG, so named and
+/// anonymous worlds with the same seed are structurally identical.
+void RegisterSchema(const MegaWorldConfig& c, KnowledgeGraph* kg) {
+  if (c.drop_names) {
+    kg->AddEntities(static_cast<size_t>(c.num_items) + c.num_attr_values);
+  } else {
+    for (int32_t j = 0; j < c.num_items; ++j) {
+      kg->AddEntity("item_" + std::to_string(j));
+    }
+    for (int32_t v = 0; v < c.num_attr_values; ++v) {
+      kg->AddEntity("attr_" + std::to_string(v));
+    }
+  }
+  for (int32_t r = 0; r < c.num_relations; ++r) {
+    kg->AddRelation("rel_" + std::to_string(r));
+  }
+}
+
+}  // namespace
+
+MegaWorldConfig MegaPreset() { return MegaWorldConfig{}; }
+
+MegaWorldConfig MegaLitePreset() {
+  MegaWorldConfig c;
+  c.num_users = 2'000;
+  c.num_items = 400;
+  c.num_attr_values = 200;
+  c.num_relations = 4;
+  c.num_facts = 20'000;
+  c.avg_interactions_per_user = 8.0;
+  c.num_clusters = 16;
+  return c;
+}
+
+MegaWorld GenerateMegaWorld(const MegaWorldConfig& config) {
+  Validate(config);
+  Rng rng(config.seed);
+  MegaWorld world;
+  world.config = config;
+  RegisterSchema(config, &world.kg);
+  world.interactions =
+      InteractionDataset(config.num_users, config.num_items);
+  const int32_t attr_offset = config.num_items;
+  StreamWorld(
+      config, rng,
+      [&](int32_t item, int32_t rel, int32_t attr) {
+        KGREC_CHECK(
+            world.kg.AddTriple(item, rel, attr_offset + attr).ok());
+      },
+      [&](int32_t user, int32_t item) {
+        world.interactions.Add(user, item);
+      });
+  return world;
+}
+
+MegaWorld GenerateMegaWorldReference(const MegaWorldConfig& config) {
+  Validate(config);
+  Rng rng(config.seed);
+  MegaWorld world;
+  world.config = config;
+  RegisterSchema(config, &world.kg);
+  world.interactions =
+      InteractionDataset(config.num_users, config.num_items);
+  const int32_t attr_offset = config.num_items;
+  // Materialize first — the layout the compaction work removed — then
+  // bulk-insert in the same order the sinks above would have seen.
+  std::vector<Triple> facts;
+  facts.reserve(config.num_facts);
+  std::vector<std::vector<int32_t>> user_items(config.num_users);
+  StreamWorld(
+      config, rng,
+      [&](int32_t item, int32_t rel, int32_t attr) {
+        facts.push_back({item, rel, attr_offset + attr});
+      },
+      [&](int32_t user, int32_t item) {
+        user_items[user].push_back(item);
+      });
+  for (const Triple& t : facts) {
+    KGREC_CHECK(world.kg.AddTriple(t.head, t.relation, t.tail).ok());
+  }
+  for (int32_t u = 0; u < config.num_users; ++u) {
+    for (int32_t item : user_items[u]) world.interactions.Add(u, item);
+  }
+  return world;
+}
+
+}  // namespace kgrec

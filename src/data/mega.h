@@ -1,0 +1,79 @@
+#ifndef KGREC_DATA_MEGA_H_
+#define KGREC_DATA_MEGA_H_
+
+#include <cstdint>
+
+#include "data/interactions.h"
+#include "graph/knowledge_graph.h"
+
+namespace kgrec {
+
+/// Configuration of a million-scale synthetic world. Unlike WorldConfig
+/// (data/synthetic.h), which plants latent factors and runs KMeans per
+/// relation — O(users * items) work and O(items * dim) intermediates —
+/// the mega generator uses a cluster-archetype scheme whose cost is
+/// linear in the number of facts and interactions, so 10^6 users and
+/// 10^7 facts stream straight into the compacted substrate.
+///
+/// Structure: items are assigned to `num_clusters` archetypes by id
+/// (cluster(j) = j mod C). A fact links an item to an attribute value
+/// drawn from its cluster's slice of the attribute space with
+/// probability `locality` (uniformly otherwise), so attributes correlate
+/// with clusters. A user picks an archetype and draws most interactions
+/// from that cluster's items, so interactions correlate with the same
+/// structure the KG encodes — the signal KG-aware models exploit.
+struct MegaWorldConfig {
+  int32_t num_users = 1'000'000;
+  int32_t num_items = 200'000;
+  /// Attribute-value entities, appended after the items in entity-id
+  /// space: items are [0, num_items), attributes
+  /// [num_items, num_items + num_attr_values).
+  int32_t num_attr_values = 100'000;
+  int32_t num_relations = 8;
+  /// Item -> attribute facts streamed into the KG (before any inverses).
+  size_t num_facts = 10'000'000;
+  double avg_interactions_per_user = 10.0;
+  int32_t num_clusters = 512;
+  /// Probability that a fact / interaction is drawn from the
+  /// cluster-local slice instead of uniformly.
+  double locality = 0.9;
+  /// Anonymous entities (KnowledgeGraph::AddEntities): no name pool, no
+  /// lookup index. Set false for small debugging worlds.
+  bool drop_names = true;
+  uint64_t seed = 17;
+};
+
+/// A generated mega world. The KG is left un-finalized so callers can
+/// add inverse relations or measure the Finalize() step themselves.
+struct MegaWorld {
+  MegaWorldConfig config;
+  KnowledgeGraph kg;
+  InteractionDataset interactions;
+};
+
+/// The full million-scale tier: 10^6 users, 2x10^5 items, 10^7 facts.
+MegaWorldConfig MegaPreset();
+
+/// CI-sized variant of the same scheme (thousands of users, tens of
+/// thousands of facts); used by bench/mega_scale --smoke and the
+/// bitwise-equivalence gate.
+MegaWorldConfig MegaLitePreset();
+
+/// Streamed generation: every fact and interaction goes straight into
+/// KnowledgeGraph::AddTriple / InteractionDataset::Add as it is drawn —
+/// no materialized triple list, no per-user item buffers. Peak memory is
+/// the final substrate plus O(1) working state.
+MegaWorld GenerateMegaWorld(const MegaWorldConfig& config);
+
+/// Reference generator for the bitwise-equivalence gate: consumes the
+/// exact same RNG draw sequence as GenerateMegaWorld but first
+/// materializes the throwaway intermediates the streamed path avoids
+/// (a full triple list and per-user vector-of-vectors interaction
+/// buffers) before bulk-inserting them. The resulting world must be
+/// structurally identical to the streamed one; bench/mega_scale --smoke
+/// fails if any triple, interaction, or CSR row diverges.
+MegaWorld GenerateMegaWorldReference(const MegaWorldConfig& config);
+
+}  // namespace kgrec
+
+#endif  // KGREC_DATA_MEGA_H_

@@ -93,7 +93,7 @@ SyntheticWorld GenerateWorld(const WorldConfig& config) {
       }
     }
   }
-  world.item_kg.AddInverseRelations();
+  KGREC_CHECK(world.item_kg.AddInverseRelations().ok());
   for (size_t k = 0; k < config.item_relations.size(); ++k) {
     RelationId inv = -1;
     KGREC_CHECK(world.item_kg
@@ -177,7 +177,7 @@ UserItemGraph BuildUserItemGraph(const SyntheticWorld& world,
                                t.tail + offset)
                     .ok());
   }
-  out.kg.AddInverseRelations();
+  KGREC_CHECK(out.kg.AddInverseRelations().ok());
   out.kg.Finalize();
   return out;
 }

@@ -6,23 +6,71 @@
 
 namespace kgrec {
 
-EntityId KnowledgeGraph::AddEntity(const std::string& name) {
+KnowledgeGraph::KnowledgeGraph(const KnowledgeGraph& other) { *this = other; }
+
+KnowledgeGraph& KnowledgeGraph::operator=(const KnowledgeGraph& other) {
+  if (this == &other) return *this;
+  num_entities_ = other.num_entities_;
+  names_dropped_ = other.names_dropped_;
+  entity_names_ = other.entity_names_;
+  relation_names_ = other.relation_names_;
+  triples_ = other.triples_;
+  num_triples_ = other.num_triples_;
+  max_triples_ = other.max_triples_;
+  triples_released_ = other.triples_released_;
+  finalized_ = other.finalized_;
+  adj_ptr_ = other.adj_ptr_;
+  adj_edges_ = other.adj_edges_;
+  // The lookup maps key on views into *this* graph's pools, so they are
+  // rebuilt rather than copied (copied views would point into `other`).
+  RebuildNameIndices();
+  return *this;
+}
+
+void KnowledgeGraph::RebuildNameIndices() {
+  entity_index_.clear();
+  relation_index_.clear();
+  entity_index_.reserve(entity_names_.size());
+  for (uint32_t i = 0; i < entity_names_.size(); ++i) {
+    entity_index_.emplace(entity_names_.Get(i), static_cast<EntityId>(i));
+  }
+  relation_index_.reserve(relation_names_.size());
+  for (uint32_t i = 0; i < relation_names_.size(); ++i) {
+    relation_index_.emplace(relation_names_.Get(i),
+                            static_cast<RelationId>(i));
+  }
+}
+
+EntityId KnowledgeGraph::AddEntity(std::string_view name) {
   KGREC_CHECK(!finalized_);
+  KGREC_CHECK(!names_dropped_);  // named and anonymous modes don't mix
   auto it = entity_index_.find(name);
   if (it != entity_index_.end()) return it->second;
-  const EntityId id = static_cast<EntityId>(entity_names_.size());
-  entity_names_.push_back(name);
-  entity_index_.emplace(name, id);
+  const EntityId id = static_cast<EntityId>(num_entities_);
+  const uint32_t pooled = entity_names_.Append(name);
+  KGREC_CHECK_EQ(static_cast<size_t>(pooled), num_entities_);
+  // The map key is the pooled copy — the one and only stored copy.
+  entity_index_.emplace(entity_names_.Get(pooled), id);
+  ++num_entities_;
   return id;
 }
 
-RelationId KnowledgeGraph::AddRelation(const std::string& name) {
+EntityId KnowledgeGraph::AddEntities(size_t count) {
+  KGREC_CHECK(!finalized_);
+  KGREC_CHECK(entity_names_.empty());  // named and anonymous modes don't mix
+  names_dropped_ = true;
+  const EntityId first = static_cast<EntityId>(num_entities_);
+  num_entities_ += count;
+  return first;
+}
+
+RelationId KnowledgeGraph::AddRelation(std::string_view name) {
   KGREC_CHECK(!finalized_);
   auto it = relation_index_.find(name);
   if (it != relation_index_.end()) return it->second;
   const RelationId id = static_cast<RelationId>(relation_names_.size());
-  relation_names_.push_back(name);
-  relation_index_.emplace(name, id);
+  const uint32_t pooled = relation_names_.Append(name);
+  relation_index_.emplace(relation_names_.Get(pooled), id);
   return id;
 }
 
@@ -40,23 +88,35 @@ Status KnowledgeGraph::AddTriple(EntityId head, RelationId relation,
   if (relation < 0 || static_cast<size_t>(relation) >= num_relations()) {
     return Status::InvalidArgument("relation out of range");
   }
+  if (triples_.size() >= max_triples_) {
+    return Status::InvalidArgument(
+        "triple count exceeds 32-bit CSR offset capacity");
+  }
   triples_.push_back({head, relation, tail});
+  num_triples_ = triples_.size();
   return Status::OK();
 }
 
-void KnowledgeGraph::AddInverseRelations() {
+Status KnowledgeGraph::AddInverseRelations() {
   KGREC_CHECK(!finalized_);
+  const size_t original_triples = triples_.size();
+  if (original_triples * 2 > max_triples_) {
+    return Status::InvalidArgument(
+        "inverse triples would exceed 32-bit CSR offset capacity");
+  }
   const size_t original_relations = relation_names_.size();
   std::vector<RelationId> inverse(original_relations);
   for (size_t r = 0; r < original_relations; ++r) {
-    inverse[r] = AddRelation(relation_names_[r] + "^-1");
+    inverse[r] =
+        AddRelation(std::string(relation_names_.Get(r)) + "^-1");
   }
-  const size_t original_triples = triples_.size();
   triples_.reserve(original_triples * 2);
   for (size_t i = 0; i < original_triples; ++i) {
     const Triple& t = triples_[i];
     triples_.push_back({t.tail, inverse[t.relation], t.head});
   }
+  num_triples_ = triples_.size();
+  return Status::OK();
 }
 
 void KnowledgeGraph::Finalize() {
@@ -67,7 +127,7 @@ void KnowledgeGraph::Finalize() {
   for (const Triple& t : triples_) ++adj_ptr_[t.head + 1];
   for (size_t i = 0; i < n; ++i) adj_ptr_[i + 1] += adj_ptr_[i];
   adj_edges_.resize(triples_.size());
-  std::vector<size_t> cursor(adj_ptr_.begin(), adj_ptr_.end() - 1);
+  std::vector<AdjOffset> cursor(adj_ptr_.begin(), adj_ptr_.end() - 1);
   for (const Triple& t : triples_) {
     adj_edges_[cursor[t.head]++] = {t.relation, t.tail};
   }
@@ -80,23 +140,45 @@ void KnowledgeGraph::Finalize() {
                 return a.target < b.target;
               });
   }
+  // The build phase is over: return push_back growth slack to the OS.
+  triples_.shrink_to_fit();
 }
 
-Status KnowledgeGraph::FindEntity(const std::string& name,
+void KnowledgeGraph::ReleaseTriples() {
+  KGREC_CHECK(finalized_);
+  triples_released_ = true;
+  std::vector<Triple>().swap(triples_);
+}
+
+const std::vector<Triple>& KnowledgeGraph::triples() const {
+  KGREC_CHECK(!triples_released_);
+  return triples_;
+}
+
+std::string KnowledgeGraph::entity_name(EntityId id) const {
+  KGREC_CHECK(!names_dropped_);
+  return std::string(entity_names_.Get(static_cast<uint32_t>(id)));
+}
+
+std::string KnowledgeGraph::relation_name(RelationId id) const {
+  return std::string(relation_names_.Get(static_cast<uint32_t>(id)));
+}
+
+Status KnowledgeGraph::FindEntity(std::string_view name,
                                   EntityId* out) const {
   auto it = entity_index_.find(name);
   if (it == entity_index_.end()) {
-    return Status::NotFound("entity: " + name);
+    return Status::NotFound("entity: " + std::string(name));
   }
   *out = it->second;
   return Status::OK();
 }
 
-Status KnowledgeGraph::FindRelation(const std::string& name,
+Status KnowledgeGraph::FindRelation(std::string_view name,
                                     RelationId* out) const {
   auto it = relation_index_.find(name);
   if (it == relation_index_.end()) {
-    return Status::NotFound("relation: " + name);
+    return Status::NotFound("relation: " + std::string(name));
   }
   *out = it->second;
   return Status::OK();
@@ -154,6 +236,22 @@ bool KnowledgeGraph::HasTriple(EntityId head, RelationId relation,
                               }
                               return a.target < b.target;
                             });
+}
+
+void KnowledgeGraph::MemoryUse(MemoryVisitor& visitor) const {
+  visitor.Add("kg.triples", VectorBytes(triples_));
+  visitor.Add("kg.adj_ptr", VectorBytes(adj_ptr_));
+  visitor.Add("kg.adj_edges", VectorBytes(adj_edges_));
+  entity_names_.MemoryUse(visitor, "kg.entity_names");
+  relation_names_.MemoryUse(visitor, "kg.relation_names");
+  // Hash-map logical payload: one (view, id) node per name. Bucket-array
+  // and allocator overhead belong to RSS, not logical bytes.
+  visitor.Add("kg.entity_index",
+              entity_index_.size() *
+                  (sizeof(std::string_view) + sizeof(EntityId)));
+  visitor.Add("kg.relation_index",
+              relation_index_.size() *
+                  (sizeof(std::string_view) + sizeof(RelationId)));
 }
 
 }  // namespace kgrec

@@ -3,16 +3,25 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "core/mem_stats.h"
 #include "core/status.h"
+#include "core/string_pool.h"
 #include "math/rng.h"
 
 namespace kgrec {
 
 using EntityId = int32_t;
 using RelationId = int32_t;
+
+/// CSR offset type. 32-bit by design: the survey's north-star graphs run
+/// to 10^7-10^8 facts, far below 2^32, and halving the offset array
+/// matters at 10^6+ entities. AddTriple / AddInverseRelations fail with
+/// InvalidArgument instead of silently widening past the cap.
+using AdjOffset = uint32_t;
 
 /// A subject-property-object fact <e_h, r, e_t> (survey Section 3).
 struct Triple {
@@ -38,49 +47,82 @@ struct Edge {
 /// Usage: register entities/relations, add triples, then Finalize() to
 /// build the CSR adjacency used by neighbor queries and sampling. The
 /// graph is immutable after Finalize().
+///
+/// Memory model (DESIGN.md "Memory model"): entity/relation names are
+/// interned once in a StringPool (the lookup index keys on views into the
+/// pool, so a name is never stored twice); mega-scale worlds skip names
+/// entirely via AddEntities(); CSR offsets are 32-bit AdjOffset behind a
+/// checked capacity guard.
 class KnowledgeGraph {
  public:
   KnowledgeGraph() = default;
+  KnowledgeGraph(KnowledgeGraph&&) = default;
+  KnowledgeGraph& operator=(KnowledgeGraph&&) = default;
+  /// Copies rebuild the name index against the copied pool, so the
+  /// copy's lookup views never dangle into the source.
+  KnowledgeGraph(const KnowledgeGraph& other);
+  KnowledgeGraph& operator=(const KnowledgeGraph& other);
 
   /// Registers an entity and returns its id; returns the existing id if
-  /// the name was already registered.
-  EntityId AddEntity(const std::string& name);
+  /// the name was already registered. The name is stored exactly once
+  /// (interned); the lookup index references the interned bytes.
+  EntityId AddEntity(std::string_view name);
+
+  /// Bulk-registers `count` anonymous entities and returns the first id.
+  /// This is the `drop_names` serving/mega mode: ids only, no name
+  /// storage at all. A graph is either fully named or fully anonymous —
+  /// mixing is a programming error (checked).
+  EntityId AddEntities(size_t count);
+
+  /// True when this graph was built without names (AddEntities). Name
+  /// lookups return NotFound and entity_name() must not be called.
+  bool names_dropped() const { return names_dropped_; }
 
   /// Registers a relation type and returns its id.
-  RelationId AddRelation(const std::string& name);
+  RelationId AddRelation(std::string_view name);
 
   /// Adds a fact. Fails with InvalidArgument if either entity or the
-  /// relation has not been registered.
+  /// relation has not been registered, or if the graph is at the 32-bit
+  /// edge capacity (AdjOffset; ~4.29e9 edges).
   Status AddTriple(EntityId head, RelationId relation, EntityId tail);
 
   /// Adds, for every relation r, an inverse relation "r^-1" and the
   /// reversed triples. Must be called before Finalize(). Embedding
   /// propagation and path enumeration treat the graph as undirected via
-  /// these inverses, as the surveyed methods do.
-  void AddInverseRelations();
+  /// these inverses, as the surveyed methods do. Fails with
+  /// InvalidArgument when doubling the triples would exceed the 32-bit
+  /// edge capacity.
+  Status AddInverseRelations();
 
-  /// Builds the CSR adjacency. Idempotent.
+  /// Builds the CSR adjacency and shrinks the build-phase buffers to
+  /// size. Idempotent.
   void Finalize();
   bool finalized() const { return finalized_; }
 
-  size_t num_entities() const { return entity_names_.size(); }
+  /// Frees the triple list after Finalize(), keeping only the CSR
+  /// adjacency — roughly 12 bytes per triple back. Opt-in for serving /
+  /// factorization-only paths; models that iterate triples() (the KGE
+  /// trainers, RippleNet's regularizer, CKE, MKR, ...) must not release.
+  void ReleaseTriples();
+  bool triples_released() const { return triples_released_; }
+
+  size_t num_entities() const { return num_entities_; }
   size_t num_relations() const { return relation_names_.size(); }
-  size_t num_triples() const { return triples_.size(); }
+  size_t num_triples() const { return num_triples_; }
 
-  const std::vector<Triple>& triples() const { return triples_; }
+  /// The raw triple list. Must not be called after ReleaseTriples().
+  const std::vector<Triple>& triples() const;
 
-  const std::string& entity_name(EntityId id) const {
-    return entity_names_[id];
-  }
-  const std::string& relation_name(RelationId id) const {
-    return relation_names_[id];
-  }
+  /// Entity name (named graphs only; checked against names_dropped()).
+  std::string entity_name(EntityId id) const;
+  std::string relation_name(RelationId id) const;
 
-  /// Looks up an entity id by name; NotFound if absent.
-  Status FindEntity(const std::string& name, EntityId* out) const;
+  /// Looks up an entity id by name; NotFound if absent (always NotFound
+  /// for anonymous graphs).
+  Status FindEntity(std::string_view name, EntityId* out) const;
 
   /// Looks up a relation id by name; NotFound if absent.
-  Status FindRelation(const std::string& name, RelationId* out) const;
+  Status FindRelation(std::string_view name, RelationId* out) const;
 
   /// Number of outgoing edges of an entity. Requires finalized().
   size_t OutDegree(EntityId entity) const;
@@ -107,15 +149,31 @@ class KnowledgeGraph {
   /// O(log out-degree).
   bool HasTriple(EntityId head, RelationId relation, EntityId tail) const;
 
+  /// Reports logical bytes per backing structure (triples, CSR arrays,
+  /// name pools, lookup indices) into the visitor.
+  void MemoryUse(MemoryVisitor& visitor) const;
+
+  /// Test-only: lowers the 32-bit edge capacity so the overflow guard's
+  /// rejection path is exercisable without 4 billion inserts.
+  void SetTripleCapacityForTesting(uint64_t cap) { max_triples_ = cap; }
+
  private:
-  std::vector<std::string> entity_names_;
-  std::vector<std::string> relation_names_;
-  std::unordered_map<std::string, EntityId> entity_index_;
-  std::unordered_map<std::string, RelationId> relation_index_;
+  void RebuildNameIndices();
+
+  size_t num_entities_ = 0;
+  bool names_dropped_ = false;
+  StringPool entity_names_;
+  StringPool relation_names_;
+  /// Keys are views into the pools — the single stored copy of a name.
+  std::unordered_map<std::string_view, EntityId> entity_index_;
+  std::unordered_map<std::string_view, RelationId> relation_index_;
   std::vector<Triple> triples_;
+  size_t num_triples_ = 0;
+  uint64_t max_triples_ = UINT32_MAX;
+  bool triples_released_ = false;
 
   bool finalized_ = false;
-  std::vector<size_t> adj_ptr_;
+  std::vector<AdjOffset> adj_ptr_;
   std::vector<Edge> adj_edges_;
 };
 

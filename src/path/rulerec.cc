@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <span>
 
 #include "core/check.h"
 #include "core/model_state.h"
@@ -13,7 +14,7 @@ namespace {
 
 /// Rule activation: total similarity from the user's history to the item
 /// under one rule matrix.
-float RuleActivation(const CsrMatrix& rule, const std::vector<int32_t>& history,
+float RuleActivation(const CsrMatrix& rule, std::span<const int32_t> history,
                      int32_t item) {
   float acc = 0.0f;
   for (int32_t j : history) acc += rule.At(j, item);

@@ -26,16 +26,17 @@ nn::Tensor KgcnRecommender::Forward(const std::vector<int32_t>& users,
     entities[l + 1].reserve(entities[l].size() * k);
     relations[l + 1].reserve(entities[l].size() * k);
     for (int32_t e : entities[l]) {
-      const auto& neighbors = sampled_neighbors_[e];
-      for (size_t j = 0; j < k; ++j) {
-        if (neighbors.empty()) {
+      if (entity_isolated_[e]) {
+        for (size_t j = 0; j < k; ++j) {
           entities[l + 1].push_back(e);  // self-loop for isolated nodes
           relations[l + 1].push_back(0);
-        } else {
-          entities[l + 1].push_back(neighbors[j % neighbors.size()].target);
-          relations[l + 1].push_back(
-              neighbors[j % neighbors.size()].relation);
         }
+        continue;
+      }
+      const Edge* row = sampled_edges_.data() + static_cast<size_t>(e) * k;
+      for (size_t j = 0; j < k; ++j) {
+        entities[l + 1].push_back(row[j].target);
+        relations[l + 1].push_back(row[j].relation);
       }
     }
   }
@@ -118,10 +119,23 @@ void KgcnRecommender::BuildModel(const RecContext& context, Rng& rng) {
 
   // Static fixed-size receptive field (the paper resamples per batch; a
   // static sample keeps runs deterministic and is a standard variant).
-  sampled_neighbors_.assign(kg.num_entities(), {});
+  // Arena layout: the sampler always returns exactly num_neighbors edges
+  // for connected entities, so rows pack at a fixed stride; isolated
+  // entities (empty sample) only set a flag.
+  sampled_edges_.assign(kg.num_entities() * config_.num_neighbors,
+                        Edge{0, 0});
+  entity_isolated_.assign(kg.num_entities(), 0);
+  std::vector<Edge> sampled;  // reused across entities
   for (size_t e = 0; e < kg.num_entities(); ++e) {
     kg.SampleNeighbors(static_cast<EntityId>(e), config_.num_neighbors, rng,
-                       &sampled_neighbors_[e]);
+                       &sampled);
+    if (sampled.empty()) {
+      entity_isolated_[e] = 1;
+      continue;
+    }
+    KGREC_CHECK_EQ(sampled.size(), config_.num_neighbors);
+    std::copy(sampled.begin(), sampled.end(),
+              sampled_edges_.begin() + e * config_.num_neighbors);
   }
 }
 
@@ -216,7 +230,7 @@ std::vector<float> KgcnRecommender::ScoreItems(
   if (items.empty()) return out;
   const size_t k = config_.num_neighbors;
   const size_t depth = config_.num_layers;
-  const size_t num_entities = sampled_neighbors_.size();
+  const size_t num_entities = entity_isolated_.size();
 
   // Once-per-user attention table: u . r for every relation, built with
   // the exact op sequence attention_for_level uses per row.
@@ -239,9 +253,8 @@ std::vector<float> KgcnRecommender::ScoreItems(
   // same in-order float sequence per row, so scores stay bitwise equal
   // to Score().
   const auto child_of = [&](int32_t e, size_t j) {
-    const auto& neighbors = sampled_neighbors_[e];
-    if (neighbors.empty()) return Edge{0, e};  // self-loop, relation 0
-    return neighbors[j % neighbors.size()];
+    if (entity_isolated_[e]) return Edge{0, e};  // self-loop, relation 0
+    return sampled_edges_[static_cast<size_t>(e) * k + j];
   };
 
   // Distinct candidates, first-occurrence order; slot[i] = distinct row.

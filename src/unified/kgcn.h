@@ -1,6 +1,7 @@
 #ifndef KGREC_UNIFIED_KGCN_H_
 #define KGREC_UNIFIED_KGCN_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/recommender.h"
@@ -76,9 +77,13 @@ class KgcnRecommender : public Recommender {
   KgcnConfig config_;
   int32_t num_items_ = 0;
   const InteractionDataset* train_ = nullptr;
-  /// Static receptive field: per entity, num_neighbors sampled (relation,
-  /// target) pairs (resampled-with-replacement when degree is small).
-  std::vector<std::vector<Edge>> sampled_neighbors_;
+  /// Static receptive field, arena-backed: row e of the flat buffer holds
+  /// entity e's num_neighbors sampled (relation, target) pairs
+  /// (resampled-with-replacement when degree is small). Isolated entities
+  /// carry a flag instead of a short row; Forward substitutes self-loops
+  /// for them, exactly as the old empty per-entity vector did.
+  std::vector<Edge> sampled_edges_;       // [num_entities * num_neighbors]
+  std::vector<uint8_t> entity_isolated_;  // [num_entities]
   nn::Tensor user_emb_;
   nn::Tensor entity_emb_;
   nn::Tensor relation_emb_;

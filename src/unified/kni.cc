@@ -18,8 +18,10 @@ nn::Tensor KniRecommender::Forward(const std::vector<int32_t>& users,
   const size_t pairs = k * k;
   std::vector<int32_t> left(batch * pairs), right(batch * pairs);
   for (size_t b = 0; b < batch; ++b) {
-    const auto& nu = user_neighbors_[users[b]];
-    const auto& nv = item_neighbors_[items[b]];
+    const EntityId* nu = user_neighbors_.data() +
+                         static_cast<size_t>(users[b]) * k;
+    const EntityId* nv = item_neighbors_.data() +
+                         static_cast<size_t>(items[b]) * k;
     for (size_t i = 0; i < k; ++i) {
       for (size_t j = 0; j < k; ++j) {
         left[b * pairs + i * k + j] = nu[i];
@@ -42,35 +44,36 @@ void KniRecommender::BuildNeighborhoods(const RecContext& context, Rng& rng) {
   const InteractionDataset& train = *context.train;
   const KnowledgeGraph& kg = graph_->kg;
   const size_t k = config_.num_neighbors;
+  KGREC_CHECK_GT(k, 0u);  // arena rows are written unconditionally
 
   entity_emb_ = nn::NormalInit(kg.num_entities(), config_.dim, 0.1f, rng);
 
   // User-side neighborhoods: the user entity + sampled consumed items.
-  user_neighbors_.assign(train.num_users(), {});
+  user_neighbors_.assign(static_cast<size_t>(train.num_users()) * k, 0);
   for (int32_t u = 0; u < train.num_users(); ++u) {
-    auto& neighbors = user_neighbors_[u];
-    neighbors.push_back(graph_->UserEntity(u));
+    EntityId* row = user_neighbors_.data() + static_cast<size_t>(u) * k;
+    size_t c = 0;
+    row[c++] = graph_->UserEntity(u);
     const auto& history = train.UserItems(u);
-    while (neighbors.size() < k) {
-      if (history.empty()) {
-        neighbors.push_back(graph_->UserEntity(u));
-      } else {
-        neighbors.push_back(
-            graph_->ItemEntity(history[rng.UniformInt(history.size())]));
-      }
+    for (; c < k; ++c) {
+      row[c] = history.empty()
+                   ? graph_->UserEntity(u)
+                   : graph_->ItemEntity(
+                         history[rng.UniformInt(history.size())]);
     }
   }
   // Item-side neighborhoods: the item entity + sampled KG neighbors
   // (attributes and co-consumers).
-  item_neighbors_.assign(train.num_items(), {});
+  item_neighbors_.assign(static_cast<size_t>(train.num_items()) * k, 0);
   std::vector<Edge> sampled;  // reused across items
   for (int32_t j = 0; j < train.num_items(); ++j) {
-    auto& neighbors = item_neighbors_[j];
+    EntityId* row = item_neighbors_.data() + static_cast<size_t>(j) * k;
     const EntityId entity = graph_->ItemEntity(j);
-    neighbors.push_back(entity);
+    size_t c = 0;
+    row[c++] = entity;
     kg.SampleNeighbors(entity, k - 1, rng, &sampled);
-    for (const Edge& e : sampled) neighbors.push_back(e.target);
-    while (neighbors.size() < k) neighbors.push_back(entity);
+    for (const Edge& e : sampled) row[c++] = e.target;
+    for (; c < k; ++c) row[c] = entity;
   }
 }
 

@@ -60,9 +60,10 @@ class KniRecommender : public Recommender {
 
   KniConfig config_;
   const UserItemGraph* graph_ = nullptr;
-  /// Fixed sampled neighborhoods (entity ids of the user-item KG).
-  std::vector<std::vector<EntityId>> user_neighbors_;
-  std::vector<std::vector<EntityId>> item_neighbors_;
+  /// Fixed sampled neighborhoods (entity ids of the user-item KG),
+  /// arena-backed at a stride of num_neighbors per user/item row.
+  std::vector<EntityId> user_neighbors_;  // [num_users * num_neighbors]
+  std::vector<EntityId> item_neighbors_;  // [num_items * num_neighbors]
   nn::Tensor entity_emb_;
 };
 

@@ -13,12 +13,33 @@
 
 namespace kgrec {
 
+void RippleNetRecommender::RippleArena::Reset(size_t num_users, size_t hops,
+                                              size_t size) {
+  num_hops = hops;
+  hop_size = size;
+  heads.assign(num_users * hops * size, 0);
+  relations.assign(num_users * hops * size, 0);
+  tails.assign(num_users * hops * size, 0);
+  seeds.assign(num_users * size, 0);
+  seed_weights.assign(num_users * size, 0.0f);
+  filled.assign(num_users, 0);
+}
+
+void RippleNetRecommender::RippleArena::MemoryUse(
+    MemoryVisitor& visitor) const {
+  visitor.Add("ripples.heads", VectorBytes(heads));
+  visitor.Add("ripples.relations", VectorBytes(relations));
+  visitor.Add("ripples.tails", VectorBytes(tails));
+  visitor.Add("ripples.seeds", VectorBytes(seeds));
+  visitor.Add("ripples.seed_weights", VectorBytes(seed_weights));
+  visitor.Add("ripples.filled", VectorBytes(filled));
+}
+
 nn::Tensor RippleNetRecommender::Forward(
     const std::vector<int32_t>& users,
     const std::vector<int32_t>& items) const {
   const size_t batch = users.size();
   const size_t s = config_.hop_size;
-  const size_t d = config_.dim;
   nn::Tensor v = ItemVectors(items);  // [B, d]
 
   // Flat per-hop index arrays across the batch.
@@ -31,10 +52,10 @@ nn::Tensor RippleNetRecommender::Forward(
   std::vector<int32_t> seed_flat(batch * s);
   std::vector<float> seed_w(batch * s);
   for (size_t b = 0; b < batch; ++b) {
-    const UserRipples& ur = user_ripples_[users[b]];
+    const size_t so = ripples_.SeedOffset(users[b]);
     for (size_t k = 0; k < s; ++k) {
-      seed_flat[b * s + k] = ur.seeds[k];
-      seed_w[b * s + k] = ur.seed_weights[k];
+      seed_flat[b * s + k] = ripples_.seeds[so + k];
+      seed_w[b * s + k] = ripples_.seed_weights[so + k];
     }
   }
   nn::Tensor seed_emb = nn::Gather(entity_emb_, seed_flat);
@@ -47,11 +68,11 @@ nn::Tensor RippleNetRecommender::Forward(
   for (size_t hop = 0; hop < config_.num_hops; ++hop) {
     std::vector<int32_t> heads(batch * s), rels(batch * s), tails(batch * s);
     for (size_t b = 0; b < batch; ++b) {
-      const UserRipples& ur = user_ripples_[users[b]];
+      const size_t ho = ripples_.HopOffset(users[b], hop);
       for (size_t k = 0; k < s; ++k) {
-        heads[b * s + k] = ur.heads[hop][k];
-        rels[b * s + k] = ur.relations[hop][k];
-        tails[b * s + k] = ur.tails[hop][k];
+        heads[b * s + k] = ripples_.heads[ho + k];
+        rels[b * s + k] = ripples_.relations[ho + k];
+        tails[b * s + k] = ripples_.tails[ho + k];
       }
     }
     nn::Tensor h = nn::Gather(entity_emb_, heads);        // [B*s, d]
@@ -113,22 +134,23 @@ void RippleNetRecommender::BuildPropagationState(const RecContext& context,
   // seeds keep shapes fixed).
   auto fill_user = [&](int32_t u, const std::vector<EntityId>& seed_entities,
                        const std::vector<RippleHop>& hops, Rng& resample_rng) {
-    UserRipples& ur = user_ripples_[u];
-    ur.empty = false;
-    ur.seeds.resize(config_.hop_size);
-    ur.seed_weights.resize(config_.hop_size);
+    ripples_.filled[u] = 1;
+    int32_t* seeds = ripples_.seeds.data() + ripples_.SeedOffset(u);
+    float* weights = ripples_.seed_weights.data() + ripples_.SeedOffset(u);
     for (size_t k = 0; k < config_.hop_size; ++k) {
-      ur.seeds[k] = seed_entities[k % seed_entities.size()];
-      ur.seed_weights[k] =
+      seeds[k] = seed_entities[k % seed_entities.size()];
+      weights[k] =
           k < seed_entities.size()
               ? 1.0f / std::min<size_t>(seed_entities.size(),
                                         config_.hop_size)
               : 0.0f;
     }
-    for (const RippleHop& hop : hops) {
-      std::vector<int32_t> heads(config_.hop_size),
-          rels(config_.hop_size), tails(config_.hop_size);
-      if (hop.triples.empty()) {
+    KGREC_CHECK_EQ(hops.size(), config_.num_hops);
+    for (size_t hop = 0; hop < hops.size(); ++hop) {
+      int32_t* heads = ripples_.heads.data() + ripples_.HopOffset(u, hop);
+      int32_t* rels = ripples_.relations.data() + ripples_.HopOffset(u, hop);
+      int32_t* tails = ripples_.tails.data() + ripples_.HopOffset(u, hop);
+      if (hops[hop].triples.empty()) {
         for (size_t k = 0; k < config_.hop_size; ++k) {
           heads[k] = seed_entities[0];
           rels[k] = 0;
@@ -136,19 +158,16 @@ void RippleNetRecommender::BuildPropagationState(const RecContext& context,
         }
       } else {
         for (size_t k = 0; k < config_.hop_size; ++k) {
-          const Triple& t =
-              hop.triples[resample_rng.UniformInt(hop.triples.size())];
+          const Triple& t = hops[hop].triples[resample_rng.UniformInt(
+              hops[hop].triples.size())];
           heads[k] = t.head;
           rels[k] = t.relation;
           tails[k] = t.tail;
         }
       }
-      ur.heads.push_back(std::move(heads));
-      ur.relations.push_back(std::move(rels));
-      ur.tails.push_back(std::move(tails));
     }
   };
-  user_ripples_.assign(train.num_users(), {});
+  ripples_.Reset(train.num_users(), config_.num_hops, config_.hop_size);
   if (config_.num_threads == 0) {
     // Legacy serial build: one shared sequential stream for every user
     // (the historical float/draw sequence, preserved exactly).
@@ -243,7 +262,7 @@ void RippleNetRecommender::Fit(const RecContext& context) {
       std::vector<float> labels;
       for (size_t i = start; i < end; ++i) {
         const Interaction& x = train.interactions()[order[i]];
-        if (user_ripples_[x.user].empty) continue;
+        if (ripples_.empty(x.user)) continue;
         users.push_back(x.user);
         items.push_back(x.item);
         labels.push_back(1.0f);
@@ -287,7 +306,7 @@ void RippleNetRecommender::Fit(const RecContext& context) {
 }
 
 float RippleNetRecommender::Score(int32_t user, int32_t item) const {
-  if (user_ripples_[user].empty) return 0.0f;
+  if (ripples_.empty(user)) return 0.0f;
   std::vector<int32_t> users{user}, items{item};
   return Forward(users, items).value();
 }
@@ -295,22 +314,33 @@ float RippleNetRecommender::Score(int32_t user, int32_t item) const {
 std::vector<float> RippleNetRecommender::ScoreItems(
     int32_t user, std::span<const int32_t> items) const {
   std::vector<float> out(items.size(), 0.0f);
-  if (items.empty() || user_ripples_[user].empty) return out;
+  if (items.empty() || ripples_.empty(user)) return out;
   const size_t s = config_.hop_size;
-  const UserRipples& ur = user_ripples_[user];
+  const size_t so = ripples_.SeedOffset(user);
 
   // Once-per-user tensors, built with the same ops (and therefore the
   // same floats) a B=1 Forward() would produce for this user.
-  nn::Tensor seed_emb = nn::Gather(entity_emb_, ur.seeds);
+  const std::vector<int32_t> seed_ids(ripples_.seeds.begin() + so,
+                                      ripples_.seeds.begin() + so + s);
+  nn::Tensor seed_emb = nn::Gather(entity_emb_, seed_ids);
   nn::Tensor seed_weights = nn::Tensor::FromData(
-      s, 1, std::vector<float>(ur.seed_weights));
+      s, 1,
+      std::vector<float>(ripples_.seed_weights.begin() + so,
+                         ripples_.seed_weights.begin() + so + s));
   nn::Tensor o0 = nn::GroupSumRows(nn::Mul(seed_emb, seed_weights), s);
   std::vector<nn::Tensor> rh_hops, tail_hops;
   for (size_t hop = 0; hop < config_.num_hops; ++hop) {
-    nn::Tensor h = nn::Gather(entity_emb_, ur.heads[hop]);       // [s, d]
-    nn::Tensor r = nn::Gather(relation_mats_, ur.relations[hop]);  // [s, d*d]
-    rh_hops.push_back(nn::RowwiseVecMat(h, r));                  // [s, d]
-    tail_hops.push_back(nn::Gather(entity_emb_, ur.tails[hop]));  // [s, d]
+    const size_t ho = ripples_.HopOffset(user, hop);
+    const std::vector<int32_t> heads(ripples_.heads.begin() + ho,
+                                     ripples_.heads.begin() + ho + s);
+    const std::vector<int32_t> rels(ripples_.relations.begin() + ho,
+                                    ripples_.relations.begin() + ho + s);
+    const std::vector<int32_t> tails(ripples_.tails.begin() + ho,
+                                     ripples_.tails.begin() + ho + s);
+    nn::Tensor h = nn::Gather(entity_emb_, heads);        // [s, d]
+    nn::Tensor r = nn::Gather(relation_mats_, rels);      // [s, d*d]
+    rh_hops.push_back(nn::RowwiseVecMat(h, r));           // [s, d]
+    tail_hops.push_back(nn::Gather(entity_emb_, tails));  // [s, d]
   }
 
   // Chunked so the [B*s, d] intermediates stay cache-resident.

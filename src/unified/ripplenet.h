@@ -1,8 +1,10 @@
 #ifndef KGREC_UNIFIED_RIPPLENET_H_
 #define KGREC_UNIFIED_RIPPLENET_H_
 
+#include <cstdint>
 #include <vector>
 
+#include "core/mem_stats.h"
 #include "core/recommender.h"
 #include "nn/tensor.h"
 
@@ -73,17 +75,37 @@ class RippleNetRecommender : public Recommender {
   /// Rng(context.seed) reproduces Fit's derived state exactly.
   void BuildPropagationState(const RecContext& context, Rng& rng);
 
-  /// Fixed-size padded ripple arrays for one user.
-  struct UserRipples {
-    /// Per hop: heads/relations/tails, each of length hop_size.
-    std::vector<std::vector<int32_t>> heads;
-    std::vector<std::vector<int32_t>> relations;
-    std::vector<std::vector<int32_t>> tails;
-    /// Seed items padded to hop_size with per-slot averaging weights
-    /// (the 0-hop response o_u^0 = mean of clicked-item embeddings).
+  /// Dense arena holding every user's fixed-size padded ripple sets.
+  /// All per-user shapes are static (num_hops x hop_size triples plus
+  /// hop_size seeds), so instead of 3 heap-allocated vectors per hop per
+  /// user the whole model shares six flat buffers with computed strides
+  /// — at 10^6 users that removes millions of small allocations and
+  /// their per-vector header overhead.
+  struct RippleArena {
+    size_t num_hops = 0;
+    size_t hop_size = 0;
+    /// [num_users * num_hops * hop_size] each.
+    std::vector<int32_t> heads;
+    std::vector<int32_t> relations;
+    std::vector<int32_t> tails;
+    /// [num_users * hop_size]: seed items padded to hop_size with
+    /// per-slot averaging weights (the 0-hop response o_u^0 = mean of
+    /// clicked-item embeddings).
     std::vector<int32_t> seeds;
     std::vector<float> seed_weights;
-    bool empty = true;
+    /// [num_users]: 0 until the user's slices are filled (users with no
+    /// training history stay unfilled and score 0).
+    std::vector<uint8_t> filled;
+
+    void Reset(size_t num_users, size_t hops, size_t size);
+    bool empty(int32_t user) const { return filled[user] == 0; }
+    size_t SeedOffset(int32_t user) const {
+      return static_cast<size_t>(user) * hop_size;
+    }
+    size_t HopOffset(int32_t user, size_t hop) const {
+      return (static_cast<size_t>(user) * num_hops + hop) * hop_size;
+    }
+    void MemoryUse(MemoryVisitor& visitor) const;
   };
 
   /// Differentiable forward: logits [B,1] for (users, items) pairs.
@@ -105,7 +127,7 @@ class RippleNetRecommender : public Recommender {
   virtual void PrepareAux(const RecContext& context, Rng& rng);
 
   RippleNetConfig config_;
-  std::vector<UserRipples> user_ripples_;
+  RippleArena ripples_;
   nn::Tensor entity_emb_;
   nn::Tensor relation_mats_;  // [num_relations, dim*dim]
 };

@@ -1,5 +1,7 @@
 #include "unified/ripplenet_agg.h"
 
+#include <algorithm>
+
 #include "core/check.h"
 #include "nn/ops.h"
 
@@ -10,19 +12,17 @@ void RippleNetAggRecommender::PrepareAux(const RecContext& context,
   KGREC_CHECK(context.item_kg != nullptr);
   const KnowledgeGraph& kg = *context.item_kg;
   const int32_t num_items = context.train->num_items();
-  item_neighbors_.assign(num_items, {});
+  item_neighbors_.assign(num_items * neighbor_count_, 0);
   std::vector<Edge> sampled;  // reused across items
   for (int32_t j = 0; j < num_items; ++j) {
     kg.SampleNeighbors(j, neighbor_count_, rng, &sampled);
-    std::vector<EntityId>& neighbors = item_neighbors_[j];
+    EntityId* row = item_neighbors_.data() + j * neighbor_count_;
     if (sampled.empty()) {
-      neighbors.assign(neighbor_count_, j);  // isolated: self only
+      std::fill(row, row + neighbor_count_, j);  // isolated: self only
     } else {
-      for (const Edge& e : sampled) neighbors.push_back(e.target);
-      while (neighbors.size() < neighbor_count_) {
-        neighbors.push_back(neighbors[neighbors.size() %
-                                      sampled.size()]);
-      }
+      size_t c = 0;
+      for (const Edge& e : sampled) row[c++] = e.target;
+      for (; c < neighbor_count_; ++c) row[c] = row[c % sampled.size()];
     }
   }
 }
@@ -33,7 +33,8 @@ nn::Tensor RippleNetAggRecommender::ItemVectors(
   std::vector<int32_t> flat;
   flat.reserve(items.size() * neighbor_count_);
   for (int32_t j : items) {
-    for (EntityId e : item_neighbors_[j]) flat.push_back(e);
+    const EntityId* row = item_neighbors_.data() + j * neighbor_count_;
+    flat.insert(flat.end(), row, row + neighbor_count_);
   }
   nn::Tensor neighborhood = nn::ScaleBy(
       nn::GroupSumRows(nn::Gather(entity_emb_, flat), neighbor_count_),

@@ -25,8 +25,9 @@ class RippleNetAggRecommender : public RippleNetRecommender {
   void PrepareAux(const RecContext& context, Rng& rng) override;
 
  private:
-  /// Fixed-size sampled neighborhood per item entity.
-  std::vector<std::vector<EntityId>> item_neighbors_;
+  /// Fixed-size sampled neighborhood per item entity, arena-backed: row
+  /// j of the flat buffer holds item j's neighbor_count_ entities.
+  std::vector<EntityId> item_neighbors_;  // [num_items * neighbor_count_]
   size_t neighbor_count_ = 8;
 };
 

@@ -38,6 +38,48 @@ TEST(Interactions, BasicAccessors) {
   EXPECT_EQ(data.ItemsWithInteractions().size(), 6u);
 }
 
+TEST(Interactions, UserItemsPreservesInsertionOrder) {
+  // The flat CSR user index is built by a stable counting sort, so each
+  // user's span must read back in exact insertion order (E_u^0 order
+  // matters to the ripple-set seeds and the KGE trainers' negatives).
+  InteractionDataset data = SmallDataset();
+  const std::vector<int32_t> u0(data.UserItems(0).begin(),
+                                data.UserItems(0).end());
+  EXPECT_EQ(u0, (std::vector<int32_t>{0, 1, 2}));
+  const std::vector<int32_t> u3(data.UserItems(3).begin(),
+                                data.UserItems(3).end());
+  EXPECT_EQ(u3, (std::vector<int32_t>{0, 5, 1}));
+}
+
+TEST(Interactions, UserItemsIndexRebuildsAfterAdd) {
+  // Add() invalidates the lazy index; the next UserItems() call must
+  // rebuild and serve the new event, in order.
+  InteractionDataset data(3, 8);
+  data.Add(1, 4);
+  EXPECT_EQ(data.UserItems(1).size(), 1u);  // forces the first build
+  EXPECT_TRUE(data.UserItems(0).empty());
+  data.Add(1, 7);
+  data.Add(0, 2);
+  const std::vector<int32_t> u1(data.UserItems(1).begin(),
+                                data.UserItems(1).end());
+  EXPECT_EQ(u1, (std::vector<int32_t>{4, 7}));
+  EXPECT_EQ(data.UserItems(0).size(), 1u);
+  EXPECT_EQ(data.UserItems(0)[0], 2);
+  EXPECT_TRUE(data.UserItems(2).empty());  // trailing user, no events
+}
+
+TEST(Interactions, MemoryUseTotalIsSumOfEntries) {
+  InteractionDataset data = SmallDataset();
+  (void)data.UserItems(0);  // materialize the index so it is counted
+  MemoryVisitor visitor;
+  data.MemoryUse(visitor);
+  EXPECT_FALSE(visitor.entries().empty());
+  size_t sum = 0;
+  for (const auto& [name, bytes] : visitor.entries()) sum += bytes;
+  EXPECT_EQ(visitor.total(), sum);
+  EXPECT_GT(visitor.total(), 0u);
+}
+
 TEST(Interactions, ToCsrMatchesContains) {
   InteractionDataset data = SmallDataset();
   CsrMatrix r = data.ToCsr();

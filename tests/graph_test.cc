@@ -176,6 +176,145 @@ TEST(KnowledgeGraph, HasTripleMatchesLinearScan) {
   }
 }
 
+TEST(KnowledgeGraph, CsrTailEntityWithZeroOutDegree) {
+  // The last entity registered has no outgoing edges; the CSR offset
+  // array's tail must still be well-formed (OutDegree 0, empty range)
+  // and the entity before it must see its full range. This is the
+  // classic off-by-one surface of a compacted offset array.
+  KnowledgeGraph kg;
+  const EntityId a = kg.AddEntity("a");
+  const EntityId b = kg.AddEntity("b");
+  const EntityId tail = kg.AddEntity("tail_no_edges");
+  const RelationId r = kg.AddRelation("r");
+  ASSERT_TRUE(kg.AddTriple(a, r, tail).ok());
+  ASSERT_TRUE(kg.AddTriple(b, r, tail).ok());
+  ASSERT_TRUE(kg.AddTriple(b, r, a).ok());
+  kg.Finalize();
+  EXPECT_EQ(kg.OutDegree(a), 1u);
+  EXPECT_EQ(kg.OutDegree(b), 2u);
+  EXPECT_EQ(kg.OutDegree(tail), 0u);
+  Rng rng(7);
+  EXPECT_TRUE(kg.SampleNeighbors(tail, 4, rng).empty());
+  EXPECT_FALSE(kg.HasTriple(tail, r, a));
+}
+
+TEST(KnowledgeGraph, TripleCapacityGuardRejectsAddTriple) {
+  // The 32-bit AdjOffset cap is enforced at insertion; the test hook
+  // lowers it so the rejection path runs without 4e9 inserts.
+  KnowledgeGraph kg;
+  kg.AddEntity("a");
+  kg.AddEntity("b");
+  const RelationId r = kg.AddRelation("r");
+  kg.SetTripleCapacityForTesting(2);
+  EXPECT_TRUE(kg.AddTriple(0, r, 1).ok());
+  EXPECT_TRUE(kg.AddTriple(1, r, 0).ok());
+  EXPECT_EQ(kg.AddTriple(0, r, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(kg.num_triples(), 2u);  // rejected insert left no residue
+}
+
+TEST(KnowledgeGraph, TripleCapacityGuardRejectsInverseDoubling) {
+  // AddInverseRelations doubles the triple count; when that would cross
+  // the cap it must fail up front and leave the graph untouched.
+  KnowledgeGraph kg;
+  kg.AddEntity("a");
+  kg.AddEntity("b");
+  const RelationId r = kg.AddRelation("r");
+  ASSERT_TRUE(kg.AddTriple(0, r, 1).ok());
+  ASSERT_TRUE(kg.AddTriple(1, r, 0).ok());
+  kg.SetTripleCapacityForTesting(3);
+  EXPECT_EQ(kg.AddInverseRelations().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(kg.num_triples(), 2u);
+  EXPECT_EQ(kg.num_relations(), 1u);  // no half-added inverse relations
+  kg.SetTripleCapacityForTesting(4);
+  EXPECT_TRUE(kg.AddInverseRelations().ok());
+  EXPECT_EQ(kg.num_triples(), 4u);
+  EXPECT_EQ(kg.num_relations(), 2u);
+}
+
+TEST(KnowledgeGraph, MemoryUseTotalIsSumOfEntries) {
+  KnowledgeGraph kg = MovieGraph();
+  MemoryVisitor visitor;
+  kg.MemoryUse(visitor);
+  EXPECT_FALSE(visitor.entries().empty());
+  size_t sum = 0;
+  for (const auto& [name, bytes] : visitor.entries()) sum += bytes;
+  EXPECT_EQ(visitor.total(), sum);
+  EXPECT_GT(visitor.total(), 0u);
+}
+
+TEST(KnowledgeGraph, EntityNamesInternedOnce) {
+  // Re-registering a name must not grow the name pool: the bytes are
+  // stored exactly once and the lookup index references them.
+  KnowledgeGraph once;
+  once.AddEntity("the_same_long_entity_name");
+  MemoryVisitor v_once;
+  once.MemoryUse(v_once);
+
+  KnowledgeGraph many;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(many.AddEntity("the_same_long_entity_name"), 0);
+  }
+  EXPECT_EQ(many.num_entities(), 1u);
+  MemoryVisitor v_many;
+  many.MemoryUse(v_many);
+  EXPECT_EQ(v_once.total(), v_many.total());
+}
+
+TEST(KnowledgeGraph, AnonymousEntitiesSkipNameStorage) {
+  KnowledgeGraph kg;
+  EXPECT_EQ(kg.AddEntities(100), 0);
+  EXPECT_EQ(kg.AddEntities(50), 100);
+  EXPECT_EQ(kg.num_entities(), 150u);
+  EXPECT_TRUE(kg.names_dropped());
+  EntityId found = -1;
+  EXPECT_EQ(kg.FindEntity("anything", &found).code(),
+            StatusCode::kNotFound);
+  const RelationId r = kg.AddRelation("r");
+  ASSERT_TRUE(kg.AddTriple(0, r, 149).ok());
+  kg.Finalize();
+  EXPECT_TRUE(kg.HasTriple(0, r, 149));
+
+  // The anonymous graph stores no entity-name bytes; a named graph of
+  // the same shape does.
+  KnowledgeGraph named;
+  for (int i = 0; i < 150; ++i) named.AddEntity("e" + std::to_string(i));
+  const RelationId named_r = named.AddRelation("r");
+  ASSERT_TRUE(named.AddTriple(0, named_r, 149).ok());
+  named.Finalize();
+  MemoryVisitor v_anon, v_named;
+  kg.MemoryUse(v_anon);
+  named.MemoryUse(v_named);
+  EXPECT_LT(v_anon.total(), v_named.total());
+}
+
+TEST(KnowledgeGraph, ReleaseTriplesKeepsCsrAdjacency) {
+  KnowledgeGraph kg = MovieGraph();
+  // Record the CSR view, release the triple list, and verify every
+  // adjacency query still answers identically.
+  std::vector<std::vector<Edge>> before;
+  for (EntityId e = 0; e < static_cast<EntityId>(kg.num_entities()); ++e) {
+    const Edge* edges = kg.OutEdges(e);
+    before.emplace_back(edges, edges + kg.OutDegree(e));
+  }
+  const size_t triples_before = kg.num_triples();
+  MemoryVisitor v_full;
+  kg.MemoryUse(v_full);
+  kg.ReleaseTriples();
+  EXPECT_TRUE(kg.triples_released());
+  EXPECT_EQ(kg.num_triples(), triples_before);  // the count survives
+  MemoryVisitor v_released;
+  kg.MemoryUse(v_released);
+  EXPECT_LT(v_released.total(), v_full.total());
+  for (EntityId e = 0; e < static_cast<EntityId>(kg.num_entities()); ++e) {
+    ASSERT_EQ(kg.OutDegree(e), before[e].size());
+    const Edge* edges = kg.OutEdges(e);
+    for (size_t i = 0; i < before[e].size(); ++i) {
+      EXPECT_EQ(edges[i].relation, before[e][i].relation);
+      EXPECT_EQ(edges[i].target, before[e][i].target);
+    }
+  }
+}
+
 TEST(Hin, TypedQueriesAndRelationMatrix) {
   KnowledgeGraph kg = MovieGraph();
   // types: 0 user, 1 movie, 2 genre

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Diff two sets of BENCH_*.json artifacts.
+
+Every bench emits a machine-readable BENCH_<name>.json (throughput,
+latency, peak RSS, bitwise/pass flags) into its working directory; this
+tool compares two snapshots of those artifacts — e.g. the checkout
+before and after a change, or two CI runs — and reports what moved.
+
+Usage:
+    tools/bench_diff.py OLD_DIR NEW_DIR [--threshold PCT]
+    tools/bench_diff.py OLD_FILE NEW_FILE [--threshold PCT]
+
+Exit status: 1 if any `pass`/`bitwise` flag regressed true -> false,
+0 otherwise (numeric drift alone never fails — timing noise is not a
+regression; the budgets inside the benches gate RSS).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Fields whose drift is noise at small magnitudes; reported only past
+# the threshold.
+NUMERIC_NOISE_FIELDS = ("seconds", "_s", "_ns", "qps", "speedup", "p50",
+                        "p99", "latency")
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def fmt_bytes(n):
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0:
+            return f"{n:.1f} {unit}"
+        n /= 1024.0
+    return f"{n:.1f} TiB"
+
+
+def is_noise_field(key):
+    return any(tag in key for tag in NUMERIC_NOISE_FIELDS)
+
+
+def diff_scalar(key, old, new, threshold, lines):
+    """Appends a report line when (key, old -> new) is worth showing.
+
+    Returns True when the change is a pass/bitwise regression.
+    """
+    if isinstance(old, bool) or isinstance(new, bool):
+        if old != new:
+            tag = "REGRESSION" if old and not new else "changed"
+            lines.append(f"  {key}: {old} -> {new}  [{tag}]")
+            return bool(old) and not new and key in ("pass", "bitwise")
+        return False
+    if isinstance(old, (int, float)) and isinstance(new, (int, float)):
+        if old == new:
+            return False
+        pct = 100.0 * (new - old) / old if old else float("inf")
+        if is_noise_field(key) and abs(pct) < threshold:
+            return False
+        if "bytes" in key:
+            lines.append(f"  {key}: {fmt_bytes(old)} -> {fmt_bytes(new)}"
+                         f"  ({pct:+.1f}%)")
+        else:
+            lines.append(f"  {key}: {old:g} -> {new:g}  ({pct:+.1f}%)")
+        return False
+    if old != new:
+        lines.append(f"  {key}: {old!r} -> {new!r}")
+    return False
+
+
+def diff_bench(name, old, new, threshold):
+    """Returns (report_lines, regressed)."""
+    lines = []
+    regressed = False
+    keys = list(dict.fromkeys(list(old.keys()) + list(new.keys())))
+    for key in keys:
+        if key == "rows":
+            continue
+        if key not in old:
+            lines.append(f"  {key}: (absent) -> {new[key]!r}")
+            continue
+        if key not in new:
+            lines.append(f"  {key}: {old[key]!r} -> (absent)")
+            continue
+        if diff_scalar(key, old[key], new[key], threshold, lines):
+            regressed = True
+    # Row-level: match rows positionally when the shape is unchanged.
+    old_rows, new_rows = old.get("rows", []), new.get("rows", [])
+    if len(old_rows) != len(new_rows):
+        lines.append(f"  rows: {len(old_rows)} -> {len(new_rows)} entries")
+    else:
+        for i, (o, n) in enumerate(zip(old_rows, new_rows)):
+            row_lines = []
+            row_regressed = False
+            for key in o.keys() & n.keys():
+                if diff_scalar(key, o[key], n[key], threshold, row_lines):
+                    row_regressed = True
+            if row_lines:
+                label = o.get("model") or o.get("family") or o.get(
+                    "kernel") or o.get("stage") or str(i)
+                lines.append(f"  row[{label}]:")
+                lines.extend("  " + l for l in row_lines)
+            regressed = regressed or row_regressed
+    return lines, regressed
+
+
+def collect(path):
+    """Maps bench name -> parsed JSON for a file or a directory."""
+    if os.path.isfile(path):
+        data = load(path)
+        return {data.get("bench", os.path.basename(path)): data}
+    out = {}
+    for entry in sorted(os.listdir(path)):
+        if entry.startswith("BENCH_") and entry.endswith(".json"):
+            data = load(os.path.join(path, entry))
+            out[data.get("bench", entry)] = data
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff BENCH_*.json artifacts between two snapshots.")
+    parser.add_argument("old", help="old snapshot: a directory or one file")
+    parser.add_argument("new", help="new snapshot: a directory or one file")
+    parser.add_argument("--threshold", type=float, default=5.0,
+                        help="hide timing drift below this percent "
+                             "(default 5)")
+    args = parser.parse_args()
+
+    old_set, new_set = collect(args.old), collect(args.new)
+    names = list(dict.fromkeys(list(old_set.keys()) + list(new_set.keys())))
+    if not names:
+        print("no BENCH_*.json artifacts found")
+        return 0
+
+    any_regressed = False
+    for name in names:
+        if name not in old_set:
+            print(f"== {name}: new bench (no old artifact)")
+            continue
+        if name not in new_set:
+            print(f"== {name}: artifact missing in new snapshot")
+            continue
+        lines, regressed = diff_bench(name, old_set[name], new_set[name],
+                                      args.threshold)
+        any_regressed = any_regressed or regressed
+        if lines:
+            print(f"== {name}")
+            print("\n".join(lines))
+        else:
+            print(f"== {name}: no change above threshold")
+    return 1 if any_regressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
