@@ -9,14 +9,24 @@
 //                                (b) IvfIndex recall@10 >= 0.95 at the
 //                                    default probe setting,
 //                                (c) probes == clusters is bitwise the
-//                                    brute-force result.
+//                                    brute-force result,
+//                                (d) the SQ8 quantized scan + exact
+//                                    re-rank is bitwise the float32 scan
+//                                    for every factorizable model AND
+//                                    the dispatched int8 kernels agree
+//                                    with the scalar reference on every
+//                                    candidate-pool score (DESIGN §12).
 //
 // Two parts. Part 1 fits every factorizable model on a small world and
 // checks its exact index against the exhaustive reference — the
-// export-contract gate (DESIGN §10). Part 2 sweeps synthetic Gaussian
-// embeddings (retrieval cost depends only on catalog geometry, not on
-// how the factors were trained) and reports exact-scan vs IVF QPS,
-// latency percentiles and measured recall.
+// export-contract gate (DESIGN §10) — then repeats the comparison with a
+// ScanPrecision::kSq8 index and cross-checks the integer scan scores
+// against kernels::ref. Part 2 sweeps synthetic Gaussian embeddings
+// (retrieval cost depends only on catalog geometry, not on how the
+// factors were trained) and reports exact-scan vs SQ8-scan vs IVF QPS,
+// latency percentiles, measured recall, and the SQ8 pool's
+// recall-before-rerank (how often the quantized scan alone already finds
+// the true top-10 — the margin the re-rank consumes).
 //
 // Emits machine-readable BENCH_retrieval.json next to the binary.
 // Exits non-zero on any gate failure.
@@ -34,10 +44,12 @@
 #include "core/recommender.h"
 #include "core/registry.h"
 #include "data/presets.h"
+#include "math/kernels.h"
 #include "math/rng.h"
 #include "math/topk.h"
 #include "retrieval/factors.h"
 #include "retrieval/index.h"
+#include "retrieval/quantize.h"
 
 namespace {
 
@@ -46,9 +58,64 @@ using kgrec::retrieval::BruteForceIndex;
 using kgrec::retrieval::ItemFactors;
 using kgrec::retrieval::IvfConfig;
 using kgrec::retrieval::IvfIndex;
+using kgrec::retrieval::QuantizedItemFactors;
+using kgrec::retrieval::ScanPrecision;
+using kgrec::retrieval::ScanSpec;
 using kgrec::retrieval::ScoreKernel;
+using kgrec::retrieval::Sq8Query;
 
 constexpr size_t kK = 10;
+
+ScanSpec Sq8Spec() {
+  ScanSpec spec;
+  spec.precision = ScanPrecision::kSq8;
+  return spec;  // default rerank_factor / rerank_slack — what serving uses
+}
+
+/// Integer scan scores of every item in `quantized` for `query`, via
+/// either the dispatched kernels (simd == true) or the scalar reference.
+/// Bitwise equality of the two is the cross-build guarantee: integer
+/// accumulation has no fold-order sensitivity, so scalar, SSE2 and AVX2
+/// builds must produce identical candidate pools. kDot combines the
+/// hi/lo weight passes in int64 exactly like the index scan does.
+void IntegerScanScores(const QuantizedItemFactors& quantized,
+                       const Sq8Query& q8, bool simd,
+                       std::vector<int64_t>* out) {
+  const size_t n = quantized.num_items();
+  std::vector<const uint8_t*> rows(n);
+  for (size_t i = 0; i < n; ++i) rows[i] = quantized.Codes(i);
+  out->resize(n);
+  std::vector<int32_t> pass(n);
+  if (quantized.kernel() == ScoreKernel::kDot) {
+    // Same fused dual-accumulator kernel the serve-path scan uses
+    // (retrieval::FlushSq8), so the bitwise gate covers it directly.
+    std::vector<int32_t> pass_lo(n);
+    if (simd) {
+      kgrec::kernels::DotDualBatchI8(q8.weights.data(), q8.weights_lo.data(),
+                                     rows.data(), n, quantized.dim(),
+                                     pass.data(), pass_lo.data());
+    } else {
+      kgrec::kernels::ref::DotDualBatchI8(q8.weights.data(),
+                                          q8.weights_lo.data(), rows.data(), n,
+                                          quantized.dim(), pass.data(),
+                                          pass_lo.data());
+    }
+    for (size_t i = 0; i < n; ++i) {
+      (*out)[i] =
+          128 * static_cast<int64_t>(pass[i]) + static_cast<int64_t>(pass_lo[i]);
+    }
+    return;
+  }
+  if (simd) {
+    kgrec::kernels::SquaredDistanceBatchI8(q8.codes.data(), rows.data(), n,
+                                           quantized.dim(), pass.data());
+  } else {
+    kgrec::kernels::ref::SquaredDistanceBatchI8(q8.codes.data(), rows.data(),
+                                                n, quantized.dim(),
+                                                pass.data());
+  }
+  for (size_t i = 0; i < n; ++i) (*out)[i] = pass[i];
+}
 
 bool SameRanking(const std::vector<std::pair<int32_t, float>>& a,
                  const std::vector<std::pair<int32_t, float>>& b) {
@@ -120,26 +187,37 @@ QueryTiming TimeQueries(const kgrec::retrieval::ItemIndex& index,
 }
 
 /// Part 1: for each factorizable registry model, fit on the shared world
-/// and require BruteForceIndex::Query == ScoreAll + TopKScored bitwise.
-bool RunModelGate(const kgrec::bench::Workbench& bench,
+/// and require (a) BruteForceIndex::Query == ScoreAll + TopKScored
+/// bitwise, (b) the SQ8 index == the float32 index bitwise, and (c) the
+/// dispatched integer kernels == the scalar reference on every scan
+/// score. Sets *sq8_ok to (b) && (c) across all models.
+bool RunModelGate(const kgrec::bench::Workbench& bench, bool* sq8_ok,
                   std::vector<std::string>* json_rows) {
   const kgrec::RecContext ctx = bench.Context(17);
   const int32_t num_items = ctx.train->num_items();
   const int32_t num_users = ctx.train->num_users();
   bool all_ok = true;
+  *sq8_ok = true;
 
-  std::printf("%-10s %-14s %-8s %10s\n", "model", "kernel", "bitwise",
-              "scan QPS");
-  kgrec::bench::PrintRule(46);
+  std::printf("%-10s %-14s %-8s %-8s %-8s %10s\n", "model", "kernel",
+              "bitwise", "sq8", "int8=ref", "scan QPS");
+  kgrec::bench::PrintRule(64);
   for (const std::string& name : kgrec::FactorizableMethodNames()) {
     std::unique_ptr<kgrec::Recommender> model = kgrec::MakeRecommender(name);
     model->Fit(ctx);
     const kgrec::DotProductFactors* factors = kgrec::AsFactorizable(*model);
     BruteForceIndex index(factors->ExportItemFactors());
+    BruteForceIndex sq8_index(factors->ExportItemFactors(), Sq8Spec());
+    const QuantizedItemFactors* quantized = sq8_index.quantized();
 
     bool bitwise = index.num_items() == static_cast<size_t>(num_items);
+    bool sq8_bitwise = true;
+    bool int8_matches_ref = true;
     const int32_t probe_users = std::min<int32_t>(num_users, 32);
     std::vector<float> query(factors->factor_dim());
+    Sq8Query q8;
+    std::vector<int64_t> dispatched_scores;
+    std::vector<int64_t> ref_scores;
     const auto start = Clock::now();
     for (int32_t user = 0; user < probe_users; ++user) {
       const std::vector<float> scores = model->ScoreAll(user, num_items);
@@ -153,6 +231,24 @@ bool RunModelGate(const kgrec::bench::Workbench& bench,
                      name.c_str(), user);
         break;
       }
+      if (!SameRanking(got, sq8_index.Query(query, kK))) {
+        sq8_bitwise = false;
+        std::fprintf(stderr,
+                     "FAIL %s user %d: SQ8 index != float32 index\n",
+                     name.c_str(), user);
+        break;
+      }
+      quantized->PrepareQuery(query, &q8);
+      IntegerScanScores(*quantized, q8, /*simd=*/true, &dispatched_scores);
+      IntegerScanScores(*quantized, q8, /*simd=*/false, &ref_scores);
+      if (dispatched_scores != ref_scores) {
+        int8_matches_ref = false;
+        std::fprintf(stderr,
+                     "FAIL %s user %d: dispatched int8 kernels != scalar "
+                     "reference\n",
+                     name.c_str(), user);
+        break;
+      }
     }
     const double wall =
         std::chrono::duration<double>(Clock::now() - start).count();
@@ -160,14 +256,23 @@ bool RunModelGate(const kgrec::bench::Workbench& bench,
         wall > 0 ? static_cast<double>(probe_users) / wall : 0.0;
     const char* kernel =
         kgrec::retrieval::ScoreKernelName(factors->factor_kernel());
-    std::printf("%-10s %-14s %-8s %10.0f\n", name.c_str(), kernel,
-                bitwise ? "yes" : "NO", qps);
+    std::printf("%-10s %-14s %-8s %-8s %-8s %10.0f\n", name.c_str(), kernel,
+                bitwise ? "yes" : "NO", sq8_bitwise ? "yes" : "NO",
+                int8_matches_ref ? "yes" : "NO", qps);
     all_ok = all_ok && bitwise;
+    *sq8_ok = *sq8_ok && sq8_bitwise && int8_matches_ref;
 
+    const size_t factor_bytes =
+        index.num_items() * index.dim() * sizeof(float);
     json_rows->push_back(kgrec::bench::JsonWriter()
                              .Field("model", name)
                              .Field("kernel", kernel)
                              .Field("bitwise", bitwise)
+                             .Field("sq8_bitwise", sq8_bitwise)
+                             .Field("int8_kernels_bitwise", int8_matches_ref)
+                             .Field("factor_bytes", factor_bytes)
+                             .Field("sq8_code_bytes", quantized->code_bytes())
+                             .Field("candidate_pool", Sq8Spec().PoolSize(kK))
                              .str());
   }
   return all_ok;
@@ -235,6 +340,71 @@ SweepGate RunSweep(const std::vector<size_t>& catalog_sizes,
                              .Field("p99_us", exact_timing.p99_us)
                              .Field("bitwise", true)
                              .str());
+
+    // SQ8 leg: quantized scan + exact re-rank over the same catalog. The
+    // final ranking must be bitwise the float scan's (gate); the recall
+    // the pool has *before* the re-rank is reported so the over-fetch
+    // margin is visible, not assumed.
+    {
+      ItemFactors sq8_copy;
+      sq8_copy.kernel = factors.kernel;
+      sq8_copy.items = factors.items;
+      BruteForceIndex sq8(std::move(sq8_copy), Sq8Spec());
+      const QuantizedItemFactors* quantized = sq8.quantized();
+      std::vector<std::vector<std::pair<int32_t, float>>> sq8_results;
+      const QueryTiming sq8_timing =
+          TimeQueries(sq8, queries, kK, &sq8_results);
+
+      const size_t pool_size = Sq8Spec().PoolSize(kK);
+      bool sq8_bitwise = true;
+      double pre_recall = 0.0;
+      Sq8Query q8;
+      std::vector<int64_t> iscores;
+      kgrec::BoundedTopK pool(pool_size);
+      for (size_t q = 0; q < exact_results.size(); ++q) {
+        sq8_bitwise = sq8_bitwise &&
+                      SameRanking(exact_results[q], sq8_results[q]);
+        quantized->PrepareQuery(
+            std::span<const float>(queries.Row(q), queries.cols()), &q8);
+        IntegerScanScores(*quantized, q8, /*simd=*/true, &iscores);
+        pool.Reset(pool_size);
+        for (size_t i = 0; i < iscores.size(); ++i) {
+          pool.Push(static_cast<int32_t>(i),
+                    quantized->ApproxScore(q8, iscores[i]));
+        }
+        pre_recall += RecallAt(exact_results[q], pool.TakeSorted());
+      }
+      pre_recall /= exact_results.empty()
+                        ? 1.0
+                        : static_cast<double>(exact_results.size());
+      if (!sq8_bitwise) {
+        std::fprintf(stderr,
+                     "FAIL catalog %zu: SQ8 scan + re-rank is not bitwise "
+                     "the float32 scan\n",
+                     n);
+        gate.ok = false;
+      }
+
+      const double speedup =
+          exact_timing.qps > 0 ? sq8_timing.qps / exact_timing.qps : 0.0;
+      std::printf("%-9zu %-9s %-8s %-7.3f %10.0f %9.1f %9.1f %8.1fx\n", n,
+                  "-", "sq8", pre_recall, sq8_timing.qps, sq8_timing.p50_us,
+                  sq8_timing.p99_us, speedup);
+      json_rows->push_back(
+          kgrec::bench::JsonWriter()
+              .Field("catalog", n)
+              .Field("index", "brute-sq8")
+              .Field("recall_at_10", sq8_bitwise ? 1.0 : 0.0)
+              .Field("recall_before_rerank", pre_recall)
+              .Field("candidate_pool", pool_size)
+              .Field("factor_bytes", n * kDim * sizeof(float))
+              .Field("sq8_code_bytes", quantized->code_bytes())
+              .Field("qps", sq8_timing.qps)
+              .Field("p50_us", sq8_timing.p50_us)
+              .Field("p99_us", sq8_timing.p99_us)
+              .Field("bitwise", sq8_bitwise)
+              .str());
+    }
 
     IvfConfig base;  // num_clusters = 0 -> ceil(sqrt(n))
     IvfIndex probe_of_default(
@@ -322,7 +492,8 @@ int main(int argc, char** argv) {
   }
   const kgrec::bench::Workbench bench = kgrec::bench::MakeWorkbench(config);
   std::vector<std::string> model_rows;
-  const bool models_ok = RunModelGate(bench, &model_rows);
+  bool sq8_models_ok = true;
+  const bool models_ok = RunModelGate(bench, &sq8_models_ok, &model_rows);
 
   // Part 2: catalog × probes sweep on synthetic embeddings.
   const std::vector<size_t> catalog_sizes =
@@ -339,13 +510,14 @@ int main(int argc, char** argv) {
                  gate.default_probe_recall);
   }
 
-  const bool ok = models_ok && gate.ok && recall_ok;
+  const bool ok = models_ok && sq8_models_ok && gate.ok && recall_ok;
   const std::string json =
       kgrec::bench::JsonWriter()
           .Field("bench", "retrieval_scaling")
           .Field("mode", smoke ? "smoke" : "full")
           .Field("k", kK)
           .Field("exact_bitwise", models_ok)
+          .Field("sq8_exact_bitwise", sq8_models_ok)
           .Field("default_probe_recall_at_10", gate.default_probe_recall)
           .Field("peak_rss_bytes", kgrec::PeakRssBytes())
           .Field("pass", ok)
@@ -354,7 +526,8 @@ int main(int argc, char** argv) {
           .str();
   kgrec::bench::JsonWriter::WriteFile("BENCH_retrieval.json", json);
 
-  std::printf("\n%s\n", ok ? "PASS: exact index bitwise, recall gate met"
-                           : "FAIL: see messages above");
+  std::printf("\n%s\n",
+              ok ? "PASS: exact + SQ8 indexes bitwise, recall gate met"
+                 : "FAIL: see messages above");
   return ok ? 0 : 1;
 }

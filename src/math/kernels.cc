@@ -213,6 +213,57 @@ void SoftmaxRows(const float* x, float* y, size_t rows, size_t cols) {
   }
 }
 
+KGREC_NO_AUTOVEC
+int32_t DotI8(const int8_t* weights, const uint8_t* codes, size_t n) {
+  int32_t acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += static_cast<int32_t>(weights[i]) * static_cast<int32_t>(codes[i]);
+  }
+  return acc;
+}
+
+KGREC_NO_AUTOVEC
+void DotBatchI8(const int8_t* weights, const uint8_t* const* rows,
+                size_t count, size_t n, int32_t* out) {
+  for (size_t q = 0; q < count; ++q) out[q] = DotI8(weights, rows[q], n);
+}
+
+KGREC_NO_AUTOVEC
+void DotDualBatchI8(const int8_t* w_hi, const int8_t* w_lo,
+                    const uint8_t* const* rows, size_t count, size_t n,
+                    int32_t* out_hi, int32_t* out_lo) {
+  for (size_t q = 0; q < count; ++q) {
+    const uint8_t* codes = rows[q];
+    int32_t hi = 0;
+    int32_t lo = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const int32_t c = static_cast<int32_t>(codes[i]);
+      hi += static_cast<int32_t>(w_hi[i]) * c;
+      lo += static_cast<int32_t>(w_lo[i]) * c;
+    }
+    out_hi[q] = hi;
+    out_lo[q] = lo;
+  }
+}
+
+KGREC_NO_AUTOVEC
+int32_t SquaredDistanceI8(const uint8_t* a, const uint8_t* b, size_t n) {
+  int32_t acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t d = static_cast<int32_t>(a[i]) - static_cast<int32_t>(b[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+KGREC_NO_AUTOVEC
+void SquaredDistanceBatchI8(const uint8_t* query, const uint8_t* const* rows,
+                            size_t count, size_t n, int32_t* out) {
+  for (size_t q = 0; q < count; ++q) {
+    out[q] = SquaredDistanceI8(query, rows[q], n);
+  }
+}
+
 }  // namespace ref
 
 // ---------------------------------------------------------------------------
@@ -513,6 +564,265 @@ void SoftmaxRows(const float* x, float* y, size_t rows, size_t cols) {
   }
 }
 
+// Int8 reductions. Strategy: widen u8/i8 bytes to i16 lanes, multiply-add
+// adjacent pairs into i32 lanes with madd_epi16 (the products fit i16*i16
+// -> i32 with room: |w|*c <= 128*255 = 32640 per element, <= 65280 per
+// pair), accumulate in an i32 vector, fold at the end. NOT maddubs:
+// _mm_maddubs_epi16 saturates its i16 pair-sum (65280 > 32767), which
+// would silently break the exact-integer property these kernels promise.
+//
+// The widening must preserve sign: codes are zero-extended (unpack
+// against a zero register), weights are sign-extended (unpack against
+// their own sign mask, the SSE2 idiom for cvtepi8).
+
+int32_t DotI8(const int8_t* weights, const uint8_t* codes, size_t n) {
+  size_t i = 0;
+  int32_t r = 0;
+#if KGREC_KERNELS_AVX2
+  {
+    __m256i acc = _mm256_setzero_si256();
+    for (; i + 16 <= n; i += 16) {
+      const __m256i c16 = _mm256_cvtepu8_epi16(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i)));
+      const __m256i w16 = _mm256_cvtepi8_epi16(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(weights + i)));
+      acc = _mm256_add_epi32(acc, _mm256_madd_epi16(c16, w16));
+    }
+    alignas(32) int32_t lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    for (int t = 0; t < 8; ++t) r += lanes[t];
+  }
+#else
+  {
+    const __m128i zero = _mm_setzero_si128();
+    __m128i acc = _mm_setzero_si128();
+    for (; i + 16 <= n; i += 16) {
+      const __m128i c8 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i));
+      const __m128i w8 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(weights + i));
+      const __m128i wsign = _mm_cmpgt_epi8(zero, w8);
+      const __m128i c_lo = _mm_unpacklo_epi8(c8, zero);
+      const __m128i c_hi = _mm_unpackhi_epi8(c8, zero);
+      const __m128i w_lo = _mm_unpacklo_epi8(w8, wsign);
+      const __m128i w_hi = _mm_unpackhi_epi8(w8, wsign);
+      acc = _mm_add_epi32(acc, _mm_madd_epi16(c_lo, w_lo));
+      acc = _mm_add_epi32(acc, _mm_madd_epi16(c_hi, w_hi));
+    }
+    alignas(16) int32_t lanes[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+    r = (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+  }
+#endif
+  for (; i < n; ++i) {
+    r += static_cast<int32_t>(weights[i]) * static_cast<int32_t>(codes[i]);
+  }
+  return r;
+}
+
+void DotBatchI8(const int8_t* weights, const uint8_t* const* rows,
+                size_t count, size_t n, int32_t* out) {
+  for (size_t q = 0; q < count; ++q) out[q] = DotI8(weights, rows[q], n);
+}
+
+namespace {
+
+// Transpose-and-add fold: four 4-lane i32 partial-sum vectors (one per
+// row) -> one vector [sumA, sumB, sumC, sumD]. Integer addition is
+// exact under any association, so batching the horizontal reduction
+// this way cannot change results — it only amortizes the fold cost that
+// otherwise dominates per-row work at small dims.
+inline __m128i FoldRows4I32(__m128i a, __m128i b, __m128i c, __m128i d) {
+  const __m128i t0 = _mm_unpacklo_epi32(a, b);   // a0 b0 a1 b1
+  const __m128i t1 = _mm_unpackhi_epi32(a, b);   // a2 b2 a3 b3
+  const __m128i t2 = _mm_unpacklo_epi32(c, d);   // c0 d0 c1 d1
+  const __m128i t3 = _mm_unpackhi_epi32(c, d);   // c2 d2 c3 d3
+  const __m128i s0 = _mm_add_epi32(t0, t1);      // a02 b02 a13 b13
+  const __m128i s1 = _mm_add_epi32(t2, t3);      // c02 d02 c13 d13
+  const __m128i u0 = _mm_unpacklo_epi64(s0, s1); // a02 b02 c02 d02
+  const __m128i u1 = _mm_unpackhi_epi64(s0, s1); // a13 b13 c13 d13
+  return _mm_add_epi32(u0, u1);
+}
+
+#if KGREC_KERNELS_AVX2
+inline __m128i NarrowI32(__m256i acc) {
+  return _mm_add_epi32(_mm256_castsi256_si128(acc),
+                       _mm256_extracti128_si256(acc, 1));
+}
+#endif
+
+}  // namespace
+
+void DotDualBatchI8(const int8_t* w_hi, const int8_t* w_lo,
+                    const uint8_t* const* rows, size_t count, size_t n,
+                    int32_t* out_hi, int32_t* out_lo) {
+  size_t q = 0;
+  // Four rows per block: each 16-byte code load feeds two madds (hi and
+  // lo weights), and all eight horizontal folds collapse into two
+  // transpose folds. Exact-integer accumulation keeps this bitwise
+  // equal to ref:: for any blocking.
+  for (; q + 4 <= count; q += 4) {
+    const uint8_t* r0 = rows[q + 0];
+    const uint8_t* r1 = rows[q + 1];
+    const uint8_t* r2 = rows[q + 2];
+    const uint8_t* r3 = rows[q + 3];
+    size_t i = 0;
+#if KGREC_KERNELS_AVX2
+    __m256i h0 = _mm256_setzero_si256(), h1 = h0, h2 = h0, h3 = h0;
+    __m256i l0 = h0, l1 = h0, l2 = h0, l3 = h0;
+    for (; i + 16 <= n; i += 16) {
+      const __m256i wh = _mm256_cvtepi8_epi16(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(w_hi + i)));
+      const __m256i wl = _mm256_cvtepi8_epi16(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(w_lo + i)));
+      const __m256i c0 = _mm256_cvtepu8_epi16(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(r0 + i)));
+      const __m256i c1 = _mm256_cvtepu8_epi16(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(r1 + i)));
+      const __m256i c2 = _mm256_cvtepu8_epi16(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(r2 + i)));
+      const __m256i c3 = _mm256_cvtepu8_epi16(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(r3 + i)));
+      h0 = _mm256_add_epi32(h0, _mm256_madd_epi16(c0, wh));
+      h1 = _mm256_add_epi32(h1, _mm256_madd_epi16(c1, wh));
+      h2 = _mm256_add_epi32(h2, _mm256_madd_epi16(c2, wh));
+      h3 = _mm256_add_epi32(h3, _mm256_madd_epi16(c3, wh));
+      l0 = _mm256_add_epi32(l0, _mm256_madd_epi16(c0, wl));
+      l1 = _mm256_add_epi32(l1, _mm256_madd_epi16(c1, wl));
+      l2 = _mm256_add_epi32(l2, _mm256_madd_epi16(c2, wl));
+      l3 = _mm256_add_epi32(l3, _mm256_madd_epi16(c3, wl));
+    }
+    const __m128i rh =
+        FoldRows4I32(NarrowI32(h0), NarrowI32(h1), NarrowI32(h2), NarrowI32(h3));
+    const __m128i rl =
+        FoldRows4I32(NarrowI32(l0), NarrowI32(l1), NarrowI32(l2), NarrowI32(l3));
+#else
+    const __m128i zero = _mm_setzero_si128();
+    __m128i h0 = _mm_setzero_si128(), h1 = h0, h2 = h0, h3 = h0;
+    __m128i l0 = h0, l1 = h0, l2 = h0, l3 = h0;
+    for (; i + 16 <= n; i += 16) {
+      const __m128i wh8 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(w_hi + i));
+      const __m128i wl8 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(w_lo + i));
+      const __m128i whs = _mm_cmpgt_epi8(zero, wh8);
+      const __m128i wls = _mm_cmpgt_epi8(zero, wl8);
+      const __m128i wh_lo = _mm_unpacklo_epi8(wh8, whs);
+      const __m128i wh_hi = _mm_unpackhi_epi8(wh8, whs);
+      const __m128i wl_lo = _mm_unpacklo_epi8(wl8, wls);
+      const __m128i wl_hi = _mm_unpackhi_epi8(wl8, wls);
+      const __m128i c0 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(r0 + i));
+      const __m128i c1 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(r1 + i));
+      const __m128i c2 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(r2 + i));
+      const __m128i c3 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(r3 + i));
+      const __m128i c0_lo = _mm_unpacklo_epi8(c0, zero);
+      const __m128i c0_hi = _mm_unpackhi_epi8(c0, zero);
+      const __m128i c1_lo = _mm_unpacklo_epi8(c1, zero);
+      const __m128i c1_hi = _mm_unpackhi_epi8(c1, zero);
+      const __m128i c2_lo = _mm_unpacklo_epi8(c2, zero);
+      const __m128i c2_hi = _mm_unpackhi_epi8(c2, zero);
+      const __m128i c3_lo = _mm_unpacklo_epi8(c3, zero);
+      const __m128i c3_hi = _mm_unpackhi_epi8(c3, zero);
+      h0 = _mm_add_epi32(h0, _mm_madd_epi16(c0_lo, wh_lo));
+      h0 = _mm_add_epi32(h0, _mm_madd_epi16(c0_hi, wh_hi));
+      h1 = _mm_add_epi32(h1, _mm_madd_epi16(c1_lo, wh_lo));
+      h1 = _mm_add_epi32(h1, _mm_madd_epi16(c1_hi, wh_hi));
+      h2 = _mm_add_epi32(h2, _mm_madd_epi16(c2_lo, wh_lo));
+      h2 = _mm_add_epi32(h2, _mm_madd_epi16(c2_hi, wh_hi));
+      h3 = _mm_add_epi32(h3, _mm_madd_epi16(c3_lo, wh_lo));
+      h3 = _mm_add_epi32(h3, _mm_madd_epi16(c3_hi, wh_hi));
+      l0 = _mm_add_epi32(l0, _mm_madd_epi16(c0_lo, wl_lo));
+      l0 = _mm_add_epi32(l0, _mm_madd_epi16(c0_hi, wl_hi));
+      l1 = _mm_add_epi32(l1, _mm_madd_epi16(c1_lo, wl_lo));
+      l1 = _mm_add_epi32(l1, _mm_madd_epi16(c1_hi, wl_hi));
+      l2 = _mm_add_epi32(l2, _mm_madd_epi16(c2_lo, wl_lo));
+      l2 = _mm_add_epi32(l2, _mm_madd_epi16(c2_hi, wl_hi));
+      l3 = _mm_add_epi32(l3, _mm_madd_epi16(c3_lo, wl_lo));
+      l3 = _mm_add_epi32(l3, _mm_madd_epi16(c3_hi, wl_hi));
+    }
+    const __m128i rh = FoldRows4I32(h0, h1, h2, h3);
+    const __m128i rl = FoldRows4I32(l0, l1, l2, l3);
+#endif
+    alignas(16) int32_t hs[4];
+    alignas(16) int32_t ls[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(hs), rh);
+    _mm_store_si128(reinterpret_cast<__m128i*>(ls), rl);
+    for (int r = 0; r < 4; ++r) {
+      const uint8_t* codes = rows[q + r];
+      int32_t hi = hs[r];
+      int32_t lo = ls[r];
+      for (size_t t = i; t < n; ++t) {
+        const int32_t c = static_cast<int32_t>(codes[t]);
+        hi += static_cast<int32_t>(w_hi[t]) * c;
+        lo += static_cast<int32_t>(w_lo[t]) * c;
+      }
+      out_hi[q + r] = hi;
+      out_lo[q + r] = lo;
+    }
+  }
+  for (; q < count; ++q) {
+    out_hi[q] = DotI8(w_hi, rows[q], n);
+    out_lo[q] = DotI8(w_lo, rows[q], n);
+  }
+}
+
+int32_t SquaredDistanceI8(const uint8_t* a, const uint8_t* b, size_t n) {
+  size_t i = 0;
+  int32_t r = 0;
+#if KGREC_KERNELS_AVX2
+  {
+    __m256i acc = _mm256_setzero_si256();
+    for (; i + 16 <= n; i += 16) {
+      const __m256i a16 = _mm256_cvtepu8_epi16(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+      const __m256i b16 = _mm256_cvtepu8_epi16(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+      const __m256i d = _mm256_sub_epi16(a16, b16);  // fits i16: [-255, 255]
+      acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d, d));
+    }
+    alignas(32) int32_t lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    for (int t = 0; t < 8; ++t) r += lanes[t];
+  }
+#else
+  {
+    const __m128i zero = _mm_setzero_si128();
+    __m128i acc = _mm_setzero_si128();
+    for (; i + 16 <= n; i += 16) {
+      const __m128i a8 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+      const __m128i b8 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+      const __m128i d_lo =
+          _mm_sub_epi16(_mm_unpacklo_epi8(a8, zero), _mm_unpacklo_epi8(b8, zero));
+      const __m128i d_hi =
+          _mm_sub_epi16(_mm_unpackhi_epi8(a8, zero), _mm_unpackhi_epi8(b8, zero));
+      acc = _mm_add_epi32(acc, _mm_madd_epi16(d_lo, d_lo));
+      acc = _mm_add_epi32(acc, _mm_madd_epi16(d_hi, d_hi));
+    }
+    alignas(16) int32_t lanes[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+    r = (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+  }
+#endif
+  for (; i < n; ++i) {
+    const int32_t d = static_cast<int32_t>(a[i]) - static_cast<int32_t>(b[i]);
+    r += d * d;
+  }
+  return r;
+}
+
+void SquaredDistanceBatchI8(const uint8_t* query, const uint8_t* const* rows,
+                            size_t count, size_t n, int32_t* out) {
+  for (size_t q = 0; q < count; ++q) {
+    out[q] = SquaredDistanceI8(query, rows[q], n);
+  }
+}
+
 #else  // !KGREC_KERNELS_SSE2: the public entry points are the reference.
 
 const char* Mode() { return "scalar"; }
@@ -555,6 +865,25 @@ void SoftplusMap(const float* x, float* y, size_t n) {
 }
 void SoftmaxRows(const float* x, float* y, size_t rows, size_t cols) {
   ref::SoftmaxRows(x, y, rows, cols);
+}
+int32_t DotI8(const int8_t* weights, const uint8_t* codes, size_t n) {
+  return ref::DotI8(weights, codes, n);
+}
+void DotBatchI8(const int8_t* weights, const uint8_t* const* rows,
+                size_t count, size_t n, int32_t* out) {
+  ref::DotBatchI8(weights, rows, count, n, out);
+}
+void DotDualBatchI8(const int8_t* w_hi, const int8_t* w_lo,
+                    const uint8_t* const* rows, size_t count, size_t n,
+                    int32_t* out_hi, int32_t* out_lo) {
+  ref::DotDualBatchI8(w_hi, w_lo, rows, count, n, out_hi, out_lo);
+}
+int32_t SquaredDistanceI8(const uint8_t* a, const uint8_t* b, size_t n) {
+  return ref::SquaredDistanceI8(a, b, n);
+}
+void SquaredDistanceBatchI8(const uint8_t* query, const uint8_t* const* rows,
+                            size_t count, size_t n, int32_t* out) {
+  ref::SquaredDistanceBatchI8(query, rows, count, n, out);
 }
 
 #endif  // KGREC_KERNELS_SSE2

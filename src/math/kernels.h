@@ -2,6 +2,7 @@
 #define KGREC_MATH_KERNELS_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace kgrec {
 
@@ -127,6 +128,52 @@ void SoftplusMap(const float* x, float* y, size_t n);
 /// divide every entry by the sum (elementwise contract).
 void SoftmaxRows(const float* x, float* y, size_t rows, size_t cols);
 
+/// # Integer reduction kernels (the SQ8 quantized scan, DESIGN §12)
+///
+/// These reduce 8-bit codes into an int32 accumulator. Integer addition
+/// is associative and exact, so unlike the float kernels above there is
+/// no block-order fine print: scalar, SSE2 and AVX2 builds are bitwise
+/// identical *by arithmetic*, for any accumulation order — the `ref`
+/// mirrors exist as the plain-loop specification and test oracle, not as
+/// a numerical contract.
+///
+/// Overflow caps (callers must respect; retrieval::QuantizedItemFactors
+/// enforces them at encode time via kMaxSq8Dim):
+///   DotI8:             |sum| <= n * 255 * 128  → safe for n <= 2^31/32640
+///   SquaredDistanceI8:  sum <= n * 255 * 255   → safe for n <= 2^31/65025
+/// Both hold comfortably for n <= 32768.
+
+/// Sum of weights[i] * codes[i] with i8 weights and u8 codes — the
+/// integer core of the quantized kDot scan.
+int32_t DotI8(const int8_t* weights, const uint8_t* codes, size_t n);
+
+/// `count` integer dots of `weights` against scattered u8 code rows.
+/// out[q] == DotI8(weights, rows[q], n) exactly.
+void DotBatchI8(const int8_t* weights, const uint8_t* const* rows,
+                size_t count, size_t n, int32_t* out);
+
+/// Fused dual reduction: two integer dots per row against the same code
+/// bytes, loading each row exactly once. This is the serve-path kernel
+/// for the SQ8 kDot scan, whose 15-bit query weights are carried as an
+/// (hi, lo) pair of i8 vectors (retrieval::Sq8Query): a plain two-pass
+/// DotBatchI8 costs a second sweep over the codes plus a second
+/// horizontal fold per row, which dominates at small dims.
+///   out_hi[q] == DotI8(w_hi, rows[q], n)
+///   out_lo[q] == DotI8(w_lo, rows[q], n)   (both exactly)
+/// Overflow caps are DotI8's, applied to each output independently.
+void DotDualBatchI8(const int8_t* w_hi, const int8_t* w_lo,
+                    const uint8_t* const* rows, size_t count, size_t n,
+                    int32_t* out_hi, int32_t* out_lo);
+
+/// Sum of (a[i] - b[i])^2 over u8 codes — the integer core of the
+/// quantized kNegSquaredL2 scan (code-space distance).
+int32_t SquaredDistanceI8(const uint8_t* a, const uint8_t* b, size_t n);
+
+/// `count` integer squared distances of `query` against scattered u8
+/// code rows. out[q] == SquaredDistanceI8(query, rows[q], n) exactly.
+void SquaredDistanceBatchI8(const uint8_t* query, const uint8_t* const* rows,
+                            size_t count, size_t n, int32_t* out);
+
 /// The scalar reference implementations of every kernel above, compiled
 /// in every build (deliberately without compiler auto-vectorization, so
 /// this path stays the plain-float specification). The public entry
@@ -153,6 +200,15 @@ void TanhMap(const float* x, float* y, size_t n);
 void ExpMap(const float* x, float* y, size_t n);
 void SoftplusMap(const float* x, float* y, size_t n);
 void SoftmaxRows(const float* x, float* y, size_t rows, size_t cols);
+int32_t DotI8(const int8_t* weights, const uint8_t* codes, size_t n);
+void DotBatchI8(const int8_t* weights, const uint8_t* const* rows,
+                size_t count, size_t n, int32_t* out);
+void DotDualBatchI8(const int8_t* w_hi, const int8_t* w_lo,
+                    const uint8_t* const* rows, size_t count, size_t n,
+                    int32_t* out_hi, int32_t* out_lo);
+int32_t SquaredDistanceI8(const uint8_t* a, const uint8_t* b, size_t n);
+void SquaredDistanceBatchI8(const uint8_t* query, const uint8_t* const* rows,
+                            size_t count, size_t n, int32_t* out);
 }  // namespace ref
 
 }  // namespace kernels

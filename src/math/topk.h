@@ -68,6 +68,15 @@ class BoundedTopK {
   size_t k() const { return k_; }
   size_t size() const { return heap_.size(); }
 
+  /// Rearms the accumulator for a new selection of size k, keeping the
+  /// heap buffer — with TakeSortedInto this makes a reused BoundedTopK
+  /// allocation-free at steady state (the retrieval SearchScratch path).
+  void Reset(size_t k) {
+    k_ = k;
+    heap_.clear();
+    heap_.reserve(k);
+  }
+
   /// The current worst kept entry; only meaningful when size() == k > 0.
   const std::pair<int32_t, float>& worst() const { return heap_.front(); }
 
@@ -103,6 +112,21 @@ class BoundedTopK {
                 return RankBetter(x.second, x.first, y.second, y.first);
               });
     return out;
+  }
+
+  /// TakeSorted into a caller-owned vector: sorts the kept entries
+  /// best-first in place and copies them into `out` (reusing its
+  /// capacity), leaving the accumulator empty but its buffer retained.
+  /// Unlike TakeSorted, a steady-state reuse cycle of
+  /// Reset/Push.../TakeSortedInto allocates nothing.
+  void TakeSortedInto(std::vector<std::pair<int32_t, float>>& out) {
+    std::sort(heap_.begin(), heap_.end(),
+              [](const std::pair<int32_t, float>& x,
+                 const std::pair<int32_t, float>& y) {
+                return RankBetter(x.second, x.first, y.second, y.first);
+              });
+    out.assign(heap_.begin(), heap_.end());
+    heap_.clear();
   }
 
  private:

@@ -4,36 +4,78 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "math/kernels.h"
 #include "math/kmeans.h"
 
 namespace kgrec::retrieval {
 namespace {
 
-/// Items scored per KernelScoreBatch call: large enough to amortize the
-/// batched kernel's 4-row SIMD lanes, small enough that the scratch
-/// (row pointers + kept ids + scores) stays in L1.
-constexpr size_t kScanBlock = 256;
-
-struct ScanScratch {
-  const float* rows[kScanBlock];
-  int32_t ids[kScanBlock];
-  float scores[kScanBlock];
-};
-
 void Flush(ScoreKernel kernel, const float* query, size_t dim,
-           ScanScratch& scratch, size_t filled, BoundedTopK& top) {
+           SearchScratch& scratch, size_t filled, BoundedTopK& top) {
   KernelScoreBatch(kernel, query, scratch.rows, filled, dim, scratch.scores);
   for (size_t i = 0; i < filled; ++i) {
     top.Push(scratch.ids[i], scratch.scores[i]);
   }
 }
 
+void FlushSq8(const QuantizedItemFactors& quantized, const Sq8Query& query,
+              SearchScratch& scratch, size_t filled, BoundedTopK& pool) {
+  // Integer reduction + affine expansion: the i32 scores are bitwise
+  // identical across scalar/SSE2/AVX2 builds (math/kernels.h), and the
+  // expansion is one float multiply-add per candidate, so the candidate
+  // pool itself is build-invariant — not only the re-ranked result.
+  const size_t dim = quantized.dim();
+  if (quantized.kernel() == ScoreKernel::kDot) {
+    // One fused pass over the streamed block: each code row is read once
+    // and reduced against both halves of the 15-bit query weights
+    // (Sq8Query), then combined in int64 (128 * hi_dot can exceed i32).
+    kernels::DotDualBatchI8(query.weights.data(), query.weights_lo.data(),
+                            scratch.code_rows, filled, dim, scratch.iscores,
+                            scratch.iscores_lo);
+    for (size_t i = 0; i < filled; ++i) {
+      const int64_t combined =
+          128 * static_cast<int64_t>(scratch.iscores[i]) +
+          static_cast<int64_t>(scratch.iscores_lo[i]);
+      pool.Push(scratch.ids[i], quantized.ApproxScore(query, combined));
+    }
+    return;
+  }
+  kernels::SquaredDistanceBatchI8(query.codes.data(), scratch.code_rows,
+                                  filled, dim, scratch.iscores);
+  for (size_t i = 0; i < filled; ++i) {
+    pool.Push(scratch.ids[i], quantized.ApproxScore(query, scratch.iscores[i]));
+  }
+}
+
 }  // namespace
+
+const char* ScanPrecisionName(ScanPrecision precision) {
+  switch (precision) {
+    case ScanPrecision::kFloat32: return "float32";
+    case ScanPrecision::kSq8: return "sq8";
+  }
+  return "?";
+}
+
+ItemIndex::ItemIndex(ItemFactors factors, const ScanSpec& scan)
+    : factors_(std::move(factors)), scan_(scan) {
+  if (scan_.precision == ScanPrecision::kSq8) {
+    quantized_ = QuantizedItemFactors::Encode(factors_);
+  }
+}
+
+std::vector<std::pair<int32_t, float>> ItemIndex::Query(
+    std::span<const float> query, size_t k,
+    std::span<const int32_t> sorted_exclude) const {
+  SearchScratch scratch;
+  std::vector<std::pair<int32_t, float>> out;
+  QueryInto(query, k, sorted_exclude, scratch, &out);
+  return out;
+}
 
 void ItemIndex::ScanRange(int32_t begin, int32_t end, const float* query,
                           std::span<const int32_t> sorted_exclude,
-                          BoundedTopK& top) const {
-  ScanScratch scratch;
+                          SearchScratch& scratch, BoundedTopK& top) const {
   size_t filled = 0;
   // Merge walk: `next_excluded` always points at the first exclusion
   // >= the current id, so each id costs O(1).
@@ -49,7 +91,7 @@ void ItemIndex::ScanRange(int32_t begin, int32_t end, const float* query,
     }
     scratch.ids[filled] = id;
     scratch.rows[filled] = factors_.items.Row(id);
-    if (++filled == kScanBlock) {
+    if (++filled == SearchScratch::kBlock) {
       Flush(factors_.kernel, query, dim(), scratch, filled, top);
       filled = 0;
     }
@@ -59,8 +101,7 @@ void ItemIndex::ScanRange(int32_t begin, int32_t end, const float* query,
 
 void ItemIndex::ScanList(std::span<const int32_t> ids, const float* query,
                          std::span<const int32_t> sorted_exclude,
-                         BoundedTopK& top) const {
-  ScanScratch scratch;
+                         SearchScratch& scratch, BoundedTopK& top) const {
   size_t filled = 0;
   for (int32_t id : ids) {
     if (std::binary_search(sorted_exclude.begin(), sorted_exclude.end(),
@@ -69,7 +110,7 @@ void ItemIndex::ScanList(std::span<const int32_t> ids, const float* query,
     }
     scratch.ids[filled] = id;
     scratch.rows[filled] = factors_.items.Row(id);
-    if (++filled == kScanBlock) {
+    if (++filled == SearchScratch::kBlock) {
       Flush(factors_.kernel, query, dim(), scratch, filled, top);
       filled = 0;
     }
@@ -77,18 +118,126 @@ void ItemIndex::ScanList(std::span<const int32_t> ids, const float* query,
   if (filled > 0) Flush(factors_.kernel, query, dim(), scratch, filled, top);
 }
 
-std::vector<std::pair<int32_t, float>> BruteForceIndex::Query(
-    std::span<const float> query, size_t k,
-    std::span<const int32_t> sorted_exclude) const {
-  KGREC_CHECK_EQ(query.size(), dim());
-  BoundedTopK top(k);
-  ScanRange(0, static_cast<int32_t>(num_items()), query.data(),
-            sorted_exclude, top);
-  return top.TakeSorted();
+void ItemIndex::ScanRangeSq8(int32_t begin, int32_t end, const Sq8Query& query,
+                             std::span<const int32_t> sorted_exclude,
+                             SearchScratch& scratch, BoundedTopK& pool) const {
+  const QuantizedItemFactors& q = *quantized_;
+  size_t filled = 0;
+  const int32_t* next_excluded = std::lower_bound(
+      sorted_exclude.data(), sorted_exclude.data() + sorted_exclude.size(),
+      begin);
+  const int32_t* excluded_end =
+      sorted_exclude.data() + sorted_exclude.size();
+  // Second merge walk: non-finite rows divert to scratch.forced.
+  const std::span<const int32_t> nonfinite = q.nonfinite_items();
+  const int32_t* next_nonfinite = std::lower_bound(
+      nonfinite.data(), nonfinite.data() + nonfinite.size(), begin);
+  const int32_t* nonfinite_end = nonfinite.data() + nonfinite.size();
+  for (int32_t id = begin; id < end; ++id) {
+    if (next_excluded != excluded_end && *next_excluded == id) {
+      ++next_excluded;
+      if (next_nonfinite != nonfinite_end && *next_nonfinite == id) {
+        ++next_nonfinite;
+      }
+      continue;
+    }
+    if (next_nonfinite != nonfinite_end && *next_nonfinite == id) {
+      ++next_nonfinite;
+      scratch.forced.push_back(id);
+      continue;
+    }
+    scratch.ids[filled] = id;
+    scratch.code_rows[filled] = q.Codes(static_cast<size_t>(id));
+    if (++filled == SearchScratch::kBlock) {
+      FlushSq8(q, query, scratch, filled, pool);
+      filled = 0;
+    }
+  }
+  if (filled > 0) FlushSq8(q, query, scratch, filled, pool);
 }
 
-IvfIndex::IvfIndex(ItemFactors factors, const IvfConfig& config)
-    : ItemIndex(std::move(factors)), config_(config) {
+void ItemIndex::ScanListSq8(std::span<const int32_t> ids,
+                            const Sq8Query& query,
+                            std::span<const int32_t> sorted_exclude,
+                            SearchScratch& scratch, BoundedTopK& pool) const {
+  const QuantizedItemFactors& q = *quantized_;
+  const std::span<const int32_t> nonfinite = q.nonfinite_items();
+  size_t filled = 0;
+  for (int32_t id : ids) {
+    if (std::binary_search(sorted_exclude.begin(), sorted_exclude.end(),
+                           id)) {
+      continue;
+    }
+    if (!nonfinite.empty() &&
+        std::binary_search(nonfinite.begin(), nonfinite.end(), id)) {
+      scratch.forced.push_back(id);
+      continue;
+    }
+    scratch.ids[filled] = id;
+    scratch.code_rows[filled] = q.Codes(static_cast<size_t>(id));
+    if (++filled == SearchScratch::kBlock) {
+      FlushSq8(q, query, scratch, filled, pool);
+      filled = 0;
+    }
+  }
+  if (filled > 0) FlushSq8(q, query, scratch, filled, pool);
+}
+
+void ItemIndex::RerankPool(std::span<const float> query, size_t k,
+                           SearchScratch& scratch,
+                           std::vector<std::pair<int32_t, float>>* out) const {
+  scratch.pool.TakeSortedInto(scratch.candidates);
+  // Forced (non-finite-row) candidates ride along unconditionally; the
+  // scans never push them into the pool, so there are no duplicates.
+  for (int32_t id : scratch.forced) {
+    scratch.candidates.emplace_back(id, 0.0f);
+  }
+  const size_t count = scratch.candidates.size();
+  scratch.rerank_rows.resize(count);
+  scratch.rerank_scores.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    scratch.rerank_rows[i] =
+        factors_.items.Row(static_cast<size_t>(scratch.candidates[i].first));
+  }
+  // Full-precision rescore of the pool: per the export contract each
+  // score is bitwise the model's Score(), so selecting the top-k of the
+  // pool under RankBetter reproduces the float32 index's result exactly
+  // whenever the pool contains the true top-k.
+  KernelScoreBatch(factors_.kernel, query.data(), scratch.rerank_rows.data(),
+                   count, dim(), scratch.rerank_scores.data());
+  scratch.top.Reset(k);
+  for (size_t i = 0; i < count; ++i) {
+    scratch.top.Push(scratch.candidates[i].first, scratch.rerank_scores[i]);
+  }
+  scratch.top.TakeSortedInto(*out);
+}
+
+void BruteForceIndex::QueryInto(
+    std::span<const float> query, size_t k,
+    std::span<const int32_t> sorted_exclude, SearchScratch& scratch,
+    std::vector<std::pair<int32_t, float>>* out) const {
+  KGREC_CHECK_EQ(query.size(), dim());
+  const int32_t end = static_cast<int32_t>(num_items());
+  if (scan_.precision == ScanPrecision::kFloat32) {
+    scratch.top.Reset(k);
+    ScanRange(0, end, query.data(), sorted_exclude, scratch, scratch.top);
+    scratch.top.TakeSortedInto(*out);
+    return;
+  }
+  if (k == 0) {
+    out->clear();
+    return;
+  }
+  quantized_->PrepareQuery(query, &scratch.query8);
+  scratch.pool.Reset(scan_.PoolSize(k));
+  scratch.forced.clear();
+  ScanRangeSq8(0, end, scratch.query8, sorted_exclude, scratch, scratch.pool);
+  RerankPool(query, k, scratch, out);
+}
+
+IvfIndex::IvfIndex(ItemFactors factors, const IvfConfig& config,
+                   const ScanSpec& scan)
+    : ItemIndex(std::move(factors), scan), config_(config) {
   const size_t n = num_items();
   KGREC_CHECK_GT(n, 0u);
   size_t clusters = config_.num_clusters;
@@ -110,26 +259,47 @@ IvfIndex::IvfIndex(ItemFactors factors, const IvfConfig& config)
   }
 }
 
-std::vector<std::pair<int32_t, float>> IvfIndex::Query(
-    std::span<const float> query, size_t k,
-    std::span<const int32_t> sorted_exclude) const {
+void IvfIndex::QueryInto(std::span<const float> query, size_t k,
+                         std::span<const int32_t> sorted_exclude,
+                         SearchScratch& scratch,
+                         std::vector<std::pair<int32_t, float>>* out) const {
   KGREC_CHECK_EQ(query.size(), dim());
   const size_t clusters = lists_.size();
   const size_t probes = std::max<size_t>(
       1, std::min(config_.num_probes, clusters));
   // Rank cells by the same kernel that ranks items: for kNegSquaredL2
   // that is nearest-centroid, for kDot highest centroid inner product.
-  BoundedTopK best_cells(probes);
+  // Always full precision — the centroid pass is O(clusters), not the
+  // scan bottleneck, and keeping it float makes probe selection
+  // identical across scan precisions.
+  scratch.cells.Reset(probes);
   for (size_t c = 0; c < clusters; ++c) {
-    best_cells.Push(static_cast<int32_t>(c),
-                    KernelScore(factors_.kernel, query.data(),
-                                centroids_.Row(c), dim()));
+    scratch.cells.Push(static_cast<int32_t>(c),
+                       KernelScore(factors_.kernel, query.data(),
+                                   centroids_.Row(c), dim()));
   }
-  BoundedTopK top(k);
-  for (const auto& [cell, cell_score] : best_cells.TakeSorted()) {
-    ScanList(lists_[cell], query.data(), sorted_exclude, top);
+  scratch.cells.TakeSortedInto(scratch.cell_order);
+  if (scan_.precision == ScanPrecision::kFloat32) {
+    scratch.top.Reset(k);
+    for (const auto& [cell, cell_score] : scratch.cell_order) {
+      ScanList(lists_[cell], query.data(), sorted_exclude, scratch,
+               scratch.top);
+    }
+    scratch.top.TakeSortedInto(*out);
+    return;
   }
-  return top.TakeSorted();
+  if (k == 0) {
+    out->clear();
+    return;
+  }
+  quantized_->PrepareQuery(query, &scratch.query8);
+  scratch.pool.Reset(scan_.PoolSize(k));
+  scratch.forced.clear();
+  for (const auto& [cell, cell_score] : scratch.cell_order) {
+    ScanListSq8(lists_[cell], scratch.query8, sorted_exclude, scratch,
+                scratch.pool);
+  }
+  RerankPool(query, k, scratch, out);
 }
 
 }  // namespace kgrec::retrieval

@@ -29,9 +29,11 @@ Status TwoStageRetriever::Create(
   }
   std::unique_ptr<const ItemIndex> index;
   if (config.use_ivf) {
-    index = std::make_unique<IvfIndex>(std::move(exported), config.ivf);
+    index = std::make_unique<IvfIndex>(std::move(exported), config.ivf,
+                                       config.scan);
   } else {
-    index = std::make_unique<BruteForceIndex>(std::move(exported));
+    index = std::make_unique<BruteForceIndex>(std::move(exported),
+                                              config.scan);
   }
   out->reset(new TwoStageRetriever(std::move(candidate_model), factors,
                                    std::move(index), config));

@@ -24,6 +24,9 @@ struct TwoStageConfig {
   /// the candidate model's true top-C) or IVF (sublinear stage 1).
   bool use_ivf = false;
   IvfConfig ivf;
+  /// Scan representation of the stage-1 index (float32 or SQ8 with
+  /// float re-rank — see retrieval/index.h ScanSpec).
+  ScanSpec scan;
 };
 
 /// The two-stage retrieve-then-rerank architecture every production

@@ -64,7 +64,12 @@ struct ScoreResponse {
 /// The response to one RecommendRequest: (item, score) pairs best-first
 /// under the library ranking order, exactly what
 /// `handle->Recommend(user, k, exclude)` returns on the serving handle —
-/// admission-queue batching never changes a result.
+/// admission-queue batching never changes a result. That includes
+/// handles built with RetrievalSpec::scan = ScanPrecision::kSq8: the
+/// quantized scan's float re-rank keeps the served ranking bitwise the
+/// float32 one, and the per-thread SearchScratch behind
+/// ServeHandle::Recommend makes steady-state recommend traffic
+/// allocation-free on the worker threads.
 struct RecommendResponse {
   Status status;
   std::vector<std::pair<int32_t, float>> items;

@@ -16,6 +16,7 @@ ServeHandle::ServeHandle(std::unique_ptr<const Recommender> model,
 
 Status ServeHandle::BuildRetrieval(const RetrievalSpec& spec) {
   factors_ = AsFactorizable(*model_);
+  const bool sq8 = spec.scan.precision == retrieval::ScanPrecision::kSq8;
   switch (spec.mode) {
     case RetrievalSpec::Mode::kExhaustive:
       retrieval_mode_ = "exhaustive";
@@ -33,12 +34,12 @@ Status ServeHandle::BuildRetrieval(const RetrievalSpec& spec) {
             "' does not export DotProductFactors");
       }
       auto index = std::make_unique<retrieval::BruteForceIndex>(
-          factors_->ExportItemFactors());
+          factors_->ExportItemFactors(), spec.scan);
       if (num_items_ > 0) {
         KGREC_CHECK_EQ(index->num_items(), static_cast<size_t>(num_items_));
       }
       index_ = std::move(index);
-      retrieval_mode_ = "exact-index";
+      retrieval_mode_ = sq8 ? "exact-index+sq8" : "exact-index";
       return Status::OK();
     }
     case RetrievalSpec::Mode::kIvf: {
@@ -48,12 +49,12 @@ Status ServeHandle::BuildRetrieval(const RetrievalSpec& spec) {
             "' does not export DotProductFactors");
       }
       auto index = std::make_unique<retrieval::IvfIndex>(
-          factors_->ExportItemFactors(), spec.ivf);
+          factors_->ExportItemFactors(), spec.ivf, spec.scan);
       if (num_items_ > 0) {
         KGREC_CHECK_EQ(index->num_items(), static_cast<size_t>(num_items_));
       }
       index_ = std::move(index);
-      retrieval_mode_ = "ivf-index";
+      retrieval_mode_ = sq8 ? "ivf-index+sq8" : "ivf-index";
       return Status::OK();
     }
     case RetrievalSpec::Mode::kTwoStage: {
@@ -65,7 +66,10 @@ Status ServeHandle::BuildRetrieval(const RetrievalSpec& spec) {
       KGREC_RETURN_IF_ERROR(retrieval::TwoStageRetriever::Create(
           spec.candidate_model, spec.two_stage, &two_stage));
       two_stage_ = std::move(two_stage);
-      retrieval_mode_ = "two-stage";
+      retrieval_mode_ =
+          spec.two_stage.scan.precision == retrieval::ScanPrecision::kSq8
+              ? "two-stage+sq8"
+              : "two-stage";
       return Status::OK();
     }
   }
@@ -147,9 +151,17 @@ std::vector<std::pair<int32_t, float>> ServeHandle::Recommend(
     return two_stage_->Recommend(*model_, user, k, sorted_exclude);
   }
   if (index_ != nullptr) {
-    std::vector<float> query(factors_->factor_dim());
-    factors_->FillUserQuery(user, query);
-    return index_->Query(query, k, sorted_exclude);
+    // One scratch per serving thread: block buffers, heaps, quantized
+    // query and the FillUserQuery staging vector all reach steady-state
+    // capacity after the first requests, so per-request index traffic
+    // stops allocating (the block-scratch hoist; see retrieval/index.h
+    // SearchScratch).
+    static thread_local retrieval::SearchScratch scratch;
+    scratch.user_query.resize(factors_->factor_dim());
+    factors_->FillUserQuery(user, scratch.user_query);
+    std::vector<std::pair<int32_t, float>> out;
+    index_->QueryInto(scratch.user_query, k, sorted_exclude, scratch, &out);
+    return out;
   }
 
   // Exhaustive fallback for non-factorizable models: one ScoreAll, then

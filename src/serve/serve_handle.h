@@ -40,8 +40,15 @@ struct RetrievalSpec {
   retrieval::IvfConfig ivf;
   /// Stage-1 model (kTwoStage); must implement DotProductFactors.
   std::shared_ptr<const Recommender> candidate_model;
-  /// Candidate-generation knobs (kTwoStage).
+  /// Candidate-generation knobs (kTwoStage) — including its own stage-1
+  /// ScanSpec (two_stage.scan).
   retrieval::TwoStageConfig two_stage;
+  /// Scan representation for the index modes (kAuto/kExact/kIvf):
+  /// float32, or SQ8 — the quantized scan with exact float32 re-rank
+  /// (retrieval/index.h ScanSpec). SQ8 keeps the served top-k bitwise
+  /// identical to float32 whenever the over-fetched candidate pool
+  /// contains the true top-k, which the retrieval gates hold zoo-wide.
+  retrieval::ScanSpec scan;
 };
 
 /// An immutable, thread-safe serving view of one fitted model.
@@ -135,7 +142,9 @@ class ServeHandle {
   /// cannot reach a mutating member function from a serving context.
   const Recommender& model() const { return *model_; }
 
-  /// "exhaustive", "exact-index", "ivf-index" or "two-stage".
+  /// "exhaustive", "exact-index", "ivf-index" or "two-stage"; the index
+  /// modes append "+sq8" when the scan is quantized (e.g.
+  /// "exact-index+sq8").
   const std::string& retrieval_mode() const { return retrieval_mode_; }
 
   /// The index answering Recommend(), or nullptr on the exhaustive path

@@ -355,5 +355,134 @@ TEST(Kernels, BackingStoresAre64ByteAligned) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Int8 kernels (the SQ8 scan layer): dispatched vs reference equality is
+// *exact* — integer accumulation, not a block-order contract — so any
+// mismatch is an outright bug, including at the extreme byte values.
+
+std::vector<uint8_t> RandomCodes(size_t n, Rng& rng) {
+  std::vector<uint8_t> v(n);
+  for (uint8_t& x : v) x = static_cast<uint8_t>(rng.UniformInt(256));
+  return v;
+}
+
+std::vector<int8_t> RandomWeights(size_t n, Rng& rng) {
+  std::vector<int8_t> v(n);
+  for (int8_t& x : v) {
+    x = static_cast<int8_t>(static_cast<int>(rng.UniformInt(256)) - 128);
+  }
+  return v;
+}
+
+TEST(Kernels, DotI8MatchesRefAllLengths) {
+  Rng rng(41);
+  for (size_t n = 0; n <= kMaxLen; ++n) {
+    const std::vector<uint8_t> codes = RandomCodes(n, rng);
+    const std::vector<int8_t> weights = RandomWeights(n, rng);
+    EXPECT_EQ(kernels::DotI8(weights.data(), codes.data(), n),
+              kernels::ref::DotI8(weights.data(), codes.data(), n))
+        << "n=" << n;
+  }
+}
+
+TEST(Kernels, SquaredDistanceI8MatchesRefAllLengths) {
+  Rng rng(42);
+  for (size_t n = 0; n <= kMaxLen; ++n) {
+    const std::vector<uint8_t> a = RandomCodes(n, rng);
+    const std::vector<uint8_t> b = RandomCodes(n, rng);
+    EXPECT_EQ(kernels::SquaredDistanceI8(a.data(), b.data(), n),
+              kernels::ref::SquaredDistanceI8(a.data(), b.data(), n))
+        << "n=" << n;
+  }
+}
+
+TEST(Kernels, I8GoldenValuesAndExtremes) {
+  // Longhand golden case.
+  const uint8_t codes[5] = {0, 1, 255, 128, 7};
+  const int8_t weights[5] = {-128, 127, -1, 64, 0};
+  EXPECT_EQ(kernels::DotI8(weights, codes, 5),
+            -128 * 0 + 127 * 1 + (-1) * 255 + 64 * 128 + 0 * 7);
+  const uint8_t a[3] = {0, 255, 100};
+  const uint8_t b[3] = {255, 0, 90};
+  EXPECT_EQ(kernels::SquaredDistanceI8(a, b, 3), 255 * 255 + 255 * 255 + 100);
+
+  // Saturation trap: every element at the worst-case magnitude across
+  // multiple SIMD blocks. maddubs-style i16 pair saturation would cap
+  // these sums; exact widening must not.
+  constexpr size_t n = 64;
+  std::vector<uint8_t> cmax(n, 255);
+  std::vector<int8_t> wmin(n, -128);
+  EXPECT_EQ(kernels::DotI8(wmin.data(), cmax.data(), n),
+            static_cast<int32_t>(n) * (-128 * 255));
+  EXPECT_EQ(kernels::ref::DotI8(wmin.data(), cmax.data(), n),
+            static_cast<int32_t>(n) * (-128 * 255));
+  std::vector<uint8_t> zeros(n, 0);
+  EXPECT_EQ(kernels::SquaredDistanceI8(cmax.data(), zeros.data(), n),
+            static_cast<int32_t>(n) * (255 * 255));
+}
+
+TEST(Kernels, I8BatchFormsMatchSingleForms) {
+  Rng rng(43);
+  constexpr size_t n = 33;
+  constexpr size_t count = 9;  // exercises any internal 4-wide grouping
+  std::vector<std::vector<uint8_t>> storage;
+  std::vector<const uint8_t*> rows;
+  for (size_t q = 0; q < count; ++q) {
+    storage.push_back(RandomCodes(n, rng));
+    rows.push_back(storage.back().data());
+  }
+  const std::vector<int8_t> weights = RandomWeights(n, rng);
+  const std::vector<uint8_t> query = RandomCodes(n, rng);
+
+  int32_t out[count], ref_out[count];
+  kernels::DotBatchI8(weights.data(), rows.data(), count, n, out);
+  kernels::ref::DotBatchI8(weights.data(), rows.data(), count, n, ref_out);
+  for (size_t q = 0; q < count; ++q) {
+    EXPECT_EQ(out[q], kernels::DotI8(weights.data(), rows[q], n)) << q;
+    EXPECT_EQ(out[q], ref_out[q]) << q;
+  }
+  kernels::SquaredDistanceBatchI8(query.data(), rows.data(), count, n, out);
+  kernels::ref::SquaredDistanceBatchI8(query.data(), rows.data(), count, n,
+                                       ref_out);
+  for (size_t q = 0; q < count; ++q) {
+    EXPECT_EQ(out[q], kernels::SquaredDistanceI8(query.data(), rows[q], n))
+        << q;
+    EXPECT_EQ(out[q], ref_out[q]) << q;
+  }
+}
+
+TEST(Kernels, DotDualBatchI8MatchesTwoSinglePasses) {
+  Rng rng(44);
+  // Lengths straddle the 16-wide SIMD step; counts straddle the 4-row
+  // blocking (remainder rows 0..3) so every code path is hit.
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{15}, size_t{16},
+                         size_t{17}, size_t{33}, size_t{64}}) {
+    for (const size_t count :
+         {size_t{0}, size_t{1}, size_t{3}, size_t{4}, size_t{5}, size_t{9}}) {
+      std::vector<std::vector<uint8_t>> storage;
+      std::vector<const uint8_t*> rows;
+      for (size_t q = 0; q < count; ++q) {
+        storage.push_back(RandomCodes(n, rng));
+        rows.push_back(storage.back().data());
+      }
+      const std::vector<int8_t> w_hi = RandomWeights(n, rng);
+      const std::vector<int8_t> w_lo = RandomWeights(n, rng);
+      std::vector<int32_t> hi(count), lo(count), ref_hi(count), ref_lo(count);
+      kernels::DotDualBatchI8(w_hi.data(), w_lo.data(), rows.data(), count, n,
+                              hi.data(), lo.data());
+      kernels::ref::DotDualBatchI8(w_hi.data(), w_lo.data(), rows.data(),
+                                   count, n, ref_hi.data(), ref_lo.data());
+      for (size_t q = 0; q < count; ++q) {
+        EXPECT_EQ(hi[q], kernels::DotI8(w_hi.data(), rows[q], n))
+            << "n=" << n << " q=" << q;
+        EXPECT_EQ(lo[q], kernels::DotI8(w_lo.data(), rows[q], n))
+            << "n=" << n << " q=" << q;
+        EXPECT_EQ(hi[q], ref_hi[q]) << "n=" << n << " q=" << q;
+        EXPECT_EQ(lo[q], ref_lo[q]) << "n=" << n << " q=" << q;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace kgrec

@@ -19,11 +19,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 #include <limits>
 #include <memory>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -36,9 +39,32 @@
 #include "math/topk.h"
 #include "retrieval/factors.h"
 #include "retrieval/index.h"
+#include "retrieval/quantize.h"
 #include "retrieval/two_stage.h"
 #include "serve/router.h"
 #include "serve/serve_handle.h"
+
+// ---------------------------------------------------------------------
+// Counting global operator new: the RetrievalScratch allocation pin.
+// Replacement operators must have external linkage (outside any
+// namespace); counting is armed per thread so concurrent test machinery
+// never perturbs the count.
+
+namespace kgrec_test_alloc {
+thread_local bool g_counting = false;
+thread_local size_t g_count = 0;
+}  // namespace kgrec_test_alloc
+
+void* operator new(std::size_t size) {
+  if (kgrec_test_alloc::g_counting) ++kgrec_test_alloc::g_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace kgrec {
 namespace {
@@ -724,6 +750,307 @@ TEST(RetrievalRouter, MixedScoreAndRecommendTrafficBothDeliver) {
   EXPECT_EQ(stats.accepted, 40u);
   EXPECT_EQ(stats.responses, 40u);
   EXPECT_EQ(stats.rejected, 0u);
+}
+
+// ---------------------------------------------------------------------
+// RetrievalSq8: the quantized scan with exact float re-rank must return
+// the float32 index's result bitwise (the DESIGN §12 gate).
+
+retrieval::ScanSpec Sq8Spec() {
+  retrieval::ScanSpec spec;
+  spec.precision = retrieval::ScanPrecision::kSq8;
+  return spec;
+}
+
+TEST(RetrievalSq8, BruteDotScanIsBitwiseFloat) {
+  const ItemFactors factors = MixtureFactors(400, 12, 321);
+  const BruteForceIndex exact(CopyFactors(factors));
+  const BruteForceIndex sq8(CopyFactors(factors), Sq8Spec());
+  ASSERT_NE(sq8.quantized(), nullptr);
+  EXPECT_EQ(sq8.quantized()->code_bytes(), 400u * 12u);
+
+  const std::vector<int32_t> exclude =
+      retrieval::SanitizeExclude(std::vector<int32_t>{3, 44, 101, 399}, 400);
+  Rng rng(17);
+  std::vector<float> query(12);
+  for (int trial = 0; trial < 25; ++trial) {
+    for (float& q : query) q = static_cast<float>(rng.Normal());
+    for (size_t k : {size_t{1}, size_t{10}, size_t{40}}) {
+      ExpectSameRanking(exact.Query(query, k), sq8.Query(query, k),
+                        "sq8 dot k=" + std::to_string(k));
+      ExpectSameRanking(exact.Query(query, k, exclude),
+                        sq8.Query(query, k, exclude),
+                        "sq8 dot excluded k=" + std::to_string(k));
+    }
+  }
+}
+
+TEST(RetrievalSq8, BruteL2ScanIsBitwiseFloat) {
+  ItemFactors factors = MixtureFactors(400, 12, 654);
+  factors.kernel = ScoreKernel::kNegSquaredL2;
+  const BruteForceIndex exact(CopyFactors(factors));
+  const BruteForceIndex sq8(CopyFactors(factors), Sq8Spec());
+
+  Rng rng(18);
+  std::vector<float> query(12);
+  for (int trial = 0; trial < 25; ++trial) {
+    for (float& q : query) q = static_cast<float>(rng.Normal());
+    ExpectSameRanking(exact.Query(query, 10), sq8.Query(query, 10),
+                      "sq8 l2 trial " + std::to_string(trial));
+  }
+}
+
+TEST(RetrievalSq8, NonFiniteFactorRowsStayBitwise) {
+  // A few NaN/±inf item rows: the approximate scan gives them arbitrary
+  // finite pool scores, the re-rank restores their true (NaN-last /
+  // inf-first) placement. The widened pool absorbs the shuffling.
+  ItemFactors factors = MixtureFactors(300, 8, 777);
+  factors.items.At(5, 2) = kNan;
+  factors.items.At(17, 0) = kInf;
+  factors.items.At(42, 6) = -kInf;
+  for (size_t d = 0; d < 8; ++d) factors.items.At(99, d) = kNan;
+  const BruteForceIndex exact(CopyFactors(factors));
+  const BruteForceIndex sq8(CopyFactors(factors), Sq8Spec());
+
+  Rng rng(19);
+  std::vector<float> query(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    for (float& q : query) q = static_cast<float>(rng.Normal());
+    ExpectSameRanking(exact.Query(query, 10), sq8.Query(query, 10),
+                      "sq8 weird trial " + std::to_string(trial));
+  }
+}
+
+TEST(RetrievalSq8, PoolCoveringCatalogIsExactByConstruction) {
+  // k + rerank_slack >= catalog: the pool holds every non-excluded item,
+  // so the re-rank IS the full float scan — equality is structural, not
+  // empirical.
+  const ItemFactors factors = MixtureFactors(60, 6, 888);
+  const BruteForceIndex exact(CopyFactors(factors));
+  retrieval::ScanSpec spec = Sq8Spec();
+  spec.rerank_factor = 1;
+  spec.rerank_slack = 60;
+  const BruteForceIndex sq8(CopyFactors(factors), spec);
+  Rng rng(20);
+  std::vector<float> query(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    for (float& q : query) q = static_cast<float>(rng.Normal());
+    ExpectSameRanking(exact.Query(query, 25), sq8.Query(query, 25),
+                      "covering pool");
+  }
+}
+
+TEST(RetrievalSq8, IvfSq8FullProbeIsBitwiseBruteFloat) {
+  const ItemFactors factors = MixtureFactors(250, 8, 999);
+  const BruteForceIndex exact(CopyFactors(factors));
+  IvfConfig config;
+  config.num_clusters = 10;
+  config.num_probes = 10;  // nothing pruned: sq8 rerank must equal brute
+  const IvfIndex ivf(CopyFactors(factors), config, Sq8Spec());
+
+  const std::vector<int32_t> exclude =
+      retrieval::SanitizeExclude(std::vector<int32_t>{5, 17, 101}, 250);
+  Rng rng(21);
+  std::vector<float> query(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    for (float& q : query) q = static_cast<float>(rng.Normal());
+    ExpectSameRanking(exact.Query(query, 10), ivf.Query(query, 10),
+                      "ivf sq8 full probe");
+    ExpectSameRanking(exact.Query(query, 10, exclude),
+                      ivf.Query(query, 10, exclude),
+                      "ivf sq8 full probe excluded");
+  }
+}
+
+TEST(RetrievalSq8, IvfSq8MatchesIvfFloatAtPartialProbes) {
+  // Same probes, different scan representation: probe selection is
+  // always float, so the scanned id set is identical and the re-rank
+  // must reproduce the float IVF result bitwise.
+  const ItemFactors factors = MixtureFactors(300, 8, 1001);
+  IvfConfig config;
+  config.num_clusters = 12;
+  config.num_probes = 4;
+  const IvfIndex f32(CopyFactors(factors), config);
+  const IvfIndex sq8(CopyFactors(factors), config, Sq8Spec());
+  Rng rng(22);
+  std::vector<float> query(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    for (float& q : query) q = static_cast<float>(rng.Normal());
+    ExpectSameRanking(f32.Query(query, 10), sq8.Query(query, 10),
+                      "ivf sq8 partial probes");
+  }
+}
+
+void ExpectSq8ServesBitwise(Recommender& model, const std::string& name) {
+  const DotProductFactors* factors = AsFactorizable(model);
+  ASSERT_NE(factors, nullptr) << name;
+  const BruteForceIndex exact(factors->ExportItemFactors());
+  const BruteForceIndex sq8(factors->ExportItemFactors(), Sq8Spec());
+  const RetrievalWorld& world = SharedWorld();
+  const int32_t num_users = world.split.train.num_users();
+  std::vector<float> query(factors->factor_dim());
+  for (int32_t user = 0; user < std::min<int32_t>(num_users, 8); ++user) {
+    factors->FillUserQuery(user, query);
+    ExpectSameRanking(exact.Query(query, 10), sq8.Query(query, 10),
+                      name + " sq8 user " + std::to_string(user));
+  }
+}
+
+TEST(RetrievalSq8, EveryFactorizableModelServesBitwise) {
+  for (const std::string& name : FactorizableMethodNames()) {
+    std::unique_ptr<Recommender> model = MakeRecommender(name);
+    model->Fit(SharedWorld().Context());
+    ExpectSq8ServesBitwise(*model, name);
+  }
+}
+
+TEST(RetrievalSq8, EveryKgeBackendServesBitwise) {
+  for (const char* backend :
+       {"transe", "transh", "transr", "transd", "distmult"}) {
+    CfkgConfig config;
+    config.kge = backend;
+    config.epochs = 4;
+    CfkgRecommender model(config);
+    model.Fit(SharedWorld().Context());
+    ExpectSq8ServesBitwise(model, std::string("CFKG/") + backend);
+  }
+}
+
+TEST(RetrievalSq8, ServeHandleAndRouterCarryTheSq8Mode) {
+  const RetrievalWorld& world = SharedWorld();
+  auto fitted = std::make_unique<MfRecommender>();
+  fitted->Fit(world.Context());
+  auto fitted_copy = std::make_unique<MfRecommender>();
+  fitted_copy->Fit(world.Context());
+
+  const auto float_handle =
+      ServeHandle::Adopt(std::move(fitted_copy), world.Context(), 1);
+
+  RetrievalSpec spec;
+  spec.mode = RetrievalSpec::Mode::kExact;
+  spec.scan = Sq8Spec();
+  std::shared_ptr<const ServeHandle> sq8_handle;
+  ASSERT_TRUE(ServeHandle::Adopt(std::move(fitted), world.Context(), 1, spec,
+                                 &sq8_handle)
+                  .ok());
+  EXPECT_EQ(sq8_handle->retrieval_mode(), "exact-index+sq8");
+  ASSERT_NE(sq8_handle->index(), nullptr);
+  EXPECT_EQ(sq8_handle->index()->precision(),
+            retrieval::ScanPrecision::kSq8);
+
+  const std::vector<int32_t> exclude{1, 5, 5, 200};
+  for (int32_t user = 0; user < 8; ++user) {
+    ExpectSameRanking(float_handle->Recommend(user, 10, exclude),
+                      sq8_handle->Recommend(user, 10, exclude),
+                      "sq8 handle user " + std::to_string(user));
+  }
+
+  // Router recommend traffic over the sq8 handle: batching and worker
+  // threads change nothing.
+  serve::RouterConfig router_config;
+  router_config.num_threads = 2;
+  serve::Router router(router_config, sq8_handle);
+  for (int32_t user = 0; user < 6; ++user) {
+    serve::RecommendRequest request;
+    request.user = user;
+    request.k = 5;
+    const serve::RecommendResponse response =
+        router.RecommendSync(std::move(request));
+    ASSERT_TRUE(response.status.ok());
+    ExpectSameRanking(sq8_handle->Recommend(user, 5), response.items,
+                      "sq8 router user " + std::to_string(user));
+  }
+}
+
+TEST(RetrievalSq8, TwoStageWithSq8StageOneServesRankerScores) {
+  const RetrievalWorld& world = SharedWorld();
+  const int32_t num_items = world.split.train.num_items();
+  auto candidate = std::make_shared<MfRecommender>();
+  candidate->Fit(world.Context());
+
+  RetrievalSpec spec;
+  spec.mode = RetrievalSpec::Mode::kTwoStage;
+  spec.candidate_model = candidate;
+  spec.two_stage.min_candidates = static_cast<size_t>(num_items);
+  spec.two_stage.scan = Sq8Spec();
+  std::shared_ptr<const ServeHandle> handle;
+  ASSERT_TRUE(ServeHandle::Adopt(std::make_unique<QuirkyRanker>(),
+                                 world.Context(), 1, spec, &handle)
+                  .ok());
+  EXPECT_EQ(handle->retrieval_mode(), "two-stage+sq8");
+
+  const QuirkyRanker reference;
+  for (int32_t user = 0; user < 6; ++user) {
+    const std::vector<float> scores = reference.ScoreAll(user, num_items);
+    ExpectSameRanking(BruteReference(scores, 10), handle->Recommend(user, 10),
+                      "two-stage sq8 user " + std::to_string(user));
+  }
+}
+
+// ---------------------------------------------------------------------
+// RetrievalScratch: the hoisted per-call scratch makes steady-state
+// queries allocation-free, pinned with a counting operator new.
+
+TEST(RetrievalScratch, SteadyStateQueriesAreAllocationFree) {
+  const ItemFactors factors = MixtureFactors(500, 16, 2025);
+  const BruteForceIndex f32(CopyFactors(factors));
+  const BruteForceIndex sq8(CopyFactors(factors), Sq8Spec());
+  IvfConfig ivf_config;
+  ivf_config.num_clusters = 16;
+  ivf_config.num_probes = 4;
+  const IvfIndex ivf(CopyFactors(factors), ivf_config, Sq8Spec());
+
+  retrieval::SearchScratch scratch;
+  std::vector<std::pair<int32_t, float>> out;
+  const std::vector<int32_t> exclude =
+      retrieval::SanitizeExclude(std::vector<int32_t>{3, 10, 77, 410}, 500);
+  Rng rng(23);
+  std::vector<float> query(16);
+  for (float& q : query) q = static_cast<float>(rng.Normal());
+
+  // Warm-up: every scratch buffer reaches steady-state capacity.
+  for (int i = 0; i < 3; ++i) {
+    f32.QueryInto(query, 10, exclude, scratch, &out);
+    sq8.QueryInto(query, 10, exclude, scratch, &out);
+    ivf.QueryInto(query, 10, exclude, scratch, &out);
+  }
+
+  kgrec_test_alloc::g_count = 0;
+  kgrec_test_alloc::g_counting = true;
+  for (int i = 0; i < 5; ++i) {
+    f32.QueryInto(query, 10, exclude, scratch, &out);
+    sq8.QueryInto(query, 10, exclude, scratch, &out);
+    ivf.QueryInto(query, 10, exclude, scratch, &out);
+  }
+  kgrec_test_alloc::g_counting = false;
+  EXPECT_EQ(kgrec_test_alloc::g_count, 0u)
+      << "steady-state QueryInto allocated";
+}
+
+TEST(RetrievalScratch, QueryIntoMatchesQueryAcrossScratchReuse) {
+  // One scratch reused across different indexes, kernels and k values
+  // must never leak state between calls.
+  ItemFactors dot_factors = MixtureFactors(200, 8, 31);
+  ItemFactors l2_factors = MixtureFactors(200, 8, 32);
+  l2_factors.kernel = ScoreKernel::kNegSquaredL2;
+  const BruteForceIndex dot_sq8(CopyFactors(dot_factors), Sq8Spec());
+  const BruteForceIndex l2_sq8(CopyFactors(l2_factors), Sq8Spec());
+  const BruteForceIndex dot_f32(CopyFactors(dot_factors));
+
+  retrieval::SearchScratch scratch;
+  std::vector<std::pair<int32_t, float>> out;
+  Rng rng(24);
+  std::vector<float> query(8);
+  for (int trial = 0; trial < 15; ++trial) {
+    for (float& q : query) q = static_cast<float>(rng.Normal());
+    const size_t k = 1 + static_cast<size_t>(trial);
+    dot_sq8.QueryInto(query, k, {}, scratch, &out);
+    ExpectSameRanking(dot_sq8.Query(query, k), out, "reuse dot");
+    l2_sq8.QueryInto(query, k, {}, scratch, &out);
+    ExpectSameRanking(l2_sq8.Query(query, k), out, "reuse l2");
+    dot_f32.QueryInto(query, k, {}, scratch, &out);
+    ExpectSameRanking(dot_f32.Query(query, k), out, "reuse f32");
+  }
 }
 
 }  // namespace

@@ -10,9 +10,17 @@ Usage:
     tools/bench_diff.py OLD_DIR NEW_DIR [--threshold PCT]
     tools/bench_diff.py OLD_FILE NEW_FILE [--threshold PCT]
 
-Exit status: 1 if any `pass`/`bitwise` flag regressed true -> false,
-0 otherwise (numeric drift alone never fails — timing noise is not a
-regression; the budgets inside the benches gate RSS).
+Exit status: 1 if any `pass` flag or any flag whose name contains
+`bitwise` regressed true -> false — that includes the SQ8-vs-float32
+equality flags (`sq8_bitwise`, `sq8_exact_bitwise`,
+`int8_kernels_bitwise`), which must never drift. 0 otherwise (numeric
+drift alone never fails — timing noise is not a regression; the budgets
+inside the benches gate RSS and the SQ8 bytes ratio).
+
+Size/selection fields such as `factor_bytes`, `sq8_code_bytes` and
+`candidate_pool` are never treated as timing noise: any change is
+reported, because a silent candidate-pool or layout change is exactly
+the kind of drift this tool exists to surface.
 """
 
 import argparse
@@ -50,9 +58,10 @@ def diff_scalar(key, old, new, threshold, lines):
     """
     if isinstance(old, bool) or isinstance(new, bool):
         if old != new:
-            tag = "REGRESSION" if old and not new else "changed"
+            gated = key == "pass" or "bitwise" in key
+            tag = "REGRESSION" if old and not new and gated else "changed"
             lines.append(f"  {key}: {old} -> {new}  [{tag}]")
-            return bool(old) and not new and key in ("pass", "bitwise")
+            return bool(old) and not new and gated
         return False
     if isinstance(old, (int, float)) and isinstance(new, (int, float)):
         if old == new:
@@ -71,14 +80,54 @@ def diff_scalar(key, old, new, threshold, lines):
     return False
 
 
+def is_row_list(value):
+    return isinstance(value, list) and all(
+        isinstance(item, dict) for item in value)
+
+
+def row_label(row, index):
+    for tag in ("model", "family", "kernel", "stage", "structure", "index",
+                "catalog"):
+        if tag in row:
+            extra = f"@{row['catalog']}" if tag != "catalog" and \
+                "catalog" in row else ""
+            return f"{row[tag]}{extra}"
+    return str(index)
+
+
+def diff_rows(field, old_rows, new_rows, threshold, lines):
+    """Positionally diffs one list-of-dicts field (models / sweep /
+    stages / structures / rows). Returns True on a gated regression."""
+    regressed = False
+    if len(old_rows) != len(new_rows):
+        lines.append(
+            f"  {field}: {len(old_rows)} -> {len(new_rows)} entries")
+        return False
+    for i, (o, n) in enumerate(zip(old_rows, new_rows)):
+        row_lines = []
+        row_regressed = False
+        for key in o.keys() & n.keys():
+            if diff_scalar(key, o[key], n[key], threshold, row_lines):
+                row_regressed = True
+        for key in o.keys() - n.keys():
+            row_lines.append(f"  {key}: {o[key]!r} -> (absent)")
+        for key in n.keys() - o.keys():
+            row_lines.append(f"  {key}: (absent) -> {n[key]!r}")
+        if row_lines:
+            lines.append(f"  {field}[{row_label(o, i)}]:")
+            lines.extend("  " + l for l in sorted(row_lines))
+        regressed = regressed or row_regressed
+    return regressed
+
+
 def diff_bench(name, old, new, threshold):
     """Returns (report_lines, regressed)."""
     lines = []
     regressed = False
     keys = list(dict.fromkeys(list(old.keys()) + list(new.keys())))
     for key in keys:
-        if key == "rows":
-            continue
+        if is_row_list(old.get(key)) or is_row_list(new.get(key)):
+            continue  # handled positionally below
         if key not in old:
             lines.append(f"  {key}: (absent) -> {new[key]!r}")
             continue
@@ -87,23 +136,16 @@ def diff_bench(name, old, new, threshold):
             continue
         if diff_scalar(key, old[key], new[key], threshold, lines):
             regressed = True
-    # Row-level: match rows positionally when the shape is unchanged.
-    old_rows, new_rows = old.get("rows", []), new.get("rows", [])
-    if len(old_rows) != len(new_rows):
-        lines.append(f"  rows: {len(old_rows)} -> {len(new_rows)} entries")
-    else:
-        for i, (o, n) in enumerate(zip(old_rows, new_rows)):
-            row_lines = []
-            row_regressed = False
-            for key in o.keys() & n.keys():
-                if diff_scalar(key, o[key], n[key], threshold, row_lines):
-                    row_regressed = True
-            if row_lines:
-                label = o.get("model") or o.get("family") or o.get(
-                    "kernel") or o.get("stage") or str(i)
-                lines.append(f"  row[{label}]:")
-                lines.extend("  " + l for l in row_lines)
-            regressed = regressed or row_regressed
+    # Row-level: every list-of-dicts field (rows, models, sweep, stages,
+    # structures) is matched positionally when the shape is unchanged.
+    for key in keys:
+        old_value, new_value = old.get(key, []), new.get(key, [])
+        if not (is_row_list(old_value) and is_row_list(new_value)):
+            if is_row_list(old_value) or is_row_list(new_value):
+                lines.append(f"  {key}: shape changed")
+            continue
+        if diff_rows(key, old_value, new_value, threshold, lines):
+            regressed = True
     return lines, regressed
 
 
