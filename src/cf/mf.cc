@@ -1,10 +1,12 @@
 #include "cf/mf.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "core/check.h"
 #include "core/model_state.h"
+#include "data/event_stream.h"
 #include "math/dense.h"
 #include "math/kernels.h"
 #include "nn/init.h"
@@ -12,6 +14,20 @@
 #include "nn/optim.h"
 
 namespace kgrec {
+
+namespace {
+
+// Update-path RNG streams: disjoint counter-keyed forks of
+// Rng(context.seed), so row initialization depends only on the row id
+// and fold draws only on the event timestamp.
+constexpr uint64_t kGrowStream = 101;
+constexpr uint64_t kFoldStream = 102;
+// SGD passes folded per kNewInteraction event.
+constexpr int kFoldPasses = 3;
+
+float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
 
 void MfRecommender::Fit(const RecContext& context) {
   KGREC_CHECK(context.train != nullptr);
@@ -96,6 +112,62 @@ std::string MfRecommender::HyperFingerprint() const {
       .str();
 }
 
+Status MfRecommender::Update(const RecContext& context,
+                             const EventBatch& batch) {
+  KGREC_CHECK(context.train != nullptr);
+  // defined() first: rows() dereferences the tensor node, and a
+  // never-fitted model has no node at all.
+  if (!user_emb_.defined() || user_emb_.rows() == 0) {
+    return Status::FailedPrecondition(
+        "MF Update() requires a fitted (or loaded) model");
+  }
+  const InteractionDataset& train = *context.train;
+  const Rng base_rng(context.seed);
+  if (static_cast<size_t>(train.num_users()) > user_emb_.rows()) {
+    user_emb_ = nn::GrowRowsNormal(user_emb_, train.num_users(),
+                                   base_rng.Fork(kGrowStream), 0.1f);
+  }
+  NegativeSampler sampler(train);
+  for (const Event& e : batch.events) {
+    if (e.kind != EventKind::kNewInteraction) continue;  // KG events: no-op
+    Rng rng =
+        base_rng.Fork(kFoldStream).Fork(static_cast<uint64_t>(e.timestamp));
+    FoldInteraction(e.user, e.item, sampler, rng);
+  }
+  return Status::OK();
+}
+
+void MfRecommender::FoldInteraction(int32_t user, int32_t item,
+                                    const NegativeSampler& sampler,
+                                    Rng& rng) {
+  const size_t d = config_.dim;
+  const float lr = config_.learning_rate;
+  const float l2 = config_.l2;
+  float* u = user_emb_.data() + user * d;
+  for (int pass = 0; pass < kFoldPasses; ++pass) {
+    // Positive then sampled negatives, each a pointwise BCE step — the
+    // same loss Fit() minimizes, folded with plain SGD.
+    {
+      float* v = item_emb_.data() + item * d;
+      const float g = Sigmoid(dense::Dot(u, v, d)) - 1.0f;
+      for (size_t c = 0; c < d; ++c) {
+        const float uc = u[c];
+        u[c] -= lr * (g * v[c] + l2 * uc);
+        v[c] -= lr * (g * uc + l2 * v[c]);
+      }
+    }
+    for (int k = 0; k < config_.negatives_per_positive; ++k) {
+      float* v = item_emb_.data() + sampler.Sample(user, rng) * d;
+      const float g = Sigmoid(dense::Dot(u, v, d));
+      for (size_t c = 0; c < d; ++c) {
+        const float uc = u[c];
+        u[c] -= lr * (g * v[c] + l2 * uc);
+        v[c] -= lr * (g * uc + l2 * v[c]);
+      }
+    }
+  }
+}
+
 Status MfRecommender::VisitState(StateVisitor* visitor) {
   KGREC_RETURN_IF_ERROR(visitor->Tensor("user_emb", &user_emb_));
   return visitor->Tensor("item_emb", &item_emb_);
@@ -133,6 +205,28 @@ void BprMfRecommender::Fit(const RecContext& context) {
       optimizer.ZeroGrad();
       nn::Backward(loss);
       optimizer.Step();
+    }
+  }
+}
+
+void BprMfRecommender::FoldInteraction(int32_t user, int32_t item,
+                                       const NegativeSampler& sampler,
+                                       Rng& rng) {
+  const size_t d = config_.dim;
+  const float lr = config_.learning_rate;
+  const float l2 = config_.l2;
+  float* u = user_emb_.data() + user * d;
+  float* pos = item_emb_.data() + item * d;
+  for (int pass = 0; pass < kFoldPasses; ++pass) {
+    float* neg = item_emb_.data() + sampler.Sample(user, rng) * d;
+    const float margin = dense::Dot(u, pos, d) - dense::Dot(u, neg, d);
+    // d(-log sigmoid(margin)) / d margin.
+    const float g = -Sigmoid(-margin);
+    for (size_t c = 0; c < d; ++c) {
+      const float uc = u[c];
+      u[c] -= lr * (g * (pos[c] - neg[c]) + l2 * uc);
+      pos[c] -= lr * (g * uc + l2 * pos[c]);
+      neg[c] -= lr * (-g * uc + l2 * neg[c]);
     }
   }
 }

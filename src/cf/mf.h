@@ -29,6 +29,15 @@ class MfRecommender : public Recommender, public DotProductFactors {
   void Fit(const RecContext& context) override;
   float Score(int32_t user, int32_t item) const override;
 
+  /// Online update (DESIGN §13): grows the user table for kNewUser
+  /// events (each new row drawn from a counter-keyed fork, so growing in
+  /// two batches == growing once) and folds every kNewInteraction with a
+  /// few plain-SGD passes of the model's own loss. KG events are no-ops
+  /// for a pure-CF model. Inherited by BPR-MF, which swaps the fold
+  /// gradient via FoldInteraction().
+  Status Update(const RecContext& context, const EventBatch& batch) override;
+  bool SupportsUpdate() const override { return true; }
+
   /// Batched fast path through kernels::DotBatch; bitwise equal to
   /// Score() since both follow the shared fixed-block dot contract.
   /// Inherited by BPR-MF, which shares the factor layout.
@@ -50,6 +59,13 @@ class MfRecommender : public Recommender, public DotProductFactors {
   /// Both factor tensors are stored; BPR-MF inherits the same layout.
   Status VisitState(StateVisitor* visitor) override;
 
+  /// One event's SGD fold: a few passes of this model's loss on the
+  /// (user, item) positive with negatives drawn from `rng` (the event's
+  /// counter-keyed stream). MF folds pointwise BCE; BPR-MF overrides
+  /// with the pairwise BPR gradient.
+  virtual void FoldInteraction(int32_t user, int32_t item,
+                               const NegativeSampler& sampler, Rng& rng);
+
   MfConfig config_;
   nn::Tensor user_emb_;
   nn::Tensor item_emb_;
@@ -64,6 +80,10 @@ class BprMfRecommender : public MfRecommender {
 
   std::string name() const override { return "BPR-MF"; }
   void Fit(const RecContext& context) override;
+
+ protected:
+  void FoldInteraction(int32_t user, int32_t item,
+                       const NegativeSampler& sampler, Rng& rng) override;
 };
 
 }  // namespace kgrec

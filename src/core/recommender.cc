@@ -24,6 +24,12 @@ std::vector<float> Recommender::ScoreAll(int32_t user,
   return ScoreItems(user, items);
 }
 
+Status Recommender::Update(const RecContext& /*context*/,
+                           const EventBatch& /*batch*/) {
+  return Status::Unimplemented("model '" + name() +
+                               "' has no online update path");
+}
+
 Status Recommender::VisitState(StateVisitor* /*visitor*/) {
   return Status::FailedPrecondition("model '" + name() +
                                     "' does not support checkpointing");

@@ -14,6 +14,7 @@
 namespace kgrec {
 
 class StateVisitor;
+struct EventBatch;  // data/event_stream.h
 
 /// Everything a model may consume at training time. Models use the
 /// subset they need: CF baselines read only `train`; embedding-based
@@ -100,6 +101,29 @@ class Recommender {
   /// checkpoint trained under one config cannot be silently served under
   /// another.
   virtual std::string HyperFingerprint() const { return ""; }
+
+  /// Opt-in online update (DESIGN.md §13): folds a batch of stream
+  /// events into the fitted model without a full retrain. `context`
+  /// must point at the world AFTER the batch was applied (the grown
+  /// InteractionDataset / KnowledgeGraph / UserItemGraph), with the
+  /// same seed the model was fit under.
+  ///
+  /// Contract for implementers (enforced zoo-wide by the update suite
+  /// and bench/online_updates --smoke):
+  ///  * deterministic — runs serially; every RNG draw comes from
+  ///    counter-keyed forks of Rng(context.seed) (per-event:
+  ///    Fork(event.timestamp); per-new-row: Fork(row id)), never from
+  ///    stored RNG state, so fit->update and save->load->update are
+  ///    bitwise identical and no thread count enters the result;
+  ///  * after Update returns, the serve-path const contract holds
+  ///    again (Score/ScoreItems thread-safe, mutation-free);
+  ///  * on any non-OK return the model is unchanged.
+  /// The default refuses with kUnimplemented and touches nothing.
+  virtual Status Update(const RecContext& context, const EventBatch& batch);
+
+  /// True when this model implements Update(). Registry-queryable via
+  /// SupportsUpdate(name) without fitting (a property of the type).
+  virtual bool SupportsUpdate() const { return false; }
 
  protected:
   /// Names every piece of learned state for Save (pack) and Load

@@ -263,4 +263,18 @@ std::vector<std::string> FactorizableMethodNames() {
   return out;
 }
 
+bool SupportsUpdate(const std::string& name) {
+  const std::unique_ptr<Recommender> model = MakeRecommender(name);
+  return model != nullptr && model->SupportsUpdate();
+}
+
+std::vector<std::string> UpdatableMethodNames() {
+  std::vector<std::string> out;
+  for (const std::string& name : ImplementedMethodNames()) {
+    const std::unique_ptr<Recommender> model = MakeRecommender(name);
+    if (model != nullptr && model->SupportsUpdate()) out.push_back(name);
+  }
+  return out;
+}
+
 }  // namespace kgrec

@@ -74,6 +74,14 @@ bool IsFactorizable(const Recommender& model);
 /// the type). Subset of ImplementedMethodNames(), same order.
 std::vector<std::string> FactorizableMethodNames();
 
+/// True when the named method implements the online Update() path (a
+/// property of the type — no Fit needed). Unknown names are false.
+bool SupportsUpdate(const std::string& name);
+
+/// Names of implemented methods supporting Update(), in
+/// ImplementedMethodNames() order.
+std::vector<std::string> UpdatableMethodNames();
+
 }  // namespace kgrec
 
 #endif  // KGREC_CORE_REGISTRY_H_

@@ -21,6 +21,8 @@ const char* CodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
   }
   return "Unknown";
 }

@@ -20,6 +20,10 @@ enum class StatusCode {
   /// component (e.g. the serving router's admission queue); the request
   /// was never executed and may be retried.
   kUnavailable = 7,
+  /// The operation exists in the interface but this implementation does
+  /// not provide it (e.g. Update() on a model without an online path);
+  /// the receiver's state is untouched.
+  kUnimplemented = 8,
 };
 
 /// Lightweight status object modeled after the common database-library
@@ -52,6 +56,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,455 @@
+#include "data/event_stream.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "core/check.h"
+
+namespace kgrec {
+
+EventStream::EventStream(const EventStreamConfig& config)
+    : config_(config), world_(GenerateWorld(config.world)) {
+  const int32_t m = config_.world.num_users;
+  const int32_t n = config_.world.num_items;
+  const size_t num_specs = config_.world.item_relations.size();
+  num_forward_relations_ = num_specs;
+
+  base_num_users_ = static_cast<int32_t>(m * config_.base_user_fraction);
+  base_num_users_ = std::max<int32_t>(1, std::min(base_num_users_, m));
+
+  // The generator registers relations in spec order before adding
+  // inverses, so forward ids are 0..K-1 and inverse of k is K + k. The
+  // event relation fields and the base rebuild both rely on that layout.
+  for (size_t k = 0; k < num_specs; ++k) {
+    KGREC_CHECK_EQ(world_.relation_ids[k], static_cast<RelationId>(k));
+    KGREC_CHECK_EQ(world_.inverse_relation_ids[k],
+                   static_cast<RelationId>(num_specs + k));
+  }
+
+  // --- Entity relabeling ---------------------------------------------
+  // Original layout: items 0..n-1, then each relation's values
+  // consecutively. Base entities (items + retained values) keep their
+  // relative order under compact ids; the last `held_out` values of
+  // every relation become the id suffix, in (relation, value) order, so
+  // arrivals append and never shift a live model's id space.
+  const size_t orig_entities = world_.item_kg.num_entities();
+  remap_.assign(orig_entities, -1);
+  EntityId next = 0;
+  for (int32_t j = 0; j < n; ++j) remap_[j] = next++;
+  size_t orig = static_cast<size_t>(n);
+  for (size_t k = 0; k < num_specs; ++k) {
+    const size_t values = config_.world.item_relations[k].num_values;
+    const size_t held =
+        std::min(config_.held_out_values_per_relation, values - 1);
+    for (size_t v = 0; v + held < values; ++v) {
+      remap_[orig + v] = next++;
+    }
+    orig += values;
+  }
+  base_num_entities_ = static_cast<size_t>(next);
+  orig = static_cast<size_t>(n);
+  for (size_t k = 0; k < num_specs; ++k) {
+    const size_t values = config_.world.item_relations[k].num_values;
+    const size_t held =
+        std::min(config_.held_out_values_per_relation, values - 1);
+    for (size_t v = values - held; v < values; ++v) {
+      const size_t oid = orig + v;
+      remap_[oid] = next;
+      new_entities_.push_back(
+          {next, static_cast<int32_t>(1 + k),
+           world_.item_kg.entity_name(static_cast<EntityId>(oid))});
+      ++next;
+    }
+    orig += values;
+  }
+  KGREC_CHECK_EQ(static_cast<size_t>(next), orig_entities);
+
+  base_entity_names_.resize(base_num_entities_);
+  base_entity_types_.resize(base_num_entities_);
+  for (size_t e = 0; e < orig_entities; ++e) {
+    const EntityId id = remap_[e];
+    if (static_cast<size_t>(id) >= base_num_entities_) continue;
+    base_entity_names_[id] =
+        world_.item_kg.entity_name(static_cast<EntityId>(e));
+    base_entity_types_[id] = world_.entity_types[e];
+  }
+
+  // Forward triples split into the base graph and per-arrival fact
+  // lists, both preserving the generator's triple order. Heads are
+  // always items (base); only held-out tails defer a triple.
+  std::vector<std::vector<Triple>> facts(new_entities_.size());
+  for (const Triple& t : world_.item_kg.triples()) {
+    if (static_cast<size_t>(t.relation) >= num_specs) continue;  // inverse
+    const Triple mapped{remap_[t.head], t.relation, remap_[t.tail]};
+    if (static_cast<size_t>(mapped.tail) < base_num_entities_) {
+      base_forward_triples_.push_back(mapped);
+    } else {
+      facts[mapped.tail - static_cast<EntityId>(base_num_entities_)]
+          .push_back(mapped);
+    }
+  }
+
+  // --- Event lists ----------------------------------------------------
+  std::vector<Event> user_events;
+  for (int32_t u = base_num_users_; u < m; ++u) {
+    Event birth;
+    birth.kind = EventKind::kNewUser;
+    birth.user = u;
+    user_events.push_back(std::move(birth));
+    for (int32_t item : world_.interactions.UserItems(u)) {
+      Event e;
+      e.kind = EventKind::kNewInteraction;
+      e.user = u;
+      e.item = item;
+      user_events.push_back(std::move(e));
+    }
+  }
+  std::vector<Event> kg_events;
+  for (size_t i = 0; i < new_entities_.size(); ++i) {
+    const NewEntityInfo& ne = new_entities_[i];
+    Event birth;
+    birth.kind = EventKind::kNewEntity;
+    birth.entity = ne.id;
+    birth.entity_type = ne.type;
+    birth.entity_name = ne.name;
+    kg_events.push_back(std::move(birth));
+    for (const Triple& t : facts[i]) {
+      Event e;
+      e.kind = EventKind::kNewFact;
+      e.head = t.head;
+      e.relation = t.relation;
+      e.inverse_relation =
+          static_cast<RelationId>(num_forward_relations_) + t.relation;
+      e.tail = t.tail;
+      kg_events.push_back(std::move(e));
+    }
+  }
+
+  // Seeded uniform interleaving preserving within-list order (so every
+  // user's birth precedes their interactions, every entity's birth its
+  // facts). Timestamps are dense and 1-based.
+  Rng rng(config_.stream_seed);
+  events_.reserve(user_events.size() + kg_events.size());
+  size_t i = 0;
+  size_t j = 0;
+  int64_t timestamp = 1;
+  while (i < user_events.size() || j < kg_events.size()) {
+    bool take_user;
+    if (j == kg_events.size()) {
+      take_user = true;
+    } else if (i == user_events.size()) {
+      take_user = false;
+    } else {
+      const size_t remaining_user = user_events.size() - i;
+      const size_t remaining_kg = kg_events.size() - j;
+      take_user =
+          rng.UniformInt(remaining_user + remaining_kg) < remaining_user;
+    }
+    Event e = take_user ? std::move(user_events[i++])
+                        : std::move(kg_events[j++]);
+    e.timestamp = timestamp++;
+    events_.push_back(std::move(e));
+  }
+}
+
+EventBatch EventStream::Batch(size_t begin, size_t end) const {
+  KGREC_CHECK(begin <= end);
+  KGREC_CHECK(end <= events_.size());
+  return {std::span<const Event>(events_.data() + begin, end - begin)};
+}
+
+InteractionDataset EventStream::BaseInteractions() const {
+  InteractionDataset out(base_num_users_, config_.world.num_items);
+  for (int32_t u = 0; u < base_num_users_; ++u) {
+    for (int32_t item : world_.interactions.UserItems(u)) {
+      out.Add(u, item);
+    }
+  }
+  return out;
+}
+
+KnowledgeGraph EventStream::BaseItemKg() const {
+  KnowledgeGraph kg;
+  for (const std::string& name : base_entity_names_) {
+    kg.AddEntity(name);
+  }
+  for (const RelationSpec& spec : config_.world.item_relations) {
+    kg.AddRelation(spec.name);
+  }
+  for (const Triple& t : base_forward_triples_) {
+    KGREC_CHECK(kg.AddTriple(t.head, t.relation, t.tail).ok());
+  }
+  KGREC_CHECK(kg.AddInverseRelations().ok());
+  kg.Finalize();
+  return kg;
+}
+
+std::vector<int32_t> EventStream::BaseEntityTypes() const {
+  return base_entity_types_;
+}
+
+UserItemGraph EventStream::BaseUserItemGraph() const {
+  UserItemGraph out;
+  const int32_t m = config_.world.num_users;
+  out.num_users = m;  // the full user space is pre-registered
+  out.num_items = config_.world.num_items;
+  out.type_names.push_back("user");
+  out.type_names.push_back("item");
+  for (const RelationSpec& spec : config_.world.item_relations) {
+    out.type_names.push_back(spec.name);
+  }
+  // Every user entity exists from t = 0 — a kNewUser is then
+  // structurally a no-op and item-entity ids (num_users + j) never
+  // shift when cold-start users arrive.
+  for (int32_t u = 0; u < m; ++u) {
+    out.kg.AddEntity("user_" + std::to_string(u));
+    out.entity_types.push_back(0);
+  }
+  for (size_t e = 0; e < base_num_entities_; ++e) {
+    out.kg.AddEntity(base_entity_names_[e]);
+    out.entity_types.push_back(base_entity_types_[e] + 1);
+  }
+  out.interact_relation = out.kg.AddRelation("interact");
+  for (const RelationSpec& spec : config_.world.item_relations) {
+    out.kg.AddRelation(spec.name);
+  }
+  for (int32_t u = 0; u < base_num_users_; ++u) {
+    for (int32_t item : world_.interactions.UserItems(u)) {
+      KGREC_CHECK(out.kg
+                      .AddTriple(out.UserEntity(u), out.interact_relation,
+                                 out.ItemEntity(item))
+                      .ok());
+    }
+  }
+  for (const Triple& t : base_forward_triples_) {
+    KGREC_CHECK(out.kg
+                    .AddTriple(t.head + m, 1 + t.relation, t.tail + m)
+                    .ok());
+  }
+  KGREC_CHECK(out.kg.AddInverseRelations().ok());
+  out.kg.Finalize();
+  return out;
+}
+
+void EventStream::ApplyBatch(const EventBatch& batch,
+                             InteractionDataset* interactions,
+                             KnowledgeGraph* item_kg) const {
+  KGREC_CHECK(interactions != nullptr);
+  bool any_kg = false;
+  for (const Event& e : batch.events) {
+    if (e.kind == EventKind::kNewEntity || e.kind == EventKind::kNewFact) {
+      any_kg = true;
+      break;
+    }
+  }
+  interactions->Freeze();
+  if (any_kg) {
+    KGREC_CHECK(item_kg != nullptr);
+    KGREC_CHECK(item_kg->BeginIncrementalBatch().ok());
+  }
+  for (const Event& e : batch.events) {
+    switch (e.kind) {
+      case EventKind::kNewUser:
+        KGREC_CHECK_EQ(e.user, interactions->num_users());
+        interactions->GrowUsers(1);
+        break;
+      case EventKind::kNewInteraction:
+        interactions->Add(e.user, e.item);
+        break;
+      case EventKind::kNewEntity: {
+        const EntityId id = item_kg->AddEntity(e.entity_name);
+        KGREC_CHECK_EQ(id, e.entity);
+        break;
+      }
+      case EventKind::kNewFact:
+        KGREC_CHECK(item_kg->AddTriple(e.head, e.relation, e.tail).ok());
+        KGREC_CHECK(
+            item_kg->AddTriple(e.tail, e.inverse_relation, e.head).ok());
+        break;
+    }
+  }
+  if (any_kg) {
+    KGREC_CHECK(item_kg->FinalizeIncrementalBatch().ok());
+  }
+  interactions->Thaw();
+}
+
+void EventStream::ApplyBatchToUserItemGraph(const EventBatch& batch,
+                                            UserItemGraph* graph) const {
+  KGREC_CHECK(graph != nullptr);
+  bool any_edges = false;
+  for (const Event& e : batch.events) {
+    if (e.kind != EventKind::kNewUser) {
+      any_edges = true;
+      break;
+    }
+  }
+  if (!any_edges) return;
+  // Relation layout of the streaming user-item graph: interact = 0,
+  // attribute k = 1 + k, and AddInverseRelations appended inverses in
+  // the same order, so inverse(r) = (1 + K) + r.
+  const RelationId num_forward =
+      static_cast<RelationId>(1 + num_forward_relations_);
+  const EntityId offset = graph->num_users;
+  KGREC_CHECK(graph->kg.BeginIncrementalBatch().ok());
+  for (const Event& e : batch.events) {
+    switch (e.kind) {
+      case EventKind::kNewUser:
+        break;  // the user entity pre-exists
+      case EventKind::kNewInteraction: {
+        const EntityId user = graph->UserEntity(e.user);
+        const EntityId item = graph->ItemEntity(e.item);
+        KGREC_CHECK(
+            graph->kg.AddTriple(user, graph->interact_relation, item).ok());
+        KGREC_CHECK(
+            graph->kg
+                .AddTriple(item, num_forward + graph->interact_relation, user)
+                .ok());
+        break;
+      }
+      case EventKind::kNewEntity: {
+        const EntityId id = graph->kg.AddEntity(e.entity_name);
+        KGREC_CHECK_EQ(id, offset + e.entity);
+        graph->entity_types.push_back(e.entity_type + 1);
+        break;
+      }
+      case EventKind::kNewFact: {
+        const RelationId rel = 1 + e.relation;
+        KGREC_CHECK(
+            graph->kg
+                .AddTriple(offset + e.head, rel, offset + e.tail)
+                .ok());
+        KGREC_CHECK(graph->kg
+                        .AddTriple(offset + e.tail, num_forward + rel,
+                                   offset + e.head)
+                        .ok());
+        break;
+      }
+    }
+  }
+  KGREC_CHECK(graph->kg.FinalizeIncrementalBatch().ok());
+}
+
+StreamSnapshot EventStream::MaterializeAt(int64_t timestamp) const {
+  KGREC_CHECK_GE(timestamp, 0);
+  const size_t prefix =
+      std::min(static_cast<size_t>(timestamp), events_.size());
+
+  StreamSnapshot snap;
+  int32_t users = base_num_users_;
+  for (size_t i = 0; i < prefix; ++i) {
+    if (events_[i].kind == EventKind::kNewUser) ++users;
+  }
+  snap.interactions = InteractionDataset(users, config_.world.num_items);
+  for (int32_t u = 0; u < base_num_users_; ++u) {
+    for (int32_t item : world_.interactions.UserItems(u)) {
+      snap.interactions.Add(u, item);
+    }
+  }
+  for (size_t i = 0; i < prefix; ++i) {
+    const Event& e = events_[i];
+    if (e.kind == EventKind::kNewInteraction) {
+      snap.interactions.Add(e.user, e.item);
+    }
+  }
+
+  for (const std::string& name : base_entity_names_) {
+    snap.item_kg.AddEntity(name);
+  }
+  snap.entity_types = base_entity_types_;
+  for (size_t i = 0; i < prefix; ++i) {
+    const Event& e = events_[i];
+    if (e.kind != EventKind::kNewEntity) continue;
+    const EntityId id = snap.item_kg.AddEntity(e.entity_name);
+    KGREC_CHECK_EQ(id, e.entity);
+    snap.entity_types.push_back(e.entity_type);
+  }
+  for (const RelationSpec& spec : config_.world.item_relations) {
+    snap.item_kg.AddRelation(spec.name);
+  }
+  for (const Triple& t : base_forward_triples_) {
+    KGREC_CHECK(snap.item_kg.AddTriple(t.head, t.relation, t.tail).ok());
+  }
+  for (size_t i = 0; i < prefix; ++i) {
+    const Event& e = events_[i];
+    if (e.kind != EventKind::kNewFact) continue;
+    KGREC_CHECK(snap.item_kg.AddTriple(e.head, e.relation, e.tail).ok());
+  }
+  KGREC_CHECK(snap.item_kg.AddInverseRelations().ok());
+  snap.item_kg.Finalize();
+  return snap;
+}
+
+bool StreamEquals(const InteractionDataset& a, const KnowledgeGraph& a_kg,
+                  const InteractionDataset& b, const KnowledgeGraph& b_kg,
+                  std::string* why) {
+  auto fail = [why](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  if (a.num_users() != b.num_users()) return fail("num_users differ");
+  if (a.num_items() != b.num_items()) return fail("num_items differ");
+  if (a.interactions().size() != b.interactions().size()) {
+    return fail("interaction counts differ");
+  }
+  for (size_t i = 0; i < a.interactions().size(); ++i) {
+    const Interaction& x = a.interactions()[i];
+    const Interaction& y = b.interactions()[i];
+    if (x.user != y.user || x.item != y.item) {
+      return fail("interaction log diverges at index " + std::to_string(i));
+    }
+  }
+  if (a_kg.num_entities() != b_kg.num_entities()) {
+    return fail("entity counts differ");
+  }
+  if (a_kg.num_relations() != b_kg.num_relations()) {
+    return fail("relation counts differ");
+  }
+  if (a_kg.num_triples() != b_kg.num_triples()) {
+    return fail("triple counts differ");
+  }
+  if (!a_kg.finalized() || !b_kg.finalized()) {
+    return fail("graphs must be finalized to compare CSR rows");
+  }
+  for (size_t e = 0; e < a_kg.num_entities(); ++e) {
+    const EntityId id = static_cast<EntityId>(e);
+    if (a_kg.OutDegree(id) != b_kg.OutDegree(id)) {
+      return fail("out-degree differs at entity " + std::to_string(e));
+    }
+    const Edge* ea = a_kg.OutEdges(id);
+    const Edge* eb = b_kg.OutEdges(id);
+    for (size_t i = 0; i < a_kg.OutDegree(id); ++i) {
+      if (ea[i].relation != eb[i].relation || ea[i].target != eb[i].target) {
+        return fail("CSR row differs at entity " + std::to_string(e));
+      }
+    }
+  }
+  // Triple multisets (list order legitimately differs between a replay
+  // and a from-scratch build).
+  if (!a_kg.triples_released() && !b_kg.triples_released()) {
+    std::vector<Triple> ta = a_kg.triples();
+    std::vector<Triple> tb = b_kg.triples();
+    auto less = [](const Triple& x, const Triple& y) {
+      if (x.head != y.head) return x.head < y.head;
+      if (x.relation != y.relation) return x.relation < y.relation;
+      return x.tail < y.tail;
+    };
+    std::sort(ta.begin(), ta.end(), less);
+    std::sort(tb.begin(), tb.end(), less);
+    for (size_t i = 0; i < ta.size(); ++i) {
+      if (!(ta[i] == tb[i])) return fail("triple multisets differ");
+    }
+  }
+  if (!a_kg.names_dropped() && !b_kg.names_dropped()) {
+    for (size_t e = 0; e < a_kg.num_entities(); ++e) {
+      if (a_kg.entity_name(static_cast<EntityId>(e)) !=
+          b_kg.entity_name(static_cast<EntityId>(e))) {
+        return fail("entity names differ at " + std::to_string(e));
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace kgrec

@@ -1,0 +1,190 @@
+#ifndef KGREC_DATA_EVENT_STREAM_H_
+#define KGREC_DATA_EVENT_STREAM_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/interactions.h"
+#include "data/synthetic.h"
+#include "graph/knowledge_graph.h"
+
+namespace kgrec {
+
+/// What happened at one timestamp of a streaming world (DESIGN.md §13).
+enum class EventKind {
+  kNewUser,         ///< a cold-start user enters the system
+  kNewInteraction,  ///< an existing user interacts with an item
+  kNewEntity,       ///< a new attribute entity enters the item KG
+  kNewFact,         ///< a new (head, relation, tail) fact links into the KG
+};
+
+/// One timestamped event. Only the fields of the event's kind are
+/// meaningful; the rest stay -1 / empty. A kNewFact carries both the
+/// forward relation and its inverse so appliers can keep the
+/// inverse-closed invariant of every finalized graph in this repo
+/// atomically — replayed prefixes then match from-scratch builds at
+/// every timestamp, not just at batch boundaries.
+struct Event {
+  int64_t timestamp = 0;  ///< strictly increasing, 1..stream size
+  EventKind kind = EventKind::kNewInteraction;
+
+  int32_t user = -1;  ///< kNewUser, kNewInteraction
+  int32_t item = -1;  ///< kNewInteraction
+
+  EntityId entity = -1;      ///< kNewEntity: the id the entity must get
+  int32_t entity_type = -1;  ///< kNewEntity: 1 + relation-spec index
+  std::string entity_name;   ///< kNewEntity: interned on apply
+
+  EntityId head = -1;              ///< kNewFact
+  RelationId relation = -1;        ///< kNewFact: forward relation id
+  RelationId inverse_relation = -1;///< kNewFact: its "^-1" id
+  EntityId tail = -1;              ///< kNewFact
+};
+
+/// A contiguous slice of the stream, as handed to Recommender::Update.
+struct EventBatch {
+  std::span<const Event> events;
+
+  bool empty() const { return events.empty(); }
+  size_t size() const { return events.size(); }
+};
+
+/// Configures a streaming view of a synthetic world: the trailing
+/// `1 - base_user_fraction` of the users and the last
+/// `held_out_values_per_relation` attribute entities of every relation
+/// are withheld from the base snapshot and arrive as timestamped events
+/// in deterministic seeded order.
+struct EventStreamConfig {
+  WorldConfig world;
+  /// Fraction of users present at t = 0 (at least one).
+  double base_user_fraction = 0.7;
+  /// Attribute entities per relation arriving mid-stream (each relation
+  /// keeps at least one value in the base snapshot).
+  size_t held_out_values_per_relation = 2;
+  /// Seed of the user-event / KG-event interleaving.
+  uint64_t stream_seed = 17;
+};
+
+/// A from-scratch reference build of the streamed world at a timestamp:
+/// exactly what GenerateWorld would have produced had the world always
+/// contained the prefix's users, entities and facts.
+struct StreamSnapshot {
+  InteractionDataset interactions;
+  KnowledgeGraph item_kg;
+  std::vector<int32_t> entity_types;  ///< same convention as SyntheticWorld
+};
+
+/// A timestamped event-stream view of a synthetic world.
+///
+/// GenerateWorld(config.world) is run once; its users and attribute
+/// entities are then partitioned into a *base snapshot* (served/fit at
+/// t = 0) and a stream of events. Because the item KG is named, held-out
+/// entities are relabeled to the tail of the id space (base entities
+/// keep their relative order and get compact ids), so the base graph is
+/// a contiguous id prefix and every arrival appends — ids never shift
+/// under a live model. Users are already ordered, so the held-out users
+/// are simply the id suffix [base_num_users, num_users).
+///
+/// Determinism contract: the event list is a pure function of the
+/// config (world seed + stream seed). Replaying any prefix through
+/// ApplyBatch on copies of the base structures yields an
+/// InteractionDataset whose log is element-wise identical to
+/// MaterializeAt(t)'s, and a KnowledgeGraph whose finalized CSR rows
+/// and triple multiset are identical to MaterializeAt(t)'s — the
+/// from-scratch build of the world at that timestamp. (Triple *list*
+/// order differs — replay interleaves forward/inverse per event — which
+/// is why equality is defined on the sort-canonicalized structures;
+/// see StreamEquals.)
+class EventStream {
+ public:
+  explicit EventStream(const EventStreamConfig& config);
+
+  const std::vector<Event>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+
+  /// A batch view of the half-open timestamp range (begin, end].
+  /// Timestamps are 1-based and dense, so this is events_[begin..end).
+  EventBatch Batch(size_t begin, size_t end) const;
+
+  int32_t base_num_users() const { return base_num_users_; }
+  int32_t total_num_users() const { return config_.world.num_users; }
+  int32_t num_items() const { return config_.world.num_items; }
+  size_t base_num_entities() const { return base_num_entities_; }
+  size_t total_num_entities() const {
+    return base_num_entities_ + new_entities_.size();
+  }
+  const EventStreamConfig& config() const { return config_; }
+
+  /// The base snapshot (fresh copies): users [0, base_num_users) with
+  /// their full histories, and the item KG over the base entities,
+  /// inverse-closed and finalized.
+  InteractionDataset BaseInteractions() const;
+  KnowledgeGraph BaseItemKg() const;
+  std::vector<int32_t> BaseEntityTypes() const;
+
+  /// The user-item KG for the graph-embedding family, streaming layout:
+  /// ALL user entities (including not-yet-arrived ones) are registered
+  /// up front so the item-entity offset never shifts; only base users'
+  /// interactions are edges. num_users is the total user space.
+  UserItemGraph BaseUserItemGraph() const;
+
+  /// Applies a batch in event order. Interactions: Freeze -> append ->
+  /// Thaw, so concurrent epoch readers never observe a mid-rebuild
+  /// index. KG: BeginIncrementalBatch -> Add{Entity,Triple} ->
+  /// FinalizeIncrementalBatch (skipped when the batch carries no KG
+  /// events). Entity ids are KGREC_CHECKed to land where the stream
+  /// assigned them.
+  void ApplyBatch(const EventBatch& batch, InteractionDataset* interactions,
+                  KnowledgeGraph* item_kg) const;
+
+  /// Same, for the streaming user-item KG (relation/entity ids are
+  /// remapped into its space; kNewUser is structurally a no-op because
+  /// every user entity pre-exists).
+  void ApplyBatchToUserItemGraph(const EventBatch& batch,
+                                 UserItemGraph* graph) const;
+
+  /// From-scratch reference build of the world at `timestamp` (0 = the
+  /// base snapshot). The bitwise gate replays a prefix and compares
+  /// against this.
+  StreamSnapshot MaterializeAt(int64_t timestamp) const;
+
+ private:
+  struct NewEntityInfo {
+    EntityId id;             // remapped (suffix) id
+    int32_t type;            // 1 + relation-spec index
+    std::string name;
+  };
+
+  EventStreamConfig config_;
+  SyntheticWorld world_;  ///< the original full world (raw material)
+
+  int32_t base_num_users_ = 0;
+  size_t base_num_entities_ = 0;
+  size_t num_forward_relations_ = 0;
+
+  /// new_id[original entity id] -> remapped id.
+  std::vector<EntityId> remap_;
+  /// Base entity names in remapped id order.
+  std::vector<std::string> base_entity_names_;
+  std::vector<int32_t> base_entity_types_;
+  /// Held-out entities in arrival order (remapped ids are the suffix).
+  std::vector<NewEntityInfo> new_entities_;
+  /// Base forward triples in remapped ids, original generation order.
+  std::vector<Triple> base_forward_triples_;
+
+  std::vector<Event> events_;
+};
+
+/// Structural equality of a replayed prefix against a reference build:
+/// interaction logs element-wise equal, same entity/relation/triple
+/// counts, every finalized CSR row equal, triple multisets equal.
+/// Returns false (and fills *why) on the first divergence.
+bool StreamEquals(const InteractionDataset& a, const KnowledgeGraph& a_kg,
+                  const InteractionDataset& b, const KnowledgeGraph& b_kg,
+                  std::string* why);
+
+}  // namespace kgrec
+
+#endif  // KGREC_DATA_EVENT_STREAM_H_

@@ -8,40 +8,82 @@
 namespace kgrec {
 
 void InteractionDataset::CopyFrom(const InteractionDataset& other) {
-  num_users_ = other.num_users_;
+  num_users_.store(other.num_users(), std::memory_order_release);
   num_items_ = other.num_items_;
   interactions_ = other.interactions_;
   user_ptr_.clear();
   user_item_flat_.clear();
+  user_item_sorted_.clear();
   index_clean_.store(false, std::memory_order_release);
+  index_generation_.store(0, std::memory_order_release);
+  frozen_ = false;
+  frozen_log_size_ = 0;
+  frozen_num_users_ = 0;
 }
 
 void InteractionDataset::MoveFrom(InteractionDataset&& other) noexcept {
-  num_users_ = other.num_users_;
+  num_users_.store(other.num_users(), std::memory_order_release);
   num_items_ = other.num_items_;
   interactions_ = std::move(other.interactions_);
   user_ptr_ = std::move(other.user_ptr_);
   user_item_flat_ = std::move(other.user_item_flat_);
+  user_item_sorted_ = std::move(other.user_item_sorted_);
   index_clean_.store(other.index_clean_.load(std::memory_order_acquire),
                      std::memory_order_release);
+  index_generation_.store(
+      other.index_generation_.load(std::memory_order_acquire),
+      std::memory_order_release);
+  frozen_ = other.frozen_;
+  frozen_log_size_ = other.frozen_log_size_;
+  frozen_num_users_ = other.frozen_num_users_;
   other.index_clean_.store(false, std::memory_order_release);
+  other.frozen_ = false;
 }
 
 void InteractionDataset::Add(int32_t user, int32_t item) {
-  KGREC_CHECK(user >= 0 && user < num_users_);
+  KGREC_CHECK(user >= 0 && user < num_users());
   KGREC_CHECK(item >= 0 && item < num_items_);
   KGREC_CHECK(interactions_.size() < UINT32_MAX);  // 32-bit index offsets
   interactions_.push_back({user, item});
-  index_clean_.store(false, std::memory_order_release);
+  if (!frozen_) index_clean_.store(false, std::memory_order_release);
+}
+
+void InteractionDataset::GrowUsers(int32_t count) {
+  KGREC_CHECK_GE(count, 0);
+  KGREC_CHECK(num_users() <= INT32_MAX - count);
+  num_users_.fetch_add(count, std::memory_order_acq_rel);
+  if (!frozen_) index_clean_.store(false, std::memory_order_release);
+}
+
+void InteractionDataset::Freeze() {
+  KGREC_CHECK(!frozen_);
+  EnsureIndex();
+  frozen_ = true;
+  frozen_log_size_ = interactions_.size();
+  frozen_num_users_ = num_users();
+}
+
+void InteractionDataset::Thaw() {
+  KGREC_CHECK(frozen_);
+  frozen_ = false;
+  if (interactions_.size() != frozen_log_size_ ||
+      num_users() != frozen_num_users_) {
+    index_clean_.store(false, std::memory_order_release);
+  }
 }
 
 void InteractionDataset::EnsureIndex() const {
   if (index_clean_.load(std::memory_order_acquire)) return;
   std::lock_guard<std::mutex> lock(index_mutex_);
   if (index_clean_.load(std::memory_order_relaxed)) return;
+  // A rebuild reallocates the flat arrays; inside a frozen epoch that
+  // would dangle every span handed out since Freeze(). The pin keeps
+  // index_clean_ true for the epoch, so reaching here frozen is a
+  // contract violation by definition.
+  KGREC_CHECK(!frozen_);
   // Stable counting sort by user: per-user insertion order preserved,
   // exactly the order the old per-user vectors accumulated.
-  const size_t n = static_cast<size_t>(num_users_);
+  const size_t n = static_cast<size_t>(num_users());
   user_ptr_.assign(n + 1, 0);
   for (const Interaction& x : interactions_) ++user_ptr_[x.user + 1];
   for (size_t u = 0; u < n; ++u) user_ptr_[u + 1] += user_ptr_[u];
@@ -50,25 +92,47 @@ void InteractionDataset::EnsureIndex() const {
   for (const Interaction& x : interactions_) {
     user_item_flat_[cursor[x.user]++] = x.item;
   }
+  // The Contains() lane: same rows, each sorted ascending.
+  user_item_sorted_ = user_item_flat_;
+  for (size_t u = 0; u < n; ++u) {
+    std::sort(user_item_sorted_.begin() + user_ptr_[u],
+              user_item_sorted_.begin() + user_ptr_[u + 1]);
+  }
+  index_generation_.fetch_add(1, std::memory_order_acq_rel);
   index_clean_.store(true, std::memory_order_release);
 }
 
 std::span<const int32_t> InteractionDataset::UserItems(int32_t user) const {
-  KGREC_CHECK(user >= 0 && user < num_users_);
+  KGREC_CHECK(user >= 0 && user < num_users());
   EnsureIndex();
+  // A user born after a frozen index was pinned has no row yet; the
+  // epoch view is an empty history.
+  if (static_cast<size_t>(user) + 1 >= user_ptr_.size()) return {};
   return {user_item_flat_.data() + user_ptr_[user],
           user_ptr_[user + 1] - user_ptr_[user]};
 }
 
 bool InteractionDataset::Contains(int32_t user, int32_t item) const {
-  const std::span<const int32_t> items = UserItems(user);
-  return std::find(items.begin(), items.end(), item) != items.end();
+  KGREC_CHECK(user >= 0 && user < num_users());
+  if (!index_clean_.load(std::memory_order_acquire)) {
+    // Pre-index (or rebuild pending): answer from the log without
+    // forcing a rebuild — a rebuild here would reallocate the flat
+    // arrays under any concurrently held UserItems() span.
+    for (const Interaction& x : interactions_) {
+      if (x.user == user && x.item == item) return true;
+    }
+    return false;
+  }
+  if (static_cast<size_t>(user) + 1 >= user_ptr_.size()) return false;
+  const auto first = user_item_sorted_.begin() + user_ptr_[user];
+  const auto last = user_item_sorted_.begin() + user_ptr_[user + 1];
+  return std::binary_search(first, last, item);
 }
 
 double InteractionDataset::Density() const {
-  if (num_users_ == 0 || num_items_ == 0) return 0.0;
+  if (num_users() == 0 || num_items_ == 0) return 0.0;
   return static_cast<double>(interactions_.size()) /
-         (static_cast<double>(num_users_) * num_items_);
+         (static_cast<double>(num_users()) * num_items_);
 }
 
 CsrMatrix InteractionDataset::ToCsr() const {
@@ -77,7 +141,7 @@ CsrMatrix InteractionDataset::ToCsr() const {
   for (const Interaction& x : interactions_) {
     triplets.emplace_back(x.user, x.item, 1.0f);
   }
-  return CsrMatrix::FromTriplets(num_users_, num_items_, triplets);
+  return CsrMatrix::FromTriplets(num_users(), num_items_, triplets);
 }
 
 std::vector<int32_t> InteractionDataset::ItemsWithInteractions() const {
@@ -94,6 +158,7 @@ void InteractionDataset::MemoryUse(MemoryVisitor& visitor) const {
   visitor.Add("interactions.log", VectorBytes(interactions_));
   visitor.Add("interactions.user_ptr", VectorBytes(user_ptr_));
   visitor.Add("interactions.user_items", VectorBytes(user_item_flat_));
+  visitor.Add("interactions.user_items_sorted", VectorBytes(user_item_sorted_));
 }
 
 DataSplit RatioSplit(const InteractionDataset& data, double test_fraction,
@@ -142,7 +207,13 @@ DataSplit LeaveOneOutSplit(const InteractionDataset& data, Rng& rng) {
 }
 
 NegativeSampler::NegativeSampler(const InteractionDataset& reference)
-    : reference_(reference) {}
+    : reference_(reference) {
+  // A sampler exists to issue many Contains() probes; on a dirty index
+  // each probe would fall back to an O(log) linear scan, turning a
+  // post-growth Update() fold into an accidental quadratic. Membership
+  // answers are identical either way, so warm the index up front.
+  reference_.WarmIndex();
+}
 
 int32_t NegativeSampler::Sample(int32_t user, Rng& rng) const {
   const int32_t n = reference_.num_items();

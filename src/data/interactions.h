@@ -50,17 +50,40 @@ class InteractionDataset {
     return *this;
   }
 
-  int32_t num_users() const { return num_users_; }
+  int32_t num_users() const {
+    return num_users_.load(std::memory_order_acquire);
+  }
   int32_t num_items() const { return num_items_; }
   size_t num_interactions() const { return interactions_.size(); }
 
   /// Appends an interaction (deduplicated per user lazily by callers).
-  /// Invalidates the user index; the next UserItems() call rebuilds it.
-  /// Must not race with concurrent readers (same contract as before).
+  /// Unfrozen: invalidates the user index; the next UserItems() call
+  /// rebuilds it, so it must not race with concurrent readers (see
+  /// index_generation()). Frozen: appends to the log WITHOUT touching
+  /// the index — epoch readers stay valid (see Freeze()).
   void Add(int32_t user, int32_t item);
 
-  /// True if (user, item) is observed.
+  /// Widens the user space by `count` new (empty-history) users at the
+  /// tail of the id range. Unfrozen: invalidates the index (the offset
+  /// array is sized per user). Frozen: deferred — the new users report
+  /// empty histories until Thaw() rebuilds.
+  void GrowUsers(int32_t count);
+
+  /// True if (user, item) is observed. With a built index this is a
+  /// binary search over the user's sorted row (hot in streaming dedup
+  /// and negative sampling); before the first index build — or while a
+  /// rebuild is pending — it linear-scans the log instead of forcing a
+  /// rebuild, so a one-off query never reallocates the index under
+  /// concurrent span holders. While frozen it answers from the pinned
+  /// epoch, like UserItems().
   bool Contains(int32_t user, int32_t item) const;
+
+  /// Builds the lazy index now if it is dirty (no-op inside a frozen
+  /// epoch, whose pinned index is already clean). Call before a burst of
+  /// Contains() queries — e.g. negative sampling against a freshly grown
+  /// log — so each query takes the binary-search lane instead of the
+  /// linear log fallback.
+  void WarmIndex() const { EnsureIndex(); }
 
   const std::vector<Interaction>& interactions() const {
     return interactions_;
@@ -86,22 +109,60 @@ class InteractionDataset {
   /// into the visitor.
   void MemoryUse(MemoryVisitor& visitor) const;
 
+  /// --- Streaming epochs -------------------------------------------
+  /// The unfrozen index has a documented no-race contract: Add()
+  /// invalidates it, and the next UserItems() call reallocates the flat
+  /// arrays — any std::span still held from the previous build dangles.
+  /// Freeze() pins an epoch for the streaming path: it builds the index
+  /// once, and until Thaw() every Add()/GrowUsers() lands in the log
+  /// without invalidating it, so readers can never observe a
+  /// mid-rebuild index. While frozen, UserItems() and Contains() answer
+  /// from the pinned snapshot (post-freeze events and users are
+  /// invisible); Thaw() lifts the pin and invalidates iff anything
+  /// changed, making the appended events visible on the next rebuild.
+  void Freeze();
+  void Thaw();
+  bool frozen() const { return frozen_; }
+
+  /// Rebuild counter for the CSR index (0 = never built). A reader that
+  /// caches a span across its own calls can record the generation at
+  /// acquisition and KGREC_CHECK it is unchanged before each reuse —
+  /// that is the assertable form of the no-race contract. Rebuilds are
+  /// themselves KGREC_CHECKed to never run inside a frozen epoch.
+  uint64_t index_generation() const {
+    return index_generation_.load(std::memory_order_acquire);
+  }
+
  private:
   void CopyFrom(const InteractionDataset& other);
   void MoveFrom(InteractionDataset&& other) noexcept;
   void EnsureIndex() const;
 
-  int32_t num_users_;
+  /// Atomic because a frozen-epoch writer may GrowUsers() while reader
+  /// threads bounds-check against it in UserItems()/Contains(); readers
+  /// seeing either the pre- or post-grow count are both correct (a user
+  /// born after the pinned index reports an empty history).
+  std::atomic<int32_t> num_users_;
   int32_t num_items_;
   std::vector<Interaction> interactions_;
 
   /// Flat CSR user->items index, derived from interactions_ on demand.
   /// 32-bit offsets: the interaction count is checked against the
-  /// AdjOffset-style cap on Add.
+  /// AdjOffset-style cap on Add. user_item_sorted_ mirrors
+  /// user_item_flat_ with each user's row sorted ascending — the
+  /// Contains() binary-search lane.
   mutable std::vector<uint32_t> user_ptr_;
   mutable std::vector<int32_t> user_item_flat_;
+  mutable std::vector<int32_t> user_item_sorted_;
   mutable std::atomic<bool> index_clean_{false};
+  mutable std::atomic<uint64_t> index_generation_{0};
   mutable std::mutex index_mutex_;
+
+  /// Epoch pin (see Freeze()). Written only by the single mutator
+  /// thread while readers are quiescent at the Freeze/Thaw boundaries.
+  bool frozen_ = false;
+  size_t frozen_log_size_ = 0;
+  int32_t frozen_num_users_ = 0;
 };
 
 /// A train/test partition of an InteractionDataset.

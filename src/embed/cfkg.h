@@ -53,6 +53,16 @@ class CfkgRecommender : public Recommender, public DotProductFactors {
   std::vector<float> ScoreItems(int32_t user,
                                 std::span<const int32_t> items) const override;
 
+  /// Online update (DESIGN §13): every event kind is a KG fact in the
+  /// unified user-item graph, so the fold is uniform — the backend's
+  /// entity tables grow to the post-batch graph (counter-keyed rows),
+  /// each kNewInteraction / kNewFact triple takes a few margin-ranking
+  /// SGD steps against a corrupted negative, and the projected item
+  /// factor matrix is rebuilt once at the end. kNewUser / kNewEntity
+  /// are growth-only.
+  Status Update(const RecContext& context, const EventBatch& batch) override;
+  bool SupportsUpdate() const override { return true; }
+
   std::string HyperFingerprint() const override;
 
   // DotProductFactors (retrieval/factors.h).
@@ -75,6 +85,12 @@ class CfkgRecommender : public Recommender, public DotProductFactors {
   const UserItemGraph* graph_ = nullptr;
 
  private:
+  /// A few plain-SGD margin-ranking steps on one triple (the event's
+  /// counter-keyed rng draws the corruptions). Weight decay is omitted:
+  /// a dense L2 step would perturb every entity row, defeating the
+  /// locality of an online fold.
+  void FoldTriple(int32_t head, int32_t relation, int32_t tail, Rng& rng);
+
   /// Projects every item entity through the fixed "interact" relation.
   void BuildItemFactors();
 

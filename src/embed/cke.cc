@@ -1,16 +1,29 @@
 #include "embed/cke.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "core/check.h"
 #include "core/model_state.h"
+#include "data/event_stream.h"
 #include "math/kernels.h"
 #include "nn/init.h"
 #include "nn/ops.h"
 #include "nn/optim.h"
 
 namespace kgrec {
+
+namespace {
+
+// Update-path RNG streams (counter-keyed forks of Rng(context.seed)).
+constexpr uint64_t kGrowStream = 101;
+constexpr uint64_t kFoldStream = 102;
+constexpr int kFoldPasses = 3;
+
+float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
 
 void CkeRecommender::Fit(const RecContext& context) {
   KGREC_CHECK(context.train != nullptr);
@@ -131,6 +144,54 @@ void CkeRecommender::Fit(const RecContext& context) {
       }
     }
   }
+}
+
+Status CkeRecommender::Update(const RecContext& context,
+                              const EventBatch& batch) {
+  KGREC_CHECK(context.train != nullptr);
+  if (user_vecs_.rows() == 0) {
+    return Status::FailedPrecondition(
+        "CKE Update() requires a fitted (or loaded) model");
+  }
+  const InteractionDataset& train = *context.train;
+  const size_t d = config_.dim;
+  const Rng base_rng(context.seed);
+  if (static_cast<size_t>(train.num_users()) > user_vecs_.rows()) {
+    Matrix grown(train.num_users(), d);
+    std::copy_n(user_vecs_.data(), user_vecs_.size(), grown.data());
+    const Rng grow_rng = base_rng.Fork(kGrowStream);
+    for (size_t r = user_vecs_.rows(); r < grown.rows(); ++r) {
+      Rng row_rng = grow_rng.Fork(r);
+      float* row = grown.Row(r);
+      for (size_t c = 0; c < d; ++c) {
+        row[c] = static_cast<float>(row_rng.Normal(0.0, 0.1));
+      }
+    }
+    user_vecs_ = std::move(grown);
+  }
+  NegativeSampler sampler(train);
+  for (const Event& e : batch.events) {
+    if (e.kind != EventKind::kNewInteraction) continue;  // KG events: no-op
+    Rng rng =
+        base_rng.Fork(kFoldStream).Fork(static_cast<uint64_t>(e.timestamp));
+    const float lr = config_.learning_rate;
+    const float l2 = config_.l2;
+    float* u = user_vecs_.Row(e.user);
+    float* pos = item_vecs_.Row(e.item);
+    for (int pass = 0; pass < kFoldPasses; ++pass) {
+      float* neg = item_vecs_.Row(sampler.Sample(e.user, rng));
+      const float margin =
+          dense::Dot(u, pos, d) - dense::Dot(u, neg, d);
+      const float g = -Sigmoid(-margin);  // BPR gradient, as in Fit()
+      for (size_t c = 0; c < d; ++c) {
+        const float uc = u[c];
+        u[c] -= lr * (g * (pos[c] - neg[c]) + l2 * uc);
+        pos[c] -= lr * (g * uc + l2 * pos[c]);
+        neg[c] -= lr * (-g * uc + l2 * neg[c]);
+      }
+    }
+  }
+  return Status::OK();
 }
 
 std::string CkeRecommender::HyperFingerprint() const {

@@ -46,6 +46,15 @@ class CkeRecommender : public Recommender, public DotProductFactors {
   std::vector<float> ScoreItems(int32_t user,
                                 std::span<const int32_t> items) const override;
 
+  /// Online update (DESIGN §13): CKE serves from its cached final
+  /// user/item vectors, so the fold operates directly on them — new
+  /// users get counter-keyed rows and each kNewInteraction folds a few
+  /// BPR-SGD passes on the caches. KG events are no-ops here: the
+  /// TransR and content channels are collapsed into item_vecs_ once at
+  /// fit time.
+  Status Update(const RecContext& context, const EventBatch& batch) override;
+  bool SupportsUpdate() const override { return true; }
+
   std::string HyperFingerprint() const override;
 
   // DotProductFactors: the cached final user/item vectors are already

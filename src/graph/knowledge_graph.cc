@@ -19,6 +19,7 @@ KnowledgeGraph& KnowledgeGraph::operator=(const KnowledgeGraph& other) {
   max_triples_ = other.max_triples_;
   triples_released_ = other.triples_released_;
   finalized_ = other.finalized_;
+  in_incremental_batch_ = other.in_incremental_batch_;
   adj_ptr_ = other.adj_ptr_;
   adj_edges_ = other.adj_edges_;
   // The lookup maps key on views into *this* graph's pools, so they are
@@ -76,8 +77,13 @@ RelationId KnowledgeGraph::AddRelation(std::string_view name) {
 
 Status KnowledgeGraph::AddTriple(EntityId head, RelationId relation,
                                  EntityId tail) {
+  if (triples_released_) {
+    return Status::FailedPrecondition(
+        "triples released; the graph can no longer grow");
+  }
   if (finalized_) {
-    return Status::FailedPrecondition("graph is finalized");
+    return Status::FailedPrecondition(
+        "graph is finalized; open an incremental batch to grow it");
   }
   if (head < 0 || static_cast<size_t>(head) >= num_entities()) {
     return Status::InvalidArgument("head entity out of range");
@@ -142,6 +148,34 @@ void KnowledgeGraph::Finalize() {
   }
   // The build phase is over: return push_back growth slack to the OS.
   triples_.shrink_to_fit();
+}
+
+Status KnowledgeGraph::BeginIncrementalBatch() {
+  if (!finalized_) {
+    return Status::FailedPrecondition(
+        "graph is not finalized; use the normal build path");
+  }
+  if (triples_released_) {
+    return Status::FailedPrecondition(
+        "triples released; an incremental rebuild needs the triple list");
+  }
+  if (in_incremental_batch_) {
+    return Status::FailedPrecondition("incremental batch already open");
+  }
+  in_incremental_batch_ = true;
+  finalized_ = false;  // reopen the build phase for Add{Entity,Relation,Triple}
+  return Status::OK();
+}
+
+Status KnowledgeGraph::FinalizeIncrementalBatch() {
+  if (!in_incremental_batch_) {
+    return Status::FailedPrecondition("no incremental batch open");
+  }
+  in_incremental_batch_ = false;
+  // Full CSR rebuild; row sorting makes the result insertion-order
+  // independent, so this equals a from-scratch build of the grown graph.
+  Finalize();
+  return Status::OK();
 }
 
 void KnowledgeGraph::ReleaseTriples() {

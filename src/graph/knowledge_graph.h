@@ -99,6 +99,21 @@ class KnowledgeGraph {
   void Finalize();
   bool finalized() const { return finalized_; }
 
+  /// --- Incremental growth (streaming event batches) ---------------
+  /// Post-Finalize mutation is rejected (AddTriple returns
+  /// FailedPrecondition) so a stray write can never corrupt the CSR
+  /// under readers. The sanctioned growth path brackets the writes:
+  /// BeginIncrementalBatch() reopens the build phase (AddEntity /
+  /// AddRelation / AddTriple work again; CSR queries are off-limits
+  /// until the batch closes), FinalizeIncrementalBatch() rebuilds the
+  /// adjacency from the full triple list. Because Finalize() sorts
+  /// every row by (relation, target), the rebuilt CSR is bitwise
+  /// identical to building the grown graph from scratch — insertion
+  /// order never leaks into the adjacency. Requires the triple list
+  /// (FailedPrecondition after ReleaseTriples()).
+  Status BeginIncrementalBatch();
+  Status FinalizeIncrementalBatch();
+
   /// Frees the triple list after Finalize(), keeping only the CSR
   /// adjacency — roughly 12 bytes per triple back. Opt-in for serving /
   /// factorization-only paths; models that iterate triples() (the KGE
@@ -173,6 +188,7 @@ class KnowledgeGraph {
   bool triples_released_ = false;
 
   bool finalized_ = false;
+  bool in_incremental_batch_ = false;
   std::vector<AdjOffset> adj_ptr_;
   std::vector<Edge> adj_edges_;
 };

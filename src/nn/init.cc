@@ -1,5 +1,6 @@
 #include "nn/init.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace kgrec::nn {
@@ -19,6 +20,21 @@ Tensor UniformInit(size_t rows, size_t cols, float lo, float hi, Rng& rng) {
   std::vector<float> data(rows * cols);
   for (auto& v : data) v = static_cast<float>(rng.Uniform(lo, hi));
   return Tensor::FromData(rows, cols, std::move(data), /*requires_grad=*/true);
+}
+
+Tensor GrowRowsNormal(const Tensor& table, size_t new_rows,
+                      const Rng& base_rng, float stddev) {
+  const size_t cols = table.cols();
+  std::vector<float> data(new_rows * cols);
+  std::copy_n(table.data(), table.rows() * cols, data.begin());
+  for (size_t r = table.rows(); r < new_rows; ++r) {
+    Rng row_rng = base_rng.Fork(r);
+    for (size_t c = 0; c < cols; ++c) {
+      data[r * cols + c] = static_cast<float>(row_rng.Normal(0.0, stddev));
+    }
+  }
+  return Tensor::FromData(new_rows, cols, std::move(data),
+                          /*requires_grad=*/true);
 }
 
 }  // namespace kgrec::nn

@@ -16,6 +16,14 @@ Tensor NormalInit(size_t rows, size_t cols, float stddev, Rng& rng);
 /// Creates a [rows, cols] parameter with U(lo, hi) entries.
 Tensor UniformInit(size_t rows, size_t cols, float lo, float hi, Rng& rng);
 
+/// Widens `table` to `new_rows` rows for the online-update path: old
+/// rows preserved bitwise, each new row r filled N(0, stddev^2) from
+/// the counter-keyed stream base_rng.Fork(r) — so a row's values depend
+/// only on its id, never on which batch grew it. `base_rng` is not
+/// advanced (Fork is const).
+Tensor GrowRowsNormal(const Tensor& table, size_t new_rows,
+                      const Rng& base_rng, float stddev);
+
 }  // namespace kgrec::nn
 
 #endif  // KGREC_NN_INIT_H_

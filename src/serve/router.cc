@@ -1,8 +1,12 @@
 #include "serve/router.h"
 
+#include <unistd.h>
+
 #include <chrono>
+#include <cstdio>
 
 #include "core/check.h"
+#include "core/registry.h"
 #include <exception>
 #include <unordered_map>
 #include <utility>
@@ -340,6 +344,37 @@ Status Router::SwapFromCheckpoint(const RecContext& context,
   KGREC_RETURN_IF_ERROR(
       ServeHandle::Open(context, path, next_generation, &fresh));
   return SwapLocked(std::move(fresh));
+}
+
+Status Router::SwapFromUpdate(const RecContext& restore_context,
+                              const RecContext& update_context,
+                              const EventBatch& batch) {
+  std::lock_guard<std::mutex> swap_lock(swap_mutex_);
+  std::shared_ptr<const ServeHandle> live;
+  uint64_t next_generation;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    live = current_;
+    next_generation = current_->generation() + 1;
+  }
+  // Clone the live model through its own checkpoint round-trip, off the
+  // router lock — traffic keeps flowing on the old handle for however
+  // long the save + restore + fold takes.
+  const std::string temp_path = "/tmp/kgrec_swap_" +
+                                std::to_string(getpid()) + "_" +
+                                std::to_string(next_generation) + ".kgrc";
+  Status status = live->model().Save(temp_path);
+  if (!status.ok()) {
+    std::remove(temp_path.c_str());
+    return status;
+  }
+  std::unique_ptr<Recommender> clone;
+  status = LoadModel(restore_context, temp_path, &clone);
+  std::remove(temp_path.c_str());
+  KGREC_RETURN_IF_ERROR(status);
+  KGREC_RETURN_IF_ERROR(clone->Update(update_context, batch));
+  return SwapLocked(ServeHandle::Adopt(std::move(clone), update_context,
+                                       next_generation));
 }
 
 std::shared_ptr<const ServeHandle> Router::current() const {

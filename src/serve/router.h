@@ -160,6 +160,20 @@ class Router {
   Status SwapFromCheckpoint(const RecContext& context,
                             const std::string& path);
 
+  /// Applies an online Update (DESIGN §13) to a *copy* of the live
+  /// model, then Swap()s the updated copy in (current generation + 1).
+  /// The copy is made through the model's own checkpoint round-trip:
+  /// Save to a temp file, restore against `restore_context` — the
+  /// PRE-batch world the live model was fitted under, so the stored
+  /// shapes match — then Update(update_context, batch) against the
+  /// POST-batch world. Everything runs off the router lock: traffic
+  /// keeps flowing on the old handle throughout, and any failure
+  /// (save, load, kUnimplemented from a non-updatable model) leaves it
+  /// serving untouched and returns the Status.
+  Status SwapFromUpdate(const RecContext& restore_context,
+                        const RecContext& update_context,
+                        const EventBatch& batch);
+
   /// The handle serving newly admitted requests right now.
   std::shared_ptr<const ServeHandle> current() const;
 

@@ -51,6 +51,17 @@ class KgcnRecommender : public Recommender {
   std::vector<float> ScoreItems(int32_t user,
                                 std::span<const int32_t> items) const override;
 
+  /// Online update (DESIGN §13): a structural refresh, no SGD. The
+  /// user/entity tables grow for kNewUser / kNewEntity events
+  /// (counter-keyed rows), and the static receptive field is resampled
+  /// only for entities whose adjacency the batch changed — new entities
+  /// plus both endpoints of every kNewFact — each from its own
+  /// Fork(entity)-keyed stream over the updated KG. The model then
+  /// serves against the post-batch world (train_, num_items_). Covers
+  /// KGCN-LS: the label-smoothness term reads the updated train set.
+  Status Update(const RecContext& context, const EventBatch& batch) override;
+  bool SupportsUpdate() const override { return true; }
+
   std::string HyperFingerprint() const override;
 
  protected:

@@ -6,12 +6,23 @@
 #include "core/check.h"
 #include "core/model_state.h"
 #include "core/thread_pool.h"
+#include "data/event_stream.h"
 #include "graph/ripple.h"
 #include "nn/init.h"
 #include "nn/ops.h"
 #include "nn/optim.h"
 
 namespace kgrec {
+
+namespace {
+
+// Update-path RNG streams (counter-keyed forks of Rng(context.seed)).
+constexpr uint64_t kGrowStream = 101;
+constexpr uint64_t kHopStream = 103;
+constexpr uint64_t kPadStream = 104;
+constexpr uint64_t kAuxStream = 105;
+
+}  // namespace
 
 void RippleNetRecommender::RippleArena::Reset(size_t num_users, size_t hops,
                                               size_t size) {
@@ -23,6 +34,15 @@ void RippleNetRecommender::RippleArena::Reset(size_t num_users, size_t hops,
   seeds.assign(num_users * size, 0);
   seed_weights.assign(num_users * size, 0.0f);
   filled.assign(num_users, 0);
+}
+
+void RippleNetRecommender::RippleArena::Grow(size_t num_users) {
+  heads.resize(num_users * num_hops * hop_size, 0);
+  relations.resize(num_users * num_hops * hop_size, 0);
+  tails.resize(num_users * num_hops * hop_size, 0);
+  seeds.resize(num_users * hop_size, 0);
+  seed_weights.resize(num_users * hop_size, 0.0f);
+  filled.resize(num_users, 0);
 }
 
 void RippleNetRecommender::RippleArena::MemoryUse(
@@ -100,6 +120,48 @@ nn::Tensor RippleNetRecommender::ItemVectors(
 void RippleNetRecommender::PrepareAux(const RecContext& /*context*/,
                                       Rng& /*rng*/) {}
 
+void RippleNetRecommender::RefreshAux(
+    const RecContext& /*context*/,
+    const std::vector<int32_t>& /*touched_items*/, const Rng& /*base_rng*/) {}
+
+void RippleNetRecommender::FillUserRipples(
+    int32_t u, const std::vector<EntityId>& seed_entities,
+    const std::vector<RippleHop>& hops, Rng& resample_rng) {
+  // Pads the seed slots and each hop to hop_size by resampling
+  // (self-loops for isolated seeds keep shapes fixed).
+  ripples_.filled[u] = 1;
+  int32_t* seeds = ripples_.seeds.data() + ripples_.SeedOffset(u);
+  float* weights = ripples_.seed_weights.data() + ripples_.SeedOffset(u);
+  for (size_t k = 0; k < config_.hop_size; ++k) {
+    seeds[k] = seed_entities[k % seed_entities.size()];
+    weights[k] =
+        k < seed_entities.size()
+            ? 1.0f / std::min<size_t>(seed_entities.size(), config_.hop_size)
+            : 0.0f;
+  }
+  KGREC_CHECK_EQ(hops.size(), config_.num_hops);
+  for (size_t hop = 0; hop < hops.size(); ++hop) {
+    int32_t* heads = ripples_.heads.data() + ripples_.HopOffset(u, hop);
+    int32_t* rels = ripples_.relations.data() + ripples_.HopOffset(u, hop);
+    int32_t* tails = ripples_.tails.data() + ripples_.HopOffset(u, hop);
+    if (hops[hop].triples.empty()) {
+      for (size_t k = 0; k < config_.hop_size; ++k) {
+        heads[k] = seed_entities[0];
+        rels[k] = 0;
+        tails[k] = seed_entities[0];
+      }
+    } else {
+      for (size_t k = 0; k < config_.hop_size; ++k) {
+        const Triple& t = hops[hop].triples[resample_rng.UniformInt(
+            hops[hop].triples.size())];
+        heads[k] = t.head;
+        rels[k] = t.relation;
+        tails[k] = t.tail;
+      }
+    }
+  }
+}
+
 nn::Tensor RippleNetRecommender::CombineResponses(
     const std::vector<nn::Tensor>& responses,
     const nn::Tensor& /*item_vecs*/) const {
@@ -129,44 +191,8 @@ void RippleNetRecommender::BuildPropagationState(const RecContext& context,
 
   PrepareAux(context, rng);
 
-  // Precompute fixed-size ripple sets per user from training history.
-  // Pads each hop to hop_size by resampling (self-loops for isolated
-  // seeds keep shapes fixed).
-  auto fill_user = [&](int32_t u, const std::vector<EntityId>& seed_entities,
-                       const std::vector<RippleHop>& hops, Rng& resample_rng) {
-    ripples_.filled[u] = 1;
-    int32_t* seeds = ripples_.seeds.data() + ripples_.SeedOffset(u);
-    float* weights = ripples_.seed_weights.data() + ripples_.SeedOffset(u);
-    for (size_t k = 0; k < config_.hop_size; ++k) {
-      seeds[k] = seed_entities[k % seed_entities.size()];
-      weights[k] =
-          k < seed_entities.size()
-              ? 1.0f / std::min<size_t>(seed_entities.size(),
-                                        config_.hop_size)
-              : 0.0f;
-    }
-    KGREC_CHECK_EQ(hops.size(), config_.num_hops);
-    for (size_t hop = 0; hop < hops.size(); ++hop) {
-      int32_t* heads = ripples_.heads.data() + ripples_.HopOffset(u, hop);
-      int32_t* rels = ripples_.relations.data() + ripples_.HopOffset(u, hop);
-      int32_t* tails = ripples_.tails.data() + ripples_.HopOffset(u, hop);
-      if (hops[hop].triples.empty()) {
-        for (size_t k = 0; k < config_.hop_size; ++k) {
-          heads[k] = seed_entities[0];
-          rels[k] = 0;
-          tails[k] = seed_entities[0];
-        }
-      } else {
-        for (size_t k = 0; k < config_.hop_size; ++k) {
-          const Triple& t = hops[hop].triples[resample_rng.UniformInt(
-              hops[hop].triples.size())];
-          heads[k] = t.head;
-          rels[k] = t.relation;
-          tails[k] = t.tail;
-        }
-      }
-    }
-  };
+  // Precompute fixed-size ripple sets per user from training history
+  // (FillUserRipples pads each hop to hop_size by resampling).
   ripples_.Reset(train.num_users(), config_.num_hops, config_.hop_size);
   if (config_.num_threads == 0) {
     // Legacy serial build: one shared sequential stream for every user
@@ -177,7 +203,7 @@ void RippleNetRecommender::BuildPropagationState(const RecContext& context,
       std::vector<EntityId> seed_entities(seeds.begin(), seeds.end());
       std::vector<RippleHop> hops = BuildRippleSets(
           kg, seed_entities, config_.num_hops, config_.hop_size * 4, rng);
-      fill_user(u, seed_entities, hops, rng);
+      FillUserRipples(u, seed_entities, hops, rng);
     }
   } else {
     // Deterministic parallel build: hop construction and hop padding
@@ -200,13 +226,122 @@ void RippleNetRecommender::BuildPropagationState(const RecContext& context,
           for (size_t u = begin; u < end; ++u) {
             if (seed_lists[u].empty()) continue;
             Rng user_rng = pad_rng.Fork(u);
-            fill_user(static_cast<int32_t>(u), seed_lists[u], all_hops[u],
-                      user_rng);
+            FillUserRipples(static_cast<int32_t>(u), seed_lists[u],
+                            all_hops[u], user_rng);
           }
           return Status::OK();
         });
     KGREC_CHECK(status.ok());
   }
+}
+
+Status RippleNetRecommender::Update(const RecContext& context,
+                                    const EventBatch& batch) {
+  KGREC_CHECK(context.train != nullptr);
+  KGREC_CHECK(context.item_kg != nullptr);
+  if (!entity_emb_.defined() || ripples_.filled.empty()) {
+    return Status::FailedPrecondition(
+        "RippleNet Update() requires a fitted (or loaded) model");
+  }
+  const InteractionDataset& train = *context.train;
+  const KnowledgeGraph& kg = *context.item_kg;
+  const Rng base_rng(context.seed);
+
+  // Growth: new entities get counter-keyed embedding rows, new users
+  // get zeroed (unfilled) arena rows.
+  if (kg.num_entities() > entity_emb_.rows()) {
+    entity_emb_ = nn::GrowRowsNormal(entity_emb_, kg.num_entities(),
+                                     base_rng.Fork(kGrowStream), 0.1f);
+  }
+  if (static_cast<size_t>(train.num_users()) > ripples_.filled.size()) {
+    ripples_.Grow(train.num_users());
+  }
+
+  // Who needs a ripple rebuild? Users with new interactions, plus users
+  // whose history lies within num_hops of any new fact's endpoints
+  // (conservative: a hop-k head sits at distance <= k-1 from a seed).
+  std::vector<uint8_t> refresh(train.num_users(), 0);
+  std::vector<EntityId> fact_frontier;
+  std::vector<int32_t> touched_items;
+  for (const Event& e : batch.events) {
+    switch (e.kind) {
+      case EventKind::kNewUser:
+      case EventKind::kNewEntity:
+        break;  // growth above is the whole fold
+      case EventKind::kNewInteraction:
+        refresh[e.user] = 1;
+        break;
+      case EventKind::kNewFact:
+        fact_frontier.push_back(e.head);
+        fact_frontier.push_back(e.tail);
+        if (e.head < train.num_items()) touched_items.push_back(e.head);
+        if (e.tail < train.num_items()) touched_items.push_back(e.tail);
+        break;
+    }
+  }
+  if (!fact_frontier.empty()) {
+    // One multi-source BFS over the updated KG (inverse relations make
+    // it effectively undirected) marks every item entity within
+    // num_hops of a new fact; any user seeded on such an item might now
+    // ripple through it.
+    std::vector<int32_t> depth(kg.num_entities(), -1);
+    std::vector<EntityId> frontier;
+    for (EntityId e : fact_frontier) {
+      if (depth[e] < 0) {
+        depth[e] = 0;
+        frontier.push_back(e);
+      }
+    }
+    for (size_t hop = 0; hop < config_.num_hops && !frontier.empty(); ++hop) {
+      std::vector<EntityId> next;
+      for (EntityId e : frontier) {
+        const Edge* edges = kg.OutEdges(e);
+        const size_t degree = kg.OutDegree(e);
+        for (size_t i = 0; i < degree; ++i) {
+          const EntityId t = edges[i].target;
+          if (depth[t] < 0) {
+            depth[t] = static_cast<int32_t>(hop + 1);
+            next.push_back(t);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+    for (int32_t u = 0; u < train.num_users(); ++u) {
+      if (refresh[u] || ripples_.empty(u)) continue;
+      for (int32_t item : train.UserItems(u)) {
+        if (depth[item] >= 0) {
+          refresh[u] = 1;
+          break;
+        }
+      }
+    }
+  }
+
+  // Per-item aux (RippleNet-agg neighborhoods) for adjacency changes.
+  std::sort(touched_items.begin(), touched_items.end());
+  touched_items.erase(
+      std::unique(touched_items.begin(), touched_items.end()),
+      touched_items.end());
+  RefreshAux(context, touched_items, base_rng.Fork(kAuxStream));
+
+  // Rebuild each marked user's ripple row from Fork(user)-keyed streams
+  // (same split as the parallel fit-time build: hops then padding).
+  const Rng hop_rng = base_rng.Fork(kHopStream);
+  const Rng pad_rng = base_rng.Fork(kPadStream);
+  for (int32_t u = 0; u < train.num_users(); ++u) {
+    if (!refresh[u]) continue;
+    const auto& seeds = train.UserItems(u);
+    if (seeds.empty()) continue;
+    const std::vector<EntityId> seed_entities(seeds.begin(), seeds.end());
+    Rng user_hop_rng = hop_rng.Fork(u);
+    const std::vector<RippleHop> hops =
+        BuildRippleSets(kg, seed_entities, config_.num_hops,
+                        config_.hop_size * 4, user_hop_rng);
+    Rng user_pad_rng = pad_rng.Fork(u);
+    FillUserRipples(u, seed_entities, hops, user_pad_rng);
+  }
+  return Status::OK();
 }
 
 std::string RippleNetRecommender::HyperFingerprint() const {

@@ -6,6 +6,7 @@
 
 #include "core/mem_stats.h"
 #include "core/recommender.h"
+#include "graph/ripple.h"
 #include "nn/tensor.h"
 
 namespace kgrec {
@@ -58,6 +59,18 @@ class RippleNetRecommender : public Recommender {
   std::vector<float> ScoreItems(int32_t user,
                                 std::span<const int32_t> items) const override;
 
+  /// Online update (DESIGN §13): a structural refresh, no SGD. The
+  /// entity table and ripple arena grow for kNewEntity / kNewUser
+  /// events (counter-keyed rows); then every user whose ripple sets
+  /// could see the batch — users with new interactions plus users whose
+  /// history lies within num_hops of a new fact's endpoints (one
+  /// multi-source BFS over the updated KG) — gets their ripple row
+  /// rebuilt from their own Fork(user)-keyed streams. Subclass aux
+  /// (RippleNet-agg's item neighborhoods) refreshes through the
+  /// RefreshAux hook; AKUPM inherits everything.
+  Status Update(const RecContext& context, const EventBatch& batch) override;
+  bool SupportsUpdate() const override { return true; }
+
   std::string HyperFingerprint() const override;
 
  protected:
@@ -98,6 +111,9 @@ class RippleNetRecommender : public Recommender {
     std::vector<uint8_t> filled;
 
     void Reset(size_t num_users, size_t hops, size_t size);
+    /// Appends zero-filled rows for users [old, num_users); existing
+    /// rows are untouched (the layout is user-major).
+    void Grow(size_t num_users);
     bool empty(int32_t user) const { return filled[user] == 0; }
     size_t SeedOffset(int32_t user) const {
       return static_cast<size_t>(user) * hop_size;
@@ -125,6 +141,22 @@ class RippleNetRecommender : public Recommender {
   /// Hook: called at the start of Fit() after embeddings exist, so
   /// subclasses can build auxiliary structures (sampled neighborhoods).
   virtual void PrepareAux(const RecContext& context, Rng& rng);
+
+  /// Hook: called by Update() with the (deduped, ascending) item
+  /// entities whose KG adjacency the batch changed, so subclasses can
+  /// refresh per-item aux. Item j must draw only from base_rng.Fork(j).
+  /// Default does nothing.
+  virtual void RefreshAux(const RecContext& context,
+                          const std::vector<int32_t>& touched_items,
+                          const Rng& base_rng);
+
+  /// Writes one user's padded seed slots and hop triples into the
+  /// arena (shared by the fit-time build and Update's refresh; all
+  /// draws come from `resample_rng` in a fixed order).
+  void FillUserRipples(int32_t user,
+                       const std::vector<EntityId>& seed_entities,
+                       const std::vector<RippleHop>& hops,
+                       Rng& resample_rng);
 
   RippleNetConfig config_;
   RippleArena ripples_;

@@ -27,6 +27,26 @@ void RippleNetAggRecommender::PrepareAux(const RecContext& context,
   }
 }
 
+void RippleNetAggRecommender::RefreshAux(
+    const RecContext& context, const std::vector<int32_t>& touched_items,
+    const Rng& base_rng) {
+  KGREC_CHECK(context.item_kg != nullptr);
+  const KnowledgeGraph& kg = *context.item_kg;
+  std::vector<Edge> sampled;
+  for (int32_t j : touched_items) {
+    Rng item_rng = base_rng.Fork(j);
+    kg.SampleNeighbors(j, neighbor_count_, item_rng, &sampled);
+    EntityId* row = item_neighbors_.data() + j * neighbor_count_;
+    if (sampled.empty()) {
+      std::fill(row, row + neighbor_count_, j);  // isolated: self only
+    } else {
+      size_t c = 0;
+      for (const Edge& e : sampled) row[c++] = e.target;
+      for (; c < neighbor_count_; ++c) row[c] = row[c % sampled.size()];
+    }
+  }
+}
+
 nn::Tensor RippleNetAggRecommender::ItemVectors(
     const std::vector<int32_t>& items) const {
   nn::Tensor self = nn::Gather(entity_emb_, items);

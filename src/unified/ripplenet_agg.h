@@ -24,6 +24,12 @@ class RippleNetAggRecommender : public RippleNetRecommender {
   nn::Tensor ItemVectors(const std::vector<int32_t>& items) const override;
   void PrepareAux(const RecContext& context, Rng& rng) override;
 
+  /// Update hook: resamples the neighborhood rows of items whose KG
+  /// adjacency the batch changed, each from its own Fork(item) stream.
+  void RefreshAux(const RecContext& context,
+                  const std::vector<int32_t>& touched_items,
+                  const Rng& base_rng) override;
+
  private:
   /// Fixed-size sampled neighborhood per item entity, arena-backed: row
   /// j of the flat buffer holds item j's neighbor_count_ entities.

@@ -10,12 +10,18 @@ Usage:
     tools/bench_diff.py OLD_DIR NEW_DIR [--threshold PCT]
     tools/bench_diff.py OLD_FILE NEW_FILE [--threshold PCT]
 
-Exit status: 1 if any `pass` flag or any flag whose name contains
-`bitwise` regressed true -> false — that includes the SQ8-vs-float32
-equality flags (`sq8_bitwise`, `sq8_exact_bitwise`,
-`int8_kernels_bitwise`), which must never drift. 0 otherwise (numeric
-drift alone never fails — timing noise is not a regression; the budgets
-inside the benches gate RSS and the SQ8 bytes ratio).
+Exit status: 1 if any `pass` flag, any flag ending in `_pass` (the
+online-update frontier's per-family gates `mf_family_pass` /
+`kge_family_pass`), or any flag whose name contains `bitwise` regressed
+true -> false — that includes the SQ8-vs-float32 equality flags
+(`sq8_bitwise`, `sq8_exact_bitwise`, `int8_kernels_bitwise`), which
+must never drift. 0 otherwise (numeric drift alone never fails —
+timing noise is not a regression; the budgets inside the benches gate
+RSS and the SQ8 bytes ratio). AUC columns in BENCH_online.json
+(`stale_auc` / `updated_auc` / `refit_auc`, and the derived `recovery`)
+are seed-deterministic, so any movement is reported; `cost_ratio` is a
+timing quotient and subject to the noise threshold like the
+`*_seconds` fields it divides.
 
 Size/selection fields such as `factor_bytes`, `sq8_code_bytes` and
 `candidate_pool` are never treated as timing noise: any change is
@@ -31,7 +37,7 @@ import sys
 # Fields whose drift is noise at small magnitudes; reported only past
 # the threshold.
 NUMERIC_NOISE_FIELDS = ("seconds", "_s", "_ns", "qps", "speedup", "p50",
-                        "p99", "latency")
+                        "p99", "latency", "cost_ratio")
 
 
 def load(path):
@@ -58,7 +64,8 @@ def diff_scalar(key, old, new, threshold, lines):
     """
     if isinstance(old, bool) or isinstance(new, bool):
         if old != new:
-            gated = key == "pass" or "bitwise" in key
+            gated = key == "pass" or key.endswith("_pass") or \
+                "bitwise" in key
             tag = "REGRESSION" if old and not new and gated else "changed"
             lines.append(f"  {key}: {old} -> {new}  [{tag}]")
             return bool(old) and not new and gated
